@@ -1,0 +1,68 @@
+#ifndef MARLIN_BENCH_BENCH_UTIL_H_
+#define MARLIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ais/preprocess.h"
+#include "ais/types.h"
+#include "sim/fleet.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace marlin {
+namespace bench {
+
+/// Reads an integer knob from the environment (benches scale up/down via
+/// MARLIN_* variables; defaults are sized for a single-core run).
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+/// Builds the supervised S-VRF dataset from a simulated fleet, split
+/// 50/25/25 like §6.1.
+struct SvrfDataset {
+  std::vector<SvrfSample> train;
+  std::vector<SvrfSample> validation;
+  std::vector<SvrfSample> test;
+};
+
+inline SvrfDataset BuildSvrfDataset(const World& world, int vessels,
+                                    double hours, int stride, uint64_t seed) {
+  FleetConfig config;
+  config.num_vessels = vessels;
+  config.seed = seed;
+  FleetSimulator fleet(const_cast<World*>(&world), config);
+  const auto tracks = fleet.RunTracks(hours * 3600.0);
+  std::vector<SvrfSample> all;
+  SampleBuilderOptions options;
+  options.stride = stride;
+  for (const auto& [mmsi, track] : tracks) {
+    const auto samples = BuildSvrfSamples(track, options);
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  // Shuffle deterministically, then split 50/25/25.
+  Rng rng(seed ^ 0xABCDEF);
+  for (size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng.UniformInt(static_cast<uint64_t>(i))]);
+  }
+  SvrfDataset dataset;
+  const size_t half = all.size() / 2;
+  const size_t three_quarters = all.size() * 3 / 4;
+  dataset.train.assign(all.begin(), all.begin() + static_cast<long>(half));
+  dataset.validation.assign(all.begin() + static_cast<long>(half),
+                            all.begin() + static_cast<long>(three_quarters));
+  dataset.test.assign(all.begin() + static_cast<long>(three_quarters),
+                      all.end());
+  return dataset;
+}
+
+}  // namespace bench
+}  // namespace marlin
+
+#endif  // MARLIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,196 @@
+// Reproduces Figure 6 of the paper: average per-message processing time
+// (moving window of 100 actors) against the number of distinct vessels
+// (actors) live on the system, while the full pipeline — ingestion, vessel
+// actors running the shared S-VRF, cell/collision/traffic actors, writer —
+// consumes a growing global AIS stream on a single node.
+//
+// The paper ran 72 h against the live MarineTraffic feed on a 12-core VM
+// and reached 170K vessel actors, observing an initialisation-phase
+// processing-time peak (up to ~5K actors, mass actor creation) followed by
+// a stable low plateau while actors keep growing. This harness reproduces
+// the same measurement against the fleet simulator with vessels arriving
+// progressively. Scale knobs: MARLIN_F6_VESSELS (default 60000; set 170000
+// for the full-scale run), MARLIN_F6_MINUTES, MARLIN_F6_TRAIN_EPOCHS.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "util/clock.h"
+#include "vrf/svrf_model.h"
+
+namespace marlin {
+namespace {
+
+int Run() {
+  const int vessels =
+      static_cast<int>(bench::EnvInt("MARLIN_F6_VESSELS", 25000));
+  const double minutes =
+      static_cast<double>(bench::EnvInt("MARLIN_F6_MINUTES", 75));
+  const int train_epochs =
+      static_cast<int>(bench::EnvInt("MARLIN_F6_TRAIN_EPOCHS", 6));
+
+  std::printf("=== Figure 6: system scalability — processing time vs live "
+              "actors ===\n");
+  std::printf("workload: %d vessels arriving over %.0f min, S-VRF on every "
+              "accepted message, single node\n",
+              vessels, minutes * 0.6);
+
+  // A compact S-VRF (the use case of §6.3) trained briefly on the same
+  // stream family.
+  const World world = World::GlobalWorld(7);
+  SvrfModel::Config model_config;
+  model_config.hidden_dim = 12;
+  model_config.dense_dim = 12;
+  auto svrf = std::make_shared<SvrfModel>(model_config);
+  {
+    bench::SvrfDataset data = bench::BuildSvrfDataset(world, 60, 6.0, 6, 99);
+    Trainer::Options options;
+    options.epochs = train_epochs;
+    options.batch_size = 64;
+    options.learning_rate = 3e-3;
+    Stopwatch watch;
+    svrf->Train(data.train, {}, options);
+    std::printf("model: BiLSTM h=%d trained on %zu segments (%.1f s)\n",
+                model_config.hidden_dim, data.train.size(),
+                watch.ElapsedMillis() / 1000.0);
+  }
+
+  PipelineConfig pipeline_config;
+  pipeline_config.actor_system.num_threads = 2;
+  MaritimePipeline pipeline(svrf, pipeline_config);
+  const Status started = pipeline.Start();
+  if (!started.ok()) {
+    std::printf("ERROR: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  FleetConfig fleet_config;
+  fleet_config.num_vessels = vessels;
+  fleet_config.seed = 42;
+  fleet_config.step_sec = 20.0;
+  fleet_config.arrival_span_sec = minutes * 60.0 * 0.5;
+  FleetSimulator fleet(&world, fleet_config);
+
+  Stopwatch wall;
+  std::vector<AisPosition> batch;
+  const int steps = static_cast<int>(minutes * 60.0 / fleet_config.step_sec);
+  for (int step = 0; step < steps; ++step) {
+    batch.clear();
+    fleet.Step(&batch);
+    for (const AisPosition& report : batch) {
+      (void)pipeline.Ingest(report);
+    }
+    // Bound mailbox backlog: the driver replays faster than real time.
+    pipeline.AwaitQuiescence();
+  }
+  pipeline.AwaitQuiescence();
+  const double wall_sec = wall.ElapsedMillis() / 1000.0;
+
+  const PipelineStats stats = pipeline.Stats();
+  std::printf("\nrun: %.1f s wall for %.0f min of stream (replay speedup "
+              "%.0fx)\n",
+              wall_sec, minutes, minutes * 60.0 / wall_sec);
+  std::printf("totals: %lld AIS messages, %lld forecasts, %lld events, "
+              "%zu live actors, %lld actor messages\n",
+              static_cast<long long>(stats.positions_ingested),
+              static_cast<long long>(stats.forecasts_generated),
+              static_cast<long long>(stats.events_detected),
+              stats.actor_count,
+              static_cast<long long>(stats.messages_processed));
+  std::printf("mean processing time: %.1f us/message\n",
+              stats.mean_processing_nanos / 1000.0);
+
+  // Figure-6 curve: bucket the (actor count, windowed average) series.
+  const std::vector<LatencyPoint> series = pipeline.LatencySeries();
+  if (series.empty()) {
+    std::printf("ERROR: no latency series recorded\n");
+    return 1;
+  }
+  int64_t max_actors = 0;
+  for (const LatencyPoint& point : series) {
+    max_actors = std::max(max_actors, point.actor_count);
+  }
+  constexpr int kBuckets = 20;
+  std::vector<double> bucket_sum(kBuckets, 0.0);
+  std::vector<int64_t> bucket_n(kBuckets, 0);
+  std::vector<double> bucket_peak(kBuckets, 0.0);
+  for (const LatencyPoint& point : series) {
+    int bucket = static_cast<int>(point.actor_count * kBuckets /
+                                  (max_actors + 1));
+    bucket = std::clamp(bucket, 0, kBuckets - 1);
+    bucket_sum[bucket] += point.avg_nanos;
+    bucket_peak[bucket] = std::max(bucket_peak[bucket], point.avg_nanos);
+    ++bucket_n[bucket];
+  }
+  std::printf("\n| live actors (bucket) | avg processing (us) | window peak "
+              "(us) |\n");
+  std::printf("|----------------------|---------------------|------------------|\n");
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    if (bucket_n[bucket] == 0) continue;
+    const int64_t lo = bucket * (max_actors + 1) / kBuckets;
+    const int64_t hi = (bucket + 1) * (max_actors + 1) / kBuckets;
+    std::printf("| %8lld - %-8lld  | %19.1f | %16.1f |\n",
+                static_cast<long long>(lo), static_cast<long long>(hi),
+                bucket_sum[bucket] / bucket_n[bucket] / 1000.0,
+                bucket_peak[bucket] / 1000.0);
+  }
+
+  // Shape checks: (a) the init phase (first ~5% of actors) shows transient
+  // peaks well above its own average — the mass-actor-introduction spikes
+  // of the paper's initialisation phase; (b) once the forecast pipeline is
+  // saturated, the plateau stays flat while the actor count keeps growing
+  // (the scalability headline); (c) sustained real-time headroom; (d) the
+  // plateau is low ("less than a few milliseconds").
+  const int64_t init_cutoff = std::max<int64_t>(5000, max_actors / 20);
+  double init_peak = 0.0, init_sum = 0.0;
+  int64_t init_n = 0;
+  double q3_sum = 0.0, q4_sum = 0.0;
+  int64_t q3_n = 0, q4_n = 0;
+  for (const LatencyPoint& point : series) {
+    if (point.actor_count <= init_cutoff) {
+      init_peak = std::max(init_peak, point.avg_nanos);
+      init_sum += point.avg_nanos;
+      ++init_n;
+    }
+    if (point.actor_count > max_actors / 2 &&
+        point.actor_count <= 3 * max_actors / 4) {
+      q3_sum += point.avg_nanos;
+      ++q3_n;
+    }
+    if (point.actor_count > 3 * max_actors / 4) {
+      q4_sum += point.avg_nanos;
+      ++q4_n;
+    }
+  }
+  const double init_avg = init_n > 0 ? init_sum / init_n : 0.0;
+  const double q3_avg = q3_n > 0 ? q3_sum / q3_n : 0.0;
+  const double q4_avg = q4_n > 0 ? q4_sum / q4_n : 0.0;
+  const double plateau_ratio = q3_avg > 0.0 ? q4_avg / q3_avg : 0.0;
+  std::printf("\npaper shape checks:\n");
+  std::printf("  init phase (<= %lld actors): avg %.1f us, peak %.1f us\n",
+              static_cast<long long>(init_cutoff), init_avg / 1000.0,
+              init_peak / 1000.0);
+  std::printf("  init transient visible (peak > 3x init avg):   %s\n",
+              init_peak > 3.0 * init_avg ? "YES" : "NO");
+  std::printf("  plateau flat while actors grow (Q4/Q3 = %.2f): %s\n",
+              plateau_ratio, plateau_ratio < 1.5 ? "YES" : "NO");
+  std::printf("  plateau < 5 ms (paper: 'less than a few ms'):  %s "
+              "(%.1f us)\n",
+              q4_avg < 5e6 ? "YES" : "NO", q4_avg / 1000.0);
+  std::printf("  replay faster than real time:                  %s "
+              "(%.0fx)\n",
+              wall_sec < minutes * 60.0 ? "YES" : "NO",
+              minutes * 60.0 / wall_sec);
+  std::printf("paper reference: peak during init up to ~5K actors, then a "
+              "stable low plateau out to 170K actors over 72 h without "
+              "memory or system issues\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace marlin
+
+int main() { return marlin::Run(); }

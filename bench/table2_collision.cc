@@ -1,0 +1,148 @@
+// Reproduces Table 2 of the paper: evaluation of vessel collision
+// forecasting on a synthetic proximity-event dataset with the composition
+// of [2] — 237 proximity events (Sub dataset A: 61 events < 2 min to CPA,
+// Sub dataset B: 152 events < 5 min) in the Aegean Sea — across the 8
+// experiment sets {linear kinematic, S-VRF} x {All@2min, All@5min,
+// SubA@2min, SubB@5min}, reporting TP/FP/FN, precision, recall, F1 and the
+// paper's accuracy (TP / (TP+FP+FN)).
+//
+// Expected reproduced shape: both models score >= ~0.9 on most metrics;
+// the S-VRF tends to more false positives (lower precision) and fewer
+// false negatives (higher recall) than the linear kinematic model, making
+// it the better model for the safety-critical recall metric.
+//
+// Scale knobs: MARLIN_T2_EPOCHS, MARLIN_T2_TRAIN_VESSELS.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "events/collision_eval.h"
+#include "sim/proximity_dataset.h"
+#include "vrf/linear_model.h"
+#include "vrf/svrf_model.h"
+
+namespace marlin {
+namespace {
+
+void PrintRow(const char* dataset, const CollisionEvalResult& r) {
+  std::printf("| %-13s | %-16s | %9.0f | %6d | %3d | %3d | %3d | %9.2f | "
+              "%6.2f | %8.2f | %8.2f |\n",
+              dataset, r.model_name.c_str(), r.temporal_threshold_min,
+              r.total_events, r.tp, r.fp, r.fn, r.precision, r.recall, r.f1,
+              r.accuracy);
+}
+
+int Run() {
+  const int epochs = static_cast<int>(bench::EnvInt("MARLIN_T2_EPOCHS", 10));
+  const int train_vessels =
+      static_cast<int>(bench::EnvInt("MARLIN_T2_TRAIN_VESSELS", 100));
+
+  std::printf(
+      "=== Table 2: vessel collision forecasting evaluation ===\n");
+  ProximityDatasetConfig dataset_config;  // paper composition by default
+  const ProximityDataset dataset = GenerateProximityDataset(dataset_config);
+  std::printf("dataset: %d proximity events (%d < 2min, %d < 5min), %d "
+              "negatives, %d AIS messages, Aegean Sea box\n",
+              dataset.TotalEvents(), dataset.EventsWithin(120.0),
+              dataset.EventsWithin(300.0),
+              static_cast<int>(dataset.scenarios.size()) -
+                  dataset.TotalEvents(),
+              dataset.TotalMessages());
+
+  // Train the S-VRF on an independent simulated stream: global fleet
+  // traffic plus encounter-style manoeuvring tracks from the same waters
+  // (the production model trains on archived streams that include the
+  // evaluation region's traffic; the evaluation scenarios themselves are a
+  // disjoint draw).
+  const World world = World::GlobalWorld(7);
+  bench::SvrfDataset train_data =
+      bench::BuildSvrfDataset(world, train_vessels, 8.0, 4, 555);
+  Rng track_rng(909);
+  SampleBuilderOptions sample_options;
+  sample_options.stride = 2;
+  int encounter_tracks = 0;
+  for (int i = 0; i < 250; ++i) {
+    const auto track = GenerateEncounterStyleTrack(
+        900000000 + static_cast<Mmsi>(i), dataset_config.region, 2.5 * 3600.0,
+        dataset_config.mean_interval_sec, &track_rng);
+    const auto samples = BuildSvrfSamples(track, sample_options);
+    train_data.train.insert(train_data.train.end(), samples.begin(),
+                            samples.end());
+    ++encounter_tracks;
+  }
+  SvrfModel::Config model_config;
+  model_config.hidden_dim = 16;
+  model_config.dense_dim = 16;
+  SvrfModel svrf(model_config);
+  Trainer::Options train_options;
+  train_options.epochs = epochs;
+  train_options.batch_size = 64;
+  train_options.learning_rate = 3e-3;
+  train_options.l1_lambda = 1e-6;
+  svrf.Train(train_data.train, {}, train_options);
+  std::printf("S-VRF trained on %zu segments (%d fleet vessels + %d "
+              "encounter-style tracks, %d epochs)\n\n",
+              train_data.train.size(), train_vessels, encounter_tracks,
+              epochs);
+
+  LinearKinematicModel linear;
+
+  std::printf(
+      "| Dataset       | Model            | Temp. "
+      "thr | Events | TP  | FP  | FN  | Precision | Recall | F1-Score | "
+      "Accuracy |\n");
+  std::printf(
+      "|---------------|------------------|-----------|--------|-----|-----|"
+      "-----|-----------|--------|----------|----------|\n");
+
+  struct Experiment {
+    const char* label;
+    ProximitySubset subset;
+    TimeMicros threshold;
+  };
+  const Experiment experiments[] = {
+      {"All Events", ProximitySubset::kAll, 2 * kMicrosPerMinute},
+      {"All Events", ProximitySubset::kAll, 5 * kMicrosPerMinute},
+      {"Sub dataset A", ProximitySubset::kUnder2, 2 * kMicrosPerMinute},
+      {"Sub dataset B", ProximitySubset::kUnder5, 5 * kMicrosPerMinute},
+  };
+  CollisionEvalResult linear_all2, svrf_all2;
+  for (const Experiment& experiment : experiments) {
+    const CollisionEvalResult linear_result = EvaluateCollisionForecasting(
+        linear, dataset, experiment.subset, experiment.threshold);
+    const CollisionEvalResult svrf_result = EvaluateCollisionForecasting(
+        svrf, dataset, experiment.subset, experiment.threshold);
+    PrintRow(experiment.label, linear_result);
+    PrintRow(experiment.label, svrf_result);
+    if (experiment.subset == ProximitySubset::kAll &&
+        experiment.threshold == 2 * kMicrosPerMinute) {
+      linear_all2 = linear_result;
+      svrf_all2 = svrf_result;
+    }
+  }
+
+  std::printf("\npaper shape checks (All Events @ 2min; the paper's decisive "
+              "metrics are recall and accuracy, §6.2):\n");
+  std::printf("  S-VRF recall >= linear recall:      %s (%.2f vs %.2f)\n",
+              svrf_all2.recall >= linear_all2.recall ? "YES" : "NO",
+              svrf_all2.recall, linear_all2.recall);
+  std::printf("  S-VRF accuracy >= linear accuracy:  %s (%.2f vs %.2f)\n",
+              svrf_all2.accuracy >= linear_all2.accuracy ? "YES" : "NO",
+              svrf_all2.accuracy, linear_all2.accuracy);
+  std::printf("  both models >= 0.85 on recall/F1:   %s\n",
+              (svrf_all2.recall >= 0.85 && linear_all2.recall >= 0.85 &&
+               svrf_all2.f1 >= 0.85 && linear_all2.f1 >= 0.85)
+                  ? "YES"
+                  : "NO");
+  std::printf("  info: FN %d (S-VRF) vs %d (linear), FP %d vs %d — the "
+              "paper saw S-VRF trade FPs for FNs; here it dominates both\n",
+              svrf_all2.fn, linear_all2.fn, svrf_all2.fp, linear_all2.fp);
+  std::printf("paper reference (All@2min): linear TP 203 FP 3 FN 34, "
+              "S-VRF TP 214 FP 11 FN 23\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace marlin
+
+int main() { return marlin::Run(); }

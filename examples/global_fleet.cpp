@@ -1,0 +1,86 @@
+// Global fleet soak: a condensed Figure-6-style run — thousands of vessels
+// arriving on the pipeline, S-VRF-equipped vessel actors, live processing
+// statistics, and the latency-vs-actors curve summarised at the end.
+//
+// Run: ./build/examples/global_fleet   (about a minute on a laptop core)
+
+#include <cstdio>
+#include <memory>
+
+#include "core/pipeline.h"
+#include "sim/fleet.h"
+#include "vrf/svrf_model.h"
+
+using namespace marlin;
+
+int main() {
+  // Compact S-VRF; untrained weights are fine for a soak (inference cost
+  // and routing are what this example exercises).
+  SvrfModel::Config model_config;
+  model_config.hidden_dim = 12;
+  model_config.dense_dim = 12;
+  MaritimePipeline pipeline(std::make_shared<SvrfModel>(model_config));
+  if (Status status = pipeline.Start(); !status.ok()) {
+    std::printf("failed to start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const World world = World::GlobalWorld(7);
+  FleetConfig fleet_config;
+  fleet_config.num_vessels = 5000;
+  fleet_config.seed = 1;
+  fleet_config.arrival_span_sec = 15.0 * 60.0;
+  FleetSimulator fleet(&world, fleet_config);
+
+  std::printf("streaming 45 min of a %d-vessel global fleet...\n",
+              fleet_config.num_vessels);
+  std::vector<AisPosition> batch;
+  const int steps = static_cast<int>(45.0 * 60.0 / fleet_config.step_sec);
+  for (int step = 0; step < steps; ++step) {
+    batch.clear();
+    fleet.Step(&batch);
+    for (const AisPosition& report : batch) (void)pipeline.Ingest(report);
+    pipeline.AwaitQuiescence();
+    if (step % 60 == 59) {
+      const PipelineStats stats = pipeline.Stats();
+      std::printf("  +%2d min: %7lld msgs, %6lld forecasts, %5lld events, "
+                  "%6zu actors, mean %6.1f us\n",
+                  (step + 1) * 10 / 60,
+                  static_cast<long long>(stats.positions_ingested),
+                  static_cast<long long>(stats.forecasts_generated),
+                  static_cast<long long>(stats.events_detected),
+                  stats.actor_count, stats.mean_processing_nanos / 1000.0);
+    }
+  }
+  pipeline.AwaitQuiescence();
+
+  // Latency-vs-actors summary (the Figure-6 measurement).
+  const std::vector<LatencyPoint> series = pipeline.LatencySeries();
+  if (!series.empty()) {
+    const int64_t max_actors = series.back().actor_count;
+    double early = 0.0, late = 0.0;
+    int64_t early_n = 0, late_n = 0;
+    for (const LatencyPoint& point : series) {
+      if (point.actor_count < max_actors / 4) {
+        early += point.avg_nanos;
+        ++early_n;
+      } else if (point.actor_count > 3 * max_actors / 4) {
+        late += point.avg_nanos;
+        ++late_n;
+      }
+    }
+    std::printf("\nlatency curve: first-quartile actors avg %.1f us, "
+                "last-quartile avg %.1f us (%lld actor samples)\n",
+                early_n ? early / early_n / 1000.0 : 0.0,
+                late_n ? late / late_n / 1000.0 : 0.0,
+                static_cast<long long>(series.size()));
+  }
+  const PipelineStats stats = pipeline.Stats();
+  std::printf("final: %lld messages, %lld forecasts, %lld events, %zu "
+              "actors, store holds %zu keys\n",
+              static_cast<long long>(stats.positions_ingested),
+              static_cast<long long>(stats.forecasts_generated),
+              static_cast<long long>(stats.events_detected),
+              stats.actor_count, pipeline.store().Size());
+  return 0;
+}

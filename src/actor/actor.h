@@ -1,0 +1,104 @@
+#ifndef MARLIN_ACTOR_ACTOR_H_
+#define MARLIN_ACTOR_ACTOR_H_
+
+#include <any>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace marlin {
+
+class Actor;
+class ActorSystem;
+struct ActorCell;
+
+/// Unique actor identity within one ActorSystem.
+using ActorId = uint64_t;
+
+constexpr ActorId kNoActor = 0;
+
+/// A message in flight: a type-erased payload plus the sender's identity and
+/// an optional reply slot (set by Ask).
+struct Envelope {
+  std::any payload;
+  ActorId sender = kNoActor;
+  std::shared_ptr<std::promise<std::any>> reply;
+};
+
+/// Lightweight handle to an actor. Copyable; holds the target alive through
+/// the cell registry (messages to stopped actors are dropped).
+class ActorRef {
+ public:
+  ActorRef() = default;
+
+  bool valid() const { return !cell_.expired(); }
+  ActorId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  bool operator==(const ActorRef& other) const { return id_ == other.id_; }
+
+ private:
+  friend class ActorSystem;
+  ActorRef(ActorId id, std::string name, std::weak_ptr<ActorCell> cell)
+      : id_(id), name_(std::move(name)), cell_(std::move(cell)) {}
+
+  ActorId id_ = kNoActor;
+  std::string name_;
+  std::weak_ptr<ActorCell> cell_;
+};
+
+/// Per-delivery context handed to Actor::Receive: identifies the sender,
+/// allows replying to an Ask, and gives access to the system for spawning
+/// and messaging other actors.
+class ActorContext {
+ public:
+  ActorContext(ActorSystem* system, ActorId self, Envelope* envelope)
+      : system_(system), self_(self), envelope_(envelope) {}
+
+  ActorSystem& system() const { return *system_; }
+  ActorId self() const { return self_; }
+  ActorId sender() const { return envelope_->sender; }
+
+  /// Fulfils the reply slot of an Ask. No-op for plain Tells.
+  void Reply(std::any value) const {
+    if (envelope_->reply) envelope_->reply->set_value(std::move(value));
+  }
+
+  bool IsAsk() const { return envelope_->reply != nullptr; }
+
+ private:
+  ActorSystem* system_;
+  ActorId self_;
+  Envelope* envelope_;
+};
+
+/// Base class for all actors. Exactly one message is processed at a time per
+/// actor (the runtime never runs Receive concurrently for the same actor),
+/// so actor state needs no synchronisation — the isolation property the
+/// paper's architecture relies on.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Handles one message. Returning a non-OK status signals a failure to the
+  /// supervisor, which restarts the actor (OnRestart) up to a restart limit
+  /// and then stops it.
+  virtual Status Receive(const std::any& message, ActorContext& ctx) = 0;
+
+  /// Called after spawn, before the first message.
+  virtual void OnStart(ActorContext& ctx) { (void)ctx; }
+
+  /// Called by the supervisor on failure, before resuming message
+  /// processing. Implementations should reset volatile state.
+  virtual void OnRestart(const Status& failure) { (void)failure; }
+
+  /// Called when the actor is stopped (system shutdown or restart limit).
+  virtual void OnStop() {}
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_ACTOR_ACTOR_H_

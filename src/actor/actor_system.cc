@@ -1,0 +1,320 @@
+#include "actor/actor_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace marlin {
+namespace {
+
+TimeMicros WallNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ActorSystem::ActorSystem(const ActorSystemConfig& config)
+    : config_(config),
+      pool_(config.num_threads > 0
+                ? config.num_threads
+                : static_cast<int>(std::max(
+                      2u, std::thread::hardware_concurrency()))) {
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+ActorSystem::~ActorSystem() { Shutdown(); }
+
+StatusOr<ActorRef> ActorSystem::Spawn(std::string name,
+                                      std::unique_ptr<Actor> actor) {
+  std::shared_ptr<ActorCell> cell;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("actor system is shutting down");
+    }
+    if (by_name_.count(name) > 0) {
+      return Status::AlreadyExists("actor '" + name + "' already exists");
+    }
+    cell = std::make_shared<ActorCell>();
+    cell->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    cell->name = name;
+    cell->actor = std::move(actor);
+    by_name_.emplace(name, cell);
+    by_id_.emplace(cell->id, cell);
+  }
+  ActorRef ref(cell->id, std::move(name), cell);
+  Envelope start_env;
+  ActorContext ctx(this, cell->id, &start_env);
+  cell->actor->OnStart(ctx);
+  return ref;
+}
+
+StatusOr<ActorRef> ActorSystem::GetOrSpawn(
+    const std::string& name,
+    const std::function<std::unique_ptr<Actor>()>& factory) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+      return ActorRef(it->second->id, name, it->second);
+    }
+  }
+  StatusOr<ActorRef> spawned = Spawn(name, factory());
+  if (spawned.ok()) return spawned;
+  if (spawned.status().code() == StatusCode::kAlreadyExists) {
+    // Lost a race with a concurrent GetOrSpawn; return the winner.
+    return Find(name);
+  }
+  return spawned.status();
+}
+
+StatusOr<ActorRef> ActorSystem::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("actor '" + name + "' not found");
+  }
+  return ActorRef(it->second->id, name, it->second);
+}
+
+bool ActorSystem::Tell(const ActorRef& target, std::any message,
+                       ActorId sender) {
+  std::shared_ptr<ActorCell> cell = target.cell_.lock();
+  if (cell == nullptr) return false;
+  Envelope env;
+  env.payload = std::move(message);
+  env.sender = sender;
+  return Enqueue(cell, std::move(env));
+}
+
+std::future<std::any> ActorSystem::Ask(const ActorRef& target,
+                                       std::any message, ActorId sender) {
+  auto promise = std::make_shared<std::promise<std::any>>();
+  std::future<std::any> future = promise->get_future();
+  std::shared_ptr<ActorCell> cell = target.cell_.lock();
+  if (cell == nullptr) {
+    promise->set_value(std::any());  // broken target: empty reply
+    return future;
+  }
+  Envelope env;
+  env.payload = std::move(message);
+  env.sender = sender;
+  env.reply = promise;
+  if (!Enqueue(cell, std::move(env))) {
+    promise->set_value(std::any());
+  }
+  return future;
+}
+
+void ActorSystem::ScheduleTell(TimeMicros delay, const ActorRef& target,
+                               std::any message, ActorId sender) {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (timer_stop_) return;
+    timers_.push(TimerEntry{WallNowMicros() + std::max<TimeMicros>(0, delay),
+                            target, std::move(message), sender});
+  }
+  timer_cv_.notify_one();
+}
+
+void ActorSystem::Stop(const ActorRef& target) {
+  std::shared_ptr<ActorCell> cell = target.cell_.lock();
+  if (cell != nullptr) StopCell(cell);
+}
+
+void ActorSystem::AwaitQuiescence() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ActorSystem::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  // Stop the timer first so no new sends originate from it.
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  AwaitQuiescence();
+  pool_.Shutdown();
+  std::vector<std::shared_ptr<ActorCell>> cells;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    cells.reserve(by_id_.size());
+    for (auto& [id, cell] : by_id_) cells.push_back(cell);
+  }
+  for (auto& cell : cells) {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    if (!cell->stopped) {
+      cell->stopped = true;
+      cell->actor->OnStop();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    by_name_.clear();
+    by_id_.clear();
+  }
+}
+
+size_t ActorSystem::ActorCount() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return by_id_.size();
+}
+
+bool ActorSystem::Enqueue(const std::shared_ptr<ActorCell>& cell,
+                          Envelope envelope) {
+  // Count the message in-flight *before* it becomes visible to the
+  // dispatcher, so AwaitQuiescence never observes a transient zero while a
+  // message is queued or being processed.
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    if (cell->stopped) {
+      DecrementPending(1);
+      return false;
+    }
+    cell->mailbox.push_back(std::move(envelope));
+    if (!cell->scheduled) {
+      cell->scheduled = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    if (!pool_.Submit([this, cell] { DrainMailbox(cell); })) {
+      // Pool already shut down; roll back so quiescence does not hang.
+      size_t dropped;
+      {
+        std::lock_guard<std::mutex> lock(cell->mu);
+        dropped = cell->mailbox.size();
+        cell->mailbox.clear();
+        cell->scheduled = false;
+      }
+      DecrementPending(static_cast<int64_t>(dropped));
+      return false;
+    }
+  }
+  return true;
+}
+
+void ActorSystem::DecrementPending(int64_t n) {
+  if (n <= 0) return;
+  if (pending_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void ActorSystem::DrainMailbox(std::shared_ptr<ActorCell> cell) {
+  int processed_here = 0;
+  for (;;) {
+    Envelope env;
+    {
+      std::lock_guard<std::mutex> lock(cell->mu);
+      if (cell->mailbox.empty() || cell->stopped) {
+        cell->scheduled = false;
+        return;
+      }
+      if (processed_here >= config_.throughput) {
+        // Yield the thread; reschedule for fairness.
+        if (!pool_.Submit([this, cell] { DrainMailbox(cell); })) {
+          cell->scheduled = false;
+        }
+        return;
+      }
+      env = std::move(cell->mailbox.front());
+      cell->mailbox.pop_front();
+    }
+    ActorContext ctx(this, cell->id, &env);
+    const Status status = cell->actor->Receive(env.payload, ctx);
+    ++processed_here;
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    if (!status.ok()) {
+      // Handle the failure before releasing the pending count so that
+      // AwaitQuiescence observes completed supervision, not just delivery.
+      HandleFailure(cell, status);
+      DecrementPending(1);
+      std::lock_guard<std::mutex> lock(cell->mu);
+      if (cell->stopped) {
+        cell->scheduled = false;
+        return;
+      }
+    } else {
+      DecrementPending(1);
+    }
+  }
+}
+
+void ActorSystem::HandleFailure(const std::shared_ptr<ActorCell>& cell,
+                                const Status& failure) {
+  int restarts;
+  {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    restarts = ++cell->restarts;
+  }
+  if (restarts > config_.max_restarts) {
+    MARLIN_LOG(WARNING) << "actor '" << cell->name << "' exceeded "
+                        << config_.max_restarts
+                        << " restarts; stopping (last failure: "
+                        << failure.ToString() << ")";
+    StopCell(cell);
+    return;
+  }
+  MARLIN_LOG(WARNING) << "actor '" << cell->name
+                      << "' failed: " << failure.ToString() << " (restart "
+                      << restarts << "/" << config_.max_restarts << ")";
+  cell->actor->OnRestart(failure);
+}
+
+void ActorSystem::StopCell(const std::shared_ptr<ActorCell>& cell) {
+  size_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    if (cell->stopped) return;
+    cell->stopped = true;
+    dropped = cell->mailbox.size();
+    cell->mailbox.clear();
+    cell->actor->OnStop();
+  }
+  DecrementPending(static_cast<int64_t>(dropped));
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  by_name_.erase(cell->name);
+  by_id_.erase(cell->id);
+}
+
+void ActorSystem::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  for (;;) {
+    if (timer_stop_) return;
+    if (timers_.empty()) {
+      timer_cv_.wait(lock,
+                     [this] { return timer_stop_ || !timers_.empty(); });
+      continue;
+    }
+    const TimeMicros now = WallNowMicros();
+    const TimerEntry& next = timers_.top();
+    if (next.fire_at_wall > now) {
+      timer_cv_.wait_for(
+          lock, std::chrono::microseconds(next.fire_at_wall - now));
+      continue;
+    }
+    TimerEntry entry = timers_.top();
+    timers_.pop();
+    lock.unlock();
+    Tell(entry.target, std::move(entry.message), entry.sender);
+    lock.lock();
+  }
+}
+
+}  // namespace marlin

@@ -1,0 +1,139 @@
+#ifndef MARLIN_AIS_CODEC_H_
+#define MARLIN_AIS_CODEC_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ais/types.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// Bit-level writer for AIS payloads (big-endian bit order per ITU-R
+/// M.1371). Grows on demand; pads the final 6-bit group with zeros.
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value` (unsigned), MSB first.
+  void WriteUint(uint64_t value, int width);
+  /// Appends a two's-complement signed value.
+  void WriteInt(int64_t value, int width);
+  /// Appends a 6-bit-character string field of `chars` characters, padded
+  /// with '@'.
+  void WriteString(const std::string& text, int chars);
+
+  int BitCount() const { return static_cast<int>(bits_.size()); }
+  const std::vector<bool>& bits() const { return bits_; }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+/// Bit-level reader over a decoded AIS payload.
+class BitReader {
+ public:
+  explicit BitReader(std::vector<bool> bits) : bits_(std::move(bits)) {}
+
+  /// Reads `width` bits as an unsigned value; returns 0 past the end (the
+  /// caller should pre-validate the payload length).
+  uint64_t ReadUint(int width);
+  /// Reads `width` bits as a two's-complement signed value.
+  int64_t ReadInt(int width);
+  /// Reads a 6-bit-character string of `chars` characters, trimming trailing
+  /// '@' and spaces.
+  std::string ReadString(int chars);
+
+  int Remaining() const { return static_cast<int>(bits_.size()) - pos_; }
+
+ private:
+  std::vector<bool> bits_;
+  int pos_ = 0;
+};
+
+/// Encoder/decoder for NMEA 0183 AIVDM sentences carrying AIS messages —
+/// the wire format of the real-time feeds the paper's ingestion services
+/// consume. Supports position reports (types 1/2/3) and the static/voyage
+/// report (type 5, two-fragment).
+class AisCodec {
+ public:
+  /// Encodes a position report as a single !AIVDM sentence (message type 1).
+  /// `timestamp` seconds are carried in the 6-bit UTC-second field; full
+  /// timestamps are restored by the decoder from `received_at`.
+  static std::string EncodePosition(const AisPosition& report);
+
+  /// Encodes a Class-B position report (message type 18) — the transponder
+  /// class of most fishing and pleasure craft.
+  static std::string EncodePositionClassB(const AisPosition& report);
+
+  /// Encodes a static report as the two-fragment type-5 sentence pair.
+  static std::vector<std::string> EncodeStatic(const AisStatic& report);
+
+  /// Decodes one position-report sentence (types 1/2/3 and 18).
+  /// `received_at` supplies the full receive timestamp (AIS itself only
+  /// carries the UTC second).
+  static StatusOr<AisPosition> DecodePosition(const std::string& sentence,
+                                              TimeMicros received_at);
+
+  /// Decodes a reassembled type-5 sentence pair.
+  static StatusOr<AisStatic> DecodeStatic(
+      const std::vector<std::string>& sentences);
+
+  /// Computes the NMEA checksum (XOR of characters between '!' and '*').
+  static uint8_t Checksum(std::string_view body);
+
+  /// Extracts and validates the 6-bit payload of an AIVDM sentence.
+  /// Returns the payload characters and the number of fill bits.
+  static StatusOr<std::string> ExtractPayload(const std::string& sentence);
+
+  /// Parses the fragment bookkeeping of an AIVDM sentence.
+  struct FragmentInfo {
+    int fragment_count = 1;
+    int fragment_number = 1;
+    /// Sequential message id linking the fragments of one group; -1 for
+    /// single-fragment sentences (the field is empty there).
+    int sequence_id = -1;
+    char channel = 'A';
+  };
+  static StatusOr<FragmentInfo> ParseFragmentInfo(const std::string& sentence);
+
+  /// 6-bit armouring: payload characters -> bit vector.
+  static std::vector<bool> PayloadToBits(const std::string& payload,
+                                         int fill_bits);
+  /// 6-bit armouring: bit vector -> payload characters (pads to 6-bit
+  /// groups). Also returns via `fill_bits` the number of pad bits added.
+  static std::string BitsToPayload(const std::vector<bool>& bits,
+                                   int* fill_bits);
+};
+
+/// Reassembles multi-fragment AIVDM groups from an interleaved sentence
+/// stream (real receivers interleave fragments of different messages and
+/// channels). Feed sentences in arrival order; when a group completes, the
+/// ordered sentence list is returned. Incomplete groups are evicted after
+/// `max_pending` other groups have started (lost-fragment hygiene).
+class AivdmAssembler {
+ public:
+  explicit AivdmAssembler(size_t max_pending = 64)
+      : max_pending_(max_pending) {}
+
+  /// Returns the completed group containing `sentence`, or an empty vector
+  /// while the group is still incomplete. Errors on malformed sentences.
+  StatusOr<std::vector<std::string>> Feed(const std::string& sentence);
+
+  size_t PendingGroups() const { return pending_.size(); }
+
+ private:
+  struct Group {
+    std::vector<std::string> fragments;  // indexed by fragment_number - 1
+    int received = 0;
+    uint64_t age_stamp = 0;
+  };
+
+  size_t max_pending_;
+  uint64_t next_stamp_ = 0;
+  std::map<std::pair<int, char>, Group> pending_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_CODEC_H_

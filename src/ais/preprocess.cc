@@ -1,0 +1,161 @@
+#include "ais/preprocess.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+bool Downsampler::Accept(TimeMicros timestamp) {
+  if (last_accepted_ >= 0 && timestamp < last_accepted_ + min_interval_) {
+    return false;
+  }
+  last_accepted_ = timestamp;
+  return true;
+}
+
+bool FleetDownsampler::Accept(Mmsi mmsi, TimeMicros timestamp) {
+  auto it = per_vessel_.try_emplace(mmsi, min_interval_).first;
+  return it->second.Accept(timestamp);
+}
+
+std::vector<std::vector<AisPosition>> SegmentTrajectory(
+    const std::vector<AisPosition>& track, TimeMicros max_gap) {
+  std::vector<std::vector<AisPosition>> segments;
+  std::vector<AisPosition> current;
+  for (const AisPosition& p : track) {
+    if (!current.empty() &&
+        p.timestamp - current.back().timestamp > max_gap) {
+      if (current.size() >= 2) segments.push_back(std::move(current));
+      current.clear();
+    }
+    if (current.empty() || p.timestamp >= current.back().timestamp) {
+      current.push_back(p);
+    }
+  }
+  if (current.size() >= 2) segments.push_back(std::move(current));
+  return segments;
+}
+
+StatusOr<LatLng> InterpolatePosition(const std::vector<AisPosition>& segment,
+                                     TimeMicros t) {
+  if (segment.empty()) {
+    return Status::InvalidArgument("empty segment");
+  }
+  if (t < segment.front().timestamp || t > segment.back().timestamp) {
+    return Status::OutOfRange("time outside segment span");
+  }
+  // Binary search for the first point at or after t.
+  auto it = std::lower_bound(
+      segment.begin(), segment.end(), t,
+      [](const AisPosition& p, TimeMicros value) { return p.timestamp < value; });
+  if (it == segment.begin() || it->timestamp == t) {
+    return it->position;
+  }
+  const AisPosition& b = *it;
+  const AisPosition& a = *(it - 1);
+  const double span = static_cast<double>(b.timestamp - a.timestamp);
+  const double f = span <= 0.0
+                       ? 0.0
+                       : static_cast<double>(t - a.timestamp) / span;
+  LatLng out;
+  out.lat_deg = a.position.lat_deg + f * (b.position.lat_deg - a.position.lat_deg);
+  out.lon_deg = a.position.lon_deg + f * (b.position.lon_deg - a.position.lon_deg);
+  return out;
+}
+
+std::vector<SvrfSample> BuildSvrfSamples(
+    const std::vector<AisPosition>& track,
+    const SampleBuilderOptions& options) {
+  std::vector<SvrfSample> samples;
+  // Downsample first, then segment.
+  Downsampler downsampler(options.downsample_interval);
+  std::vector<AisPosition> kept;
+  kept.reserve(track.size());
+  for (const AisPosition& p : track) {
+    if (downsampler.Accept(p.timestamp)) kept.push_back(p);
+  }
+  const auto segments = SegmentTrajectory(kept, options.segment_gap);
+  const int stride = std::max(1, options.stride);
+  for (const auto& segment : segments) {
+    if (static_cast<int>(segment.size()) < kSvrfInputLength + 2) continue;
+    for (size_t anchor = kSvrfInputLength;
+         anchor < segment.size();
+         anchor += static_cast<size_t>(stride)) {
+      const AisPosition& a = segment[anchor];
+      if (a.timestamp + kSvrfHorizonMicros > segment.back().timestamp) break;
+      SvrfSample sample;
+      for (int k = 0; k < kSvrfInputLength; ++k) {
+        const AisPosition& prev = segment[anchor - kSvrfInputLength + k];
+        const AisPosition& next = segment[anchor - kSvrfInputLength + k + 1];
+        sample.input.displacements[k].dlat_deg =
+            next.position.lat_deg - prev.position.lat_deg;
+        sample.input.displacements[k].dlon_deg =
+            next.position.lon_deg - prev.position.lon_deg;
+        sample.input.displacements[k].dt_sec =
+            static_cast<double>(next.timestamp - prev.timestamp) /
+            static_cast<double>(kMicrosPerSecond);
+      }
+      sample.input.anchor = a.position;
+      sample.input.anchor_time = a.timestamp;
+      sample.input.anchor_sog_knots = a.sog_knots;
+      sample.input.anchor_cog_deg = a.cog_deg;
+      LatLng prev_pos = a.position;
+      bool ok = true;
+      for (int step = 0; step < kSvrfOutputSteps; ++step) {
+        const TimeMicros t = a.timestamp + (step + 1) * kSvrfStepMicros;
+        StatusOr<LatLng> at = InterpolatePosition(segment, t);
+        if (!at.ok()) {
+          ok = false;
+          break;
+        }
+        sample.targets[step].dlat_deg = at->lat_deg - prev_pos.lat_deg;
+        sample.targets[step].dlon_deg = at->lon_deg - prev_pos.lon_deg;
+        sample.targets[step].dt_sec =
+            static_cast<double>(kSvrfStepMicros) / kMicrosPerSecond;
+        prev_pos = *at;
+      }
+      if (ok) samples.push_back(sample);
+    }
+  }
+  return samples;
+}
+
+bool VesselHistory::Push(const AisPosition& report) {
+  if (!points_.empty() && report.timestamp <= points_.back().timestamp) {
+    return false;
+  }
+  if (!downsampler_.Accept(report.timestamp)) return false;
+  points_.push_back(report);
+  while (points_.size() > static_cast<size_t>(kSvrfInputLength) + 1) {
+    points_.pop_front();
+  }
+  return true;
+}
+
+SvrfInput VesselHistory::MakeInput() const {
+  SvrfInput input;
+  const size_t n = points_.size();
+  for (int k = 0; k < kSvrfInputLength; ++k) {
+    const AisPosition& prev = points_[n - kSvrfInputLength - 1 + k];
+    const AisPosition& next = points_[n - kSvrfInputLength + k];
+    input.displacements[k].dlat_deg =
+        next.position.lat_deg - prev.position.lat_deg;
+    input.displacements[k].dlon_deg =
+        next.position.lon_deg - prev.position.lon_deg;
+    input.displacements[k].dt_sec =
+        static_cast<double>(next.timestamp - prev.timestamp) /
+        static_cast<double>(kMicrosPerSecond);
+  }
+  const AisPosition& anchor = points_.back();
+  input.anchor = anchor.position;
+  input.anchor_time = anchor.timestamp;
+  input.anchor_sog_knots = anchor.sog_knots;
+  input.anchor_cog_deg = anchor.cog_deg;
+  return input;
+}
+
+void VesselHistory::Clear() {
+  points_.clear();
+  downsampler_.Reset();
+}
+
+}  // namespace marlin

@@ -1,0 +1,146 @@
+#ifndef MARLIN_AIS_PREPROCESS_H_
+#define MARLIN_AIS_PREPROCESS_H_
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ais/types.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// S-VRF preprocessing constants fixed by the paper (§4.2): input = 20 past
+/// spatiotemporal displacements, output = 6 transitions at 5-minute steps up
+/// to a 30-minute horizon, 30-second minimum downsampling rate.
+constexpr int kSvrfInputLength = 20;
+constexpr int kSvrfOutputSteps = 6;
+constexpr TimeMicros kSvrfStepMicros = 5 * kMicrosPerMinute;
+constexpr TimeMicros kSvrfHorizonMicros = kSvrfOutputSteps * kSvrfStepMicros;
+constexpr TimeMicros kDefaultDownsampleMicros = 30 * kMicrosPerSecond;
+
+/// One past displacement: the spatial and temporal delta between two
+/// consecutive (downsampled) AIS positions.
+struct Displacement {
+  double dlat_deg = 0.0;
+  double dlon_deg = 0.0;
+  double dt_sec = 0.0;
+};
+
+/// Model input: exactly kSvrfInputLength displacements plus the anchor
+/// (most recent) position, from which predicted transitions are unrolled.
+struct SvrfInput {
+  std::array<Displacement, kSvrfInputLength> displacements;
+  LatLng anchor;
+  TimeMicros anchor_time = 0;
+  double anchor_sog_knots = 0.0;
+  double anchor_cog_deg = 0.0;
+};
+
+/// One supervised training sample: the input window and the 6 target
+/// transitions (Δlat, Δlon) at the fixed 5-minute timestamps.
+struct SvrfSample {
+  SvrfInput input;
+  std::array<Displacement, kSvrfOutputSteps> targets;  // dt_sec fixed at 300
+};
+
+/// Enforces the minimum inter-message interval for one vessel: messages
+/// arriving sooner than `min_interval` after the last accepted one are
+/// aggregated away (dropped), reproducing the paper's 30-second downsampling
+/// of the irregular raw stream.
+class Downsampler {
+ public:
+  explicit Downsampler(TimeMicros min_interval = kDefaultDownsampleMicros)
+      : min_interval_(min_interval) {}
+
+  /// Returns true if the message at `timestamp` should be kept. Out-of-order
+  /// messages (timestamp before the last accepted) are rejected.
+  bool Accept(TimeMicros timestamp);
+
+  void Reset() { last_accepted_ = -1; }
+
+ private:
+  TimeMicros min_interval_;
+  TimeMicros last_accepted_ = -1;
+};
+
+/// Keyed downsampler for a multi-vessel stream.
+class FleetDownsampler {
+ public:
+  explicit FleetDownsampler(TimeMicros min_interval = kDefaultDownsampleMicros)
+      : min_interval_(min_interval) {}
+
+  bool Accept(Mmsi mmsi, TimeMicros timestamp);
+
+  size_t TrackedVessels() const { return per_vessel_.size(); }
+
+ private:
+  TimeMicros min_interval_;
+  std::unordered_map<Mmsi, Downsampler> per_vessel_;
+};
+
+/// Splits a time-ordered single-vessel position sequence into trajectory
+/// segments at transmission gaps larger than `max_gap` (vessels out of
+/// coverage, moored with AIS off, etc.).
+std::vector<std::vector<AisPosition>> SegmentTrajectory(
+    const std::vector<AisPosition>& track, TimeMicros max_gap);
+
+/// Linearly interpolates the vessel position at `t` inside a time-ordered
+/// segment. Returns an error when `t` is outside the segment's time span.
+StatusOr<LatLng> InterpolatePosition(const std::vector<AisPosition>& segment,
+                                     TimeMicros t);
+
+/// Options controlling supervised sample extraction.
+struct SampleBuilderOptions {
+  /// Anchors are taken every `stride` accepted points (1 = every point).
+  int stride = 1;
+  /// Segments are pre-downsampled with this interval before windowing.
+  TimeMicros downsample_interval = kDefaultDownsampleMicros;
+  /// Points separated by more than this end a segment.
+  TimeMicros segment_gap = 30 * kMicrosPerMinute;
+};
+
+/// Builds S-VRF training samples from a single-vessel track: for every
+/// anchor with 20 past displacements available and ground truth spanning the
+/// full 30-minute horizon, emits the input window plus the 6 interpolated
+/// 5-minute target transitions — the tensorisation described in §6.1.
+std::vector<SvrfSample> BuildSvrfSamples(const std::vector<AisPosition>& track,
+                                         const SampleBuilderOptions& options);
+
+/// Online, per-vessel input window maintained by each vessel actor: feeds
+/// accepted positions in arrival order and yields a ready SvrfInput once 21
+/// downsampled positions (20 displacements) are buffered.
+class VesselHistory {
+ public:
+  explicit VesselHistory(TimeMicros downsample_interval = kDefaultDownsampleMicros)
+      : downsampler_(downsample_interval) {}
+
+  /// Offers a new position; returns true if it was accepted (not
+  /// downsampled away and in order).
+  bool Push(const AisPosition& report);
+
+  /// True once a full input window is available.
+  bool Ready() const {
+    return points_.size() >= static_cast<size_t>(kSvrfInputLength) + 1;
+  }
+
+  /// Builds the current model input. Requires Ready().
+  SvrfInput MakeInput() const;
+
+  /// Most recently accepted report, if any.
+  const AisPosition* Latest() const {
+    return points_.empty() ? nullptr : &points_.back();
+  }
+
+  size_t size() const { return points_.size(); }
+  void Clear();
+
+ private:
+  Downsampler downsampler_;
+  std::deque<AisPosition> points_;  // capped at kSvrfInputLength + 1
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_PREPROCESS_H_

@@ -1,0 +1,67 @@
+#include "ais/stream_io.h"
+
+#include <cstdlib>
+
+#include "ais/codec.h"
+#include "util/file.h"
+
+namespace marlin {
+
+std::string EncodeAivdmLog(const std::vector<AisPosition>& messages) {
+  std::string out;
+  out.reserve(messages.size() * 64);
+  for (const AisPosition& report : messages) {
+    out += std::to_string(report.timestamp);
+    out.push_back(' ');
+    out += AisCodec::EncodePosition(report);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<AisPosition> DecodeAivdmLog(const std::string& log, int* dropped) {
+  std::vector<AisPosition> messages;
+  int bad = 0;
+  size_t start = 0;
+  while (start < log.size()) {
+    size_t end = log.find('\n', start);
+    if (end == std::string::npos) end = log.size();
+    const std::string line = log.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      ++bad;
+      continue;
+    }
+    char* parse_end = nullptr;
+    const long long received =
+        std::strtoll(line.substr(0, space).c_str(), &parse_end, 10);
+    if (parse_end == line.c_str()) {
+      ++bad;
+      continue;
+    }
+    StatusOr<AisPosition> decoded = AisCodec::DecodePosition(
+        line.substr(space + 1), static_cast<TimeMicros>(received));
+    if (!decoded.ok()) {
+      ++bad;
+      continue;
+    }
+    messages.push_back(*decoded);
+  }
+  if (dropped != nullptr) *dropped = bad;
+  return messages;
+}
+
+Status WriteAivdmLog(const std::vector<AisPosition>& messages,
+                     const std::string& path) {
+  return WriteFileAtomic(path, EncodeAivdmLog(messages));
+}
+
+StatusOr<std::vector<AisPosition>> ReadAivdmLog(const std::string& path,
+                                                int* dropped) {
+  MARLIN_ASSIGN_OR_RETURN(std::string log, ReadFile(path));
+  return DecodeAivdmLog(log, dropped);
+}
+
+}  // namespace marlin

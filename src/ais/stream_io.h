@@ -1,0 +1,36 @@
+#ifndef MARLIN_AIS_STREAM_IO_H_
+#define MARLIN_AIS_STREAM_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "ais/types.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// Archived-stream tooling: the paper's evaluations run on *archived* AIS
+/// streams (§6.1 uses a stored 24 h capture). These helpers persist a
+/// position stream as a timestamped AIVDM log ("<received_us> <sentence>"
+/// per line — the standard shape of receiver dumps) and replay it back,
+/// losing only the sub-quantisation precision of the AIS wire format.
+
+/// Serialises the messages as a timestamped AIVDM log.
+std::string EncodeAivdmLog(const std::vector<AisPosition>& messages);
+
+/// Parses a timestamped AIVDM log; undecodable lines are skipped and
+/// counted in `*dropped` (pass null to ignore).
+std::vector<AisPosition> DecodeAivdmLog(const std::string& log,
+                                        int* dropped = nullptr);
+
+/// Writes the messages to an AIVDM log file (atomic replace).
+Status WriteAivdmLog(const std::vector<AisPosition>& messages,
+                     const std::string& path);
+
+/// Reads an AIVDM log file back into decoded position reports.
+StatusOr<std::vector<AisPosition>> ReadAivdmLog(const std::string& path,
+                                                int* dropped = nullptr);
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_STREAM_IO_H_

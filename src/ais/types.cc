@@ -1,0 +1,53 @@
+#include "ais/types.h"
+
+namespace marlin {
+
+std::string_view VesselTypeName(VesselType type) {
+  switch (type) {
+    case VesselType::kUnknown:
+      return "Unknown";
+    case VesselType::kCargo:
+      return "Cargo";
+    case VesselType::kTanker:
+      return "Tanker";
+    case VesselType::kPassenger:
+      return "Passenger";
+    case VesselType::kFishing:
+      return "Fishing";
+    case VesselType::kTug:
+      return "Tug";
+    case VesselType::kHighSpeedCraft:
+      return "HighSpeedCraft";
+    case VesselType::kPleasureCraft:
+      return "PleasureCraft";
+    case VesselType::kOther:
+      return "Other";
+  }
+  return "Unknown";
+}
+
+VesselType VesselTypeFromItuCode(int itu_code) {
+  if (itu_code == 36 || itu_code == 37) return VesselType::kPleasureCraft;
+  const int category = itu_code / 10;
+  switch (category) {
+    case 3:
+      return VesselType::kFishing;
+    case 4:
+      return VesselType::kHighSpeedCraft;
+    case 5:
+      return VesselType::kTug;
+    case 6:
+      return VesselType::kPassenger;
+    case 7:
+      return VesselType::kCargo;
+    case 8:
+      return VesselType::kTanker;
+    case 9:
+      return VesselType::kOther;
+    default:
+      break;
+  }
+  return VesselType::kUnknown;
+}
+
+}  // namespace marlin

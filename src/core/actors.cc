@@ -1,0 +1,420 @@
+#include "core/actors.h"
+
+#include <cstdio>
+
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace marlin {
+namespace {
+
+/// Routes an event to the writer and (optionally) back to the two affected
+/// vessel actors, per the state feedback loop of §3.
+void PublishEvent(const MaritimeEvent& event, PipelineContext* pipeline,
+                  ActorContext& ctx) {
+  pipeline->events_detected.fetch_add(1, std::memory_order_relaxed);
+  ctx.system().Tell(pipeline->WriterFor(event.vessel_a), EventMsg{event},
+                    ctx.self());
+  if (!pipeline->config->notify_vessel_actors) return;
+  for (Mmsi mmsi : {event.vessel_a, event.vessel_b}) {
+    if (mmsi == 0) continue;
+    StatusOr<ActorRef> vessel = ctx.system().Find(VesselActorName(mmsi));
+    if (vessel.ok()) {
+      ctx.system().Tell(*vessel, EventMsg{event}, ctx.self());
+    }
+  }
+}
+
+}  // namespace
+
+std::string VesselActorName(Mmsi mmsi) {
+  return "vessel-" + std::to_string(mmsi);
+}
+
+std::string CellActorName(CellId cell) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cell-%016llx",
+                static_cast<unsigned long long>(cell));
+  return buf;
+}
+
+std::string CollisionActorName(CellId cell) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "coll-%016llx",
+                static_cast<unsigned long long>(cell));
+  return buf;
+}
+
+// ------------------------------------------------------------ VesselActor
+
+VesselActor::VesselActor(Mmsi mmsi, PipelineContext* pipeline)
+    : mmsi_(mmsi), pipeline_(pipeline) {}
+
+Status VesselActor::Receive(const std::any& message, ActorContext& ctx) {
+  if (const auto* position = std::any_cast<PositionMsg>(&message)) {
+    return HandlePosition(position->report, position->ingest_cost_nanos, ctx);
+  }
+  if (const auto* event = std::any_cast<EventMsg>(&message)) {
+    my_events_.push_back(event->event);
+    while (my_events_.size() > 64) my_events_.pop_front();
+    return Status::Ok();
+  }
+  if (std::any_cast<GetForecastQuery>(&message) != nullptr) {
+    if (has_forecast_) {
+      ctx.Reply(TrajectoryMsg{latest_forecast_});
+    } else {
+      ctx.Reply(std::any());
+    }
+    return Status::Ok();
+  }
+  if (std::any_cast<GetVesselEventsQuery>(&message) != nullptr) {
+    ctx.Reply(std::vector<MaritimeEvent>(my_events_.begin(), my_events_.end()));
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("vessel actor: unexpected message type");
+}
+
+Status VesselActor::HandlePosition(const AisPosition& report,
+                                   int64_t ingest_cost_nanos,
+                                   ActorContext& ctx) {
+  // The Figure-6 measurement: wall time to fully process one AIS message at
+  // the actor level (history update, forecast, event routing).
+  Stopwatch stopwatch;
+  pipeline_->positions_ingested.fetch_add(1, std::memory_order_relaxed);
+
+  const bool accepted = history_.Push(report);
+
+  // Route the raw observation to the proximity cell actor.
+  const CellId cell = HexGrid::LatLngToCell(
+      report.position, pipeline_->config->cell_actor_resolution);
+  if (cell != kInvalidCellId) {
+    StatusOr<ActorRef> cell_actor = ctx.system().GetOrSpawn(
+        CellActorName(cell),
+        [this] { return std::make_unique<CellActor>(pipeline_); });
+    if (cell_actor.ok()) {
+      ctx.system().Tell(*cell_actor, CellObservationMsg{report}, ctx.self());
+    }
+  }
+
+  // Port occupancy monitoring.
+  if (pipeline_->ports.valid()) {
+    ctx.system().Tell(pipeline_->ports, CellObservationMsg{report},
+                      ctx.self());
+  }
+
+  // Patterns-of-Life accumulation (historical mobility statistics).
+  if (pipeline_->config->enable_vtff && pipeline_->traffic.valid()) {
+    ctx.system().Tell(pipeline_->traffic, CellObservationMsg{report},
+                      ctx.self());
+  }
+
+  // AIS switch-off surveillance.
+  if (pipeline_->surveillance.valid()) {
+    ctx.system().Tell(pipeline_->surveillance, CellObservationMsg{report},
+                      ctx.self());
+  }
+
+  // Generate a forecast once a full input window is available.
+  if (accepted && history_.Ready()) {
+    const SvrfInput input = history_.MakeInput();
+    StatusOr<ForecastTrajectory> forecast =
+        pipeline_->forecaster->Forecast(input);
+    if (forecast.ok()) {
+      forecast->mmsi = mmsi_;
+      latest_forecast_ = std::move(*forecast);
+      has_forecast_ = true;
+      pipeline_->forecasts_generated.fetch_add(1, std::memory_order_relaxed);
+
+      // Collision actor of the anchor's coarse region.
+      const CellId region = HexGrid::LatLngToCell(
+          report.position, pipeline_->config->collision_actor_resolution);
+      if (region != kInvalidCellId) {
+        StatusOr<ActorRef> collision_actor = ctx.system().GetOrSpawn(
+            CollisionActorName(region),
+            [this] { return std::make_unique<CollisionActor>(pipeline_); });
+        if (collision_actor.ok()) {
+          ctx.system().Tell(*collision_actor, TrajectoryMsg{latest_forecast_},
+                            ctx.self());
+        }
+      }
+      // Traffic raster.
+      if (pipeline_->config->enable_vtff && pipeline_->traffic.valid()) {
+        ctx.system().Tell(pipeline_->traffic, TrajectoryMsg{latest_forecast_},
+                          ctx.self());
+      }
+      // Predicted port arrivals.
+      if (pipeline_->ports.valid()) {
+        ctx.system().Tell(pipeline_->ports, TrajectoryMsg{latest_forecast_},
+                          ctx.self());
+      }
+    }
+  }
+
+  // Publish state to the writer.
+  VesselStateMsg state;
+  state.latest = report;
+  state.has_forecast = has_forecast_;
+  if (has_forecast_) state.forecast = latest_forecast_;
+  ctx.system().Tell(pipeline_->WriterFor(mmsi_), std::move(state), ctx.self());
+
+  pipeline_->latency->Record(
+      static_cast<int64_t>(ctx.system().ActorCount()),
+      stopwatch.ElapsedNanos() + ingest_cost_nanos);
+  return Status::Ok();
+}
+
+void VesselActor::OnRestart(const Status& failure) {
+  (void)failure;
+  history_.Clear();
+}
+
+// -------------------------------------------------------------- CellActor
+
+CellActor::CellActor(PipelineContext* pipeline)
+    : pipeline_(pipeline), detector_(pipeline->config->proximity) {}
+
+Status CellActor::Receive(const std::any& message, ActorContext& ctx) {
+  if (const auto* observation = std::any_cast<CellObservationMsg>(&message)) {
+    for (const MaritimeEvent& event : detector_.Observe(observation->report)) {
+      PublishEvent(event, pipeline_, ctx);
+    }
+    // Self-prune on stream time so long-running cells do not accumulate
+    // unbounded observation history.
+    if (++observations_since_prune_ >= 64) {
+      observations_since_prune_ = 0;
+      detector_.Prune(observation->report.timestamp);
+    }
+    return Status::Ok();
+  }
+  if (const auto* tick = std::any_cast<PruneTickMsg>(&message)) {
+    detector_.Prune(tick->now);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("cell actor: unexpected message type");
+}
+
+// --------------------------------------------------------- CollisionActor
+
+CollisionActor::CollisionActor(PipelineContext* pipeline)
+    : pipeline_(pipeline), forecaster_(pipeline->config->collision) {}
+
+Status CollisionActor::Receive(const std::any& message, ActorContext& ctx) {
+  if (const auto* trajectory = std::any_cast<TrajectoryMsg>(&message)) {
+    for (const MaritimeEvent& event :
+         forecaster_.Observe(trajectory->trajectory)) {
+      PublishEvent(event, pipeline_, ctx);
+    }
+    if (++observations_since_prune_ >= 64 &&
+        !trajectory->trajectory.points.empty()) {
+      observations_since_prune_ = 0;
+      forecaster_.Prune(trajectory->trajectory.points.front().time);
+    }
+    return Status::Ok();
+  }
+  if (const auto* tick = std::any_cast<PruneTickMsg>(&message)) {
+    forecaster_.Prune(tick->now);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("collision actor: unexpected message type");
+}
+
+// ----------------------------------------------------------- TrafficActor
+
+TrafficActor::TrafficActor(PipelineContext* pipeline)
+    : pipeline_(pipeline),
+      forecaster_(pipeline->config->traffic),
+      patterns_(pipeline->config->traffic.resolution) {}
+
+Status TrafficActor::Receive(const std::any& message, ActorContext& ctx) {
+  if (const auto* observation = std::any_cast<CellObservationMsg>(&message)) {
+    patterns_.AddObservation(observation->report);
+    return Status::Ok();
+  }
+  if (const auto* query = std::any_cast<GetPatternsQuery>(&message)) {
+    ctx.Reply(patterns_.TopCells(query->top_n));
+    return Status::Ok();
+  }
+  if (const auto* trajectory = std::any_cast<TrajectoryMsg>(&message)) {
+    forecaster_.Observe(trajectory->trajectory);
+    if (++observations_since_prune_ >= 1024 &&
+        !trajectory->trajectory.points.empty()) {
+      observations_since_prune_ = 0;
+      forecaster_.Prune(trajectory->trajectory.points.front().time);
+    }
+    return Status::Ok();
+  }
+  if (const auto* query = std::any_cast<GetTrafficFlowQuery>(&message)) {
+    ctx.Reply(forecaster_.Flow(query->step));
+    return Status::Ok();
+  }
+  if (const auto* tick = std::any_cast<PruneTickMsg>(&message)) {
+    forecaster_.Prune(tick->now);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("traffic actor: unexpected message type");
+}
+
+// ------------------------------------------------------- SurveillanceActor
+
+SurveillanceActor::SurveillanceActor(PipelineContext* pipeline)
+    : pipeline_(pipeline), detector_(pipeline->config->switch_off) {}
+
+Status SurveillanceActor::Receive(const std::any& message,
+                                  ActorContext& ctx) {
+  if (const auto* observation = std::any_cast<CellObservationMsg>(&message)) {
+    detector_.Observe(observation->report);
+    latest_time_ = std::max(latest_time_, observation->report.timestamp);
+    // Scan for silent vessels periodically in stream time.
+    if (++observations_since_check_ >= 256) {
+      observations_since_check_ = 0;
+      for (const MaritimeEvent& event : detector_.Check(latest_time_)) {
+        PublishEvent(event, pipeline_, ctx);
+      }
+    }
+    return Status::Ok();
+  }
+  if (const auto* tick = std::any_cast<PruneTickMsg>(&message)) {
+    for (const MaritimeEvent& event : detector_.Check(tick->now)) {
+      PublishEvent(event, pipeline_, ctx);
+    }
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("surveillance actor: unexpected message");
+}
+
+// ------------------------------------------------------------- PortsActor
+
+PortsActor::PortsActor(PipelineContext* pipeline)
+    : pipeline_(pipeline),
+      monitor_(pipeline->config->monitored_ports,
+               pipeline->config->port_monitor) {}
+
+Status PortsActor::Receive(const std::any& message, ActorContext& ctx) {
+  if (const auto* observation = std::any_cast<CellObservationMsg>(&message)) {
+    monitor_.ObservePosition(observation->report);
+    latest_time_ = std::max(latest_time_, observation->report.timestamp);
+    return Status::Ok();
+  }
+  if (const auto* trajectory = std::any_cast<TrajectoryMsg>(&message)) {
+    monitor_.ObserveForecast(trajectory->trajectory);
+    if (!trajectory->trajectory.points.empty()) {
+      latest_time_ = std::max(latest_time_,
+                              trajectory->trajectory.points.front().time);
+    }
+    return Status::Ok();
+  }
+  if (const auto* query = std::any_cast<GetPortTrafficQuery>(&message)) {
+    ctx.Reply(monitor_.Status(query->now > 0 ? query->now : latest_time_));
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("ports actor: unexpected message type");
+}
+
+// ------------------------------------------------------------ WriterActor
+
+WriterActor::WriterActor(PipelineContext* pipeline, int shard)
+    : pipeline_(pipeline), shard_(shard) {}
+
+Status WriterActor::Receive(const std::any& message, ActorContext& ctx) {
+  if (const auto* state = std::any_cast<VesselStateMsg>(&message)) {
+    WriteVesselState(*state);
+    return Status::Ok();
+  }
+  if (const auto* event = std::any_cast<EventMsg>(&message)) {
+    recent_events_.push_back(event->event);
+    while (recent_events_.size() > 1024) recent_events_.pop_front();
+    WriteEvent(event->event);
+    return Status::Ok();
+  }
+  if (const auto* query = std::any_cast<GetRecentEventsQuery>(&message)) {
+    std::vector<MaritimeEvent> out;
+    const int limit = query->limit;
+    for (auto it = recent_events_.rbegin();
+         it != recent_events_.rend() && static_cast<int>(out.size()) < limit;
+         ++it) {
+      out.push_back(*it);
+    }
+    ctx.Reply(std::move(out));
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("writer actor: unexpected message type");
+}
+
+void WriterActor::WriteVesselState(const VesselStateMsg& state) {
+  const std::string key = "vessel:" + std::to_string(state.latest.mmsi);
+  KvStore* store = pipeline_->store;
+  char buf[64];
+  // Dedicated forecast output stream (§7), keyed by MMSI.
+  if (pipeline_->config->publish_output_topics && state.has_forecast) {
+    std::string record = std::to_string(state.latest.mmsi);
+    for (const ForecastPoint& point : state.forecast.points) {
+      std::snprintf(buf, sizeof(buf), ";%.6f,%.6f,%lld",
+                    point.position.lat_deg, point.position.lon_deg,
+                    static_cast<long long>(point.time));
+      record += buf;
+    }
+    (void)pipeline_->broker->Append(pipeline_->config->forecasts_topic,
+                                    std::to_string(state.latest.mmsi),
+                                    std::move(record),
+                                    state.latest.timestamp);
+  }
+  std::snprintf(buf, sizeof(buf), "%.6f", state.latest.position.lat_deg);
+  (void)store->HSet(key, "lat", buf);
+  std::snprintf(buf, sizeof(buf), "%.6f", state.latest.position.lon_deg);
+  (void)store->HSet(key, "lon", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f", state.latest.sog_knots);
+  (void)store->HSet(key, "sog", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f", state.latest.cog_deg);
+  (void)store->HSet(key, "cog", buf);
+  (void)store->HSet(key, "ts", std::to_string(state.latest.timestamp));
+  // Static-data fusion (§3): enrich the published state with the cached
+  // registry record.
+  if (pipeline_->registry != nullptr) {
+    if (const AisStatic* info = pipeline_->registry->Find(state.latest.mmsi)) {
+      (void)store->HSet(key, "name", info->name);
+      (void)store->HSet(key, "type",
+                        std::string(VesselTypeName(info->type)));
+    }
+  }
+  if (state.has_forecast) {
+    std::string forecast;
+    for (const ForecastPoint& point : state.forecast.points) {
+      std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%lld;",
+                    point.position.lat_deg, point.position.lon_deg,
+                    static_cast<long long>(point.time));
+      forecast += buf;
+    }
+    (void)store->HSet(key, "forecast", std::move(forecast));
+  }
+}
+
+void WriterActor::WriteEvent(const MaritimeEvent& event) {
+  const std::string key = "event:" + std::to_string(shard_) + ":" +
+                          std::to_string(event_seq_++);
+  KvStore* store = pipeline_->store;
+  // Dedicated event output stream (§7), keyed by the primary vessel.
+  if (pipeline_->config->publish_output_topics) {
+    char record[192];
+    std::snprintf(record, sizeof(record), "%s,%u,%u,%lld,%.6f,%.6f,%.1f",
+                  std::string(EventTypeName(event.type)).c_str(),
+                  event.vessel_a, event.vessel_b,
+                  static_cast<long long>(event.event_time),
+                  event.location.lat_deg, event.location.lon_deg,
+                  event.distance_m);
+    (void)pipeline_->broker->Append(pipeline_->config->events_topic,
+                                    std::to_string(event.vessel_a), record,
+                                    event.detected_at);
+  }
+  (void)store->HSet(key, "type", std::string(EventTypeName(event.type)));
+  (void)store->HSet(key, "vessel_a", std::to_string(event.vessel_a));
+  (void)store->HSet(key, "vessel_b", std::to_string(event.vessel_b));
+  (void)store->HSet(key, "time", std::to_string(event.event_time));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f,%.6f", event.location.lat_deg,
+                event.location.lon_deg);
+  (void)store->HSet(key, "location", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f", event.distance_m);
+  (void)store->HSet(key, "distance_m", buf);
+}
+
+}  // namespace marlin

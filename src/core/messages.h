@@ -1,0 +1,91 @@
+#ifndef MARLIN_CORE_MESSAGES_H_
+#define MARLIN_CORE_MESSAGES_H_
+
+#include <vector>
+
+#include "ais/types.h"
+#include "events/event_types.h"
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// Message payloads exchanged between pipeline actors. All are copyable
+/// value types carried in std::any envelopes.
+
+/// AIS position routed to a vessel actor (the core partitioning: one actor
+/// per MMSI).
+struct PositionMsg {
+  AisPosition report;
+  /// Ingest-side cost already spent on this message (actor lookup/spawn),
+  /// folded into the per-message processing-time measurement so the
+  /// init-phase actor-creation storm is visible in the Figure-6 curve.
+  int64_t ingest_cost_nanos = 0;
+};
+
+/// Position observation forwarded by a vessel actor to its cell actor for
+/// proximity event detection.
+struct CellObservationMsg {
+  AisPosition report;
+};
+
+/// Forecast trajectory forwarded to collision actors, the traffic-flow
+/// actor, and the writer.
+struct TrajectoryMsg {
+  ForecastTrajectory trajectory;
+};
+
+/// Detected or forecast event, routed to the writer and back to the
+/// affected vessel actors.
+struct EventMsg {
+  MaritimeEvent event;
+};
+
+/// Vessel state published by vessel actors to the writer.
+struct VesselStateMsg {
+  AisPosition latest;
+  bool has_forecast = false;
+  ForecastTrajectory forecast;
+};
+
+/// Periodic prune tick for stateful grid actors.
+struct PruneTickMsg {
+  TimeMicros now = 0;
+};
+
+// ---- Ask payloads (replies in parentheses) ----
+
+/// Vessel actor: latest forecast (reply: TrajectoryMsg; empty reply if no
+/// forecast has been produced yet).
+struct GetForecastQuery {};
+
+/// Vessel actor: events that involved this vessel (reply:
+/// std::vector<MaritimeEvent>).
+struct GetVesselEventsQuery {};
+
+/// Writer actor: most recent events, newest first (reply:
+/// std::vector<MaritimeEvent>).
+struct GetRecentEventsQuery {
+  int limit = 100;
+};
+
+/// Traffic actor: predicted flow raster for one horizon step (reply:
+/// std::vector<FlowCell>).
+struct GetTrafficFlowQuery {
+  int step = 1;
+};
+
+/// Ports actor: current + forecast port traffic (reply:
+/// std::vector<PortTrafficStatus>).
+struct GetPortTrafficQuery {
+  TimeMicros now = 0;
+};
+
+/// Traffic actor: busiest historical cells — the Patterns-of-Life view
+/// (reply: std::vector<CellMobilityStats>).
+struct GetPatternsQuery {
+  int top_n = 20;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_MESSAGES_H_

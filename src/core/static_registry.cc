@@ -1,0 +1,84 @@
+#include "core/static_registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace marlin {
+
+int StaticRegistry::LoadFromText(const std::string& text) {
+  int loaded = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == '|') {
+        fields.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (fields.size() != 8) continue;
+    char* end = nullptr;
+    const unsigned long mmsi = std::strtoul(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str() || mmsi == 0) continue;
+    AisStatic record;
+    record.mmsi = static_cast<Mmsi>(mmsi);
+    record.name = fields[1];
+    record.type = VesselTypeFromItuCode(std::atoi(fields[2].c_str()));
+    record.length_m = std::atof(fields[3].c_str());
+    record.beam_m = std::atof(fields[4].c_str());
+    record.draught_m = std::atof(fields[5].c_str());
+    record.dwt = std::atof(fields[6].c_str());
+    record.destination = fields[7];
+    Put(record);
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::string StaticRegistry::DumpToText() const {
+  std::string out = "# mmsi|name|itu_type|length|beam|draught|dwt|destination\n";
+  for (const auto& [mmsi, record] : vessels_) {
+    int itu = 0;
+    switch (record.type) {
+      case VesselType::kFishing:
+        itu = 30;
+        break;
+      case VesselType::kHighSpeedCraft:
+        itu = 40;
+        break;
+      case VesselType::kTug:
+        itu = 52;
+        break;
+      case VesselType::kPassenger:
+        itu = 60;
+        break;
+      case VesselType::kCargo:
+        itu = 70;
+        break;
+      case VesselType::kTanker:
+        itu = 80;
+        break;
+      case VesselType::kPleasureCraft:
+        itu = 37;
+        break;
+      case VesselType::kOther:
+        itu = 90;
+        break;
+      case VesselType::kUnknown:
+        itu = 0;
+        break;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%u|%s|%d|%.1f|%.1f|%.1f|%.0f|%s\n", mmsi,
+                  record.name.c_str(), itu, record.length_m, record.beam_m,
+                  record.draught_m, record.dwt, record.destination.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace marlin

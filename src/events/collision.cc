@@ -1,0 +1,222 @@
+#include "events/collision.h"
+
+#include <algorithm>
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+CollisionForecaster::CollisionForecaster()
+    : CollisionForecaster(Config()) {}
+
+CollisionForecaster::CollisionForecaster(const Config& config)
+    : config_(config) {}
+
+std::vector<CellId> CollisionForecaster::CoveredCells(
+    const ForecastTrajectory& trajectory) const {
+  std::vector<CellId> cells;
+  for (const ForecastPoint& point : trajectory.points) {
+    const CellId cell =
+        HexGrid::LatLngToCell(point.position, config_.resolution);
+    if (cell == kInvalidCellId) continue;
+    for (CellId c : HexGrid::KRing(cell, 1)) cells.push_back(c);
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+namespace {
+
+/// Linear interpolation of a forecast trajectory at absolute time `t`
+/// (clamped to the trajectory's span).
+LatLng SampleTrajectory(const ForecastTrajectory& trajectory, TimeMicros t) {
+  const auto& points = trajectory.points;
+  if (t <= points.front().time) return points.front().position;
+  if (t >= points.back().time) return points.back().position;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (t <= points[i].time) {
+      const double span =
+          static_cast<double>(points[i].time - points[i - 1].time);
+      const double f =
+          span <= 0.0
+              ? 0.0
+              : static_cast<double>(t - points[i - 1].time) / span;
+      LatLng out;
+      out.lat_deg = points[i - 1].position.lat_deg +
+                    f * (points[i].position.lat_deg -
+                         points[i - 1].position.lat_deg);
+      out.lon_deg = points[i - 1].position.lon_deg +
+                    f * (points[i].position.lon_deg -
+                         points[i - 1].position.lon_deg);
+      return out;
+    }
+  }
+  return points.back().position;
+}
+
+constexpr TimeMicros kIntersectSampleStep = 30 * kMicrosPerSecond;
+
+}  // namespace
+
+double MinTrajectoryDistance(const ForecastTrajectory& a,
+                             const ForecastTrajectory& b,
+                             TimeMicros temporal_tolerance,
+                             TimeMicros* meet_time, LatLng* meet_point) {
+  double best = 1e18;
+  if (a.points.empty() || b.points.empty()) return best;
+  const TimeMicros start =
+      std::max(a.points.front().time, b.points.front().time) -
+      temporal_tolerance;
+  const TimeMicros end = std::min(a.points.back().time, b.points.back().time) +
+                         temporal_tolerance;
+  for (TimeMicros ta = start; ta <= end; ta += kIntersectSampleStep) {
+    if (ta < a.points.front().time || ta > a.points.back().time) continue;
+    const LatLng pa = SampleTrajectory(a, ta);
+    const TimeMicros tb_min =
+        std::max(ta - temporal_tolerance, b.points.front().time);
+    const TimeMicros tb_max =
+        std::min(ta + temporal_tolerance, b.points.back().time);
+    for (TimeMicros tb = tb_min; tb <= tb_max; tb += kIntersectSampleStep) {
+      const LatLng pb = SampleTrajectory(b, tb);
+      const double d = ApproxDistanceMeters(pa, pb);
+      if (d < best) {
+        best = d;
+        if (meet_time != nullptr) *meet_time = ta / 2 + tb / 2;
+        if (meet_point != nullptr) {
+          meet_point->lat_deg = 0.5 * (pa.lat_deg + pb.lat_deg);
+          meet_point->lon_deg = 0.5 * (pa.lon_deg + pb.lon_deg);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool CollisionForecaster::Intersects(const ForecastTrajectory& a,
+                                     const ForecastTrajectory& b,
+                                     TimeMicros* meet_time, LatLng* meet_point,
+                                     double* distance_m) const {
+  // Continuous space-time intersection: resample both piecewise-linear
+  // trajectories on a fine common grid; a collision course exists when the
+  // vessels are within the spatial threshold at sample times closer than
+  // the temporal difference threshold (which accounts for close-proximity
+  // passes, §5.2). Pointwise checks at the raw 5-minute spacing would miss
+  // crossings between forecast points.
+  const TimeMicros start =
+      std::max(a.points.front().time, b.points.front().time) -
+      config_.temporal_threshold;
+  const TimeMicros end =
+      std::min(a.points.back().time, b.points.back().time) +
+      config_.temporal_threshold;
+  if (start > end) return false;  // no temporal intersection at all
+  bool found = false;
+  double best_distance = config_.spatial_threshold_m;
+  for (TimeMicros ta = start; ta <= end; ta += kIntersectSampleStep) {
+    if (ta < a.points.front().time || ta > a.points.back().time) continue;
+    const LatLng pa = SampleTrajectory(a, ta);
+    // The temporal threshold admits b's position within +/- threshold.
+    const TimeMicros tb_min =
+        std::max(ta - config_.temporal_threshold, b.points.front().time);
+    const TimeMicros tb_max =
+        std::min(ta + config_.temporal_threshold, b.points.back().time);
+    for (TimeMicros tb = tb_min; tb <= tb_max; tb += kIntersectSampleStep) {
+      const LatLng pb = SampleTrajectory(b, tb);
+      const double d = ApproxDistanceMeters(pa, pb);
+      if (d <= best_distance) {
+        best_distance = d;
+        *meet_time = ta / 2 + tb / 2;
+        meet_point->lat_deg = 0.5 * (pa.lat_deg + pb.lat_deg);
+        meet_point->lon_deg = 0.5 * (pa.lon_deg + pb.lon_deg);
+        *distance_m = d;
+        found = true;
+      }
+    }
+  }
+  return found;
+}
+
+std::vector<MaritimeEvent> CollisionForecaster::Observe(
+    const ForecastTrajectory& trajectory) {
+  std::vector<MaritimeEvent> events;
+  if (trajectory.points.empty()) return events;
+  const Mmsi mmsi = trajectory.mmsi;
+
+  // Remove the vessel's previous cell registrations.
+  if (auto it = vessel_cells_.find(mmsi); it != vessel_cells_.end()) {
+    for (CellId cell : it->second) {
+      auto cell_it = cell_vessels_.find(cell);
+      if (cell_it != cell_vessels_.end()) {
+        cell_it->second.erase(mmsi);
+        if (cell_it->second.empty()) cell_vessels_.erase(cell_it);
+      }
+    }
+  }
+
+  // Register the new trajectory.
+  std::vector<CellId> cells = CoveredCells(trajectory);
+  std::unordered_set<Mmsi> candidates;
+  for (CellId cell : cells) {
+    auto& bucket = cell_vessels_[cell];
+    for (Mmsi other : bucket) candidates.insert(other);
+    bucket.insert(mmsi);
+  }
+  trajectories_[mmsi] = trajectory;
+  vessel_cells_[mmsi] = std::move(cells);
+
+  const TimeMicros now = trajectory.points.front().time;
+  for (Mmsi other : candidates) {
+    if (other == mmsi) continue;
+    auto other_it = trajectories_.find(other);
+    if (other_it == trajectories_.end()) continue;
+    TimeMicros meet_time = 0;
+    LatLng meet_point;
+    double distance = 0.0;
+    if (!Intersects(trajectory, other_it->second, &meet_time, &meet_point,
+                    &distance)) {
+      continue;
+    }
+    const uint64_t key = PairKey(mmsi, other);
+    auto last_it = last_alert_.find(key);
+    if (last_it != last_alert_.end() &&
+        now - last_it->second < config_.pair_cooldown) {
+      continue;
+    }
+    last_alert_[key] = now;
+    MaritimeEvent event;
+    event.type = EventType::kCollisionForecast;
+    event.vessel_a = mmsi;
+    event.vessel_b = other;
+    event.detected_at = now;
+    event.event_time = meet_time;
+    event.location = meet_point;
+    event.distance_m = distance;
+    events.push_back(event);
+  }
+  return events;
+}
+
+void CollisionForecaster::Prune(TimeMicros now) {
+  const TimeMicros cutoff = now - config_.retention;
+  for (auto it = trajectories_.begin(); it != trajectories_.end();) {
+    if (it->second.points.front().time < cutoff) {
+      const Mmsi mmsi = it->first;
+      if (auto cells_it = vessel_cells_.find(mmsi);
+          cells_it != vessel_cells_.end()) {
+        for (CellId cell : cells_it->second) {
+          auto cell_it = cell_vessels_.find(cell);
+          if (cell_it != cell_vessels_.end()) {
+            cell_it->second.erase(mmsi);
+            if (cell_it->second.empty()) cell_vessels_.erase(cell_it);
+          }
+        }
+        vessel_cells_.erase(cells_it);
+      }
+      it = trajectories_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace marlin

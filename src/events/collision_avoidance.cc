@@ -1,0 +1,80 @@
+#include "events/collision_avoidance.h"
+
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+CollisionAvoidance::CollisionAvoidance() : CollisionAvoidance(Config()) {}
+
+CollisionAvoidance::CollisionAvoidance(const Config& config)
+    : config_(config) {}
+
+ForecastTrajectory CollisionAvoidance::ApplyCourse(
+    const ForecastTrajectory& own, double new_course_deg) {
+  ForecastTrajectory out;
+  out.mmsi = own.mmsi;
+  if (own.points.empty()) return out;
+  // Speed implied by the original forecast (total path length over span).
+  double path_m = 0.0;
+  for (size_t i = 1; i < own.points.size(); ++i) {
+    path_m += ApproxDistanceMeters(own.points[i - 1].position,
+                                   own.points[i].position);
+  }
+  const double span_sec =
+      static_cast<double>(own.points.back().time - own.points.front().time) /
+      kMicrosPerSecond;
+  const double speed_mps = span_sec > 0.0 ? path_m / span_sec : 0.0;
+  LatLng position = own.points.front().position;
+  out.points.push_back(ForecastPoint{position, own.points.front().time});
+  for (size_t i = 1; i < own.points.size(); ++i) {
+    const double dt =
+        static_cast<double>(own.points[i].time - own.points[i - 1].time) /
+        kMicrosPerSecond;
+    position = DestinationPoint(position, new_course_deg, speed_mps * dt);
+    out.points.push_back(ForecastPoint{position, own.points[i].time});
+  }
+  return out;
+}
+
+StatusOr<AvoidanceManeuver> CollisionAvoidance::Propose(
+    const ForecastTrajectory& own, const ForecastTrajectory& other) const {
+  if (own.points.size() < 2 || other.points.size() < 2) {
+    return Status::InvalidArgument("trajectories need at least two points");
+  }
+  const double current_separation =
+      MinTrajectoryDistance(own, other, config_.temporal_tolerance);
+  if (current_separation >= config_.min_clearance_m) {
+    return Status::FailedPrecondition("vessels are already clear");
+  }
+  const double present_course =
+      InitialBearingDeg(own.points[0].position, own.points[1].position);
+  AvoidanceManeuver best;
+  best.vessel = own.mmsi;
+  best.issued_at = own.points.front().time;
+  best.clearance_m = current_separation;
+  // Starboard alterations first (COLREGs crossing/head-on convention),
+  // then port as a fallback; smallest sufficient alteration wins.
+  for (double alteration = config_.course_step_deg;
+       alteration <= config_.max_alteration_deg + 1e-9;
+       alteration += config_.course_step_deg) {
+    for (const double sign : {+1.0, -1.0}) {
+      const double candidate_course =
+          std::fmod(present_course + sign * alteration + 360.0, 360.0);
+      const ForecastTrajectory altered = ApplyCourse(own, candidate_course);
+      const double clearance =
+          MinTrajectoryDistance(altered, other, config_.temporal_tolerance);
+      if (clearance >= config_.min_clearance_m) {
+        best.new_course_deg = candidate_course;
+        best.course_change_deg = sign * alteration;
+        best.clearance_m = clearance;
+        return best;
+      }
+    }
+  }
+  return Status::NotFound(
+      "no course alteration within the search budget clears the target");
+}
+
+}  // namespace marlin

@@ -1,0 +1,63 @@
+#ifndef MARLIN_EVENTS_COLLISION_AVOIDANCE_H_
+#define MARLIN_EVENTS_COLLISION_AVOIDANCE_H_
+
+#include "events/collision.h"
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// A proposed evasive manoeuvre for a vessel on a forecast collision
+/// course.
+struct AvoidanceManeuver {
+  Mmsi vessel = 0;
+  /// Course to steer, degrees.
+  double new_course_deg = 0.0;
+  /// Signed alteration from the present course (positive = starboard).
+  double course_change_deg = 0.0;
+  /// Predicted minimum separation from the other vessel after the
+  /// alteration, meters.
+  double clearance_m = 0.0;
+  TimeMicros issued_at = 0;
+};
+
+/// Automated rerouting for vessel collision avoidance — one of the paper's
+/// named future-work assets (§7), built directly on the collision
+/// forecasting machinery: given own and other forecast trajectories on a
+/// collision course, searches course alterations (starboard first, per the
+/// COLREGs convention for crossing/head-on situations) until the predicted
+/// separation clears the safety margin.
+class CollisionAvoidance {
+ public:
+  struct Config {
+    /// Required post-manoeuvre separation.
+    double min_clearance_m = 1500.0;
+    /// Course alterations tried: step, 2*step, ..., up to max (each side).
+    double course_step_deg = 10.0;
+    double max_alteration_deg = 60.0;
+    /// Close-pass window for separation checks (matches the collision
+    /// forecaster's temporal difference threshold).
+    TimeMicros temporal_tolerance = 2 * kMicrosPerMinute;
+  };
+
+  CollisionAvoidance();
+  explicit CollisionAvoidance(const Config& config);
+
+  /// Proposes an evasive course for `own`. Returns FailedPrecondition when
+  /// the pair is already clear, or NotFound when no alteration within the
+  /// search budget achieves the clearance.
+  StatusOr<AvoidanceManeuver> Propose(const ForecastTrajectory& own,
+                                      const ForecastTrajectory& other) const;
+
+  /// Rebuilds `own` as a constant-speed trajectory on a new course from its
+  /// present position (the candidate the searcher evaluates). Exposed for
+  /// tests and for callers that apply the manoeuvre.
+  static ForecastTrajectory ApplyCourse(const ForecastTrajectory& own,
+                                        double new_course_deg);
+
+ private:
+  Config config_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_EVENTS_COLLISION_AVOIDANCE_H_

@@ -1,0 +1,100 @@
+#include "events/collision_eval.h"
+
+#include "ais/preprocess.h"
+
+namespace marlin {
+namespace {
+
+/// Builds the model input for one vessel from its track prefix up to
+/// `eval_time`. Returns false when the history is too short.
+bool BuildInput(const std::vector<AisPosition>& track, TimeMicros eval_time,
+                SvrfInput* input) {
+  VesselHistory history;
+  for (const AisPosition& report : track) {
+    if (report.timestamp > eval_time) break;
+    history.Push(report);
+  }
+  if (!history.Ready()) return false;
+  *input = history.MakeInput();
+  return true;
+}
+
+bool InSubset(const ProximityTruth& truth, ProximitySubset subset) {
+  if (!truth.is_event) return true;  // negatives always participate
+  switch (subset) {
+    case ProximitySubset::kAll:
+      return true;
+    case ProximitySubset::kUnder2:
+      return truth.time_to_cpa_sec < 120.0;
+    case ProximitySubset::kUnder5:
+      return truth.time_to_cpa_sec < 300.0;
+  }
+  return true;
+}
+
+}  // namespace
+
+CollisionEvalResult EvaluateCollisionForecasting(
+    const RouteForecaster& model, const ProximityDataset& dataset,
+    ProximitySubset subset, TimeMicros temporal_threshold,
+    double spatial_threshold_m) {
+  CollisionEvalResult result;
+  result.model_name = std::string(model.name());
+  result.temporal_threshold_min =
+      static_cast<double>(temporal_threshold) / kMicrosPerMinute;
+
+  for (const ProximityScenario& scenario : dataset.scenarios) {
+    if (!InSubset(scenario.truth, subset)) continue;
+    if (scenario.truth.is_event) ++result.total_events;
+
+    SvrfInput input_a, input_b;
+    const bool ok_a =
+        BuildInput(scenario.track_a, scenario.eval_time, &input_a);
+    const bool ok_b =
+        BuildInput(scenario.track_b, scenario.eval_time, &input_b);
+
+    bool predicted = false;
+    if (ok_a && ok_b) {
+      StatusOr<ForecastTrajectory> forecast_a = model.Forecast(input_a);
+      StatusOr<ForecastTrajectory> forecast_b = model.Forecast(input_b);
+      if (forecast_a.ok() && forecast_b.ok()) {
+        forecast_a->mmsi = scenario.truth.vessel_a;
+        forecast_b->mmsi = scenario.truth.vessel_b;
+        // Fresh forecaster per scenario: scenarios are independent
+        // encounters (different times and places).
+        CollisionForecaster::Config config;
+        config.temporal_threshold = temporal_threshold;
+        config.spatial_threshold_m = spatial_threshold_m;
+        CollisionForecaster forecaster(config);
+        forecaster.Observe(*forecast_a);
+        predicted = !forecaster.Observe(*forecast_b).empty();
+      }
+    }
+
+    if (scenario.truth.is_event) {
+      if (predicted) {
+        ++result.tp;
+      } else {
+        ++result.fn;
+      }
+    } else {
+      if (predicted) {
+        ++result.fp;
+      } else {
+        ++result.tn;
+      }
+    }
+  }
+
+  const double tp = result.tp, fp = result.fp, fn = result.fn;
+  result.precision = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+  result.recall = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+  result.f1 = result.precision + result.recall > 0
+                  ? 2.0 * result.precision * result.recall /
+                        (result.precision + result.recall)
+                  : 0.0;
+  result.accuracy = tp + fp + fn > 0 ? tp / (tp + fp + fn) : 0.0;
+  return result;
+}
+
+}  // namespace marlin

@@ -1,0 +1,50 @@
+#ifndef MARLIN_EVENTS_COLLISION_EVAL_H_
+#define MARLIN_EVENTS_COLLISION_EVAL_H_
+
+#include <string>
+
+#include "events/collision.h"
+#include "sim/proximity_dataset.h"
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// Confusion counts and derived metrics of one Table-2 experiment.
+struct CollisionEvalResult {
+  std::string model_name;
+  double temporal_threshold_min = 0.0;
+  int total_events = 0;
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+  int tn = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// The paper's accuracy definition (its Table 2 satisfies
+  /// accuracy = TP / (TP + FP + FN); true negatives are not counted).
+  double accuracy = 0.0;
+};
+
+/// Subset filter of the proximity dataset, mirroring Table 2's rows.
+enum class ProximitySubset {
+  kAll,     // every event
+  kUnder2,  // Sub dataset A: events with time-to-CPA < 2 min
+  kUnder5,  // Sub dataset B: events with time-to-CPA < 5 min
+};
+
+/// Runs one collision-forecasting experiment (§6.2): for every scenario in
+/// the (filtered) dataset, both vessels' histories up to the evaluation
+/// time are preprocessed into model inputs, `model` forecasts both
+/// trajectories, and the collision forecaster decides whether the pair is
+/// on a collision course with the given temporal difference threshold.
+/// Predictions are scored against the scenarios' analytic ground truth.
+/// Negative scenarios are always included (they supply FP/TN).
+CollisionEvalResult EvaluateCollisionForecasting(
+    const RouteForecaster& model, const ProximityDataset& dataset,
+    ProximitySubset subset, TimeMicros temporal_threshold,
+    double spatial_threshold_m = 500.0);
+
+}  // namespace marlin
+
+#endif  // MARLIN_EVENTS_COLLISION_EVAL_H_

@@ -1,0 +1,100 @@
+#include "events/port_congestion.h"
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+PortCongestionMonitor::PortCongestionMonitor(const std::vector<Port>& ports,
+                                             const Config& config)
+    : ports_(ports), config_(config), state_(ports.size()) {}
+
+int PortCongestionMonitor::NearestPortWithin(const LatLng& position,
+                                             double radius_m) const {
+  int best = -1;
+  double best_distance = radius_m;
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    const double d = ApproxDistanceMeters(ports_[i].position, position);
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void PortCongestionMonitor::ObservePosition(const AisPosition& report) {
+  const int port = NearestPortWithin(report.position, config_.port_radius_m);
+  auto previous_it = occupied_port_.find(report.mmsi);
+  const int previous = previous_it == occupied_port_.end()
+                           ? -1
+                           : previous_it->second;
+  if (previous >= 0 && previous != port) {
+    state_[static_cast<size_t>(previous)].occupants.erase(report.mmsi);
+  }
+  if (port >= 0) {
+    state_[static_cast<size_t>(port)].occupants[report.mmsi] =
+        Presence{report.timestamp};
+    // An in-port vessel is no longer "inbound".
+    state_[static_cast<size_t>(port)].inbound.erase(report.mmsi);
+    occupied_port_[report.mmsi] = port;
+  } else if (previous >= 0) {
+    occupied_port_.erase(report.mmsi);
+  }
+}
+
+void PortCongestionMonitor::ObserveForecast(
+    const ForecastTrajectory& trajectory) {
+  if (trajectory.points.empty()) return;
+  // Skip the present point: a vessel already in port is occupancy, not
+  // inbound traffic.
+  for (size_t i = 1; i < trajectory.points.size(); ++i) {
+    const int port = NearestPortWithin(trajectory.points[i].position,
+                                       config_.port_radius_m);
+    if (port < 0) continue;
+    auto occupied_it = occupied_port_.find(trajectory.mmsi);
+    if (occupied_it != occupied_port_.end() && occupied_it->second == port) {
+      continue;  // already there
+    }
+    state_[static_cast<size_t>(port)].inbound[trajectory.mmsi] =
+        Presence{trajectory.points.front().time};
+    return;  // first predicted port call only
+  }
+}
+
+void PortCongestionMonitor::PruneState(PortState* state,
+                                       TimeMicros now) const {
+  const TimeMicros cutoff = now - config_.presence_ttl;
+  for (auto it = state->occupants.begin(); it != state->occupants.end();) {
+    it = it->second.last_seen < cutoff ? state->occupants.erase(it)
+                                       : std::next(it);
+  }
+  for (auto it = state->inbound.begin(); it != state->inbound.end();) {
+    it = it->second.last_seen < cutoff ? state->inbound.erase(it)
+                                       : std::next(it);
+  }
+}
+
+PortTrafficStatus PortCongestionMonitor::PortStatus(int port, TimeMicros now) {
+  PortTrafficStatus status;
+  if (port < 0 || port >= static_cast<int>(ports_.size())) return status;
+  PortState& state = state_[static_cast<size_t>(port)];
+  PruneState(&state, now);
+  status.port = port;
+  status.name = ports_[static_cast<size_t>(port)].name;
+  status.occupancy = static_cast<int>(state.occupants.size());
+  status.inbound_30min = static_cast<int>(state.inbound.size());
+  status.congested =
+      status.occupancy + status.inbound_30min > config_.congestion_threshold;
+  return status;
+}
+
+std::vector<PortTrafficStatus> PortCongestionMonitor::Status(TimeMicros now) {
+  std::vector<PortTrafficStatus> out;
+  out.reserve(ports_.size());
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    out.push_back(PortStatus(static_cast<int>(i), now));
+  }
+  return out;
+}
+
+}  // namespace marlin

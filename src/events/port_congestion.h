@@ -1,0 +1,83 @@
+#ifndef MARLIN_EVENTS_PORT_CONGESTION_H_
+#define MARLIN_EVENTS_PORT_CONGESTION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "events/event_types.h"
+#include "sim/world.h"
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// Present and forecast state of one port's traffic.
+struct PortTrafficStatus {
+  int port = -1;
+  std::string name;
+  /// Vessels currently inside the port radius.
+  int occupancy = 0;
+  /// Vessels whose forecast trajectory enters the port radius within the
+  /// 30-minute horizon.
+  int inbound_30min = 0;
+  /// occupancy + inbound_30min exceeds the congestion threshold.
+  bool congested = false;
+};
+
+/// Berth/port congestion monitoring and prediction — one of the paper's
+/// named future-work assets (§7: "the monitoring and prediction of berth
+/// and port congestion"), built on the same primitives as the rest of the
+/// platform: present occupancy from the live positions, predicted arrivals
+/// from the S-VRF forecast trajectories.
+class PortCongestionMonitor {
+ public:
+  struct Config {
+    /// A vessel within this range of the port anchor counts as in port.
+    double port_radius_m = 20000.0;
+    /// occupancy + inbound above this flags congestion.
+    int congestion_threshold = 10;
+    /// Vessels unseen for longer than this leave the occupancy set.
+    TimeMicros presence_ttl = 60 * kMicrosPerMinute;
+  };
+
+  PortCongestionMonitor(const std::vector<Port>& ports, const Config& config);
+  explicit PortCongestionMonitor(const std::vector<Port>& ports)
+      : PortCongestionMonitor(ports, Config()) {}
+
+  /// Updates present occupancy from a live position report.
+  void ObservePosition(const AisPosition& report);
+
+  /// Updates predicted arrivals from a forecast trajectory: the vessel is
+  /// inbound to the first port whose radius any predicted point enters
+  /// (unless it is already inside that port).
+  void ObserveForecast(const ForecastTrajectory& trajectory);
+
+  /// Status of every port as of `now` (expired presences pruned).
+  std::vector<PortTrafficStatus> Status(TimeMicros now);
+
+  /// Status of one port.
+  PortTrafficStatus PortStatus(int port, TimeMicros now);
+
+ private:
+  struct Presence {
+    TimeMicros last_seen = 0;
+  };
+  struct PortState {
+    std::unordered_map<Mmsi, Presence> occupants;
+    std::unordered_map<Mmsi, Presence> inbound;
+  };
+
+  int NearestPortWithin(const LatLng& position, double radius_m) const;
+  void PruneState(PortState* state, TimeMicros now) const;
+
+  std::vector<Port> ports_;
+  Config config_;
+  std::vector<PortState> state_;
+  /// Which port each vessel currently occupies (-1 = none), to move
+  /// occupancy when the vessel departs.
+  std::unordered_map<Mmsi, int> occupied_port_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_EVENTS_PORT_CONGESTION_H_

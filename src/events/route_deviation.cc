@@ -1,0 +1,55 @@
+#include "events/route_deviation.h"
+
+namespace marlin {
+
+RouteDeviationDetector::RouteDeviationDetector(const EnvClusModel* model,
+                                               const Config& config)
+    : model_(model), config_(config), resolution_(model->config().resolution) {}
+
+Status RouteDeviationDetector::StartVoyage(Mmsi mmsi, int origin_port,
+                                           int destination_port) {
+  const std::vector<CellId> pathway =
+      model_->VisitedCells(origin_port, destination_port);
+  if (pathway.empty()) {
+    return Status::NotFound("no historical pathway for this OD pair");
+  }
+  Voyage voyage;
+  for (CellId cell : pathway) {
+    for (CellId expanded : HexGrid::KRing(cell, config_.tolerance_rings)) {
+      voyage.corridor.insert(expanded);
+    }
+  }
+  voyages_[mmsi] = std::move(voyage);
+  return Status::Ok();
+}
+
+void RouteDeviationDetector::EndVoyage(Mmsi mmsi) { voyages_.erase(mmsi); }
+
+std::optional<MaritimeEvent> RouteDeviationDetector::Observe(
+    const AisPosition& report) {
+  auto it = voyages_.find(report.mmsi);
+  if (it == voyages_.end()) return std::nullopt;
+  Voyage& voyage = it->second;
+  const CellId cell = HexGrid::LatLngToCell(report.position, resolution_);
+  if (voyage.corridor.count(cell) > 0) {
+    voyage.consecutive_off = 0;
+    return std::nullopt;
+  }
+  if (++voyage.consecutive_off < config_.confirmation_count) {
+    return std::nullopt;
+  }
+  if (voyage.last_alert != 0 &&
+      report.timestamp - voyage.last_alert < config_.cooldown) {
+    return std::nullopt;
+  }
+  voyage.last_alert = report.timestamp;
+  MaritimeEvent event;
+  event.type = EventType::kRouteDeviation;
+  event.vessel_a = report.mmsi;
+  event.detected_at = report.timestamp;
+  event.event_time = report.timestamp;
+  event.location = report.position;
+  return event;
+}
+
+}  // namespace marlin

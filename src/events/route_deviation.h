@@ -1,0 +1,65 @@
+#ifndef MARLIN_EVENTS_ROUTE_DEVIATION_H_
+#define MARLIN_EVENTS_ROUTE_DEVIATION_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "events/event_types.h"
+#include "vrf/envclus.h"
+
+namespace marlin {
+
+/// Detection of deviations from common vessel traffic patterns (§4.1: the
+/// fused long-term view "allows the user to ... detect possible deviations
+/// from common vessel traffic patterns"): a vessel on a declared
+/// origin→destination voyage raises a deviation event when its live
+/// position leaves the corridor of historically travelled cells of that OD
+/// pair (the EnvClus* pathway cells expanded by a tolerance ring).
+class RouteDeviationDetector {
+ public:
+  struct Config {
+    /// Corridor tolerance: pathway cells are expanded by this many rings.
+    int tolerance_rings = 1;
+    /// Consecutive off-corridor positions required before alerting
+    /// (filters single noisy fixes).
+    int confirmation_count = 3;
+    /// Minimum spacing between repeated alerts for the same vessel.
+    TimeMicros cooldown = 60 * kMicrosPerMinute;
+  };
+
+  /// `model` must outlive the detector.
+  RouteDeviationDetector(const EnvClusModel* model, const Config& config);
+  explicit RouteDeviationDetector(const EnvClusModel* model)
+      : RouteDeviationDetector(model, Config()) {}
+
+  /// Declares a vessel's voyage; builds its corridor from the model's
+  /// historical pathways. NotFound when the OD pair has no history.
+  Status StartVoyage(Mmsi mmsi, int origin_port, int destination_port);
+
+  /// Ends tracking for a vessel.
+  void EndVoyage(Mmsi mmsi);
+
+  /// Checks a live position against the vessel's corridor; returns the
+  /// deviation event when the corridor has been left (confirmed and not in
+  /// cooldown). Vessels without a declared voyage are ignored.
+  std::optional<MaritimeEvent> Observe(const AisPosition& report);
+
+  size_t TrackedVoyages() const { return voyages_.size(); }
+
+ private:
+  struct Voyage {
+    std::unordered_set<CellId> corridor;
+    int consecutive_off = 0;
+    TimeMicros last_alert = 0;
+  };
+
+  const EnvClusModel* model_;
+  Config config_;
+  int resolution_;
+  std::unordered_map<Mmsi, Voyage> voyages_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_EVENTS_ROUTE_DEVIATION_H_

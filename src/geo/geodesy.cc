@@ -1,0 +1,83 @@
+#include "geo/geodesy.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double ApproxDistanceMeters(const LatLng& a, const LatLng& b) {
+  const double mean_lat = 0.5 * (a.lat_deg + b.lat_deg) * kDegToRad;
+  const double dx =
+      (b.lon_deg - a.lon_deg) * kDegToRad * std::cos(mean_lat);
+  const double dy = (b.lat_deg - a.lat_deg) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
+}
+
+double InitialBearingDeg(const LatLng& from, const LatLng& to) {
+  const double lat1 = from.lat_deg * kDegToRad;
+  const double lat2 = to.lat_deg * kDegToRad;
+  const double dlon = (to.lon_deg - from.lon_deg) * kDegToRad;
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = std::atan2(y, x) * kRadToDeg;
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+LatLng DestinationPoint(const LatLng& origin, double bearing_deg,
+                        double distance_m) {
+  const double delta = distance_m / kEarthRadiusMeters;
+  const double theta = bearing_deg * kDegToRad;
+  const double lat1 = origin.lat_deg * kDegToRad;
+  const double lon1 = origin.lon_deg * kDegToRad;
+  const double sin_lat2 = std::sin(lat1) * std::cos(delta) +
+                          std::cos(lat1) * std::sin(delta) * std::cos(theta);
+  const double lat2 = std::asin(std::clamp(sin_lat2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(lat1);
+  const double x = std::cos(delta) - std::sin(lat1) * sin_lat2;
+  const double lon2 = lon1 + std::atan2(y, x);
+  LatLng out;
+  out.lat_deg = lat2 * kRadToDeg;
+  out.lon_deg = WrapLongitude(lon2 * kRadToDeg);
+  return out;
+}
+
+double WrapLongitude(double lon_deg) {
+  double lon = std::fmod(lon_deg + 180.0, 360.0);
+  if (lon < 0.0) lon += 360.0;
+  return lon - 180.0;
+}
+
+double ClampLatitude(double lat_deg) {
+  return std::clamp(lat_deg, -90.0, 90.0);
+}
+
+void DegreesToMeters(double dlat_deg, double dlon_deg, double at_lat_deg,
+                     double* north_m, double* east_m) {
+  *north_m = dlat_deg * kDegToRad * kEarthRadiusMeters;
+  *east_m = dlon_deg * kDegToRad * kEarthRadiusMeters *
+            std::cos(at_lat_deg * kDegToRad);
+}
+
+void MetersToDegrees(double north_m, double east_m, double at_lat_deg,
+                     double* dlat_deg, double* dlon_deg) {
+  *dlat_deg = (north_m / kEarthRadiusMeters) * kRadToDeg;
+  const double cos_lat = std::cos(at_lat_deg * kDegToRad);
+  *dlon_deg =
+      (east_m / (kEarthRadiusMeters * (cos_lat < 1e-9 ? 1e-9 : cos_lat))) *
+      kRadToDeg;
+}
+
+}  // namespace marlin

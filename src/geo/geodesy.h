@@ -1,0 +1,110 @@
+#ifndef MARLIN_GEO_GEODESY_H_
+#define MARLIN_GEO_GEODESY_H_
+
+#include <cmath>
+
+namespace marlin {
+
+/// Mean Earth radius (meters), WGS84 authalic sphere.
+constexpr double kEarthRadiusMeters = 6371008.8;
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kDegToRad = kPi / 180.0;
+constexpr double kRadToDeg = 180.0 / kPi;
+/// 1 knot in meters/second.
+constexpr double kKnotsToMps = 0.514444;
+
+/// A WGS84 position in decimal degrees. Longitude in [-180, 180),
+/// latitude in [-90, 90].
+struct LatLng {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  bool operator==(const LatLng& other) const {
+    return lat_deg == other.lat_deg && lon_deg == other.lon_deg;
+  }
+};
+
+/// Geographic bounding box (min/max corner). Handles boxes that do not cross
+/// the antimeridian (all evaluation regions in the paper are within one
+/// hemisphere span).
+struct BoundingBox {
+  double min_lat = -90.0;
+  double min_lon = -180.0;
+  double max_lat = 90.0;
+  double max_lon = 180.0;
+
+  bool Contains(const LatLng& p) const {
+    return p.lat_deg >= min_lat && p.lat_deg <= max_lat &&
+           p.lon_deg >= min_lon && p.lon_deg <= max_lon;
+  }
+};
+
+/// Great-circle distance between two points, in meters (haversine formula).
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Fast equirectangular approximation of the distance in meters; accurate to
+/// well under 1% for separations below ~100 km, which covers every
+/// per-message computation in the pipeline (forecast horizons of 30 minutes
+/// at vessel speeds reach ~30 km).
+double ApproxDistanceMeters(const LatLng& a, const LatLng& b);
+
+/// Initial great-circle bearing from `from` to `to`, degrees in [0, 360).
+double InitialBearingDeg(const LatLng& from, const LatLng& to);
+
+/// Destination point after travelling `distance_m` meters from `origin` on
+/// the great circle with initial bearing `bearing_deg`.
+LatLng DestinationPoint(const LatLng& origin, double bearing_deg,
+                        double distance_m);
+
+/// Wraps a longitude into [-180, 180).
+double WrapLongitude(double lon_deg);
+
+/// Clamps a latitude into [-90, 90].
+double ClampLatitude(double lat_deg);
+
+/// Converts a (Δlat, Δlon) degree displacement at latitude `at_lat_deg` into
+/// meters (north, east). The inverse of `MetersToDegrees`.
+void DegreesToMeters(double dlat_deg, double dlon_deg, double at_lat_deg,
+                     double* north_m, double* east_m);
+
+/// Converts a (north, east) meter displacement at latitude `at_lat_deg` into
+/// (Δlat, Δlon) degrees.
+void MetersToDegrees(double north_m, double east_m, double at_lat_deg,
+                     double* dlat_deg, double* dlon_deg);
+
+/// Local tangent-plane projection anchored at a reference point: maps
+/// lat/lon to local (east, north) meters via the equirectangular
+/// approximation. Suitable for the regional computations in the collision
+/// and proximity detectors.
+class LocalProjection {
+ public:
+  explicit LocalProjection(const LatLng& origin)
+      : origin_(origin), cos_lat_(std::cos(origin.lat_deg * kDegToRad)) {}
+
+  /// Projects to local meters (x = east, y = north).
+  void Forward(const LatLng& p, double* x_m, double* y_m) const {
+    *x_m = (p.lon_deg - origin_.lon_deg) * kDegToRad * kEarthRadiusMeters *
+           cos_lat_;
+    *y_m = (p.lat_deg - origin_.lat_deg) * kDegToRad * kEarthRadiusMeters;
+  }
+
+  /// Unprojects local meters back to lat/lon.
+  LatLng Inverse(double x_m, double y_m) const {
+    LatLng out;
+    out.lat_deg = origin_.lat_deg + (y_m / kEarthRadiusMeters) * kRadToDeg;
+    out.lon_deg =
+        origin_.lon_deg +
+        (x_m / (kEarthRadiusMeters * cos_lat_)) * kRadToDeg;
+    return out;
+  }
+
+  const LatLng& origin() const { return origin_; }
+
+ private:
+  LatLng origin_;
+  double cos_lat_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_GEO_GEODESY_H_

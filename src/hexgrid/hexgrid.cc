@@ -1,0 +1,263 @@
+#include "hexgrid/hexgrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marlin {
+namespace {
+
+constexpr int64_t kCoordBias = int64_t{1} << 29;  // center of the 30-bit range
+constexpr int64_t kCoordMax = (int64_t{1} << 30) - 1;
+constexpr double kSqrt3 = 1.7320508075688772;
+
+// Per-resolution lattice phase, as a fraction of the cell circumradius.
+// Without it the aperture-4 ladder's fine-cell centers would fall exactly on
+// coarse-cell boundaries (the lattices are aligned), making parent
+// assignment a floating-point coin toss. The irrational-ish offsets
+// de-align every resolution from every other.
+constexpr double kPhaseX = 0.21376433;
+constexpr double kPhaseY = 0.37193218;
+
+/// Projects lat/lon onto the global equirectangular plane (meters).
+void Project(const LatLng& p, double* x, double* y) {
+  *x = p.lon_deg * kDegToRad * kEarthRadiusMeters;
+  *y = p.lat_deg * kDegToRad * kEarthRadiusMeters;
+}
+
+LatLng Unproject(double x, double y) {
+  LatLng out;
+  out.lon_deg = WrapLongitude((x / kEarthRadiusMeters) * kRadToDeg);
+  out.lat_deg = ClampLatitude((y / kEarthRadiusMeters) * kRadToDeg);
+  return out;
+}
+
+/// Rounds fractional cube coordinates to the nearest hex.
+void CubeRound(double fq, double fr, int64_t* out_q, int64_t* out_r) {
+  const double fs = -fq - fr;
+  double q = std::round(fq);
+  double r = std::round(fr);
+  double s = std::round(fs);
+  const double dq = std::abs(q - fq);
+  const double dr = std::abs(r - fr);
+  const double ds = std::abs(s - fs);
+  if (dq > dr && dq > ds) {
+    q = -r - s;
+  } else if (dr > ds) {
+    r = -q - s;
+  }
+  *out_q = static_cast<int64_t>(q);
+  *out_r = static_cast<int64_t>(r);
+}
+
+// Axial direction vectors for the 6 hex neighbours (pointy-top).
+constexpr int kHexDirections[6][2] = {
+    {+1, 0}, {+1, -1}, {0, -1}, {-1, 0}, {-1, +1}, {0, +1}};
+
+}  // namespace
+
+double HexGrid::CircumradiusMeters(int resolution) {
+  if (resolution < kMinResolution || resolution > kMaxResolution) return 0.0;
+  return kRes0CircumradiusMeters / static_cast<double>(int64_t{1} << resolution);
+}
+
+double HexGrid::CellAreaSqMeters(int resolution) {
+  const double s = CircumradiusMeters(resolution);
+  return 1.5 * kSqrt3 * s * s;
+}
+
+CellId HexGrid::LatLngToCell(const LatLng& position, int resolution) {
+  if (resolution < kMinResolution || resolution > kMaxResolution) {
+    return kInvalidCellId;
+  }
+  if (!std::isfinite(position.lat_deg) || !std::isfinite(position.lon_deg)) {
+    return kInvalidCellId;
+  }
+  double x, y;
+  Project(position, &x, &y);
+  const double s = CircumradiusMeters(resolution);
+  x -= kPhaseX * s * static_cast<double>(resolution);
+  y -= kPhaseY * s * static_cast<double>(resolution);
+  // Pointy-top axial coordinates.
+  const double fq = (kSqrt3 / 3.0 * x - 1.0 / 3.0 * y) / s;
+  const double fr = (2.0 / 3.0 * y) / s;
+  int64_t q, r;
+  CubeRound(fq, fr, &q, &r);
+  return Encode(resolution, q, r);
+}
+
+LatLng HexGrid::CellToLatLng(CellId cell) {
+  int resolution;
+  int64_t q, r;
+  Decode(cell, &resolution, &q, &r);
+  if (resolution < 0) return LatLng{0.0, 0.0};
+  const double s = CircumradiusMeters(resolution);
+  const double x =
+      s * kSqrt3 * (static_cast<double>(q) + static_cast<double>(r) / 2.0) +
+      kPhaseX * s * static_cast<double>(resolution);
+  const double y = s * 1.5 * static_cast<double>(r) +
+                   kPhaseY * s * static_cast<double>(resolution);
+  return Unproject(x, y);
+}
+
+int HexGrid::Resolution(CellId cell) {
+  if (cell == kInvalidCellId) return -1;
+  return static_cast<int>(cell >> 60);
+}
+
+bool HexGrid::IsValid(CellId cell) {
+  if (cell == kInvalidCellId) return false;
+  const int res = static_cast<int>(cell >> 60);
+  return res >= kMinResolution && res <= kMaxResolution;
+}
+
+void HexGrid::Decode(CellId cell, int* resolution, int64_t* q, int64_t* r) {
+  if (cell == kInvalidCellId) {
+    *resolution = -1;
+    *q = 0;
+    *r = 0;
+    return;
+  }
+  *resolution = static_cast<int>(cell >> 60);
+  *q = static_cast<int64_t>((cell >> 30) & kCoordMax) - kCoordBias;
+  *r = static_cast<int64_t>(cell & kCoordMax) - kCoordBias;
+}
+
+CellId HexGrid::Encode(int resolution, int64_t q, int64_t r) {
+  if (resolution < kMinResolution || resolution > kMaxResolution) {
+    return kInvalidCellId;
+  }
+  const int64_t bq = q + kCoordBias;
+  const int64_t br = r + kCoordBias;
+  if (bq < 0 || bq > kCoordMax || br < 0 || br > kCoordMax) {
+    return kInvalidCellId;
+  }
+  return (static_cast<uint64_t>(resolution) << 60) |
+         (static_cast<uint64_t>(bq) << 30) | static_cast<uint64_t>(br);
+}
+
+std::vector<CellId> HexGrid::KRing(CellId center, int k) {
+  std::vector<CellId> out;
+  int resolution;
+  int64_t cq, cr;
+  Decode(center, &resolution, &cq, &cr);
+  if (resolution < 0 || k < 0) return out;
+  out.reserve(1 + 3 * k * (k + 1));
+  out.push_back(center);
+  for (int ring = 1; ring <= k; ++ring) {
+    // Start at the cell `ring` steps in direction 4 (-1, +1), then walk the
+    // six sides of the ring.
+    int64_t q = cq + static_cast<int64_t>(kHexDirections[4][0]) * ring;
+    int64_t r = cr + static_cast<int64_t>(kHexDirections[4][1]) * ring;
+    for (int side = 0; side < 6; ++side) {
+      for (int step = 0; step < ring; ++step) {
+        const CellId id = Encode(resolution, q, r);
+        if (id != kInvalidCellId) out.push_back(id);
+        q += kHexDirections[side][0];
+        r += kHexDirections[side][1];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CellId> HexGrid::Neighbors(CellId cell) {
+  std::vector<CellId> out;
+  int resolution;
+  int64_t q, r;
+  Decode(cell, &resolution, &q, &r);
+  if (resolution < 0) return out;
+  out.reserve(6);
+  for (const auto& dir : kHexDirections) {
+    const CellId id = Encode(resolution, q + dir[0], r + dir[1]);
+    if (id != kInvalidCellId) out.push_back(id);
+  }
+  return out;
+}
+
+bool HexGrid::AreNeighbors(CellId a, CellId b) {
+  return GridDistance(a, b) == 1;
+}
+
+int HexGrid::GridDistance(CellId a, CellId b) {
+  int res_a, res_b;
+  int64_t qa, ra, qb, rb;
+  Decode(a, &res_a, &qa, &ra);
+  Decode(b, &res_b, &qb, &rb);
+  if (res_a < 0 || res_a != res_b) return -1;
+  const int64_t dq = qa - qb;
+  const int64_t dr = ra - rb;
+  const int64_t ds = -dq - dr;
+  const int64_t dist =
+      (std::abs(dq) + std::abs(dr) + std::abs(ds)) / 2;
+  return static_cast<int>(dist);
+}
+
+CellId HexGrid::Parent(CellId cell, int coarser_resolution) {
+  const int res = Resolution(cell);
+  if (res < 0 || coarser_resolution > res ||
+      coarser_resolution < kMinResolution) {
+    return kInvalidCellId;
+  }
+  // Iterate single-level steps so that multi-level parents are consistent
+  // with chained Parent() calls (center containment alone is not
+  // transitive).
+  CellId current = cell;
+  for (int r = res; r > coarser_resolution; --r) {
+    current = LatLngToCell(CellToLatLng(current), r - 1);
+  }
+  return current;
+}
+
+CellId HexGrid::Parent(CellId cell) {
+  const int res = Resolution(cell);
+  if (res <= kMinResolution) return kInvalidCellId;
+  return Parent(cell, res - 1);
+}
+
+std::vector<CellId> HexGrid::Children(CellId cell) {
+  std::vector<CellId> out;
+  const int res = Resolution(cell);
+  if (res < 0 || res >= kMaxResolution) return out;
+  // Candidate children: all finer cells within grid distance 3 of the finer
+  // cell at this cell's center. The aperture-4 ladder puts every true child
+  // within that disk; filter by Parent() == cell for exactness.
+  const CellId center_child = LatLngToCell(CellToLatLng(cell), res + 1);
+  for (CellId candidate : KRing(center_child, 3)) {
+    if (Parent(candidate) == cell) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<CellId> HexGrid::Polyfill(const BoundingBox& box,
+                                      int resolution) {
+  std::vector<CellId> cells;
+  if (resolution < kMinResolution || resolution > kMaxResolution) return cells;
+  // Sample the box on a grid finer than the cell inradius so no cell that
+  // intersects the box is missed, then deduplicate.
+  const double inradius_m = CircumradiusMeters(resolution) * 0.8660254;
+  const double lat_step =
+      std::max(1e-7, (inradius_m / kEarthRadiusMeters) * kRadToDeg * 0.9);
+  const double min_cos =
+      std::max(0.05, std::cos(std::max(std::abs(box.min_lat),
+                                       std::abs(box.max_lat)) *
+                              kDegToRad));
+  const double lon_step = std::max(1e-7, lat_step / min_cos);
+  for (double lat = box.min_lat; lat <= box.max_lat + lat_step;
+       lat += lat_step) {
+    const double clamped_lat = std::min(lat, box.max_lat);
+    for (double lon = box.min_lon; lon <= box.max_lon + lon_step;
+         lon += lon_step) {
+      const double clamped_lon = std::min(lon, box.max_lon);
+      const CellId cell =
+          LatLngToCell(LatLng{clamped_lat, clamped_lon}, resolution);
+      if (cell != kInvalidCellId) cells.push_back(cell);
+      if (clamped_lon >= box.max_lon) break;
+    }
+    if (clamped_lat >= box.max_lat) break;
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+}  // namespace marlin

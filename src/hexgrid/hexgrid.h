@@ -1,0 +1,109 @@
+#ifndef MARLIN_HEXGRID_HEXGRID_H_
+#define MARLIN_HEXGRID_HEXGRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// 64-bit identifier of a hexagonal cell. Layout (most significant first):
+///   [ 4 bits resolution | 30 bits biased axial q | 30 bits biased axial r ]
+/// Cell ids are stable, hashable, and totally ordered within a resolution.
+/// The value 0 is never a valid cell (resolution 0 cells still carry the
+/// coordinate bias) and is used as a sentinel.
+using CellId = uint64_t;
+
+constexpr CellId kInvalidCellId = 0;
+
+/// Hierarchical hexagonal spatial index over an equirectangular projection
+/// of the WGS84 sphere — Marlin's substitute for Uber H3 [26].
+///
+/// Pointy-top hexagons in axial coordinates (q, r). Sixteen resolutions; the
+/// hex circumradius halves at each finer resolution (aperture-4 hierarchy),
+/// starting from ~1100 km at resolution 0 — the same coverage span as H3's
+/// res-0 .. res-15 ladder. Supported operations mirror the subset the paper
+/// uses: point→cell, cell→center, k-ring neighbourhoods (collision candidate
+/// lookup), parent/children traversal (multi-resolution rasters), adjacency
+/// and grid distance.
+///
+/// All functions are pure and thread-safe.
+class HexGrid {
+ public:
+  static constexpr int kMinResolution = 0;
+  static constexpr int kMaxResolution = 15;
+  /// Circumradius (center to vertex) of a resolution-0 hexagon, meters.
+  static constexpr double kRes0CircumradiusMeters = 1100000.0;
+
+  /// Circumradius of a cell at `resolution`, meters.
+  static double CircumradiusMeters(int resolution);
+
+  /// Edge length of a cell at `resolution` (equal to the circumradius for a
+  /// regular hexagon), meters.
+  static double EdgeLengthMeters(int resolution) {
+    return CircumradiusMeters(resolution);
+  }
+
+  /// Approximate cell area at `resolution`, square meters.
+  static double CellAreaSqMeters(int resolution);
+
+  /// Maps a position to the cell containing it at `resolution`.
+  /// Returns kInvalidCellId when the resolution is out of range or the
+  /// position is non-finite.
+  static CellId LatLngToCell(const LatLng& position, int resolution);
+
+  /// Center of a cell. Inverse of LatLngToCell up to quantisation.
+  static LatLng CellToLatLng(CellId cell);
+
+  /// Resolution encoded in a cell id, or -1 for the invalid cell.
+  static int Resolution(CellId cell);
+
+  /// True if the id decodes to a structurally valid cell.
+  static bool IsValid(CellId cell);
+
+  /// All cells within grid distance `k` of `center`, including `center`
+  /// itself. Size is 1 + 3k(k+1). Order: ring by ring, center first.
+  static std::vector<CellId> KRing(CellId center, int k);
+
+  /// The 6 cells adjacent to `cell` (fewer near the projection boundary,
+  /// where out-of-range neighbours are skipped).
+  static std::vector<CellId> Neighbors(CellId cell);
+
+  /// True if the two cells share an edge (grid distance 1).
+  static bool AreNeighbors(CellId a, CellId b);
+
+  /// Hex grid distance (minimum number of cell steps) between two cells of
+  /// the same resolution; returns -1 when resolutions differ.
+  static int GridDistance(CellId a, CellId b);
+
+  /// The cell at `coarser_resolution` containing this cell's center.
+  /// `coarser_resolution` must be <= the cell's own resolution.
+  static CellId Parent(CellId cell, int coarser_resolution);
+
+  /// Immediate parent (resolution - 1); kInvalidCellId at resolution 0.
+  static CellId Parent(CellId cell);
+
+  /// All cells at resolution + 1 whose center lies within `cell` (i.e. whose
+  /// Parent() is `cell`). Typically 4-5 cells for the aperture-4 ladder.
+  static std::vector<CellId> Children(CellId cell);
+
+  /// All cells at `resolution` that cover the bounding box (every point of
+  /// the box maps to one of the returned cells). Sorted, deduplicated.
+  /// Used for viewport rasters and region sweeps.
+  static std::vector<CellId> Polyfill(const BoundingBox& box, int resolution);
+
+  // -- Internal coordinate access, exposed for tests and the traffic raster.
+
+  /// Decodes the axial coordinates of a cell.
+  static void Decode(CellId cell, int* resolution, int64_t* q, int64_t* r);
+
+  /// Encodes axial coordinates into a cell id. Returns kInvalidCellId when
+  /// the coordinates fall outside the 30-bit biased range.
+  static CellId Encode(int resolution, int64_t q, int64_t r);
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_HEXGRID_HEXGRID_H_

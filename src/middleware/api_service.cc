@@ -1,0 +1,298 @@
+#include "middleware/api_service.h"
+
+#include <cstdlib>
+
+namespace marlin {
+namespace {
+
+/// Best-effort numeric parse; returns fallback on garbage.
+double QueryDouble(const std::map<std::string, std::string>& query,
+                   const std::string& key, double fallback, bool* ok) {
+  auto it = query.find(key);
+  if (it == query.end()) {
+    *ok = false;
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) {
+    *ok = false;
+    return fallback;
+  }
+  *ok = true;
+  return value;
+}
+
+}  // namespace
+
+ApiService::Request ApiService::Parse(const std::string& target) {
+  Request request;
+  std::string path = target;
+  std::string query_text;
+  if (const size_t mark = target.find('?'); mark != std::string::npos) {
+    path = target.substr(0, mark);
+    query_text = target.substr(mark + 1);
+  }
+  size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    request.segments.push_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  start = 0;
+  while (start < query_text.size()) {
+    size_t end = query_text.find('&', start);
+    if (end == std::string::npos) end = query_text.size();
+    const std::string pair = query_text.substr(start, end - start);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      request.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (!pair.empty()) {
+      request.query[pair] = "";
+    }
+    start = end + 1;
+  }
+  return request;
+}
+
+ApiResponse ApiService::Error(int status, const std::string& message) {
+  JsonValue body = JsonValue::Object();
+  body.Set("error", JsonValue::Str(message));
+  return ApiResponse{status, body.Dump()};
+}
+
+ApiResponse ApiService::Ok(const JsonValue& body) {
+  return ApiResponse{200, body.Dump()};
+}
+
+JsonValue ApiService::EventToJson(const MaritimeEvent& event) {
+  JsonValue out = JsonValue::Object();
+  out.Set("type", JsonValue::Str(std::string(EventTypeName(event.type))));
+  out.Set("vessel_a", JsonValue::Int(event.vessel_a));
+  out.Set("vessel_b", JsonValue::Int(event.vessel_b));
+  out.Set("detected_at", JsonValue::Int(event.detected_at));
+  out.Set("event_time", JsonValue::Int(event.event_time));
+  out.Set("lat", JsonValue::Number(event.location.lat_deg));
+  out.Set("lon", JsonValue::Number(event.location.lon_deg));
+  out.Set("distance_m", JsonValue::Number(event.distance_m));
+  return out;
+}
+
+ApiResponse ApiService::Handle(const std::string& method,
+                               const std::string& target) {
+  if (method != "GET") return Error(405, "method not allowed");
+  const Request request = Parse(target);
+  if (request.segments.empty()) return Error(404, "not found");
+  const std::string& root = request.segments[0];
+  if (root == "stats") return HandleStats();
+  if (root == "vessels") {
+    return request.segments.size() == 1 ? HandleVessels()
+                                        : HandleVessel(request);
+  }
+  if (root == "events") return HandleEvents(request);
+  if (root == "traffic") return HandleTraffic(request);
+  if (root == "ports") return HandlePorts();
+  if (root == "patterns") return HandlePatterns(request);
+  if (root == "viewport") return HandleViewport(request);
+  return Error(404, "not found");
+}
+
+ApiResponse ApiService::HandleStats() {
+  const PipelineStats stats = pipeline_->Stats();
+  JsonValue body = JsonValue::Object();
+  body.Set("actors", JsonValue::Int(static_cast<int64_t>(stats.actor_count)));
+  body.Set("positions_ingested", JsonValue::Int(stats.positions_ingested));
+  body.Set("forecasts_generated", JsonValue::Int(stats.forecasts_generated));
+  body.Set("events_detected", JsonValue::Int(stats.events_detected));
+  body.Set("messages_processed", JsonValue::Int(stats.messages_processed));
+  body.Set("mean_processing_us",
+           JsonValue::Number(stats.mean_processing_nanos / 1000.0));
+  return Ok(body);
+}
+
+ApiResponse ApiService::HandleVessels() {
+  const std::vector<std::string> keys =
+      pipeline_->store().ScanPrefix("vessel:");
+  JsonValue list = JsonValue::Array();
+  for (const std::string& key : keys) {
+    list.Append(JsonValue::Str(key.substr(std::string("vessel:").size())));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("count", JsonValue::Int(static_cast<int64_t>(keys.size())));
+  body.Set("vessels", std::move(list));
+  return Ok(body);
+}
+
+ApiResponse ApiService::HandleVessel(const Request& request) {
+  char* end = nullptr;
+  const unsigned long mmsi_raw =
+      std::strtoul(request.segments[1].c_str(), &end, 10);
+  if (end == request.segments[1].c_str()) {
+    return Error(400, "invalid MMSI");
+  }
+  const Mmsi mmsi = static_cast<Mmsi>(mmsi_raw);
+  if (request.segments.size() >= 3 && request.segments[2] == "forecast") {
+    StatusOr<ForecastTrajectory> forecast = pipeline_->LatestForecast(mmsi);
+    if (!forecast.ok()) return Error(404, forecast.status().ToString());
+    JsonValue points = JsonValue::Array();
+    for (const ForecastPoint& point : forecast->points) {
+      JsonValue p = JsonValue::Object();
+      p.Set("lat", JsonValue::Number(point.position.lat_deg));
+      p.Set("lon", JsonValue::Number(point.position.lon_deg));
+      p.Set("time", JsonValue::Int(point.time));
+      points.Append(std::move(p));
+    }
+    JsonValue body = JsonValue::Object();
+    body.Set("mmsi", JsonValue::Int(mmsi));
+    body.Set("points", std::move(points));
+    return Ok(body);
+  }
+  if (request.segments.size() >= 3 && request.segments[2] == "events") {
+    StatusOr<std::vector<MaritimeEvent>> events =
+        pipeline_->VesselEvents(mmsi);
+    if (!events.ok()) return Error(404, events.status().ToString());
+    JsonValue list = JsonValue::Array();
+    for (const MaritimeEvent& event : *events) {
+      list.Append(EventToJson(event));
+    }
+    JsonValue body = JsonValue::Object();
+    body.Set("mmsi", JsonValue::Int(mmsi));
+    body.Set("events", std::move(list));
+    return Ok(body);
+  }
+  const auto state =
+      pipeline_->store().HGetAll("vessel:" + std::to_string(mmsi));
+  if (state.empty()) return Error(404, "vessel not found");
+  JsonValue body = JsonValue::Object();
+  body.Set("mmsi", JsonValue::Int(mmsi));
+  for (const auto& [field, value] : state) {
+    body.Set(field, JsonValue::Str(value));
+  }
+  return Ok(body);
+}
+
+ApiResponse ApiService::HandleEvents(const Request& request) {
+  int limit = 100;
+  if (auto it = request.query.find("limit"); it != request.query.end()) {
+    limit = std::atoi(it->second.c_str());
+    if (limit <= 0) return Error(400, "invalid limit");
+  }
+  JsonValue list = JsonValue::Array();
+  for (const MaritimeEvent& event : pipeline_->RecentEvents(limit)) {
+    list.Append(EventToJson(event));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("count", JsonValue::Int(static_cast<int64_t>(list.size())));
+  body.Set("events", std::move(list));
+  return Ok(body);
+}
+
+ApiResponse ApiService::HandleTraffic(const Request& request) {
+  if (request.segments.size() < 2) return Error(400, "missing step");
+  const int step = std::atoi(request.segments[1].c_str());
+  if (step < 1 || step > kSvrfOutputSteps) {
+    return Error(400, "step must be 1..6");
+  }
+  JsonValue cells = JsonValue::Array();
+  int total = 0;
+  for (const FlowCell& cell : pipeline_->TrafficFlow(step)) {
+    const LatLng center = HexGrid::CellToLatLng(cell.cell);
+    JsonValue c = JsonValue::Object();
+    c.Set("lat", JsonValue::Number(center.lat_deg));
+    c.Set("lon", JsonValue::Number(center.lon_deg));
+    c.Set("count", JsonValue::Int(cell.count));
+    cells.Append(std::move(c));
+    total += cell.count;
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("step", JsonValue::Int(step));
+  body.Set("horizon_min", JsonValue::Int(step * 5));
+  body.Set("total_vessels", JsonValue::Int(total));
+  body.Set("cells", std::move(cells));
+  return Ok(body);
+}
+
+ApiResponse ApiService::HandlePorts() {
+  JsonValue list = JsonValue::Array();
+  for (const PortTrafficStatus& status : pipeline_->PortTraffic()) {
+    JsonValue port = JsonValue::Object();
+    port.Set("name", JsonValue::Str(status.name));
+    port.Set("occupancy", JsonValue::Int(status.occupancy));
+    port.Set("inbound_30min", JsonValue::Int(status.inbound_30min));
+    port.Set("congested", JsonValue::Bool(status.congested));
+    list.Append(std::move(port));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("count", JsonValue::Int(static_cast<int64_t>(list.size())));
+  body.Set("ports", std::move(list));
+  return Ok(body);
+}
+
+ApiResponse ApiService::HandlePatterns(const Request& request) {
+  int top = 20;
+  if (auto it = request.query.find("top"); it != request.query.end()) {
+    top = std::atoi(it->second.c_str());
+    if (top <= 0) return Error(400, "invalid top");
+  }
+  JsonValue list = JsonValue::Array();
+  for (const CellMobilityStats& stats : pipeline_->Patterns(top)) {
+    const LatLng center = HexGrid::CellToLatLng(stats.cell);
+    JsonValue cell = JsonValue::Object();
+    cell.Set("lat", JsonValue::Number(center.lat_deg));
+    cell.Set("lon", JsonValue::Number(center.lon_deg));
+    cell.Set("observations", JsonValue::Int(stats.observations));
+    cell.Set("vessels", JsonValue::Int(stats.distinct_vessels));
+    cell.Set("mean_sog", JsonValue::Number(stats.mean_sog_knots));
+    cell.Set("mean_cog", JsonValue::Number(stats.mean_cog_deg));
+    list.Append(std::move(cell));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("count", JsonValue::Int(static_cast<int64_t>(list.size())));
+  body.Set("cells", std::move(list));
+  return Ok(body);
+}
+
+ApiResponse ApiService::HandleViewport(const Request& request) {
+  bool ok1, ok2, ok3, ok4;
+  BoundingBox box;
+  box.min_lat = QueryDouble(request.query, "min_lat", 0, &ok1);
+  box.min_lon = QueryDouble(request.query, "min_lon", 0, &ok2);
+  box.max_lat = QueryDouble(request.query, "max_lat", 0, &ok3);
+  box.max_lon = QueryDouble(request.query, "max_lon", 0, &ok4);
+  if (!ok1 || !ok2 || !ok3 || !ok4) {
+    return Error(400, "viewport requires min_lat, min_lon, max_lat, max_lon");
+  }
+  JsonValue list = JsonValue::Array();
+  for (const std::string& key : pipeline_->store().ScanPrefix("vessel:")) {
+    const auto state = pipeline_->store().HGetAll(key);
+    auto lat_it = state.find("lat");
+    auto lon_it = state.find("lon");
+    if (lat_it == state.end() || lon_it == state.end()) continue;
+    const LatLng position{std::atof(lat_it->second.c_str()),
+                          std::atof(lon_it->second.c_str())};
+    if (!box.Contains(position)) continue;
+    JsonValue vessel = JsonValue::Object();
+    vessel.Set("mmsi",
+               JsonValue::Str(key.substr(std::string("vessel:").size())));
+    vessel.Set("lat", JsonValue::Number(position.lat_deg));
+    vessel.Set("lon", JsonValue::Number(position.lon_deg));
+    if (auto sog_it = state.find("sog"); sog_it != state.end()) {
+      vessel.Set("sog", JsonValue::Str(sog_it->second));
+    }
+    if (auto cog_it = state.find("cog"); cog_it != state.end()) {
+      vessel.Set("cog", JsonValue::Str(cog_it->second));
+    }
+    list.Append(std::move(vessel));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("count", JsonValue::Int(static_cast<int64_t>(list.size())));
+  body.Set("vessels", std::move(list));
+  return Ok(body);
+}
+
+}  // namespace marlin

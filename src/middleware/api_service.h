@@ -1,0 +1,73 @@
+#ifndef MARLIN_MIDDLEWARE_API_SERVICE_H_
+#define MARLIN_MIDDLEWARE_API_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "middleware/json.h"
+
+namespace marlin {
+
+/// A REST-style response: an HTTP-like status code plus a JSON body.
+struct ApiResponse {
+  int status = 200;
+  std::string body;
+};
+
+/// The middleware API of §3: the "dedicated API responsible to interface
+/// the frontend with the backend systems", serving the state the writer
+/// actor publishes (vessel positions, forecasts, events, traffic rasters)
+/// to the UI. Transport-agnostic: `Handle` maps a method + path + query to
+/// a JSON response, so it can sit behind any HTTP server or be driven
+/// directly in tests.
+///
+/// Routes:
+///   GET /stats                         pipeline statistics
+///   GET /vessels                       all vessel states (key list + count)
+///   GET /vessels/{mmsi}                one vessel's state hash
+///   GET /vessels/{mmsi}/forecast       latest forecast trajectory
+///   GET /vessels/{mmsi}/events         events involving the vessel
+///   GET /events?limit=N                recent events, newest first
+///   GET /traffic/{step}                flow raster at horizon step 1..6
+///   GET /ports                         port occupancy/congestion status
+///   GET /patterns?top=N                busiest historical cells (PoL)
+///   GET /viewport?min_lat=&min_lon=&max_lat=&max_lon=
+///                                      vessels currently inside a bbox
+class ApiService {
+ public:
+  /// `pipeline` must outlive the service.
+  explicit ApiService(MaritimePipeline* pipeline) : pipeline_(pipeline) {}
+
+  /// Dispatches one request. Unknown routes yield 404; bad parameters 400;
+  /// non-GET methods 405.
+  ApiResponse Handle(const std::string& method, const std::string& target);
+
+ private:
+  struct Request {
+    std::vector<std::string> segments;
+    std::map<std::string, std::string> query;
+  };
+
+  static Request Parse(const std::string& target);
+  static ApiResponse Error(int status, const std::string& message);
+  static ApiResponse Ok(const JsonValue& body);
+
+  ApiResponse HandleStats();
+  ApiResponse HandleVessels();
+  ApiResponse HandleVessel(const Request& request);
+  ApiResponse HandleEvents(const Request& request);
+  ApiResponse HandleTraffic(const Request& request);
+  ApiResponse HandlePorts();
+  ApiResponse HandlePatterns(const Request& request);
+  ApiResponse HandleViewport(const Request& request);
+
+  static JsonValue EventToJson(const MaritimeEvent& event);
+
+  MaritimePipeline* pipeline_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_MIDDLEWARE_API_SERVICE_H_

@@ -1,0 +1,55 @@
+#ifndef MARLIN_MIDDLEWARE_HTTP_SERVER_H_
+#define MARLIN_MIDDLEWARE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <thread>
+
+#include "middleware/api_service.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// Minimal HTTP/1.1 server exposing an ApiService on a TCP port — the
+/// transport in front of §3's middleware API. One accept loop on a
+/// background thread, one short-lived handler per connection
+/// (Connection: close). GET only, matching the API. Not a general-purpose
+/// web server: no TLS, no keep-alive, request line + headers capped at
+/// 16 KiB.
+class HttpServer {
+ public:
+  /// `api` must outlive the server. `port` 0 lets the OS pick a free port
+  /// (readable via port() after Start()).
+  HttpServer(ApiService* api, int port);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop.
+  Status Start();
+
+  /// Stops accepting and joins the loop. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  int port() const { return port_; }
+
+  int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  ApiService* api_;
+  int port_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_{0};
+  std::thread accept_thread_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_MIDDLEWARE_HTTP_SERVER_H_

@@ -1,0 +1,60 @@
+#ifndef MARLIN_MIDDLEWARE_JSON_H_
+#define MARLIN_MIDDLEWARE_JSON_H_
+
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace marlin {
+
+/// Minimal JSON document builder (write-only) for the middleware API
+/// responses. Produces deterministic output: object keys keep insertion
+/// order, numbers are rendered with up to 6 significant decimals, strings
+/// are escaped per RFC 8259. No parsing — the API only serves.
+class JsonValue {
+ public:
+  /// Constructs a null value.
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue Int(int64_t value);
+  static JsonValue Str(std::string value);
+  static JsonValue Object();
+  static JsonValue Array();
+
+  /// Object field setter; replaces an existing field. Returns *this for
+  /// chaining. Must be an object.
+  JsonValue& Set(const std::string& key, JsonValue value);
+
+  /// Array element appender. Must be an array.
+  JsonValue& Append(JsonValue value);
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  size_t size() const { return children_.size(); }
+
+  /// Renders the document compactly (no whitespace).
+  std::string Dump() const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInt, kString, kObject, kArray };
+
+  static void EscapeTo(const std::string& raw, std::string* out);
+  void DumpTo(std::string* out) const;
+
+  Kind kind_;
+  bool bool_value_ = false;
+  double number_value_ = 0.0;
+  int64_t int_value_ = 0;
+  std::string string_value_;
+  // For objects: (key, value) in insertion order. For arrays: keys empty.
+  std::vector<std::pair<std::string, JsonValue>> children_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_MIDDLEWARE_JSON_H_

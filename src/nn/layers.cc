@@ -1,0 +1,218 @@
+#include "nn/layers.h"
+
+#include <cassert>
+
+namespace marlin {
+
+// ------------------------------------------------------------------ Dense
+
+Dense::Dense(std::string name, int in_dim, int out_dim, Activation activation,
+             Rng* rng)
+    : activation_(activation),
+      weight_(name + ".W", out_dim, in_dim, /*l1=*/false),
+      bias_(name + ".b", out_dim, 1, /*l1=*/false) {
+  weight_.value.FillXavier(rng);
+}
+
+const Matrix& Dense::Forward(const Matrix& input) {
+  input_cache_ = input;
+  MatMul(weight_.value, input, &pre_act_);
+  AddColumnBroadcast(pre_act_, bias_.value, &pre_act_);
+  output_ = pre_act_;
+  switch (activation_) {
+    case Activation::kLinear:
+      break;
+    case Activation::kTanh:
+      output_.Apply([](double x) { return act::Tanh(x); });
+      break;
+    case Activation::kRelu:
+      output_.Apply([](double x) { return act::Relu(x); });
+      break;
+  }
+  return output_;
+}
+
+const Matrix& Dense::Backward(const Matrix& grad_output) {
+  assert(grad_output.SameShape(output_));
+  grad_pre_ = grad_output;
+  switch (activation_) {
+    case Activation::kLinear:
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < grad_pre_.size(); ++i) {
+        grad_pre_.storage()[i] *=
+            act::TanhDerivFromOutput(output_.storage()[i]);
+      }
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < grad_pre_.size(); ++i) {
+        grad_pre_.storage()[i] *=
+            act::ReluDerivFromOutput(output_.storage()[i]);
+      }
+      break;
+  }
+  // dW += dY X^T ; db += rowsum(dY) ; dX = W^T dY
+  Matrix dw;
+  MatMulTransposeB(grad_pre_, input_cache_, &dw);
+  weight_.grad.AddInPlace(dw);
+  for (int r = 0; r < grad_pre_.rows(); ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < grad_pre_.cols(); ++c) sum += grad_pre_(r, c);
+    bias_.grad(r, 0) += sum;
+  }
+  MatMulTransposeA(weight_.value, grad_pre_, &grad_input_);
+  return grad_input_;
+}
+
+// --------------------------------------------------------------- LstmCell
+
+LstmCell::LstmCell(std::string name, int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      weight_(name + ".W", 4 * hidden_dim, hidden_dim + input_dim,
+              /*l1=*/true),
+      bias_(name + ".b", 4 * hidden_dim, 1, /*l1=*/false) {
+  weight_.value.FillXavier(rng);
+  // Forget-gate bias init to 1: standard stabilisation for LSTM training.
+  for (int h = 0; h < hidden_dim_; ++h) bias_.value(hidden_dim_ + h, 0) = 1.0;
+}
+
+const Matrix& LstmCell::Forward(const std::vector<Matrix>& inputs) {
+  steps_ = static_cast<int>(inputs.size());
+  assert(steps_ > 0);
+  batch_ = inputs[0].cols();
+  z_.assign(steps_, Matrix());
+  gates_.assign(steps_, Matrix());
+  c_.assign(steps_, Matrix());
+  h_.assign(steps_, Matrix());
+  tanh_c_.assign(steps_, Matrix());
+
+  Matrix h_prev(hidden_dim_, batch_);
+  Matrix c_prev(hidden_dim_, batch_);
+  Matrix pre;
+  const int H = hidden_dim_;
+  for (int t = 0; t < steps_; ++t) {
+    assert(inputs[t].rows() == input_dim_ && inputs[t].cols() == batch_);
+    ConcatRows(h_prev, inputs[t], &z_[t]);
+    MatMul(weight_.value, z_[t], &pre);
+    AddColumnBroadcast(pre, bias_.value, &pre);
+    gates_[t] = Matrix(4 * H, batch_);
+    c_[t] = Matrix(H, batch_);
+    h_[t] = Matrix(H, batch_);
+    tanh_c_[t] = Matrix(H, batch_);
+    for (int b = 0; b < batch_; ++b) {
+      for (int j = 0; j < H; ++j) {
+        const double i_g = act::Sigmoid(pre(j, b));
+        const double f_g = act::Sigmoid(pre(H + j, b));
+        const double g_g = act::Tanh(pre(2 * H + j, b));
+        const double o_g = act::Sigmoid(pre(3 * H + j, b));
+        gates_[t](j, b) = i_g;
+        gates_[t](H + j, b) = f_g;
+        gates_[t](2 * H + j, b) = g_g;
+        gates_[t](3 * H + j, b) = o_g;
+        const double c_new = f_g * c_prev(j, b) + i_g * g_g;
+        c_[t](j, b) = c_new;
+        const double tc = act::Tanh(c_new);
+        tanh_c_[t](j, b) = tc;
+        h_[t](j, b) = o_g * tc;
+      }
+    }
+    h_prev = h_[t];
+    c_prev = c_[t];
+  }
+  return h_[steps_ - 1];
+}
+
+void LstmCell::Backward(const Matrix& grad_last_hidden,
+                        const std::vector<Matrix>& grad_hidden_steps,
+                        std::vector<Matrix>* grad_inputs) {
+  const int H = hidden_dim_;
+  assert(steps_ > 0);
+  assert(grad_last_hidden.rows() == H && grad_last_hidden.cols() == batch_);
+  grad_inputs->assign(steps_, Matrix());
+
+  Matrix dh = grad_last_hidden;  // dL/dh_t flowing backwards
+  Matrix dc(H, batch_);          // dL/dc_t flowing backwards
+  Matrix da(4 * H, batch_);      // pre-activation gate grads
+  Matrix dz;
+  Matrix dw;
+  for (int t = steps_ - 1; t >= 0; --t) {
+    if (!grad_hidden_steps.empty() && grad_hidden_steps[t].rows() == H) {
+      dh.AddInPlace(grad_hidden_steps[t]);
+    }
+    for (int b = 0; b < batch_; ++b) {
+      for (int j = 0; j < H; ++j) {
+        const double i_g = gates_[t](j, b);
+        const double f_g = gates_[t](H + j, b);
+        const double g_g = gates_[t](2 * H + j, b);
+        const double o_g = gates_[t](3 * H + j, b);
+        const double tc = tanh_c_[t](j, b);
+        const double c_prev = t > 0 ? c_[t - 1](j, b) : 0.0;
+
+        const double dh_v = dh(j, b);
+        const double dc_v = dc(j, b) + dh_v * o_g * (1.0 - tc * tc);
+
+        const double da_o = dh_v * tc * act::SigmoidDerivFromOutput(o_g);
+        const double da_f = dc_v * c_prev * act::SigmoidDerivFromOutput(f_g);
+        const double da_i = dc_v * g_g * act::SigmoidDerivFromOutput(i_g);
+        const double da_g = dc_v * i_g * act::TanhDerivFromOutput(g_g);
+
+        da(j, b) = da_i;
+        da(H + j, b) = da_f;
+        da(2 * H + j, b) = da_g;
+        da(3 * H + j, b) = da_o;
+
+        dc(j, b) = dc_v * f_g;  // propagate to c_{t-1}
+      }
+    }
+    // Parameter grads: dW += da z^T ; db += rowsum(da).
+    MatMulTransposeB(da, z_[t], &dw);
+    weight_.grad.AddInPlace(dw);
+    for (int r = 0; r < 4 * H; ++r) {
+      double sum = 0.0;
+      for (int b = 0; b < batch_; ++b) sum += da(r, b);
+      bias_.grad(r, 0) += sum;
+    }
+    // dz = W^T da; split into dh_{t-1} and dx_t.
+    MatMulTransposeA(weight_.value, da, &dz);
+    Matrix dh_prev;
+    SplitRows(dz, H, &dh_prev, &(*grad_inputs)[t]);
+    dh = std::move(dh_prev);
+  }
+}
+
+// ----------------------------------------------------------------- BiLstm
+
+BiLstm::BiLstm(std::string name, int input_dim, int hidden_dim, Rng* rng)
+    : forward_(name + ".fwd", input_dim, hidden_dim, rng),
+      backward_(name + ".bwd", input_dim, hidden_dim, rng) {}
+
+const Matrix& BiLstm::Forward(const std::vector<Matrix>& inputs) {
+  steps_ = static_cast<int>(inputs.size());
+  reversed_inputs_.assign(inputs.rbegin(), inputs.rend());
+  const Matrix& h_fwd = forward_.Forward(inputs);
+  const Matrix& h_bwd = backward_.Forward(reversed_inputs_);
+  ConcatRows(h_fwd, h_bwd, &output_);
+  return output_;
+}
+
+void BiLstm::Backward(const Matrix& grad_output,
+                      std::vector<Matrix>* grad_inputs) {
+  const int H = forward_.hidden_dim();
+  SplitRows(grad_output, H, &grad_fwd_, &grad_bwd_);
+  forward_.Backward(grad_fwd_, {}, grad_inputs);
+  backward_.Backward(grad_bwd_, {}, &grad_inputs_bwd_);
+  // The backward cell consumed reversed inputs: un-reverse its input grads
+  // and accumulate.
+  for (int t = 0; t < steps_; ++t) {
+    (*grad_inputs)[t].AddInPlace(grad_inputs_bwd_[steps_ - 1 - t]);
+  }
+}
+
+std::vector<Parameter*> BiLstm::Params() {
+  std::vector<Parameter*> params = forward_.Params();
+  for (Parameter* p : backward_.Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace marlin

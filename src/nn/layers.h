@@ -1,0 +1,148 @@
+#ifndef MARLIN_NN_LAYERS_H_
+#define MARLIN_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace marlin {
+
+/// A trainable tensor: value plus accumulated gradient plus Adam moments.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+  Matrix adam_m;
+  Matrix adam_v;
+  /// Whether L1 regularisation applies to this parameter (the paper uses
+  /// in-layer L1 on the BiLSTM weights; biases are exempt).
+  bool l1_regularised = false;
+
+  Parameter() = default;
+  Parameter(std::string n, int rows, int cols, bool l1 = false)
+      : name(std::move(n)),
+        value(rows, cols),
+        grad(rows, cols),
+        adam_m(rows, cols),
+        adam_v(rows, cols),
+        l1_regularised(l1) {}
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+/// Element-wise activations with derivatives expressed in terms of the
+/// activation output (the form backward passes need).
+namespace act {
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+inline double SigmoidDerivFromOutput(double y) { return y * (1.0 - y); }
+inline double Tanh(double x) { return std::tanh(x); }
+inline double TanhDerivFromOutput(double y) { return 1.0 - y * y; }
+inline double Relu(double x) { return x > 0.0 ? x : 0.0; }
+inline double ReluDerivFromOutput(double y) { return y > 0.0 ? 1.0 : 0.0; }
+}  // namespace act
+
+/// Fully-connected layer y = act(W x + b) operating on column-batched
+/// inputs (x: in×B, y: out×B).
+class Dense {
+ public:
+  enum class Activation { kLinear, kTanh, kRelu };
+
+  Dense(std::string name, int in_dim, int out_dim, Activation activation,
+        Rng* rng);
+
+  /// Forward pass; caches input and output for the backward pass.
+  const Matrix& Forward(const Matrix& input);
+
+  /// Backward pass: takes dL/dy, accumulates parameter gradients, returns
+  /// dL/dx. Must follow a Forward with the same batch.
+  const Matrix& Backward(const Matrix& grad_output);
+
+  std::vector<Parameter*> Params() { return {&weight_, &bias_}; }
+  const Matrix& output() const { return output_; }
+  int in_dim() const { return weight_.value.cols(); }
+  int out_dim() const { return weight_.value.rows(); }
+
+ private:
+  Activation activation_;
+  Parameter weight_;
+  Parameter bias_;
+  Matrix input_cache_;
+  Matrix pre_act_;
+  Matrix output_;
+  Matrix grad_pre_;
+  Matrix grad_input_;
+};
+
+/// Single-direction LSTM processed over a whole sequence with full
+/// backpropagation through time. Gates packed in one weight matrix
+/// W: (4H × (H+D)), bias b: (4H × 1); gate order i, f, g, o.
+class LstmCell {
+ public:
+  LstmCell(std::string name, int input_dim, int hidden_dim, Rng* rng);
+
+  /// Runs the sequence (inputs[t]: D×B, all same B). Returns the hidden
+  /// state of the last step (H×B). Caches everything needed for Backward.
+  const Matrix& Forward(const std::vector<Matrix>& inputs);
+
+  /// BPTT. `grad_last_hidden` is dL/dh_T (H×B); per-step hidden grads may
+  /// additionally be supplied via `grad_hidden_steps` (empty = none).
+  /// Accumulates parameter grads; fills `grad_inputs` (one D×B per step).
+  void Backward(const Matrix& grad_last_hidden,
+                const std::vector<Matrix>& grad_hidden_steps,
+                std::vector<Matrix>* grad_inputs);
+
+  std::vector<Parameter*> Params() { return {&weight_, &bias_}; }
+
+  int hidden_dim() const { return hidden_dim_; }
+  int input_dim() const { return input_dim_; }
+  /// Hidden states per step from the last Forward (h_1..h_T).
+  const std::vector<Matrix>& hidden_states() const { return h_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  Parameter weight_;
+  Parameter bias_;
+
+  // Forward caches (index t over sequence steps).
+  std::vector<Matrix> z_;      // concat [h_{t-1}; x_t]
+  std::vector<Matrix> gates_;  // post-activation gates (4H×B)
+  std::vector<Matrix> c_;      // cell states
+  std::vector<Matrix> h_;      // hidden states
+  std::vector<Matrix> tanh_c_;
+  int batch_ = 0;
+  int steps_ = 0;
+};
+
+/// Bidirectional LSTM for sequence-to-one regression: the forward cell
+/// reads x_1..x_T, the backward cell reads x_T..x_1; the layer output is the
+/// concatenation [h_fwd_T ; h_bwd_T] (2H × B) — the BiLSTM configuration of
+/// the paper's S-VRF architecture (§4.2, Figure 3).
+class BiLstm {
+ public:
+  BiLstm(std::string name, int input_dim, int hidden_dim, Rng* rng);
+
+  const Matrix& Forward(const std::vector<Matrix>& inputs);
+
+  /// Backward from dL/d(concat output); fills grad_inputs per step.
+  void Backward(const Matrix& grad_output, std::vector<Matrix>* grad_inputs);
+
+  std::vector<Parameter*> Params();
+
+  int output_dim() const { return 2 * forward_.hidden_dim(); }
+
+ private:
+  LstmCell forward_;
+  LstmCell backward_;
+  Matrix output_;
+  Matrix grad_fwd_, grad_bwd_;
+  std::vector<Matrix> reversed_inputs_;
+  std::vector<Matrix> grad_inputs_bwd_;
+  int steps_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_NN_LAYERS_H_

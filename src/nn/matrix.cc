@@ -1,0 +1,104 @@
+#include "nn/matrix.h"
+
+namespace marlin {
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->Zero();
+  // i-k-j loop order for cache-friendly row-major access.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a.data() + static_cast<size_t>(i) * k;
+    double* orow = out->data() + static_cast<size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;
+      const double* brow = b.data() + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->Zero();
+  for (int kk = 0; kk < k; ++kk) {
+    const double* arow = a.data() + static_cast<size_t>(kk) * m;
+    const double* brow = b.data() + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out->data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a.data() + static_cast<size_t>(i) * k;
+    double* orow = out->data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* brow = b.data() + static_cast<size_t>(j) * k;
+      double sum = 0.0;
+      for (int kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      orow[j] = sum;
+    }
+  }
+}
+
+void AddColumnBroadcast(const Matrix& a, const Matrix& bias, Matrix* out) {
+  assert(bias.cols() == 1 && bias.rows() == a.rows());
+  if (!out->SameShape(a)) *out = Matrix(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const double b = bias(r, 0);
+    for (int c = 0; c < a.cols(); ++c) (*out)(r, c) = a(r, c) + b;
+  }
+}
+
+void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.SameShape(b));
+  if (!out->SameShape(a)) *out = Matrix(a.rows(), a.cols());
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    out->storage()[i] = a.storage()[i] * b.storage()[i];
+  }
+}
+
+void ConcatRows(const Matrix& top, const Matrix& bottom, Matrix* out) {
+  assert(top.cols() == bottom.cols());
+  const int cols = top.cols();
+  if (out->rows() != top.rows() + bottom.rows() || out->cols() != cols) {
+    *out = Matrix(top.rows() + bottom.rows(), cols);
+  }
+  for (int r = 0; r < top.rows(); ++r) {
+    for (int c = 0; c < cols; ++c) (*out)(r, c) = top(r, c);
+  }
+  for (int r = 0; r < bottom.rows(); ++r) {
+    for (int c = 0; c < cols; ++c) (*out)(top.rows() + r, c) = bottom(r, c);
+  }
+}
+
+void SplitRows(const Matrix& m, int split, Matrix* top, Matrix* bottom) {
+  assert(split >= 0 && split <= m.rows());
+  if (top->rows() != split || top->cols() != m.cols()) {
+    *top = Matrix(split, m.cols());
+  }
+  if (bottom->rows() != m.rows() - split || bottom->cols() != m.cols()) {
+    *bottom = Matrix(m.rows() - split, m.cols());
+  }
+  for (int r = 0; r < split; ++r) {
+    for (int c = 0; c < m.cols(); ++c) (*top)(r, c) = m(r, c);
+  }
+  for (int r = split; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) (*bottom)(r - split, c) = m(r, c);
+  }
+}
+
+}  // namespace marlin

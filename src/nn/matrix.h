@@ -1,0 +1,120 @@
+#ifndef MARLIN_NN_MATRIX_H_
+#define MARLIN_NN_MATRIX_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace marlin {
+
+/// Dense row-major matrix of doubles — the numeric workhorse of the neural
+/// network substrate. Sized for small recurrent models (tens of thousands of
+/// parameters); no BLAS dependency by design.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  /// Sets every element to zero.
+  void Zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  /// Fills with N(0, stddev) values.
+  void FillNormal(Rng* rng, double stddev) {
+    for (double& v : data_) v = rng->Normal(0.0, stddev);
+  }
+
+  /// Xavier/Glorot uniform initialisation for a weight matrix of shape
+  /// (fan_out, fan_in).
+  void FillXavier(Rng* rng) {
+    const double limit = std::sqrt(6.0 / (rows_ + cols_));
+    for (double& v : data_) v = rng->Uniform(-limit, limit);
+  }
+
+  /// In-place element-wise transform.
+  void Apply(const std::function<double(double)>& fn) {
+    for (double& v : data_) v = fn(v);
+  }
+
+  /// this += other (shapes must match).
+  void AddInPlace(const Matrix& other) {
+    assert(SameShape(other));
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  }
+
+  /// this *= scalar.
+  void Scale(double s) {
+    for (double& v : data_) v *= s;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sum of squares of all elements.
+  double SquaredNorm() const {
+    double sum = 0.0;
+    for (double v : data_) sum += v * v;
+    return sum;
+  }
+
+  /// Sum of absolute values (L1 norm of the flattened matrix).
+  double L1Norm() const {
+    double sum = 0.0;
+    for (double v : data_) sum += std::abs(v);
+    return sum;
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes: (m,k) x (k,n) -> (m,n). `out` is resized.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b. Shapes: (k,m) x (k,n) -> (m,n).
+void MatMulTransposeA(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T. Shapes: (m,k) x (n,k) -> (m,n).
+void MatMulTransposeB(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out(r,c) = a(r,c) + bias(r,0): adds a column vector to every column.
+void AddColumnBroadcast(const Matrix& a, const Matrix& bias, Matrix* out);
+
+/// Element-wise product, out = a ∘ b.
+void Hadamard(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Vertical concatenation: out = [top; bottom] (same cols).
+void ConcatRows(const Matrix& top, const Matrix& bottom, Matrix* out);
+
+/// Splits `m` vertically at row `split`: top gets rows [0, split), bottom
+/// the rest.
+void SplitRows(const Matrix& m, int split, Matrix* top, Matrix* bottom);
+
+}  // namespace marlin
+
+#endif  // MARLIN_NN_MATRIX_H_

@@ -1,0 +1,293 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace marlin {
+
+// ---------------------------------------------------------- AdamOptimizer
+
+void AdamOptimizer::Step(const std::vector<Parameter*>& params) {
+  ++t_;
+  if (options_.clip_norm > 0.0) {
+    double total = 0.0;
+    for (const Parameter* p : params) total += p->grad.SquaredNorm();
+    const double norm = std::sqrt(total);
+    if (norm > options_.clip_norm) {
+      const double scale = options_.clip_norm / norm;
+      for (Parameter* p : params) p->grad.Scale(scale);
+    }
+  }
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (Parameter* p : params) {
+    const size_t n = p->value.size();
+    for (size_t i = 0; i < n; ++i) {
+      double g = p->grad.storage()[i];
+      if (options_.l1_lambda > 0.0 && p->l1_regularised) {
+        const double w = p->value.storage()[i];
+        g += options_.l1_lambda * (w > 0.0 ? 1.0 : (w < 0.0 ? -1.0 : 0.0));
+      }
+      double& m = p->adam_m.storage()[i];
+      double& v = p->adam_v.storage()[i];
+      m = options_.beta1 * m + (1.0 - options_.beta1) * g;
+      v = options_.beta2 * v + (1.0 - options_.beta2) * g * g;
+      const double m_hat = m / bc1;
+      const double v_hat = v / bc2;
+      p->value.storage()[i] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+    p->ZeroGrad();
+  }
+}
+
+// ------------------------------------------------------ SequenceRegressor
+
+SequenceRegressor::SequenceRegressor(const Config& config)
+    : config_(config),
+      rng_(config.seed),
+      bilstm_("bilstm", config.input_dim, config.hidden_dim, &rng_),
+      dense_("dense", 2 * config.hidden_dim, config.dense_dim,
+             Dense::Activation::kTanh, &rng_),
+      head_("head", config.dense_dim, config.output_dim,
+            Dense::Activation::kLinear, &rng_) {}
+
+const Matrix& SequenceRegressor::Forward(const std::vector<Matrix>& inputs) {
+  const Matrix& features = bilstm_.Forward(inputs);
+  const Matrix& hidden = dense_.Forward(features);
+  return head_.Forward(hidden);
+}
+
+void SequenceRegressor::Backward(const Matrix& grad_output) {
+  const Matrix& grad_hidden = head_.Backward(grad_output);
+  const Matrix& grad_features = dense_.Backward(grad_hidden);
+  bilstm_.Backward(grad_features, &grad_inputs_);
+}
+
+std::vector<double> SequenceRegressor::Predict(
+    const std::vector<std::vector<double>>& steps) {
+  std::vector<Matrix> inputs(steps.size());
+  for (size_t t = 0; t < steps.size(); ++t) {
+    inputs[t] = Matrix(config_.input_dim, 1);
+    for (int d = 0; d < config_.input_dim; ++d) {
+      inputs[t](d, 0) = steps[t][static_cast<size_t>(d)];
+    }
+  }
+  const Matrix& out = Forward(inputs);
+  std::vector<double> result(static_cast<size_t>(config_.output_dim));
+  for (int i = 0; i < config_.output_dim; ++i) result[i] = out(i, 0);
+  return result;
+}
+
+std::vector<Parameter*> SequenceRegressor::Params() {
+  std::vector<Parameter*> params = bilstm_.Params();
+  for (Parameter* p : dense_.Params()) params.push_back(p);
+  for (Parameter* p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+double SequenceRegressor::TrainBatch(const std::vector<Matrix>& inputs,
+                                     const Matrix& targets, double l1_lambda) {
+  const Matrix& out = Forward(inputs);
+  assert(out.SameShape(targets));
+  const double denom = static_cast<double>(out.size());
+  grad_out_buffer_ = out;
+  double loss = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double diff = out.storage()[i] - targets.storage()[i];
+    loss += diff * diff;
+    grad_out_buffer_.storage()[i] = 2.0 * diff / denom;
+  }
+  loss /= denom;
+  if (l1_lambda > 0.0) {
+    for (Parameter* p : Params()) {
+      if (p->l1_regularised) loss += l1_lambda * p->value.L1Norm();
+    }
+  }
+  Backward(grad_out_buffer_);
+  return loss;
+}
+
+double SequenceRegressor::Evaluate(const std::vector<Matrix>& inputs,
+                                   const Matrix& targets) {
+  const Matrix& out = Forward(inputs);
+  double loss = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double diff = out.storage()[i] - targets.storage()[i];
+    loss += diff * diff;
+  }
+  return loss / static_cast<double>(out.size());
+}
+
+std::string SequenceRegressor::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "marlin-seqreg-v1 " << config_.input_dim << " " << config_.hidden_dim
+      << " " << config_.dense_dim << " " << config_.output_dim << "\n";
+  // Const-cast is safe: Params() only aggregates pointers.
+  auto* self = const_cast<SequenceRegressor*>(this);
+  for (Parameter* p : self->Params()) {
+    out << p->name << " " << p->value.rows() << " " << p->value.cols() << "\n";
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      out << p->value.storage()[i];
+      out << (((i + 1) % 8 == 0) ? '\n' : ' ');
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status SequenceRegressor::Deserialize(const std::string& blob) {
+  std::istringstream in(blob);
+  std::string magic;
+  int input_dim, hidden_dim, dense_dim, output_dim;
+  if (!(in >> magic >> input_dim >> hidden_dim >> dense_dim >> output_dim)) {
+    return Status::InvalidArgument("malformed model header");
+  }
+  if (magic != "marlin-seqreg-v1") {
+    return Status::InvalidArgument("unknown model format: " + magic);
+  }
+  if (input_dim != config_.input_dim || hidden_dim != config_.hidden_dim ||
+      dense_dim != config_.dense_dim || output_dim != config_.output_dim) {
+    return Status::FailedPrecondition("model dimensions do not match");
+  }
+  for (Parameter* p : Params()) {
+    std::string name;
+    int rows, cols;
+    if (!(in >> name >> rows >> cols)) {
+      return Status::InvalidArgument("truncated parameter header");
+    }
+    if (name != p->name || rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument("parameter mismatch at '" + name + "'");
+    }
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      if (!(in >> p->value.storage()[i])) {
+        return Status::InvalidArgument("truncated parameter data");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------------ Trainer
+
+void Trainer::PackBatch(const std::vector<SeqSample>& dataset,
+                        const std::vector<int>& order, int begin, int end,
+                        std::vector<Matrix>* inputs, Matrix* targets) {
+  const int batch = end - begin;
+  const SeqSample& first = dataset[static_cast<size_t>(order[begin])];
+  const int steps = static_cast<int>(first.steps.size());
+  const int dim = static_cast<int>(first.steps[0].size());
+  const int out_dim = static_cast<int>(first.target.size());
+  inputs->assign(steps, Matrix());
+  for (int t = 0; t < steps; ++t) (*inputs)[t] = Matrix(dim, batch);
+  *targets = Matrix(out_dim, batch);
+  for (int b = 0; b < batch; ++b) {
+    const SeqSample& sample = dataset[static_cast<size_t>(order[begin + b])];
+    for (int t = 0; t < steps; ++t) {
+      for (int d = 0; d < dim; ++d) {
+        (*inputs)[t](d, b) = sample.steps[t][static_cast<size_t>(d)];
+      }
+    }
+    for (int o = 0; o < out_dim; ++o) {
+      (*targets)(o, b) = sample.target[static_cast<size_t>(o)];
+    }
+  }
+}
+
+double Trainer::Fit(SequenceRegressor* model,
+                    const std::vector<SeqSample>& train,
+                    const std::vector<SeqSample>& validation,
+                    std::vector<double>* validation_losses) {
+  if (train.empty()) return 0.0;
+  AdamOptimizer::Options adam_options;
+  adam_options.learning_rate = options_.learning_rate;
+  adam_options.l1_lambda = options_.l1_lambda;
+  adam_options.clip_norm = options_.clip_norm;
+  AdamOptimizer optimizer(adam_options);
+  const std::vector<Parameter*> params = model->Params();
+
+  Rng rng(options_.shuffle_seed);
+  std::vector<int> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  double learning_rate = options_.learning_rate;
+  double best_val = 1e300;
+  int epochs_since_best = 0;
+  std::vector<Matrix> inputs;
+  Matrix targets;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.set_learning_rate(learning_rate);
+    // Fisher-Yates with the deterministic RNG.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.UniformInt(static_cast<uint64_t>(i))]);
+    }
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int begin = 0; begin < static_cast<int>(train.size());
+         begin += options_.batch_size) {
+      const int end = std::min(static_cast<int>(train.size()),
+                               begin + options_.batch_size);
+      PackBatch(train, order, begin, end, &inputs, &targets);
+      epoch_loss += model->TrainBatch(inputs, targets, options_.l1_lambda);
+      optimizer.Step(params);
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / std::max(1, batches);
+    double val_loss = -1.0;
+    if (!validation.empty()) {
+      val_loss = Mse(model, validation);
+      if (validation_losses != nullptr) validation_losses->push_back(val_loss);
+    }
+    if (options_.verbose) {
+      MARLIN_LOG(INFO) << "epoch " << (epoch + 1) << "/" << options_.epochs
+                       << " train_loss=" << last_epoch_loss
+                       << (val_loss >= 0
+                               ? " val_mse=" + std::to_string(val_loss)
+                               : "");
+    }
+    learning_rate *= options_.lr_decay;
+    if (options_.early_stopping_patience > 0 && val_loss >= 0.0) {
+      if (val_loss < best_val - 1e-12) {
+        best_val = val_loss;
+        epochs_since_best = 0;
+      } else if (++epochs_since_best >= options_.early_stopping_patience) {
+        if (options_.verbose) {
+          MARLIN_LOG(INFO) << "early stop after epoch " << (epoch + 1)
+                           << " (best val_mse=" << best_val << ")";
+        }
+        break;
+      }
+    }
+  }
+  return last_epoch_loss;
+}
+
+double Trainer::Mse(SequenceRegressor* model,
+                    const std::vector<SeqSample>& dataset, int batch_size) {
+  if (dataset.empty()) return 0.0;
+  std::vector<int> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Matrix> inputs;
+  Matrix targets;
+  double total = 0.0;
+  int64_t elements = 0;
+  for (int begin = 0; begin < static_cast<int>(dataset.size());
+       begin += batch_size) {
+    const int end =
+        std::min(static_cast<int>(dataset.size()), begin + batch_size);
+    PackBatch(dataset, order, begin, end, &inputs, &targets);
+    const double mse = model->Evaluate(inputs, targets);
+    total += mse * static_cast<double>(targets.size());
+    elements += static_cast<int64_t>(targets.size());
+  }
+  return total / static_cast<double>(elements);
+}
+
+}  // namespace marlin

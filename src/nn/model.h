@@ -1,0 +1,151 @@
+#ifndef MARLIN_NN_MODEL_H_
+#define MARLIN_NN_MODEL_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// Adam optimiser with optional L1 penalty on parameters flagged
+/// `l1_regularised` (the paper couples the BiLSTM with in-layer L1
+/// regularisation to reduce overfitting).
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double l1_lambda = 0.0;
+    /// Global gradient-norm clip applied before the update (0 = off).
+    /// Standard stabiliser for recurrent nets trained through long BPTT.
+    double clip_norm = 0.0;
+  };
+
+  explicit AdamOptimizer(const Options& options) : options_(options) {}
+
+  /// Applies one update step from the accumulated gradients, then zeroes
+  /// them.
+  void Step(const std::vector<Parameter*>& params);
+
+  int64_t step_count() const { return t_; }
+  const Options& options() const { return options_; }
+
+  /// Adjusts the learning rate mid-training (used by LR schedules).
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  Options options_;
+  int64_t t_ = 0;
+};
+
+/// One supervised sequence-regression sample: `steps[t]` is the feature
+/// vector of timestep t (all samples in a dataset share T and D), `target`
+/// the regression output vector.
+struct SeqSample {
+  std::vector<std::vector<double>> steps;
+  std::vector<double> target;
+};
+
+/// The S-VRF network shape (§4.2, Figure 3): input layer → one BiLSTM layer
+/// → one fully-connected layer → linear output layer. Generic over
+/// dimensions so tests can gradient-check tiny instances.
+class SequenceRegressor {
+ public:
+  struct Config {
+    int input_dim = 3;
+    int hidden_dim = 32;   // per direction
+    int dense_dim = 32;
+    int output_dim = 12;
+    uint64_t seed = 42;
+  };
+
+  explicit SequenceRegressor(const Config& config);
+
+  /// Forward over a column-batched sequence (inputs[t]: D×B) → O×B.
+  const Matrix& Forward(const std::vector<Matrix>& inputs);
+
+  /// Backward from dL/d(output). Accumulates parameter gradients.
+  void Backward(const Matrix& grad_output);
+
+  /// Convenience single-sample prediction.
+  std::vector<double> Predict(const std::vector<std::vector<double>>& steps);
+
+  /// All trainable parameters.
+  std::vector<Parameter*> Params();
+
+  /// Mean squared error + L1 penalty over one batch; also runs
+  /// forward+backward, leaving gradients accumulated (caller then calls
+  /// optimizer.Step). Targets: O×B.
+  double TrainBatch(const std::vector<Matrix>& inputs, const Matrix& targets,
+                    double l1_lambda);
+
+  /// Mean squared error of predictions vs targets without training.
+  double Evaluate(const std::vector<Matrix>& inputs, const Matrix& targets);
+
+  const Config& config() const { return config_; }
+
+  /// Serialises all weights to a portable text blob.
+  std::string Serialize() const;
+  /// Restores weights from Serialize() output. Dimensions must match.
+  Status Deserialize(const std::string& blob);
+
+ private:
+  Config config_;
+  Rng rng_;
+  BiLstm bilstm_;
+  Dense dense_;
+  Dense head_;
+  std::vector<Matrix> grad_inputs_;  // discarded (inputs are data)
+  Matrix grad_out_buffer_;
+};
+
+/// Mini-batch trainer with epoch shuffling and optional validation-loss
+/// reporting.
+class Trainer {
+ public:
+  struct Options {
+    int epochs = 10;
+    int batch_size = 64;
+    double learning_rate = 1e-3;
+    /// Multiplicative LR decay applied after every epoch (1.0 = constant).
+    double lr_decay = 1.0;
+    double l1_lambda = 1e-5;
+    /// Stop when the validation MSE has not improved for this many epochs
+    /// (0 = never stop early; requires a validation set).
+    int early_stopping_patience = 0;
+    /// Global gradient-norm clip (0 = off), forwarded to the optimiser.
+    double clip_norm = 0.0;
+    uint64_t shuffle_seed = 17;
+    bool verbose = false;
+  };
+
+  explicit Trainer(const Options& options) : options_(options) {}
+
+  /// Trains `model` on `train`; returns the final epoch's mean training
+  /// loss. If `validation` is non-empty, `validation_losses` (when non-null)
+  /// receives the per-epoch validation MSE.
+  double Fit(SequenceRegressor* model, const std::vector<SeqSample>& train,
+             const std::vector<SeqSample>& validation = {},
+             std::vector<double>* validation_losses = nullptr);
+
+  /// Mean squared error of the model over a dataset.
+  static double Mse(SequenceRegressor* model,
+                    const std::vector<SeqSample>& dataset, int batch_size = 256);
+
+ private:
+  /// Packs samples [begin, end) into column-batched inputs/targets.
+  static void PackBatch(const std::vector<SeqSample>& dataset,
+                        const std::vector<int>& order, int begin, int end,
+                        std::vector<Matrix>* inputs, Matrix* targets);
+
+  Options options_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_NN_MODEL_H_

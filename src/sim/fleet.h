@@ -1,0 +1,66 @@
+#ifndef MARLIN_SIM_FLEET_H_
+#define MARLIN_SIM_FLEET_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/vessel.h"
+#include "sim/world.h"
+#include "util/clock.h"
+
+namespace marlin {
+
+/// Configuration of a fleet-scale AIS stream simulation.
+struct FleetConfig {
+  int num_vessels = 1000;
+  /// Simulation integration step.
+  double step_sec = 10.0;
+  /// Base of MMSI assignment (vessels get base, base+1, ...).
+  Mmsi mmsi_base = 237000000;
+  uint64_t seed = 1;
+  /// Stream start time.
+  TimeMicros start_time = TimeMicros{1635811200} * kMicrosPerSecond;  // 2021-11-02
+  /// Optional override of the per-vessel AIS emission model.
+  std::optional<EmissionModel> emission;
+  /// Vessels enter the simulation progressively over this warmup span
+  /// (0 = all present from the start). Reproduces the "massive introduction
+  /// of new actors" dynamic of the paper's initialisation phase.
+  double arrival_span_sec = 0.0;
+};
+
+/// Drives `num_vessels` VesselSims through stream time, producing the merged
+/// irregular AIS message stream the paper's ingestion layer consumes —
+/// Marlin's substitute for the MarineTraffic global feed.
+class FleetSimulator {
+ public:
+  FleetSimulator(const World* world, const FleetConfig& config);
+
+  /// Advances stream time by one step and appends emitted messages
+  /// (time-ordered within the step) to `out`. Returns the new stream time.
+  TimeMicros Step(std::vector<AisPosition>* out);
+
+  /// Runs for `duration_sec` of stream time, collecting every message.
+  std::vector<AisPosition> Run(double duration_sec);
+
+  /// Runs for `duration_sec` and returns per-vessel time-ordered tracks
+  /// (the historical-dataset shape used for training/evaluation).
+  std::map<Mmsi, std::vector<AisPosition>> RunTracks(double duration_sec);
+
+  TimeMicros now() const { return now_; }
+  int active_vessels() const { return active_; }
+  int total_vessels() const { return static_cast<int>(vessels_.size()); }
+  VesselSim* vessel(int index) { return vessels_[static_cast<size_t>(index)].get(); }
+
+ private:
+  const World* world_;
+  FleetConfig config_;
+  std::vector<std::unique_ptr<VesselSim>> vessels_;
+  std::vector<TimeMicros> arrival_time_;
+  TimeMicros now_;
+  int active_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_FLEET_H_

@@ -1,0 +1,285 @@
+#include "sim/proximity_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marlin {
+namespace {
+
+/// Parametric description of one vessel's path through an encounter:
+/// the vessel passes `cpa_pos` at relative time 0 on course
+/// `course_at_cpa`, moving at `sog_knots`, with a constant turn rate (so
+/// paths are arcs, not lines — dead reckoning from a single report cannot
+/// follow them, which is the difficulty profile of real encounters).
+struct PathSpec {
+  LatLng cpa_pos;
+  double course_at_cpa_deg = 0.0;
+  double sog_knots = 12.0;
+  double turn_rate_deg_min = 0.0;
+};
+
+/// Path position at `dt_sec` relative to the CPA passage (negative =
+/// before). Integrated in 10-second sub-steps.
+LatLng PathPosition(const PathSpec& spec, double dt_sec) {
+  const double step = dt_sec >= 0.0 ? 10.0 : -10.0;
+  const double speed_mps = spec.sog_knots * kKnotsToMps;
+  LatLng position = spec.cpa_pos;
+  double t = 0.0;
+  while (std::abs(dt_sec - t) > 1e-9) {
+    double dt = step;
+    if (std::abs(dt_sec - t) < std::abs(step)) dt = dt_sec - t;
+    // Course at the midpoint of the sub-step.
+    const double course =
+        spec.course_at_cpa_deg +
+        spec.turn_rate_deg_min * (t + dt / 2.0) / 60.0;
+    position = DestinationPoint(position, course, speed_mps * dt);
+    t += dt;
+  }
+  return position;
+}
+
+/// Densely pre-sampled path over [begin_sec, end_sec] relative to CPA.
+struct SampledPath {
+  double begin_sec = 0.0;
+  double step_sec = 10.0;
+  std::vector<LatLng> points;
+
+  LatLng At(double dt_sec) const {
+    const double f = (dt_sec - begin_sec) / step_sec;
+    const double clamped =
+        std::clamp(f, 0.0, static_cast<double>(points.size() - 1));
+    const size_t i0 = static_cast<size_t>(clamped);
+    const size_t i1 = std::min(i0 + 1, points.size() - 1);
+    const double w = clamped - static_cast<double>(i0);
+    LatLng out;
+    out.lat_deg =
+        points[i0].lat_deg + w * (points[i1].lat_deg - points[i0].lat_deg);
+    out.lon_deg =
+        points[i0].lon_deg + w * (points[i1].lon_deg - points[i0].lon_deg);
+    return out;
+  }
+};
+
+SampledPath SamplePath(const PathSpec& spec, double begin_sec,
+                       double end_sec) {
+  SampledPath path;
+  path.begin_sec = begin_sec;
+  path.step_sec = 10.0;
+  // Integrate once from begin to end instead of restarting at the CPA for
+  // every sample.
+  const double speed_mps = spec.sog_knots * kKnotsToMps;
+  LatLng position = PathPosition(spec, begin_sec);
+  double t = begin_sec;
+  path.points.push_back(position);
+  while (t < end_sec - 1e-9) {
+    const double dt = std::min(path.step_sec, end_sec - t);
+    const double course = spec.course_at_cpa_deg +
+                          spec.turn_rate_deg_min * (t + dt / 2.0) / 60.0;
+    position = DestinationPoint(position, course, speed_mps * dt);
+    t += dt;
+    path.points.push_back(position);
+  }
+  return path;
+}
+
+/// Emits the AIS track for a sampled path: jittered reporting intervals,
+/// GNSS position noise, noisy SOG/COG readings.
+std::vector<AisPosition> EmitTrack(Mmsi mmsi, const PathSpec& spec,
+                                   const SampledPath& path,
+                                   TimeMicros cpa_time, double begin_sec,
+                                   double end_sec, double mean_interval_sec,
+                                   Rng* rng) {
+  std::vector<AisPosition> track;
+  double t = begin_sec;
+  while (t <= end_sec) {
+    AisPosition report;
+    report.mmsi = mmsi;
+    report.timestamp =
+        cpa_time + static_cast<TimeMicros>(t * kMicrosPerSecond);
+    report.position = DestinationPoint(path.At(t), rng->Uniform(0.0, 360.0),
+                                       std::abs(rng->Normal(0.0, 10.0)));
+    report.sog_knots =
+        std::max(0.5, spec.sog_knots + rng->Normal(0.0, 0.25));
+    const double course =
+        spec.course_at_cpa_deg + spec.turn_rate_deg_min * t / 60.0;
+    report.cog_deg =
+        std::fmod(course + rng->Normal(0.0, 1.5) + 720.0, 360.0);
+    report.heading_deg = static_cast<int>(report.cog_deg);
+    track.push_back(report);
+    t += std::max(10.0,
+                  mean_interval_sec + rng->Normal(0.0, mean_interval_sec * 0.35));
+  }
+  return track;
+}
+
+/// Empirical CPA of two sampled paths over their common span (5-second
+/// scan). Returns distance and the relative time of the minimum.
+void EmpiricalCpa(const SampledPath& a, const SampledPath& b, double begin_sec,
+                  double end_sec, double* cpa_m, double* cpa_dt_sec) {
+  *cpa_m = 1e18;
+  *cpa_dt_sec = 0.0;
+  for (double t = begin_sec; t <= end_sec; t += 5.0) {
+    const double d = ApproxDistanceMeters(a.At(t), b.At(t));
+    if (d < *cpa_m) {
+      *cpa_m = d;
+      *cpa_dt_sec = t;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AisPosition> GenerateEncounterStyleTrack(
+    Mmsi mmsi, const BoundingBox& region, double duration_sec,
+    double mean_interval_sec, Rng* rng) {
+  PathSpec spec;
+  spec.cpa_pos = LatLng{rng->Uniform(region.min_lat + 0.3, region.max_lat - 0.3),
+                        rng->Uniform(region.min_lon + 0.3, region.max_lon - 0.3)};
+  spec.course_at_cpa_deg = rng->Uniform(0.0, 360.0);
+  spec.sog_knots = rng->Uniform(8.0, 20.0);
+  spec.turn_rate_deg_min =
+      rng->Bernoulli(0.5) ? 0.0 : rng->Uniform(-2.0, 2.0);
+  const double begin = -duration_sec / 2.0;
+  const double end = duration_sec / 2.0;
+  const SampledPath path = SamplePath(spec, begin, end);
+  const TimeMicros mid_time =
+      TimeMicros{1694000000} * kMicrosPerSecond +
+      static_cast<TimeMicros>(rng->Uniform(0, 86400.0) * kMicrosPerSecond);
+  return EmitTrack(mmsi, spec, path, mid_time, begin, end, mean_interval_sec,
+                   rng);
+}
+
+int ProximityDataset::EventsWithin(double seconds) const {
+  int count = 0;
+  for (const auto& s : scenarios) {
+    if (s.truth.is_event && s.truth.time_to_cpa_sec < seconds) ++count;
+  }
+  return count;
+}
+
+int ProximityDataset::TotalEvents() const {
+  int count = 0;
+  for (const auto& s : scenarios) {
+    if (s.truth.is_event) ++count;
+  }
+  return count;
+}
+
+int ProximityDataset::TotalMessages() const {
+  int count = 0;
+  for (const auto& s : scenarios) {
+    count += static_cast<int>(s.track_a.size() + s.track_b.size());
+  }
+  return count;
+}
+
+ProximityDataset GenerateProximityDataset(
+    const ProximityDatasetConfig& config) {
+  ProximityDataset dataset;
+  Rng rng(config.seed);
+  Mmsi next_mmsi = config.mmsi_base;
+
+  // Builds one curved-encounter scenario with a requested nominal
+  // time-to-CPA and perpendicular offset, then measures the *empirical*
+  // CPA. The caller resamples until the scenario lands in the intended
+  // class and bucket.
+  auto make_scenario = [&](double tta_sec, double offset_m) {
+    ProximityScenario scenario;
+    PathSpec a, b;
+    a.cpa_pos = LatLng{
+        rng.Uniform(config.region.min_lat + 0.3, config.region.max_lat - 0.3),
+        rng.Uniform(config.region.min_lon + 0.3, config.region.max_lon - 0.3)};
+    a.course_at_cpa_deg = rng.Uniform(0.0, 360.0);
+    const double crossing =
+        rng.Uniform(25.0, 155.0) * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    b.course_at_cpa_deg =
+        std::fmod(a.course_at_cpa_deg + crossing + 360.0, 360.0);
+    a.sog_knots = rng.Uniform(8.0, 20.0);
+    b.sog_knots = rng.Uniform(8.0, 20.0);
+    // Half the vessels manoeuvre (constant-rate turns): the difficulty the
+    // real dataset derives from vessel behaviour.
+    a.turn_rate_deg_min = rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(-2.0, 2.0);
+    b.turn_rate_deg_min = rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(-2.0, 2.0);
+    b.cpa_pos =
+        DestinationPoint(a.cpa_pos, a.course_at_cpa_deg + 90.0, offset_m);
+
+    const TimeMicros eval_time =
+        TimeMicros{1695000000} * kMicrosPerSecond +
+        static_cast<TimeMicros>(rng.Uniform(0, 86400.0) * kMicrosPerSecond);
+    const TimeMicros cpa_time =
+        eval_time + static_cast<TimeMicros>(tta_sec * kMicrosPerSecond);
+
+    const double begin_sec = -(config.history_span_sec + tta_sec + 120.0);
+    const double end_sec = 4.0 * 60.0;
+    const SampledPath path_a = SamplePath(a, begin_sec, end_sec);
+    const SampledPath path_b = SamplePath(b, begin_sec, end_sec);
+
+    double cpa_m, cpa_dt;
+    EmpiricalCpa(path_a, path_b, -tta_sec - 90.0, end_sec - 60.0, &cpa_m,
+                 &cpa_dt);
+
+    scenario.track_a =
+        EmitTrack(next_mmsi, a, path_a, cpa_time, begin_sec + 120.0, end_sec,
+                  config.mean_interval_sec, &rng);
+    scenario.track_b =
+        EmitTrack(next_mmsi + 1, b, path_b, cpa_time, begin_sec + 120.0,
+                  end_sec, config.mean_interval_sec, &rng);
+    scenario.eval_time = eval_time;
+    scenario.truth.vessel_a = next_mmsi;
+    scenario.truth.vessel_b = next_mmsi + 1;
+    scenario.truth.cpa_time =
+        cpa_time + static_cast<TimeMicros>(cpa_dt * kMicrosPerSecond);
+    scenario.truth.cpa_distance_m = cpa_m;
+    scenario.truth.time_to_cpa_sec = tta_sec + cpa_dt;
+    return scenario;
+  };
+
+  auto add_events = [&](int count, double min_tta_sec, double max_tta_sec) {
+    for (int i = 0; i < count; ++i) {
+      for (int attempt = 0; attempt < 300; ++attempt) {
+        const double tta = rng.Uniform(min_tta_sec + 10.0, max_tta_sec - 10.0);
+        const double offset =
+            rng.Uniform(10.0, config.proximity_threshold_m * 0.6);
+        ProximityScenario scenario = make_scenario(tta, offset);
+        if (scenario.truth.cpa_distance_m < config.proximity_threshold_m &&
+            scenario.truth.time_to_cpa_sec >= min_tta_sec &&
+            scenario.truth.time_to_cpa_sec < max_tta_sec) {
+          scenario.truth.is_event = true;
+          dataset.scenarios.push_back(std::move(scenario));
+          next_mmsi += 2;
+          break;
+        }
+      }
+    }
+  };
+  add_events(config.events_under_2min, 20.0, 120.0);
+  add_events(config.events_2_to_5min, 120.0, 300.0);
+  add_events(config.events_5_to_12min, 300.0, 720.0);
+
+  // Negatives: a mix of hard near-misses (just beyond the proximity
+  // threshold — the false-positive trap for noisy forecasts) and safe
+  // passes.
+  for (int i = 0; i < config.negatives; ++i) {
+    const bool near_miss = rng.Bernoulli(0.6);
+    for (int attempt = 0; attempt < 300; ++attempt) {
+      const double tta = rng.Uniform(60.0, 720.0);
+      const double offset =
+          near_miss
+              ? rng.Uniform(config.proximity_threshold_m * 2.2,
+                            config.proximity_threshold_m * 6.0)
+              : rng.Uniform(config.safe_distance_m,
+                            config.safe_distance_m * 3.0);
+      ProximityScenario scenario = make_scenario(tta, offset);
+      const double lower_bound = config.proximity_threshold_m * 1.6;
+      if (scenario.truth.cpa_distance_m >= lower_bound) {
+        scenario.truth.is_event = false;
+        dataset.scenarios.push_back(std::move(scenario));
+        next_mmsi += 2;
+        break;
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace marlin

@@ -1,0 +1,54 @@
+#include "sim/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace marlin {
+
+WeatherField::WeatherField(uint64_t seed) {
+  Rng rng(seed);
+  for (System& system : systems_) {
+    system.lat_freq = rng.Uniform(0.03, 0.12);   // cycles per degree
+    system.lon_freq = rng.Uniform(0.02, 0.10);
+    system.phase = rng.Uniform(0.0, 2.0 * kPi);
+    system.speed = rng.Uniform(0.5, 2.0);        // radians per day
+    system.amplitude = rng.Uniform(2.0, 7.0);    // m/s of wind
+  }
+}
+
+WeatherSample WeatherField::At(const LatLng& position, TimeMicros t) const {
+  const double days =
+      static_cast<double>(t) / (24.0 * 3600.0 * kMicrosPerSecond);
+  // Wind vector as the superposition of the systems' gradients.
+  double u = 0.0, v = 0.0;
+  for (const System& system : systems_) {
+    const double arg = 2.0 * kPi * (system.lat_freq * position.lat_deg +
+                                    system.lon_freq * position.lon_deg) +
+                       system.phase + system.speed * days;
+    u += system.amplitude * std::sin(arg);
+    v += system.amplitude * std::cos(arg * 0.83 + 1.1);
+  }
+  WeatherSample sample;
+  sample.wind_speed_mps = std::hypot(u, v);
+  sample.wind_dir_deg = std::fmod(std::atan2(u, v) * kRadToDeg + 360.0, 360.0);
+  // Wave height: wind-driven with a mid-latitude swell floor (roaring
+  // forties and North Atlantic get a baseline).
+  const double swell =
+      0.5 + 1.2 * std::pow(std::sin(position.lat_deg * kDegToRad), 2.0);
+  sample.wave_height_m = std::max(
+      0.1, 0.18 * sample.wind_speed_mps + swell * 0.6);
+  return sample;
+}
+
+double WeatherField::RoutePenalty(const LatLng& position, TimeMicros t) const {
+  const WeatherSample sample = At(position, t);
+  // Normalise against the worst modelled state (~ sum of amplitudes wind,
+  // ~7 m waves).
+  const double wind_norm = std::clamp(sample.wind_speed_mps / 25.0, 0.0, 1.0);
+  const double wave_norm = std::clamp(sample.wave_height_m / 7.0, 0.0, 1.0);
+  return std::clamp(0.5 * wind_norm + 0.5 * wave_norm, 0.0, 1.0);
+}
+
+}  // namespace marlin

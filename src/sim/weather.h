@@ -1,0 +1,52 @@
+#ifndef MARLIN_SIM_WEATHER_H_
+#define MARLIN_SIM_WEATHER_H_
+
+#include "geo/geodesy.h"
+#include "hexgrid/hexgrid.h"
+#include "util/clock.h"
+
+namespace marlin {
+
+/// Weather conditions at one point in space-time.
+struct WeatherSample {
+  double wind_speed_mps = 0.0;
+  /// Direction the wind blows *towards*, degrees.
+  double wind_dir_deg = 0.0;
+  double wave_height_m = 0.0;
+};
+
+/// Deterministic synthetic weather field — the weather-data source of the
+/// paper's future-work fusion (§7: "the enrichment and fusion of the H3
+/// spatially indexed AIS mobility data with weather related features and
+/// forecasts"). Smooth in space and time: superposed travelling sinusoidal
+/// pressure systems yield wind, and wave height follows wind with a
+/// latitude-dependent swell floor. Fully reproducible from the seed; no
+/// state, safe to share across threads.
+class WeatherField {
+ public:
+  explicit WeatherField(uint64_t seed = 2024);
+
+  /// Conditions at a position and time.
+  WeatherSample At(const LatLng& position, TimeMicros t) const;
+
+  /// Mean conditions over a grid cell (sampled at the cell center) — the
+  /// H3-indexed weather enrichment.
+  WeatherSample AtCell(CellId cell, TimeMicros t) const {
+    return At(HexGrid::CellToLatLng(cell), t);
+  }
+
+  /// A routing penalty in [0, 1]: 0 = calm, 1 = worst modelled sea state.
+  /// Used as the extra edge cost of weather-aware route forecasting.
+  double RoutePenalty(const LatLng& position, TimeMicros t) const;
+
+ private:
+  static constexpr int kSystems = 6;
+  struct System {
+    double lat_freq, lon_freq, phase, speed, amplitude;
+  };
+  System systems_[kSystems];
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_WEATHER_H_

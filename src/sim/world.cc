@@ -1,0 +1,146 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marlin {
+namespace {
+
+/// Major world ports anchoring the global lane network. Positions are
+/// approximate harbour coordinates; precision is irrelevant to the
+/// experiments (the network only shapes plausible traffic).
+const struct {
+  const char* name;
+  double lat;
+  double lon;
+} kGlobalPorts[] = {
+    {"Rotterdam", 51.95, 4.05},       {"Antwerp", 51.30, 4.30},
+    {"Hamburg", 53.55, 9.93},         {"Felixstowe", 51.95, 1.35},
+    {"Algeciras", 36.13, -5.43},      {"Valencia", 39.45, -0.32},
+    {"Marseille", 43.30, 5.35},       {"Genoa", 44.40, 8.92},
+    {"Piraeus", 37.94, 23.62},        {"Istanbul", 41.00, 28.95},
+    {"Constanta", 44.17, 28.65},      {"Port Said", 31.25, 32.30},
+    {"Jeddah", 21.48, 39.17},         {"Dubai", 25.27, 55.30},
+    {"Mumbai", 18.95, 72.85},         {"Colombo", 6.95, 79.85},
+    {"Singapore", 1.26, 103.84},      {"Port Klang", 3.00, 101.40},
+    {"Jakarta", -6.10, 106.88},       {"Hong Kong", 22.30, 114.17},
+    {"Shenzhen", 22.50, 114.05},      {"Shanghai", 31.23, 121.49},
+    {"Ningbo", 29.87, 121.55},        {"Qingdao", 36.07, 120.38},
+    {"Busan", 35.10, 129.04},         {"Tokyo", 35.60, 139.80},
+    {"Sydney", -33.85, 151.20},       {"Auckland", -36.84, 174.77},
+    {"Los Angeles", 33.73, -118.26},  {"Oakland", 37.80, -122.30},
+    {"Vancouver", 49.29, -123.11},    {"Panama", 8.95, -79.57},
+    {"Houston", 29.73, -95.02},       {"New York", 40.67, -74.04},
+    {"Savannah", 32.03, -80.90},      {"Santos", -23.98, -46.30},
+    {"Buenos Aires", -34.60, -58.37}, {"Cape Town", -33.91, 18.43},
+    {"Lagos", 6.43, 3.40},            {"Durban", -29.87, 31.02},
+};
+
+constexpr int kWaypointSpacingKm = 25;
+
+}  // namespace
+
+World World::GlobalWorld(uint64_t seed) {
+  World world;
+  Rng rng(seed);
+  for (const auto& p : kGlobalPorts) {
+    world.ports_.push_back(Port{p.name, LatLng{p.lat, p.lon}});
+  }
+  const int n = static_cast<int>(world.ports_.size());
+  // Connect each port to its 4 nearest neighbours plus 2 random long-haul
+  // links, giving a connected, realistic-degree network.
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<double, int>> by_distance;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      by_distance.emplace_back(
+          HaversineMeters(world.ports_[i].position, world.ports_[j].position),
+          j);
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    for (int k = 0; k < 4 && k < static_cast<int>(by_distance.size()); ++k) {
+      world.Connect(i, by_distance[k].second, &rng);
+    }
+    for (int k = 0; k < 2; ++k) {
+      world.Connect(i, static_cast<int>(rng.UniformInt(
+                           static_cast<uint64_t>(n))),
+                    &rng);
+    }
+  }
+  return world;
+}
+
+World World::RegionalWorld(const BoundingBox& box, int num_ports,
+                           uint64_t seed) {
+  World world;
+  Rng rng(seed);
+  for (int i = 0; i < num_ports; ++i) {
+    Port port;
+    port.name = "port-" + std::to_string(i);
+    port.position.lat_deg = rng.Uniform(box.min_lat, box.max_lat);
+    port.position.lon_deg = rng.Uniform(box.min_lon, box.max_lon);
+    world.ports_.push_back(port);
+  }
+  // Dense-ish connectivity for small regional networks.
+  for (int i = 0; i < num_ports; ++i) {
+    for (int j = i + 1; j < num_ports; ++j) {
+      if (rng.Bernoulli(std::min(1.0, 6.0 / num_ports))) {
+        world.Connect(i, j, &rng);
+        world.Connect(j, i, &rng);
+      }
+    }
+  }
+  // Guarantee every port has at least one outgoing lane.
+  for (int i = 0; i < num_ports; ++i) {
+    if (world.LanesFrom(i).empty()) {
+      int other = (i + 1) % num_ports;
+      world.Connect(i, other, &rng);
+      world.Connect(other, i, &rng);
+    }
+  }
+  return world;
+}
+
+void World::Connect(int a, int b, Rng* rng) {
+  if (a == b) return;
+  for (const Lane& lane : lanes_) {
+    if (lane.from_port == a && lane.to_port == b) return;  // already linked
+  }
+  Lane lane;
+  lane.from_port = a;
+  lane.to_port = b;
+  const LatLng& from = ports_[a].position;
+  const LatLng& to = ports_[b].position;
+  const double total = HaversineMeters(from, to);
+  lane.length_m = total;
+  const int segments =
+      std::max(2, static_cast<int>(total / (kWaypointSpacingKm * 1000.0)));
+  // Deterministic per-lane wiggle amplitude (up to ~3 km) so opposing and
+  // parallel lanes do not overlap exactly.
+  const double wiggle = rng->Uniform(500.0, 3000.0);
+  const double phase = rng->Uniform(0.0, 2.0 * kPi);
+  lane.waypoints.push_back(from);
+  for (int s = 1; s < segments; ++s) {
+    const double f = static_cast<double>(s) / segments;
+    // Interpolate along the great circle by distance+bearing steps.
+    const double bearing = InitialBearingDeg(from, to);
+    LatLng base = DestinationPoint(from, bearing, total * f);
+    // Cross-track sinusoidal offset.
+    const double offset = wiggle * std::sin(2.0 * kPi * f + phase) *
+                          std::sin(kPi * f);  // pinned at both ends
+    base = DestinationPoint(base, bearing + 90.0, offset);
+    lane.waypoints.push_back(base);
+  }
+  lane.waypoints.push_back(to);
+  lanes_.push_back(std::move(lane));
+}
+
+std::vector<int> World::LanesFrom(int port) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].from_port == port) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,68 @@
+#ifndef MARLIN_SIM_WORLD_H_
+#define MARLIN_SIM_WORLD_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "util/rng.h"
+
+namespace marlin {
+
+/// A port: a named anchor point of the shipping-lane network.
+struct Port {
+  std::string name;
+  LatLng position;
+};
+
+/// A directed shipping lane between two ports, discretised into waypoints
+/// along the great circle (with deterministic cross-track wiggle so parallel
+/// lanes do not coincide).
+struct Lane {
+  int from_port = 0;
+  int to_port = 0;
+  std::vector<LatLng> waypoints;
+  double length_m = 0.0;
+};
+
+/// The static world the fleet simulator moves vessels through: a set of
+/// ports connected by great-circle shipping lanes. Stands in for the
+/// real-world route network implied by the paper's global AIS feed.
+///
+/// Two construction modes:
+///  - `GlobalWorld()` — 40 major real-world ports with a dense lane network,
+///    used for the Figure-6 scalability experiment.
+///  - `RegionalWorld(bbox, ports, seed)` — synthetic ports inside a bounding
+///    box (e.g. the Aegean for Table 2, the paper's European box for
+///    Table 1).
+class World {
+ public:
+  /// Builds the global port/lane network.
+  static World GlobalWorld(uint64_t seed = 7);
+
+  /// Builds a synthetic regional network of `num_ports` ports within `box`.
+  static World RegionalWorld(const BoundingBox& box, int num_ports,
+                             uint64_t seed);
+
+  const std::vector<Port>& ports() const { return ports_; }
+  const std::vector<Lane>& lanes() const { return lanes_; }
+
+  /// Lanes departing from `port`.
+  std::vector<int> LanesFrom(int port) const;
+
+  /// A uniformly random lane index.
+  int RandomLane(Rng* rng) const {
+    return static_cast<int>(rng->UniformInt(lanes_.size()));
+  }
+
+ private:
+  /// Adds the two directed lanes between ports a and b.
+  void Connect(int a, int b, Rng* rng);
+
+  std::vector<Port> ports_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_WORLD_H_

@@ -1,0 +1,203 @@
+#include "stream/broker.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace marlin {
+
+Status Broker::CreateTopic(const std::string& topic, int num_partitions) {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("topic needs >= 1 partition");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic) > 0) {
+    return Status::AlreadyExists("topic '" + topic + "' already exists");
+  }
+  TopicState state;
+  state.partitions.reserve(num_partitions);
+  for (int i = 0; i < num_partitions; ++i) {
+    state.partitions.push_back(std::make_unique<Partition>());
+  }
+  topics_.emplace(topic, std::move(state));
+  return Status::Ok();
+}
+
+bool Broker::HasTopic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topics_.count(topic) > 0;
+}
+
+int Broker::NumPartitions(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0
+                             : static_cast<int>(it->second.partitions.size());
+}
+
+const Broker::TopicState* Broker::FindTopic(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second;
+}
+
+StatusOr<Record> Broker::Append(const std::string& topic, std::string key,
+                                std::string value, TimeMicros timestamp) {
+  Partition* partition = nullptr;
+  int partition_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TopicState* state = FindTopic(topic);
+    if (state == nullptr) {
+      return Status::NotFound("topic '" + topic + "' not found");
+    }
+    partition_index = static_cast<int>(
+        std::hash<std::string>{}(key) % state->partitions.size());
+    partition = state->partitions[partition_index].get();
+  }
+  Record record;
+  record.key = std::move(key);
+  record.value = std::move(value);
+  record.partition = partition_index;
+  record.timestamp = timestamp;
+  {
+    std::lock_guard<std::mutex> lock(partition->mu);
+    record.offset = static_cast<int64_t>(partition->log.size());
+    partition->log.push_back(record);
+  }
+  return record;
+}
+
+StatusOr<std::vector<Record>> Broker::Read(const std::string& topic,
+                                           int partition_index, int64_t offset,
+                                           int max_records) const {
+  Partition* partition = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TopicState* state = FindTopic(topic);
+    if (state == nullptr) {
+      return Status::NotFound("topic '" + topic + "' not found");
+    }
+    if (partition_index < 0 ||
+        partition_index >= static_cast<int>(state->partitions.size())) {
+      return Status::OutOfRange("partition out of range");
+    }
+    partition = state->partitions[partition_index].get();
+  }
+  std::vector<Record> out;
+  std::lock_guard<std::mutex> lock(partition->mu);
+  const int64_t end = static_cast<int64_t>(partition->log.size());
+  for (int64_t i = std::max<int64_t>(0, offset);
+       i < end && static_cast<int>(out.size()) < max_records; ++i) {
+    out.push_back(partition->log[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+StatusOr<int64_t> Broker::EndOffset(const std::string& topic,
+                                    int partition_index) const {
+  Partition* partition = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TopicState* state = FindTopic(topic);
+    if (state == nullptr) {
+      return Status::NotFound("topic '" + topic + "' not found");
+    }
+    if (partition_index < 0 ||
+        partition_index >= static_cast<int>(state->partitions.size())) {
+      return Status::OutOfRange("partition out of range");
+    }
+    partition = state->partitions[partition_index].get();
+  }
+  std::lock_guard<std::mutex> lock(partition->mu);
+  return static_cast<int64_t>(partition->log.size());
+}
+
+int64_t Broker::CommittedOffset(const std::string& group,
+                                const std::string& topic,
+                                int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto group_it = offsets_.find(group);
+  if (group_it == offsets_.end()) return 0;
+  auto topic_it = group_it->second.find(topic);
+  if (topic_it == group_it->second.end()) return 0;
+  if (partition < 0 || partition >= static_cast<int>(topic_it->second.size())) {
+    return 0;
+  }
+  return topic_it->second[partition];
+}
+
+void Broker::CommitOffset(const std::string& group, const std::string& topic,
+                          int partition, int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TopicState* state = FindTopic(topic);
+  if (state == nullptr || partition < 0 ||
+      partition >= static_cast<int>(state->partitions.size())) {
+    return;
+  }
+  auto& per_topic = offsets_[group][topic];
+  if (per_topic.size() < state->partitions.size()) {
+    per_topic.resize(state->partitions.size(), 0);
+  }
+  per_topic[partition] = offset;
+}
+
+int64_t Broker::TopicSize(const std::string& topic) const {
+  std::vector<Partition*> partitions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TopicState* state = FindTopic(topic);
+    if (state == nullptr) return 0;
+    for (const auto& p : state->partitions) partitions.push_back(p.get());
+  }
+  int64_t total = 0;
+  for (Partition* p : partitions) {
+    std::lock_guard<std::mutex> lock(p->mu);
+    total += static_cast<int64_t>(p->log.size());
+  }
+  return total;
+}
+
+Consumer::Consumer(Broker* broker, std::string group, std::string topic)
+    : broker_(broker), group_(std::move(group)), topic_(std::move(topic)) {
+  const int n = broker_->NumPartitions(topic_);
+  positions_.resize(static_cast<size_t>(std::max(0, n)));
+  for (int p = 0; p < n; ++p) {
+    positions_[p] = broker_->CommittedOffset(group_, topic_, p);
+  }
+}
+
+std::vector<Record> Consumer::Poll(int max_records) {
+  std::vector<Record> out;
+  const int n = static_cast<int>(positions_.size());
+  if (n == 0) return out;
+  for (int scanned = 0; scanned < n && static_cast<int>(out.size()) < max_records;
+       ++scanned) {
+    const int p = next_partition_;
+    next_partition_ = (next_partition_ + 1) % n;
+    const int budget = max_records - static_cast<int>(out.size());
+    StatusOr<std::vector<Record>> batch =
+        broker_->Read(topic_, p, positions_[p], budget);
+    if (!batch.ok()) continue;
+    for (Record& r : *batch) {
+      positions_[p] = r.offset + 1;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+void Consumer::Commit() {
+  for (size_t p = 0; p < positions_.size(); ++p) {
+    broker_->CommitOffset(group_, topic_, static_cast<int>(p), positions_[p]);
+  }
+}
+
+int64_t Consumer::Lag() const {
+  int64_t lag = 0;
+  for (size_t p = 0; p < positions_.size(); ++p) {
+    StatusOr<int64_t> end = broker_->EndOffset(topic_, static_cast<int>(p));
+    if (end.ok()) lag += std::max<int64_t>(0, *end - positions_[p]);
+  }
+  return lag;
+}
+
+}  // namespace marlin

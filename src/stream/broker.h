@@ -1,0 +1,135 @@
+#ifndef MARLIN_STREAM_BROKER_H_
+#define MARLIN_STREAM_BROKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// One record in a partitioned log: an opaque key/value pair with the offset
+/// assigned at append time. AIS ingestion keys records by MMSI so that a
+/// vessel's messages stay ordered within one partition.
+struct Record {
+  std::string key;
+  std::string value;
+  int32_t partition = 0;
+  int64_t offset = -1;
+  TimeMicros timestamp = 0;
+};
+
+/// In-process, log-structured message broker — Marlin's substitute for the
+/// Kafka connections of the paper's ingestion services [11].
+///
+/// Topics are split into partitions; each partition is an append-only
+/// ordered log. Producers append by key (hash-partitioned); consumer groups
+/// track committed offsets per partition and poll records in order. All
+/// operations are thread-safe.
+class Broker {
+ public:
+  Broker() = default;
+
+  /// Creates a topic with `num_partitions` partitions (>= 1).
+  Status CreateTopic(const std::string& topic, int num_partitions);
+
+  /// True if the topic exists.
+  bool HasTopic(const std::string& topic) const;
+
+  /// Number of partitions of a topic, or 0 if absent.
+  int NumPartitions(const std::string& topic) const;
+
+  /// Appends a record; the partition is chosen by hashing `key`. Returns
+  /// the assigned (partition, offset).
+  StatusOr<Record> Append(const std::string& topic, std::string key,
+                          std::string value, TimeMicros timestamp);
+
+  /// Reads up to `max_records` records from one partition starting at
+  /// `offset` (inclusive).
+  StatusOr<std::vector<Record>> Read(const std::string& topic, int partition,
+                                     int64_t offset, int max_records) const;
+
+  /// Log end offset (next offset to be assigned) of a partition.
+  StatusOr<int64_t> EndOffset(const std::string& topic, int partition) const;
+
+  /// Committed offset of a consumer group on a partition (0 if never
+  /// committed).
+  int64_t CommittedOffset(const std::string& group, const std::string& topic,
+                          int partition) const;
+
+  /// Commits `offset` (the next offset to consume) for a group/partition.
+  void CommitOffset(const std::string& group, const std::string& topic,
+                    int partition, int64_t offset);
+
+  /// Total records across all partitions of a topic.
+  int64_t TopicSize(const std::string& topic) const;
+
+ private:
+  struct Partition {
+    mutable std::mutex mu;
+    std::vector<Record> log;
+  };
+  struct TopicState {
+    std::vector<std::unique_ptr<Partition>> partitions;
+  };
+
+  const TopicState* FindTopic(const std::string& topic) const;
+
+  mutable std::mutex mu_;  // guards topology & offsets, not partition logs
+  std::unordered_map<std::string, TopicState> topics_;
+  // group -> topic -> partition -> committed offset
+  std::unordered_map<std::string, std::unordered_map<std::string, std::vector<int64_t>>>
+      offsets_;
+};
+
+/// Convenience producer bound to one topic.
+class Producer {
+ public:
+  Producer(Broker* broker, std::string topic)
+      : broker_(broker), topic_(std::move(topic)) {}
+
+  StatusOr<Record> Send(std::string key, std::string value,
+                        TimeMicros timestamp) {
+    return broker_->Append(topic_, std::move(key), std::move(value),
+                           timestamp);
+  }
+
+ private:
+  Broker* broker_;
+  std::string topic_;
+};
+
+/// Offset-tracking consumer bound to one (group, topic). Polls all
+/// partitions round-robin from its positions; `Commit` persists positions
+/// back to the broker so a re-created consumer resumes where the group left
+/// off.
+class Consumer {
+ public:
+  Consumer(Broker* broker, std::string group, std::string topic);
+
+  /// Returns up to `max_records` records in partition order, advancing the
+  /// in-memory positions.
+  std::vector<Record> Poll(int max_records);
+
+  /// Persists current positions to the broker.
+  void Commit();
+
+  /// Records remaining across all partitions (end offsets minus positions).
+  int64_t Lag() const;
+
+ private:
+  Broker* broker_;
+  std::string group_;
+  std::string topic_;
+  std::vector<int64_t> positions_;
+  int next_partition_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_BROKER_H_

@@ -1,0 +1,73 @@
+#ifndef MARLIN_UTIL_CLOCK_H_
+#define MARLIN_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace marlin {
+
+/// Time is represented as microseconds since the Unix epoch. AIS timestamps,
+/// the simulator, the pipeline, and the latency recorder all share this unit.
+using TimeMicros = int64_t;
+
+constexpr TimeMicros kMicrosPerSecond = 1'000'000;
+constexpr TimeMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+/// Abstract time source so the whole system can run either against the wall
+/// clock or against simulated stream time (for replay/evaluation).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMicros Now() const = 0;
+};
+
+/// Reads the system clock.
+class WallClock : public Clock {
+ public:
+  TimeMicros Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock; thread-safe. Used by tests and by the simulator
+/// to drive the pipeline in stream time.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros Now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void Advance(TimeMicros delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  void Set(TimeMicros t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<TimeMicros> now_;
+};
+
+/// Monotonic nanosecond stopwatch for latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  /// Elapsed time since construction/restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_UTIL_CLOCK_H_

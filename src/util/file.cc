@@ -1,0 +1,46 @@
+#include "util/file.h"
+
+#include <cstdio>
+
+namespace marlin {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + temp + "' for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool flush_failed = std::fflush(file) != 0;
+  std::fclose(file);
+  if (written != contents.size() || flush_failed) {
+    std::remove(temp.c_str());
+    return Status::Internal("short write to '" + temp + "'");
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("cannot rename '" + temp + "' to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace marlin

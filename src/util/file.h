@@ -1,0 +1,19 @@
+#ifndef MARLIN_UTIL_FILE_H_
+#define MARLIN_UTIL_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace marlin {
+
+/// Reads an entire file into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file. The write goes
+/// through a temporary file + rename so readers never observe a torn file.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace marlin
+
+#endif  // MARLIN_UTIL_FILE_H_

@@ -1,0 +1,43 @@
+#include "util/latency_recorder.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+LatencyRecorder::LatencyRecorder(int window)
+    : window_(std::max(1, window)) {}
+
+void LatencyRecorder::Record(int64_t actor_count, int64_t nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.push_back(nanos);
+  recent_sum_ += nanos;
+  if (static_cast<int>(recent_.size()) > window_) {
+    recent_sum_ -= recent_.front();
+    recent_.pop_front();
+  }
+  ++count_;
+  total_ += static_cast<double>(nanos);
+  if (actor_count != last_actor_count_) {
+    last_actor_count_ = actor_count;
+    series_.push_back(LatencyPoint{
+        actor_count,
+        static_cast<double>(recent_sum_) / static_cast<double>(recent_.size())});
+  }
+}
+
+std::vector<LatencyPoint> LatencyRecorder::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+int64_t LatencyRecorder::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double LatencyRecorder::MeanNanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+}
+
+}  // namespace marlin

@@ -1,0 +1,56 @@
+#ifndef MARLIN_UTIL_LATENCY_RECORDER_H_
+#define MARLIN_UTIL_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace marlin {
+
+/// One point of the Figure-6 curve: after `actor_count` distinct actors have
+/// been seen, the moving-window average processing time was `avg_nanos`.
+struct LatencyPoint {
+  int64_t actor_count = 0;
+  double avg_nanos = 0.0;
+};
+
+/// Records per-message processing latency against the number of distinct
+/// active actors, reproducing the measurement of Figure 6 in the paper: the
+/// average processing time over a moving window of the last `window` actors
+/// (vessels), sampled each time a previously unseen actor appears.
+///
+/// Thread-safe; `Record` is called from dispatcher threads.
+class LatencyRecorder {
+ public:
+  /// `window` is the moving-window width (the paper uses 100 actors).
+  explicit LatencyRecorder(int window = 100);
+
+  /// Records one processed message. `actor_count` is the number of distinct
+  /// actors live in the system at processing time; `nanos` the processing
+  /// duration of this message.
+  void Record(int64_t actor_count, int64_t nanos);
+
+  /// Snapshot of the (actor count, windowed average) series so far.
+  std::vector<LatencyPoint> Series() const;
+
+  /// Total messages recorded.
+  int64_t Count() const;
+
+  /// Overall mean latency in nanoseconds across all records.
+  double MeanNanos() const;
+
+ private:
+  const int window_;
+  mutable std::mutex mu_;
+  std::deque<int64_t> recent_;     // last `window_` latencies
+  int64_t recent_sum_ = 0;
+  int64_t last_actor_count_ = -1;
+  int64_t count_ = 0;
+  double total_ = 0.0;
+  std::vector<LatencyPoint> series_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_UTIL_LATENCY_RECORDER_H_

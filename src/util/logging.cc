@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace marlin {
+namespace {
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::Write(LogLevel level, const char* file, int line,
+                   const std::string& message) {
+  if (!Enabled(level) && level != LogLevel::kFatal) return;
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "%s %lld.%03lld %s:%d] %s\n", LevelTag(level),
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), Basename(file), line,
+               message.c_str());
+}
+
+}  // namespace marlin

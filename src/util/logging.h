@@ -1,0 +1,99 @@
+#ifndef MARLIN_UTIL_LOGGING_H_
+#define MARLIN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace marlin {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide logger. Thread-safe; writes line-buffered records to stderr.
+/// The minimum level defaults to Info and can be raised/lowered at runtime
+/// (e.g. tests silence Debug chatter, benches silence everything below
+/// Warning).
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  bool Enabled(LogLevel level) const { return level >= min_level_; }
+
+  /// Emits one record. `file` is trimmed to its basename.
+  void Write(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::mutex mu_;
+};
+
+namespace internal_logging {
+
+/// Accumulates one log record and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    Logger::Instance().Write(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// Streaming log macros: `MARLIN_LOG(INFO) << "x=" << x;`
+#define MARLIN_LOG(severity) MARLIN_LOG_##severity()
+#define MARLIN_LOG_DEBUG()                                                 \
+  ::marlin::internal_logging::LogMessage(::marlin::LogLevel::kDebug,      \
+                                         __FILE__, __LINE__)              \
+      .stream()
+#define MARLIN_LOG_INFO()                                                  \
+  ::marlin::internal_logging::LogMessage(::marlin::LogLevel::kInfo,       \
+                                         __FILE__, __LINE__)              \
+      .stream()
+#define MARLIN_LOG_WARNING()                                               \
+  ::marlin::internal_logging::LogMessage(::marlin::LogLevel::kWarning,    \
+                                         __FILE__, __LINE__)              \
+      .stream()
+#define MARLIN_LOG_ERROR()                                                 \
+  ::marlin::internal_logging::LogMessage(::marlin::LogLevel::kError,      \
+                                         __FILE__, __LINE__)              \
+      .stream()
+#define MARLIN_LOG_FATAL()                                                 \
+  ::marlin::internal_logging::LogMessage(::marlin::LogLevel::kFatal,      \
+                                         __FILE__, __LINE__)              \
+      .stream()
+
+/// Checks an always-on invariant; aborts with a message when violated.
+#define MARLIN_CHECK(cond)                                  \
+  while (!(cond)) MARLIN_LOG(FATAL) << "Check failed: " #cond " "
+
+}  // namespace marlin
+
+#endif  // MARLIN_UTIL_LOGGING_H_

@@ -1,0 +1,56 @@
+#ifndef MARLIN_UTIL_THREAD_POOL_H_
+#define MARLIN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace marlin {
+
+/// Fixed-size worker pool with a shared FIFO task queue.
+///
+/// The actor dispatcher schedules mailbox drains onto this pool; benches and
+/// the trainer use it for data-parallel work. Tasks must not throw (the
+/// library is exception-free).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  /// Stops accepting tasks, drains the queue, joins all workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of tasks waiting in the queue (diagnostic).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_UTIL_THREAD_POOL_H_

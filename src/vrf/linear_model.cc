@@ -1,0 +1,45 @@
+#include "vrf/linear_model.h"
+
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+StatusOr<ForecastTrajectory> LinearKinematicModel::Forecast(
+    const SvrfInput& input) const {
+  if (!std::isfinite(input.anchor.lat_deg) ||
+      !std::isfinite(input.anchor.lon_deg)) {
+    return Status::InvalidArgument("non-finite anchor position");
+  }
+  double sog = input.anchor_sog_knots;
+  double cog = input.anchor_cog_deg;
+  // Fall back to the velocity implied by the last displacement when the
+  // reported kinematics are unavailable.
+  if (sog >= 102.3 || sog < 0.0 || cog >= 360.0 || cog < 0.0) {
+    const Displacement& last =
+        input.displacements[kSvrfInputLength - 1];
+    double north, east;
+    DegreesToMeters(last.dlat_deg, last.dlon_deg, input.anchor.lat_deg,
+                    &north, &east);
+    const double dt = last.dt_sec > 0.0 ? last.dt_sec : 1.0;
+    const double speed_mps = std::hypot(north, east) / dt;
+    sog = speed_mps / kKnotsToMps;
+    cog = std::fmod(std::atan2(east, north) * kRadToDeg + 360.0, 360.0);
+  }
+  ForecastTrajectory trajectory;
+  trajectory.points.reserve(kSvrfOutputSteps + 1);
+  trajectory.points.push_back(ForecastPoint{input.anchor, input.anchor_time});
+  const double speed_mps = sog * kKnotsToMps;
+  for (int step = 1; step <= kSvrfOutputSteps; ++step) {
+    const double seconds =
+        static_cast<double>(step) * kSvrfStepMicros / kMicrosPerSecond;
+    ForecastPoint point;
+    point.position = DestinationPoint(input.anchor, cog, speed_mps * seconds);
+    point.time = input.anchor_time + step * kSvrfStepMicros;
+    trajectory.points.push_back(point);
+  }
+  return trajectory;
+}
+
+}  // namespace marlin

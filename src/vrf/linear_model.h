@@ -1,0 +1,23 @@
+#ifndef MARLIN_VRF_LINEAR_MODEL_H_
+#define MARLIN_VRF_LINEAR_MODEL_H_
+
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// The paper's baseline (§6.1): a simple linear kinematic model that
+/// dead-reckons future positions from the last reported AIS position using
+/// the reported speed over ground (knots) and course over ground (degrees),
+/// at the same six 5-minute horizons. Stateless and trivially thread-safe.
+class LinearKinematicModel : public RouteForecaster {
+ public:
+  LinearKinematicModel() = default;
+
+  StatusOr<ForecastTrajectory> Forecast(const SvrfInput& input) const override;
+
+  std::string_view name() const override { return "LinearKinematic"; }
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VRF_LINEAR_MODEL_H_

@@ -1,0 +1,43 @@
+#include "vrf/metrics.h"
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+std::array<LatLng, kSvrfOutputSteps> GroundTruthPositions(
+    const SvrfSample& sample) {
+  std::array<LatLng, kSvrfOutputSteps> out;
+  LatLng current = sample.input.anchor;
+  for (int step = 0; step < kSvrfOutputSteps; ++step) {
+    current.lat_deg += sample.targets[step].dlat_deg;
+    current.lon_deg += sample.targets[step].dlon_deg;
+    out[static_cast<size_t>(step)] = current;
+  }
+  return out;
+}
+
+HorizonErrors EvaluateForecaster(const RouteForecaster& model,
+                                 const std::vector<SvrfSample>& samples) {
+  HorizonErrors errors;
+  for (const SvrfSample& sample : samples) {
+    StatusOr<ForecastTrajectory> forecast = model.Forecast(sample.input);
+    if (!forecast.ok()) continue;
+    const auto truth = GroundTruthPositions(sample);
+    for (int step = 0; step < kSvrfOutputSteps; ++step) {
+      errors.ade_m[static_cast<size_t>(step)] += HaversineMeters(
+          forecast->at_step(step + 1).position, truth[static_cast<size_t>(step)]);
+    }
+    ++errors.samples;
+  }
+  if (errors.samples > 0) {
+    double total = 0.0;
+    for (double& e : errors.ade_m) {
+      e /= static_cast<double>(errors.samples);
+      total += e;
+    }
+    errors.mean_ade_m = total / kSvrfOutputSteps;
+  }
+  return errors;
+}
+
+}  // namespace marlin

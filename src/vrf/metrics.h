@@ -1,0 +1,32 @@
+#ifndef MARLIN_VRF_METRICS_H_
+#define MARLIN_VRF_METRICS_H_
+
+#include <array>
+#include <vector>
+
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// Average Displacement Error per prediction horizon, meters — the metric
+/// of Table 1: ADE at t = 5, 10, 15, 20, 25, 30 minutes plus their mean.
+struct HorizonErrors {
+  std::array<double, kSvrfOutputSteps> ade_m{};
+  double mean_ade_m = 0.0;
+  int64_t samples = 0;
+};
+
+/// Evaluates a forecaster against supervised samples: for each sample the
+/// model forecasts from the input window and the displacement error against
+/// the ground-truth position is averaged per horizon.
+HorizonErrors EvaluateForecaster(const RouteForecaster& model,
+                                 const std::vector<SvrfSample>& samples);
+
+/// Reconstructs the ground-truth positions of a sample from its anchor and
+/// target transitions (index 0 = t+5min ... 5 = t+30min).
+std::array<LatLng, kSvrfOutputSteps> GroundTruthPositions(
+    const SvrfSample& sample);
+
+}  // namespace marlin
+
+#endif  // MARLIN_VRF_METRICS_H_

@@ -1,0 +1,61 @@
+#include "vrf/patterns_of_life.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+void PatternsOfLife::AddObservation(const AisPosition& report) {
+  const CellId cell = HexGrid::LatLngToCell(report.position, resolution_);
+  if (cell == kInvalidCellId) return;
+  Accumulator& acc = cells_[cell];
+  ++acc.observations;
+  acc.sog_sum += report.sog_knots;
+  const double cog_rad = report.cog_deg * kDegToRad;
+  acc.cog_sin_sum += std::sin(cog_rad);
+  acc.cog_cos_sum += std::cos(cog_rad);
+  ++acc.vessels[report.mmsi];
+  ++total_;
+}
+
+CellMobilityStats PatternsOfLife::Render(CellId cell,
+                                         const Accumulator& acc) const {
+  CellMobilityStats stats;
+  stats.cell = cell;
+  stats.observations = acc.observations;
+  stats.distinct_vessels = static_cast<int64_t>(acc.vessels.size());
+  if (acc.observations > 0) {
+    stats.mean_sog_knots = acc.sog_sum / static_cast<double>(acc.observations);
+    stats.mean_cog_deg = std::fmod(
+        std::atan2(acc.cog_sin_sum, acc.cog_cos_sum) * kRadToDeg + 360.0,
+        360.0);
+  }
+  return stats;
+}
+
+CellMobilityStats PatternsOfLife::Query(const LatLng& position) const {
+  const CellId cell = HexGrid::LatLngToCell(position, resolution_);
+  auto it = cells_.find(cell);
+  if (it == cells_.end()) {
+    CellMobilityStats empty;
+    empty.cell = cell;
+    return empty;
+  }
+  return Render(cell, it->second);
+}
+
+std::vector<CellMobilityStats> PatternsOfLife::TopCells(int n) const {
+  std::vector<CellMobilityStats> all;
+  all.reserve(cells_.size());
+  for (const auto& [cell, acc] : cells_) all.push_back(Render(cell, acc));
+  std::sort(all.begin(), all.end(),
+            [](const CellMobilityStats& a, const CellMobilityStats& b) {
+              return a.observations > b.observations;
+            });
+  if (static_cast<int>(all.size()) > n) all.resize(static_cast<size_t>(n));
+  return all;
+}
+
+}  // namespace marlin

@@ -1,0 +1,61 @@
+#ifndef MARLIN_VRF_PATTERNS_OF_LIFE_H_
+#define MARLIN_VRF_PATTERNS_OF_LIFE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ais/types.h"
+#include "hexgrid/hexgrid.h"
+
+namespace marlin {
+
+/// Aggregated historical mobility statistics of one grid cell.
+struct CellMobilityStats {
+  CellId cell = kInvalidCellId;
+  int64_t observations = 0;
+  int64_t distinct_vessels = 0;
+  double mean_sog_knots = 0.0;
+  double mean_cog_deg = 0.0;  // circular mean
+};
+
+/// "Patterns of Life" [32] (§4.1): aggregated vessel mobility metrics over
+/// the hexagonal grid, extracted from historical AIS data and visualised
+/// alongside long-term route forecasts. Tracks per-cell observation counts,
+/// distinct vessel counts, and mean speed/course.
+class PatternsOfLife {
+ public:
+  explicit PatternsOfLife(int resolution = 6) : resolution_(resolution) {}
+
+  /// Ingests one historical position report.
+  void AddObservation(const AisPosition& report);
+
+  /// Stats for the cell containing `position` (zeroed stats when never
+  /// observed).
+  CellMobilityStats Query(const LatLng& position) const;
+
+  /// The `n` most-trafficked cells, descending by observation count.
+  std::vector<CellMobilityStats> TopCells(int n) const;
+
+  int64_t TotalObservations() const { return total_; }
+  size_t ActiveCells() const { return cells_.size(); }
+  int resolution() const { return resolution_; }
+
+ private:
+  struct Accumulator {
+    int64_t observations = 0;
+    double sog_sum = 0.0;
+    double cog_sin_sum = 0.0;
+    double cog_cos_sum = 0.0;
+    std::unordered_map<Mmsi, int> vessels;
+  };
+
+  CellMobilityStats Render(CellId cell, const Accumulator& acc) const;
+
+  int resolution_;
+  std::unordered_map<CellId, Accumulator> cells_;
+  int64_t total_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VRF_PATTERNS_OF_LIFE_H_

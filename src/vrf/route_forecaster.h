@@ -1,0 +1,49 @@
+#ifndef MARLIN_VRF_ROUTE_FORECASTER_H_
+#define MARLIN_VRF_ROUTE_FORECASTER_H_
+
+#include <vector>
+
+#include "ais/preprocess.h"
+#include "ais/types.h"
+#include "util/status.h"
+
+namespace marlin {
+
+/// One point of a forecast trajectory.
+struct ForecastPoint {
+  LatLng position;
+  TimeMicros time = 0;
+};
+
+/// A short-term forecast trajectory: the present position followed by
+/// kSvrfOutputSteps predicted positions at 5-minute spacing — the "7
+/// positions (1 present position and 6 position predictions)" of §5.2.
+struct ForecastTrajectory {
+  Mmsi mmsi = 0;
+  std::vector<ForecastPoint> points;
+
+  /// Predicted position at the given horizon step (1-based; 0 = present).
+  const ForecastPoint& at_step(int step) const {
+    return points[static_cast<size_t>(step)];
+  }
+};
+
+/// Interface of short-term vessel route forecasting models. Implementations
+/// must be safe to call concurrently from many vessel actors: the paper
+/// mounts a single model instance in memory and serves every actor with it
+/// (§3).
+class RouteForecaster {
+ public:
+  virtual ~RouteForecaster() = default;
+
+  /// Predicts the vessel's trajectory over the next 30 minutes from the
+  /// fixed-size input window.
+  virtual StatusOr<ForecastTrajectory> Forecast(const SvrfInput& input) const = 0;
+
+  /// Human-readable model name (for reports and benches).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VRF_ROUTE_FORECASTER_H_

@@ -1,0 +1,194 @@
+#include "vrf/svrf_model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "geo/geodesy.h"
+#include "util/file.h"
+
+namespace marlin {
+
+FeatureScaler FeatureScaler::Fit(const std::vector<SvrfSample>& samples) {
+  FeatureScaler scaler;
+  if (samples.empty()) return scaler;
+  double sum_lat = 0.0, sum_lon = 0.0, sum_dt = 0.0;
+  int64_t n = 0;
+  for (const SvrfSample& sample : samples) {
+    for (const Displacement& d : sample.input.displacements) {
+      sum_lat += d.dlat_deg * d.dlat_deg;
+      sum_lon += d.dlon_deg * d.dlon_deg;
+      sum_dt += d.dt_sec * d.dt_sec;
+      ++n;
+    }
+  }
+  const double denom = static_cast<double>(n);
+  scaler.dlat_scale = std::max(1e-6, 2.0 * std::sqrt(sum_lat / denom));
+  scaler.dlon_scale = std::max(1e-6, 2.0 * std::sqrt(sum_lon / denom));
+  scaler.dt_scale = std::max(1.0, 2.0 * std::sqrt(sum_dt / denom));
+  return scaler;
+}
+
+namespace {
+/// Monotonic weight-version source shared by all SvrfModel instances, so a
+/// thread replica keyed by (owner pointer, version) can never alias a
+/// different model that reused the same address.
+std::atomic<uint64_t> g_svrf_version{1};
+}  // namespace
+
+SvrfModel::SvrfModel() : SvrfModel(Config()) {}
+
+SvrfModel::SvrfModel(const Config& config) : config_(config) {
+  version_.store(g_svrf_version.fetch_add(1), std::memory_order_release);
+  SequenceRegressor::Config net_config;
+  net_config.input_dim = config.use_velocity_features ? 5 : 3;
+  net_config.hidden_dim = config.hidden_dim;
+  net_config.dense_dim = config.dense_dim;
+  net_config.output_dim = 2 * kSvrfOutputSteps;
+  net_config.seed = config.seed;
+  net_ = std::make_unique<SequenceRegressor>(net_config);
+}
+
+std::vector<std::vector<double>> SvrfModel::EncodeInput(
+    const SvrfInput& input) const {
+  std::vector<std::vector<double>> steps(kSvrfInputLength);
+  for (int t = 0; t < kSvrfInputLength; ++t) {
+    const Displacement& d = input.displacements[t];
+    // Raw scaled displacements plus implied velocity channels: dividing by
+    // the (irregular) interval normalises away the sampling irregularity
+    // the raw stream carries, which is the feature the recurrent layers
+    // would otherwise have to learn from scratch.
+    const double dt = d.dt_sec > 1.0 ? d.dt_sec : 1.0;
+    if (config_.use_velocity_features) {
+      steps[t] = {d.dlat_deg / scaler_.dlat_scale,
+                  d.dlon_deg / scaler_.dlon_scale,
+                  d.dt_sec / scaler_.dt_scale,
+                  (d.dlat_deg / dt) * scaler_.dt_scale / scaler_.dlat_scale,
+                  (d.dlon_deg / dt) * scaler_.dt_scale / scaler_.dlon_scale};
+    } else {
+      steps[t] = {d.dlat_deg / scaler_.dlat_scale,
+                  d.dlon_deg / scaler_.dlon_scale,
+                  d.dt_sec / scaler_.dt_scale};
+    }
+  }
+  return steps;
+}
+
+SeqSample SvrfModel::EncodeSample(const SvrfSample& sample) const {
+  SeqSample out;
+  out.steps = EncodeInput(sample.input);
+  out.target.reserve(2 * kSvrfOutputSteps);
+  for (int step = 0; step < kSvrfOutputSteps; ++step) {
+    out.target.push_back(sample.targets[step].dlat_deg / scaler_.dlat_scale);
+    out.target.push_back(sample.targets[step].dlon_deg / scaler_.dlon_scale);
+  }
+  return out;
+}
+
+StatusOr<ForecastTrajectory> SvrfModel::Forecast(const SvrfInput& input) const {
+  if (!std::isfinite(input.anchor.lat_deg) ||
+      !std::isfinite(input.anchor.lon_deg)) {
+    return Status::InvalidArgument("non-finite anchor position");
+  }
+  const std::vector<double> raw = ThreadLocalNet()->Predict(EncodeInput(input));
+  ForecastTrajectory trajectory;
+  trajectory.points.reserve(kSvrfOutputSteps + 1);
+  trajectory.points.push_back(ForecastPoint{input.anchor, input.anchor_time});
+  LatLng current = input.anchor;
+  for (int step = 0; step < kSvrfOutputSteps; ++step) {
+    current.lat_deg = ClampLatitude(
+        current.lat_deg + raw[2 * step] * scaler_.dlat_scale);
+    current.lon_deg = WrapLongitude(
+        current.lon_deg + raw[2 * step + 1] * scaler_.dlon_scale);
+    trajectory.points.push_back(ForecastPoint{
+        current, input.anchor_time + (step + 1) * kSvrfStepMicros});
+  }
+  return trajectory;
+}
+
+SequenceRegressor* SvrfModel::ThreadLocalNet() const {
+  struct Replica {
+    const SvrfModel* owner = nullptr;
+    uint64_t version = 0;
+    std::unique_ptr<SequenceRegressor> net;
+  };
+  thread_local std::vector<Replica> replicas;
+  const uint64_t current = version_.load(std::memory_order_acquire);
+  for (Replica& replica : replicas) {
+    if (replica.owner == this) {
+      if (replica.version != current) {
+        std::lock_guard<std::mutex> lock(mu_);
+        *replica.net = *net_;
+        replica.version = current;
+      }
+      return replica.net.get();
+    }
+  }
+  Replica replica;
+  replica.owner = this;
+  replica.version = current;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    replica.net = std::make_unique<SequenceRegressor>(*net_);
+  }
+  replicas.push_back(std::move(replica));
+  return replicas.back().net.get();
+}
+
+double SvrfModel::Train(const std::vector<SvrfSample>& train,
+                        const std::vector<SvrfSample>& validation,
+                        const Trainer::Options& options) {
+  scaler_ = FeatureScaler::Fit(train);
+  std::vector<SeqSample> train_encoded;
+  train_encoded.reserve(train.size());
+  for (const SvrfSample& s : train) train_encoded.push_back(EncodeSample(s));
+  std::vector<SeqSample> val_encoded;
+  val_encoded.reserve(validation.size());
+  for (const SvrfSample& s : validation) {
+    val_encoded.push_back(EncodeSample(s));
+  }
+  Trainer trainer(options);
+  const double loss = trainer.Fit(net_.get(), train_encoded, val_encoded);
+  version_.store(g_svrf_version.fetch_add(1), std::memory_order_release);
+  return loss;
+}
+
+std::string SvrfModel::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "marlin-svrf-v1 " << scaler_.dlat_scale << " " << scaler_.dlon_scale
+      << " " << scaler_.dt_scale << "\n";
+  out << net_->Serialize();
+  return out.str();
+}
+
+Status SvrfModel::Deserialize(const std::string& blob) {
+  std::istringstream in(blob);
+  std::string magic;
+  FeatureScaler scaler;
+  if (!(in >> magic >> scaler.dlat_scale >> scaler.dlon_scale >>
+        scaler.dt_scale)) {
+    return Status::InvalidArgument("malformed S-VRF header");
+  }
+  if (magic != "marlin-svrf-v1") {
+    return Status::InvalidArgument("unknown S-VRF format: " + magic);
+  }
+  std::string rest;
+  std::getline(in, rest);  // consume end of header line
+  std::ostringstream body;
+  body << in.rdbuf();
+  MARLIN_RETURN_IF_ERROR(net_->Deserialize(body.str()));
+  scaler_ = scaler;
+  version_.store(g_svrf_version.fetch_add(1), std::memory_order_release);
+  return Status::Ok();
+}
+
+Status SvrfModel::SaveToFile(const std::string& path) const {
+  return WriteFileAtomic(path, Serialize());
+}
+
+Status SvrfModel::LoadFromFile(const std::string& path) {
+  MARLIN_ASSIGN_OR_RETURN(std::string blob, ReadFile(path));
+  return Deserialize(blob);
+}
+
+}  // namespace marlin

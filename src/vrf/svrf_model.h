@@ -1,0 +1,94 @@
+#ifndef MARLIN_VRF_SVRF_MODEL_H_
+#define MARLIN_VRF_SVRF_MODEL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// Normalisation constants mapping raw displacement features to model space
+/// and predictions back. Fitted on the training set (robust scales) and
+/// serialized with the model.
+struct FeatureScaler {
+  double dlat_scale = 0.01;   // degrees per unit
+  double dlon_scale = 0.015;  // degrees per unit
+  double dt_scale = 120.0;    // seconds per unit
+
+  /// Fits scales as ~2x the RMS of each feature over the samples.
+  static FeatureScaler Fit(const std::vector<SvrfSample>& samples);
+};
+
+/// The Short-term Vessel Route Forecasting model of §4.2: a fixed
+/// 20-displacement input tensor through one BiLSTM layer, one fully
+/// connected layer, and a linear output head producing 6 (Δlat, Δlon)
+/// transitions at 5-minute intervals up to the 30-minute horizon, trained
+/// with Adam and in-layer L1 regularisation.
+///
+/// A single SvrfModel instance is mounted once and shared by every vessel
+/// actor (§3); `Forecast` is therefore internally synchronised.
+class SvrfModel : public RouteForecaster {
+ public:
+  struct Config {
+    int hidden_dim = 32;  // BiLSTM units per direction
+    int dense_dim = 32;
+    /// Augment the (Δlat, Δlon, Δt) displacement features with implied
+    /// velocity channels (Δlat/Δt, Δlon/Δt), normalising away the sampling
+    /// irregularity. Ablated by bench/ablation_preprocessing.
+    bool use_velocity_features = true;
+    uint64_t seed = 4242;
+  };
+
+  SvrfModel();
+  explicit SvrfModel(const Config& config);
+
+  /// Converts one preprocessed input window into model feature space.
+  std::vector<std::vector<double>> EncodeInput(const SvrfInput& input) const;
+
+  /// Converts one supervised sample into a trainer sample.
+  SeqSample EncodeSample(const SvrfSample& sample) const;
+
+  StatusOr<ForecastTrajectory> Forecast(const SvrfInput& input) const override;
+
+  std::string_view name() const override { return "S-VRF"; }
+
+  /// Fits the feature scaler and trains the network.
+  /// Returns the final training loss.
+  double Train(const std::vector<SvrfSample>& train,
+               const std::vector<SvrfSample>& validation,
+               const Trainer::Options& options);
+
+  /// Serialises scaler + weights.
+  std::string Serialize() const;
+  Status Deserialize(const std::string& blob);
+
+  /// File persistence: train once, deploy everywhere (the production flow —
+  /// the pilot loads a pre-trained model at initialisation).
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  const FeatureScaler& scaler() const { return scaler_; }
+  void set_scaler(const FeatureScaler& scaler) { scaler_ = scaler; }
+
+ private:
+  /// Returns this thread's replica of the network, refreshed from the
+  /// master when the weights version changed. The master instance is
+  /// mounted once (§3); replicas only copy weights, so concurrent vessel
+  /// actors infer without serialising on a lock.
+  SequenceRegressor* ThreadLocalNet() const;
+
+  Config config_;
+  FeatureScaler scaler_;
+  mutable std::mutex mu_;  // guards master net_ during clone/train
+  std::unique_ptr<SequenceRegressor> net_;
+  std::atomic<uint64_t> version_{1};
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VRF_SVRF_MODEL_H_

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "actor/actor.h"
+#include "actor/actor_system.h"
+
+namespace marlin {
+namespace {
+
+/// Counts received integers; replies to Ask with the running sum.
+class CounterActor : public Actor {
+ public:
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    if (const int* v = std::any_cast<int>(&message)) {
+      sum_ += *v;
+      ++count_;
+      if (ctx.IsAsk()) ctx.Reply(sum_);
+      return Status::Ok();
+    }
+    if (std::any_cast<std::string>(&message) != nullptr) {
+      if (ctx.IsAsk()) ctx.Reply(sum_);
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("unexpected message type");
+  }
+
+  int sum() const { return sum_; }
+  int count() const { return count_; }
+
+ private:
+  int sum_ = 0;
+  int count_ = 0;
+};
+
+/// Records message order to verify per-actor FIFO processing.
+class OrderActor : public Actor {
+ public:
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    if (const int* v = std::any_cast<int>(&message)) {
+      order_.push_back(*v);
+      if (ctx.IsAsk()) ctx.Reply(static_cast<int>(order_.size()));
+    }
+    return Status::Ok();
+  }
+  const std::vector<int>& order() const { return order_; }
+
+ private:
+  std::vector<int> order_;
+};
+
+/// Fails on "fail" messages; tracks restarts and stop.
+class FlakyActor : public Actor {
+ public:
+  explicit FlakyActor(std::atomic<int>* restarts, std::atomic<bool>* stopped)
+      : restarts_(restarts), stopped_(stopped) {}
+
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    if (const std::string* s = std::any_cast<std::string>(&message)) {
+      if (*s == "fail") return Status::Internal("boom");
+      if (ctx.IsAsk()) ctx.Reply(processed_);
+      ++processed_;
+    }
+    return Status::Ok();
+  }
+  void OnRestart(const Status&) override { restarts_->fetch_add(1); }
+  void OnStop() override { stopped_->store(true); }
+
+ private:
+  std::atomic<int>* restarts_;
+  std::atomic<bool>* stopped_;
+  int processed_ = 0;
+};
+
+/// Forwards each int to another actor, incremented.
+class ForwardActor : public Actor {
+ public:
+  explicit ForwardActor(ActorRef next) : next_(std::move(next)) {}
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    if (const int* v = std::any_cast<int>(&message)) {
+      ctx.system().Tell(next_, *v + 1, ctx.self());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  ActorRef next_;
+};
+
+TEST(ActorSystemTest, SpawnAndTell) {
+  ActorSystem system;
+  auto ref = system.SpawnActor<CounterActor>("counter");
+  ASSERT_TRUE(ref.ok());
+  for (int i = 1; i <= 100; ++i) system.Tell(*ref, i);
+  system.AwaitQuiescence();
+  auto reply = system.Ask(*ref, std::string("sum"));
+  EXPECT_EQ(std::any_cast<int>(reply.get()), 5050);
+}
+
+TEST(ActorSystemTest, SpawnDuplicateNameFails) {
+  ActorSystem system;
+  ASSERT_TRUE(system.SpawnActor<CounterActor>("dup").ok());
+  auto second = system.SpawnActor<CounterActor>("dup");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ActorSystemTest, FindByName) {
+  ActorSystem system;
+  ASSERT_TRUE(system.SpawnActor<CounterActor>("findable").ok());
+  EXPECT_TRUE(system.Find("findable").ok());
+  auto missing = system.Find("missing");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ActorSystemTest, GetOrSpawnCreatesOnce) {
+  ActorSystem system;
+  auto a = system.GetOrSpawn("vessel-123",
+                             [] { return std::make_unique<CounterActor>(); });
+  auto b = system.GetOrSpawn("vessel-123",
+                             [] { return std::make_unique<CounterActor>(); });
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->id(), b->id());
+  EXPECT_EQ(system.ActorCount(), 1u);
+}
+
+TEST(ActorSystemTest, GetOrSpawnConcurrent) {
+  ActorSystem system;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<ActorId> ids(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&system, &ids, t] {
+      auto ref = system.GetOrSpawn(
+          "shared", [] { return std::make_unique<CounterActor>(); });
+      ids[t] = ref.ok() ? ref->id() : kNoActor;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t], ids[0]);
+  EXPECT_EQ(system.ActorCount(), 1u);
+}
+
+TEST(ActorSystemTest, AskReturnsReply) {
+  ActorSystem system;
+  auto ref = system.SpawnActor<CounterActor>("asker");
+  system.Tell(*ref, 41);
+  auto reply = system.Ask(*ref, 1);
+  EXPECT_EQ(std::any_cast<int>(reply.get()), 42);
+}
+
+TEST(ActorSystemTest, PerActorFifoOrder) {
+  ActorSystem system;
+  auto ref = system.SpawnActor<OrderActor>("ordered");
+  for (int i = 0; i < 1000; ++i) system.Tell(*ref, i);
+  system.AwaitQuiescence();
+  auto count = system.Ask(*ref, -1);
+  EXPECT_EQ(std::any_cast<int>(count.get()), 1001);
+  // Verify order through a final synchronous read: spawn a fresh system
+  // ask to fetch the vector is overkill; order is checked by the actor
+  // itself being single-threaded — validate monotone prefix instead.
+}
+
+/// Keeps the order vector accessible after quiescence via a raw pointer
+/// (safe: system outlives the checks and the actor is not restarted).
+TEST(ActorSystemTest, MessagesProcessedInSendOrder) {
+  ActorSystem system;
+  auto actor = std::make_unique<OrderActor>();
+  OrderActor* raw = actor.get();
+  auto ref = system.Spawn("order2", std::move(actor));
+  ASSERT_TRUE(ref.ok());
+  for (int i = 0; i < 500; ++i) system.Tell(*ref, i);
+  system.AwaitQuiescence();
+  ASSERT_EQ(raw->order().size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(raw->order()[i], i);
+}
+
+TEST(ActorSystemTest, IsolationUnderConcurrentSenders) {
+  ActorSystem system;
+  auto actor = std::make_unique<CounterActor>();
+  CounterActor* raw = actor.get();
+  auto ref = system.Spawn("concurrent", std::move(actor));
+  ASSERT_TRUE(ref.ok());
+  constexpr int kSenders = 8;
+  constexpr int kPerSender = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSenders; ++t) {
+    threads.emplace_back([&system, &ref] {
+      for (int i = 0; i < kPerSender; ++i) system.Tell(*ref, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  system.AwaitQuiescence();
+  EXPECT_EQ(raw->count(), kSenders * kPerSender);
+  EXPECT_EQ(raw->sum(), kSenders * kPerSender);
+}
+
+TEST(ActorSystemTest, SupervisionRestartsThenStops) {
+  ActorSystemConfig config;
+  config.max_restarts = 3;
+  ActorSystem system(config);
+  std::atomic<int> restarts{0};
+  std::atomic<bool> stopped{false};
+  auto ref =
+      system.SpawnActor<FlakyActor>("flaky", &restarts, &stopped);
+  ASSERT_TRUE(ref.ok());
+  for (int i = 0; i < 3; ++i) system.Tell(*ref, std::string("fail"));
+  system.AwaitQuiescence();
+  EXPECT_EQ(restarts.load(), 3);
+  EXPECT_FALSE(stopped.load());
+  // Exceed the limit.
+  system.Tell(*ref, std::string("fail"));
+  system.AwaitQuiescence();
+  EXPECT_TRUE(stopped.load());
+  EXPECT_EQ(system.ActorCount(), 0u);
+}
+
+TEST(ActorSystemTest, StoppedActorDropsMessages) {
+  ActorSystem system;
+  auto ref = system.SpawnActor<CounterActor>("stoppee");
+  ASSERT_TRUE(ref.ok());
+  system.Stop(*ref);
+  EXPECT_FALSE(system.Tell(*ref, 1));
+  EXPECT_EQ(system.ActorCount(), 0u);
+}
+
+TEST(ActorSystemTest, AskOnStoppedActorYieldsEmptyReply) {
+  ActorSystem system;
+  auto ref = system.SpawnActor<CounterActor>("stoppee2");
+  system.Stop(*ref);
+  auto reply = system.Ask(*ref, 1);
+  EXPECT_FALSE(reply.get().has_value());
+}
+
+TEST(ActorSystemTest, ActorPipelineForwarding) {
+  ActorSystem system;
+  auto sink = system.SpawnActor<CounterActor>("sink");
+  ASSERT_TRUE(sink.ok());
+  auto mid = system.SpawnActor<ForwardActor>("mid", *sink);
+  auto head = system.SpawnActor<ForwardActor>("head", *mid);
+  for (int i = 0; i < 100; ++i) system.Tell(*head, 0);
+  system.AwaitQuiescence();
+  auto reply = system.Ask(*sink, std::string("sum"));
+  EXPECT_EQ(std::any_cast<int>(reply.get()), 200);  // each hop adds 1
+}
+
+TEST(ActorSystemTest, ScheduleTellDeliversLater) {
+  ActorSystem system;
+  auto actor = std::make_unique<CounterActor>();
+  CounterActor* raw = actor.get();
+  auto ref = system.Spawn("timer-target", std::move(actor));
+  system.ScheduleTell(20000 /* 20ms */, *ref, 7);
+  EXPECT_EQ(raw->sum(), 0);  // not yet delivered
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  system.AwaitQuiescence();
+  EXPECT_EQ(raw->sum(), 7);
+}
+
+TEST(ActorSystemTest, ManyActorsScale) {
+  ActorSystemConfig config;
+  config.num_threads = 4;
+  ActorSystem system(config);
+  constexpr int kActors = 2000;
+  std::vector<ActorRef> refs;
+  refs.reserve(kActors);
+  for (int i = 0; i < kActors; ++i) {
+    auto ref = system.SpawnActor<CounterActor>("a" + std::to_string(i));
+    ASSERT_TRUE(ref.ok());
+    refs.push_back(*ref);
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (auto& ref : refs) system.Tell(ref, 1);
+  }
+  system.AwaitQuiescence();
+  EXPECT_EQ(system.ActorCount(), static_cast<size_t>(kActors));
+  EXPECT_GE(system.ProcessedCount(), kActors * 5);
+  auto reply = system.Ask(refs[123], std::string("sum"));
+  EXPECT_EQ(std::any_cast<int>(reply.get()), 5);
+}
+
+TEST(ActorSystemTest, ShutdownIsIdempotentAndStopsAll) {
+  std::atomic<int> restarts{0};
+  std::atomic<bool> stopped{false};
+  {
+    ActorSystem system;
+    auto ref = system.SpawnActor<FlakyActor>("f", &restarts, &stopped);
+    system.Tell(*ref, std::string("work"));
+    system.Shutdown();
+    system.Shutdown();
+    EXPECT_TRUE(stopped.load());
+    EXPECT_FALSE(system.SpawnActor<CounterActor>("late").ok());
+  }
+}
+
+TEST(ActorSystemTest, AwaitQuiescenceOnIdleSystemReturns) {
+  ActorSystem system;
+  system.AwaitQuiescence();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace marlin

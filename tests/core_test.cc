@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ais/codec.h"
+#include "core/pipeline.h"
+#include "geo/geodesy.h"
+#include "sim/fleet.h"
+#include "sim/proximity_dataset.h"
+#include "sim/world.h"
+#include "vrf/linear_model.h"
+
+namespace marlin {
+namespace {
+
+AisPosition At(Mmsi mmsi, TimeMicros t, double lat, double lon,
+               double sog = 12.0, double cog = 90.0) {
+  AisPosition p;
+  p.mmsi = mmsi;
+  p.timestamp = t;
+  p.position = LatLng{lat, lon};
+  p.sog_knots = sog;
+  p.cog_deg = cog;
+  p.heading_deg = static_cast<int>(cog);
+  return p;
+}
+
+std::unique_ptr<MaritimePipeline> MakePipeline(
+    PipelineConfig config = PipelineConfig()) {
+  config.actor_system.num_threads = 4;
+  auto pipeline = std::make_unique<MaritimePipeline>(
+      std::make_shared<LinearKinematicModel>(), config);
+  const Status status = pipeline->Start();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return pipeline;
+}
+
+/// Feeds a straight eastward track of `points` positions at 1-minute
+/// spacing.
+void FeedStraightTrack(MaritimePipeline* pipeline, Mmsi mmsi, int points,
+                       double lat = 38.0, double lon0 = 24.0) {
+  LatLng pos{lat, lon0};
+  for (int i = 0; i < points; ++i) {
+    ASSERT_TRUE(pipeline
+                    ->Ingest(At(mmsi, static_cast<TimeMicros>(i) * kMicrosPerMinute,
+                                pos.lat_deg, pos.lon_deg))
+                    .ok());
+    pos = DestinationPoint(pos, 90.0, 12.0 * kKnotsToMps * 60.0);
+  }
+}
+
+TEST(PipelineTest, StartStopIdempotent) {
+  auto pipeline = MakePipeline();
+  EXPECT_FALSE(pipeline->Start().ok());  // double start
+  pipeline->Stop();
+  pipeline->Stop();
+  EXPECT_FALSE(pipeline->Ingest(At(1, 0, 38.0, 24.0)).ok());
+}
+
+TEST(PipelineTest, SpawnsOneActorPerVessel) {
+  auto pipeline = MakePipeline();
+  for (Mmsi mmsi = 100; mmsi < 110; ++mmsi) {
+    ASSERT_TRUE(pipeline->Ingest(At(mmsi, 0, 30.0 + mmsi * 0.1, 10.0)).ok());
+  }
+  pipeline->AwaitQuiescence();
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.positions_ingested, 10);
+  // 10 vessel actors + writer + traffic + cell actors.
+  EXPECT_GE(stats.actor_count, 12u);
+  // Re-ingesting same vessels does not create more vessel actors.
+  const size_t before = stats.actor_count;
+  for (Mmsi mmsi = 100; mmsi < 110; ++mmsi) {
+    ASSERT_TRUE(pipeline
+                    ->Ingest(At(mmsi, 2 * kMicrosPerMinute, 30.0 + mmsi * 0.1,
+                                10.001))
+                    .ok());
+  }
+  pipeline->AwaitQuiescence();
+  EXPECT_EQ(pipeline->Stats().actor_count, before);
+}
+
+TEST(PipelineTest, ForecastAvailableAfterWindowFills) {
+  auto pipeline = MakePipeline();
+  FeedStraightTrack(pipeline.get(), 555, kSvrfInputLength + 5);
+  pipeline->AwaitQuiescence();
+  auto forecast = pipeline->LatestForecast(555);
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+  EXPECT_EQ(forecast->mmsi, 555u);
+  ASSERT_EQ(forecast->points.size(), static_cast<size_t>(kSvrfOutputSteps + 1));
+  // Forecast continues eastward.
+  EXPECT_GT(forecast->points.back().position.lon_deg,
+            forecast->points.front().position.lon_deg);
+  EXPECT_GT(pipeline->Stats().forecasts_generated, 0);
+}
+
+TEST(PipelineTest, NoForecastBeforeWindowFills) {
+  auto pipeline = MakePipeline();
+  FeedStraightTrack(pipeline.get(), 556, 5);
+  pipeline->AwaitQuiescence();
+  auto forecast = pipeline->LatestForecast(556);
+  EXPECT_FALSE(forecast.ok());
+  EXPECT_EQ(forecast.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PipelineTest, UnknownVesselQueryFails) {
+  auto pipeline = MakePipeline();
+  EXPECT_EQ(pipeline->LatestForecast(999).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(pipeline->VesselEvents(999).ok());
+}
+
+TEST(PipelineTest, ProximityEventDetectedAndPublished) {
+  auto pipeline = MakePipeline();
+  // Two vessels ~200 m apart reporting within seconds of each other.
+  const LatLng a{38.0, 24.0};
+  const LatLng b = DestinationPoint(a, 90.0, 200.0);
+  ASSERT_TRUE(pipeline->Ingest(At(1001, kMicrosPerSecond, a.lat_deg, a.lon_deg)).ok());
+  pipeline->AwaitQuiescence();
+  ASSERT_TRUE(
+      pipeline->Ingest(At(1002, 2 * kMicrosPerSecond, b.lat_deg, b.lon_deg)).ok());
+  pipeline->AwaitQuiescence();
+  const auto events = pipeline->RecentEvents();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].type, EventType::kProximity);
+  EXPECT_EQ(PairKey(events[0].vessel_a, events[0].vessel_b),
+            PairKey(1001, 1002));
+  // State feedback: the vessel actors saw the event too.
+  auto vessel_events = pipeline->VesselEvents(1001);
+  ASSERT_TRUE(vessel_events.ok());
+  ASSERT_FALSE(vessel_events->empty());
+  EXPECT_EQ((*vessel_events)[0].type, EventType::kProximity);
+  // And it reached the KvStore.
+  EXPECT_FALSE(pipeline->store().ScanPrefix("event:").empty());
+}
+
+TEST(PipelineTest, CollisionForecastFromHeadOnCourses) {
+  auto pipeline = MakePipeline();
+  // Two vessels approach head-on along the same latitude: east-bound
+  // vessel west of the meeting point, west-bound vessel east of it, both
+  // with full history windows so forecasts exist.
+  const double lat = 38.0;
+  const double speed_mps = 12.0 * kKnotsToMps;
+  const LatLng meet{lat, 24.5};
+  // After `points` minutes of history the vessels are ~7.4 km apart
+  // (closing at 2 * 12 knots covers that in ~10 minutes: inside the
+  // 30-minute forecast window).
+  const int points = kSvrfInputLength + 2;
+  LatLng east_start = DestinationPoint(
+      meet, 270.0, speed_mps * 60.0 * points + 3700.0);
+  LatLng west_start =
+      DestinationPoint(meet, 90.0, speed_mps * 60.0 * points + 3700.0);
+  LatLng east_pos = east_start;
+  LatLng west_pos = west_start;
+  for (int i = 0; i < points; ++i) {
+    const TimeMicros t = static_cast<TimeMicros>(i) * kMicrosPerMinute;
+    ASSERT_TRUE(pipeline
+                    ->Ingest(At(2001, t, east_pos.lat_deg, east_pos.lon_deg,
+                                12.0, 90.0))
+                    .ok());
+    ASSERT_TRUE(pipeline
+                    ->Ingest(At(2002, t + kMicrosPerSecond, west_pos.lat_deg,
+                                west_pos.lon_deg, 12.0, 270.0))
+                    .ok());
+    east_pos = DestinationPoint(east_pos, 90.0, speed_mps * 60.0);
+    west_pos = DestinationPoint(west_pos, 270.0, speed_mps * 60.0);
+  }
+  pipeline->AwaitQuiescence();
+  const auto events = pipeline->RecentEvents();
+  bool found_collision = false;
+  for (const MaritimeEvent& event : events) {
+    if (event.type == EventType::kCollisionForecast &&
+        PairKey(event.vessel_a, event.vessel_b) == PairKey(2001, 2002)) {
+      found_collision = true;
+      EXPECT_GT(event.event_time, 0);
+    }
+  }
+  EXPECT_TRUE(found_collision);
+}
+
+TEST(PipelineTest, TrafficFlowRasterPopulated) {
+  auto pipeline = MakePipeline();
+  for (Mmsi mmsi = 3000; mmsi < 3005; ++mmsi) {
+    FeedStraightTrack(pipeline.get(), mmsi, kSvrfInputLength + 3, 38.0,
+                      24.0 + 0.001 * (mmsi - 3000));
+  }
+  pipeline->AwaitQuiescence();
+  for (int step = 1; step <= kSvrfOutputSteps; ++step) {
+    int total = 0;
+    for (const FlowCell& cell : pipeline->TrafficFlow(step)) {
+      total += cell.count;
+    }
+    EXPECT_EQ(total, 5) << "step " << step;
+  }
+  EXPECT_TRUE(pipeline->TrafficFlow(0).empty());
+}
+
+TEST(PipelineTest, VtffDisabledYieldsEmptyFlow) {
+  PipelineConfig config;
+  config.enable_vtff = false;
+  auto pipeline = MakePipeline(config);
+  FeedStraightTrack(pipeline.get(), 4000, kSvrfInputLength + 3);
+  pipeline->AwaitQuiescence();
+  EXPECT_TRUE(pipeline->TrafficFlow(1).empty());
+}
+
+TEST(PipelineTest, WriterPublishesVesselStateToStore) {
+  auto pipeline = MakePipeline();
+  ASSERT_TRUE(pipeline->Ingest(At(5001, kMicrosPerSecond, 37.5, 23.5)).ok());
+  pipeline->AwaitQuiescence();
+  const auto state = pipeline->store().HGetAll("vessel:5001");
+  ASSERT_FALSE(state.empty());
+  EXPECT_EQ(state.count("lat"), 1u);
+  EXPECT_EQ(state.count("lon"), 1u);
+  EXPECT_EQ(state.count("sog"), 1u);
+  EXPECT_NEAR(std::stod(state.at("lat")), 37.5, 1e-5);
+}
+
+TEST(PipelineTest, BrokerPathIngestsAivdmSentences) {
+  auto pipeline = MakePipeline();
+  const TimeMicros t0 = TimeMicros{1700000000} * kMicrosPerSecond;
+  for (int i = 0; i < 5; ++i) {
+    const AisPosition p = At(6001, t0 + i * kMicrosPerMinute, 36.0,
+                             22.0 + i * 0.003);
+    ASSERT_TRUE(
+        pipeline->Produce(AisCodec::EncodePosition(p), p.timestamp).ok());
+  }
+  EXPECT_EQ(pipeline->broker().TopicSize("ais-positions"), 5);
+  const int ingested = pipeline->PumpIngestion();
+  EXPECT_EQ(ingested, 5);
+  pipeline->AwaitQuiescence();
+  EXPECT_EQ(pipeline->Stats().positions_ingested, 5);
+  // Offsets committed: a second pump ingests nothing.
+  EXPECT_EQ(pipeline->PumpIngestion(), 0);
+}
+
+TEST(PipelineTest, ProduceRejectsGarbage) {
+  auto pipeline = MakePipeline();
+  EXPECT_FALSE(pipeline->Produce("not an AIVDM sentence", 0).ok());
+}
+
+TEST(PipelineTest, StatsAndLatencySeriesGrow) {
+  auto pipeline = MakePipeline();
+  for (Mmsi mmsi = 7000; mmsi < 7050; ++mmsi) {
+    ASSERT_TRUE(pipeline
+                    ->Ingest(At(mmsi, kMicrosPerSecond,
+                                30.0 + (mmsi % 50) * 0.2, 10.0))
+                    .ok());
+  }
+  pipeline->AwaitQuiescence();
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.positions_ingested, 50);
+  EXPECT_GT(stats.messages_processed, 50);
+  EXPECT_GT(stats.mean_processing_nanos, 0.0);
+  EXPECT_FALSE(pipeline->LatencySeries().empty());
+}
+
+TEST(PipelineTest, EndToEndFleetSoak) {
+  // A regional fleet streamed through the full pipeline: checks that the
+  // system stays consistent under realistic multi-vessel traffic.
+  const World world = World::GlobalWorld();
+  FleetConfig fleet_config;
+  fleet_config.num_vessels = 40;
+  fleet_config.seed = 77;
+  FleetSimulator fleet(&world, fleet_config);
+  const auto messages = fleet.Run(2.0 * 3600.0);
+  ASSERT_GT(messages.size(), 500u);
+
+  auto pipeline = MakePipeline();
+  for (const AisPosition& report : messages) {
+    ASSERT_TRUE(pipeline->Ingest(report).ok());
+  }
+  pipeline->AwaitQuiescence();
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.positions_ingested, static_cast<int64_t>(messages.size()));
+  EXPECT_GT(stats.forecasts_generated, 0);
+  // Every distinct vessel has a state entry in the store.
+  EXPECT_GE(pipeline->store().ScanPrefix("vessel:").size(), 35u);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/pipeline.h"
+#include "hexgrid/hexgrid.h"
+#include "nn/model.h"
+#include "vrf/linear_model.h"
+
+namespace marlin {
+namespace {
+
+// ---------------------------------------------------------- Multi-writer
+
+AisPosition At(Mmsi mmsi, TimeMicros t, double lat, double lon) {
+  AisPosition p;
+  p.mmsi = mmsi;
+  p.timestamp = t;
+  p.position = LatLng{lat, lon};
+  p.sog_knots = 12.0;
+  p.cog_deg = 90.0;
+  return p;
+}
+
+TEST(MultiWriterTest, StateShardsAcrossWritersButStoreIsComplete) {
+  PipelineConfig config;
+  config.actor_system.num_threads = 2;
+  config.num_writer_actors = 4;
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (Mmsi mmsi = 100; mmsi < 140; ++mmsi) {
+    ASSERT_TRUE(pipeline
+                    .Ingest(At(mmsi, kMicrosPerSecond, 30.0 + mmsi * 0.1,
+                               10.0))
+                    .ok());
+  }
+  pipeline.AwaitQuiescence();
+  // Four writer actors spawned.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(pipeline.system().Find("writer-" + std::to_string(i)).ok());
+  }
+  EXPECT_FALSE(pipeline.system().Find("writer-4").ok());
+  // Every vessel's state landed in the shared store regardless of shard.
+  EXPECT_EQ(pipeline.store().ScanPrefix("vessel:").size(), 40u);
+}
+
+TEST(MultiWriterTest, RecentEventsMergedAcrossShards) {
+  PipelineConfig config;
+  config.actor_system.num_threads = 2;
+  config.num_writer_actors = 3;
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
+  ASSERT_TRUE(pipeline.Start().ok());
+  // Proximity pairs with MMSIs landing on different writer shards
+  // (mmsi % 3 differs per pair).
+  for (int pair = 0; pair < 6; ++pair) {
+    const Mmsi a = 300 + static_cast<Mmsi>(pair) * 2;
+    const Mmsi b = a + 1;
+    const double lat = 30.0 + pair;
+    const TimeMicros t =
+        kMicrosPerSecond + static_cast<TimeMicros>(pair) * kMicrosPerMinute;
+    ASSERT_TRUE(pipeline.Ingest(At(a, t, lat, 10.0)).ok());
+    pipeline.AwaitQuiescence();
+    ASSERT_TRUE(pipeline.Ingest(At(b, t + kMicrosPerSecond, lat, 10.002)).ok());
+    pipeline.AwaitQuiescence();
+  }
+  const auto events = pipeline.RecentEvents(100);
+  EXPECT_EQ(events.size(), 6u);
+  // Newest first after the merge.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i - 1].detected_at, events[i].detected_at);
+  }
+  // Event keys are sharded but all present.
+  EXPECT_EQ(pipeline.store().ScanPrefix("event:").size(), 6u);
+}
+
+// -------------------------------------------------------------- Polyfill
+
+TEST(PolyfillTest, CoversEveryPointOfTheBox) {
+  const BoundingBox box{37.0, 23.0, 38.5, 25.0};
+  const int resolution = 6;
+  const auto cells = HexGrid::Polyfill(box, resolution);
+  ASSERT_FALSE(cells.empty());
+  const std::unordered_set<CellId> cell_set(cells.begin(), cells.end());
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const LatLng p{rng.Uniform(box.min_lat, box.max_lat),
+                   rng.Uniform(box.min_lon, box.max_lon)};
+    EXPECT_TRUE(cell_set.count(HexGrid::LatLngToCell(p, resolution)) > 0)
+        << p.lat_deg << "," << p.lon_deg;
+  }
+}
+
+TEST(PolyfillTest, CellCountMatchesAreaEstimate) {
+  const BoundingBox box{36.0, 20.0, 40.0, 26.0};
+  const int resolution = 6;
+  const auto cells = HexGrid::Polyfill(box, resolution);
+  // Rough area check: box area / cell area within a factor of ~2 of the
+  // returned count (boundary cells inflate it).
+  const double height_m = (box.max_lat - box.min_lat) * kDegToRad * kEarthRadiusMeters;
+  const double width_m = (box.max_lon - box.min_lon) * kDegToRad *
+                         kEarthRadiusMeters *
+                         std::cos(38.0 * kDegToRad);
+  const double expected =
+      height_m * width_m / HexGrid::CellAreaSqMeters(resolution);
+  EXPECT_GT(static_cast<double>(cells.size()), expected * 0.7);
+  EXPECT_LT(static_cast<double>(cells.size()), expected * 2.5);
+}
+
+TEST(PolyfillTest, SortedUniqueAndResolutionTagged) {
+  const BoundingBox box{10.0, 10.0, 10.5, 10.5};
+  const auto cells = HexGrid::Polyfill(box, 8);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_LT(cells[i - 1], cells[i]);
+  }
+  for (CellId cell : cells) {
+    EXPECT_EQ(HexGrid::Resolution(cell), 8);
+  }
+  EXPECT_TRUE(HexGrid::Polyfill(box, -1).empty());
+  EXPECT_TRUE(HexGrid::Polyfill(box, 99).empty());
+}
+
+TEST(PolyfillTest, TinyBoxYieldsAtLeastOneCell) {
+  const BoundingBox box{37.95, 23.64, 37.951, 23.641};
+  const auto cells = HexGrid::Polyfill(box, 5);
+  EXPECT_GE(cells.size(), 1u);
+}
+
+// ------------------------------------------------------ Gradient clipping
+
+TEST(ClipNormTest, ClipsLargeGradients) {
+  Parameter p("p", 2, 2);
+  p.grad(0, 0) = 30.0;
+  p.grad(1, 1) = 40.0;  // norm 50
+  AdamOptimizer::Options options;
+  options.clip_norm = 5.0;
+  options.learning_rate = 0.0;  // isolate the clipping effect
+  AdamOptimizer adam(options);
+  adam.Step({&p});
+  // Gradient was zeroed by Step; verify through a second parameter trick:
+  // re-run with lr > 0 and check the update magnitude is bounded.
+  Parameter q("q", 1, 1);
+  q.grad(0, 0) = 1000.0;
+  AdamOptimizer::Options options2;
+  options2.clip_norm = 1.0;
+  options2.learning_rate = 0.1;
+  AdamOptimizer adam2(options2);
+  adam2.Step({&q});
+  // With Adam the first-step update is ~lr regardless, but the moment
+  // estimate built from the clipped gradient is 1.0, not 1000.
+  EXPECT_NEAR(q.adam_m(0, 0), 0.1, 1e-9);  // (1-beta1) * clipped(1.0)
+}
+
+TEST(ClipNormTest, SmallGradientsUntouched) {
+  Parameter p("p", 1, 1);
+  p.grad(0, 0) = 0.5;
+  AdamOptimizer::Options options;
+  options.clip_norm = 10.0;
+  AdamOptimizer adam(options);
+  adam.Step({&p});
+  EXPECT_NEAR(p.adam_m(0, 0), 0.05, 1e-12);  // (1-beta1) * 0.5 unclipped
+}
+
+TEST(ClipNormTest, TrainingWithClippingStillLearns) {
+  SequenceRegressor::Config config;
+  config.input_dim = 1;
+  config.hidden_dim = 4;
+  config.dense_dim = 4;
+  config.output_dim = 1;
+  SequenceRegressor model(config);
+  Rng rng(12);
+  std::vector<SeqSample> train(150);
+  for (auto& sample : train) {
+    sample.steps.assign(4, {0.0});
+    double sum = 0.0;
+    for (auto& step : sample.steps) {
+      step[0] = rng.Uniform(-0.5, 0.5);
+      sum += step[0];
+    }
+    sample.target = {sum};
+  }
+  const double before = Trainer::Mse(&model, train);
+  Trainer::Options options;
+  options.epochs = 30;
+  options.learning_rate = 5e-3;
+  options.clip_norm = 1.0;
+  options.l1_lambda = 0.0;
+  Trainer trainer(options);
+  trainer.Fit(&model, train);
+  EXPECT_LT(Trainer::Mse(&model, train), before * 0.3);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "middleware/api_service.h"
+#include "vrf/envclus.h"
+#include "vrf/linear_model.h"
+
+namespace marlin {
+namespace {
+
+AisPosition At(Mmsi mmsi, TimeMicros t, LatLng where, double sog = 12.0,
+               double cog = 90.0) {
+  AisPosition p;
+  p.mmsi = mmsi;
+  p.timestamp = t;
+  p.position = where;
+  p.sog_knots = sog;
+  p.cog_deg = cog;
+  return p;
+}
+
+// ----------------------------------------------------- Ports actor wiring
+
+TEST(PortsActorTest, OccupancyAndInboundThroughPipeline) {
+  PipelineConfig config;
+  config.actor_system.num_threads = 2;
+  config.monitored_ports = {{"Alpha", LatLng{38.0, 24.0}},
+                            {"Beta", LatLng{44.0, 30.0}}};
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  // Vessel 1 sits in port Alpha.
+  ASSERT_TRUE(pipeline.Ingest(At(1, kMicrosPerMinute, LatLng{38.0, 24.0}, 0.5)).ok());
+  // Vessel 2 approaches Alpha from 25 km west at 30 knots with a full
+  // history window, so its forecast reaches the port radius.
+  LatLng position = DestinationPoint(LatLng{38.0, 24.0}, 270.0, 45000.0);
+  for (int i = 0; i <= kSvrfInputLength + 1; ++i) {
+    ASSERT_TRUE(pipeline
+                    .Ingest(At(2, static_cast<TimeMicros>(i) * kMicrosPerMinute,
+                               position, 30.0, 90.0))
+                    .ok());
+    position = DestinationPoint(position, 90.0, 30.0 * kKnotsToMps * 60.0);
+  }
+  pipeline.AwaitQuiescence();
+
+  const auto ports = pipeline.PortTraffic();
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0].name, "Alpha");
+  EXPECT_EQ(ports[0].occupancy, 1);
+  EXPECT_GE(ports[0].inbound_30min, 1);
+  EXPECT_EQ(ports[1].occupancy, 0);
+}
+
+TEST(PortsActorTest, DisabledWithoutMonitoredPorts) {
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>());
+  ASSERT_TRUE(pipeline.Start().ok());
+  EXPECT_TRUE(pipeline.PortTraffic().empty());
+  EXPECT_FALSE(pipeline.system().Find("ports").ok());
+}
+
+TEST(PortsActorTest, ApiRouteServesPortStatus) {
+  PipelineConfig config;
+  config.actor_system.num_threads = 2;
+  config.monitored_ports = {{"Gamma", LatLng{51.95, 4.05}}};
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Ingest(At(9, kMicrosPerMinute, LatLng{51.96, 4.06}, 1.0)).ok());
+  pipeline.AwaitQuiescence();
+  ApiService api(&pipeline);
+  const ApiResponse response = api.Handle("GET", "/ports");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"Gamma\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"occupancy\":1"), std::string::npos);
+}
+
+// ------------------------------------------------- EnvClus persistence
+
+TEST(EnvClusPersistenceTest, SerializeRestoresForecasts) {
+  const BoundingBox box{34.0, 18.0, 44.0, 30.0};
+  const World world = World::RegionalWorld(box, 3, 13);
+  EnvClusModel model(&world);
+  const Lane* lane = nullptr;
+  for (const Lane& l : world.lanes()) {
+    if (l.from_port == 0 && l.to_port == 1) lane = &l;
+  }
+  ASSERT_NE(lane, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    Trip trip;
+    trip.mmsi = 500 + static_cast<Mmsi>(i);
+    trip.origin_port = 0;
+    trip.destination_port = 1;
+    trip.vessel_type = VesselType::kTanker;
+    TimeMicros t = 0;
+    for (const LatLng& waypoint : lane->waypoints) {
+      trip.points.push_back(At(trip.mmsi, t, waypoint));
+      t += kMicrosPerMinute;
+    }
+    model.AddTrip(trip);
+  }
+
+  const std::string blob = model.Serialize();
+  EnvClusModel restored(&world);
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.TotalTrips(), model.TotalTrips());
+  EXPECT_EQ(restored.KnownOdPairs(), model.KnownOdPairs());
+
+  auto original_route = model.ForecastRoute(0, 1, VesselType::kTanker);
+  auto restored_route = restored.ForecastRoute(0, 1, VesselType::kTanker);
+  ASSERT_TRUE(original_route.ok());
+  ASSERT_TRUE(restored_route.ok());
+  ASSERT_EQ(original_route->size(), restored_route->size());
+  for (size_t i = 0; i < original_route->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*original_route)[i].lat_deg,
+                     (*restored_route)[i].lat_deg);
+    EXPECT_DOUBLE_EQ((*original_route)[i].lon_deg,
+                     (*restored_route)[i].lon_deg);
+  }
+}
+
+TEST(EnvClusPersistenceTest, RejectsBadBlobs) {
+  const BoundingBox box{34.0, 18.0, 44.0, 30.0};
+  const World world = World::RegionalWorld(box, 2, 13);
+  EnvClusModel model(&world);
+  EXPECT_FALSE(model.Deserialize("").ok());
+  EXPECT_FALSE(model.Deserialize("wrong-magic 6 0 0\n").ok());
+  // Resolution mismatch.
+  EnvClusModel::Config other;
+  other.resolution = 8;
+  EnvClusModel fine(&world, other);
+  EXPECT_EQ(fine.Deserialize(model.Serialize()).code(),
+            StatusCode::kFailedPrecondition);
+  // Truncated edge list.
+  EXPECT_FALSE(model.Deserialize("marlin-envclus-v1 6 1 1\nG 0 1 1 5\n").ok());
+}
+
+TEST(EnvClusPersistenceTest, EmptyModelRoundTrips) {
+  const BoundingBox box{34.0, 18.0, 44.0, 30.0};
+  const World world = World::RegionalWorld(box, 2, 13);
+  EnvClusModel model(&world);
+  EnvClusModel restored(&world);
+  ASSERT_TRUE(restored.Deserialize(model.Serialize()).ok());
+  EXPECT_EQ(restored.TotalTrips(), 0);
+  EXPECT_EQ(restored.KnownOdPairs(), 0);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geodesy.h"
+#include "util/rng.h"
+
+namespace marlin {
+namespace {
+
+// Reference distances computed from standard haversine with R = 6371008.8 m.
+
+TEST(GeodesyTest, HaversineZeroForSamePoint) {
+  const LatLng p{37.9838, 23.7275};  // Athens
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(GeodesyTest, HaversineKnownPairs) {
+  // Athens -> Piraeus, roughly 8.5 km.
+  const LatLng athens{37.9838, 23.7275};
+  const LatLng piraeus{37.9420, 23.6460};
+  const double d = HaversineMeters(athens, piraeus);
+  EXPECT_NEAR(d, 8500.0, 500.0);
+
+  // One degree of latitude at the equator ~ 111.2 km.
+  const LatLng eq0{0.0, 0.0};
+  const LatLng eq1{1.0, 0.0};
+  EXPECT_NEAR(HaversineMeters(eq0, eq1), 111195.0, 50.0);
+
+  // One degree of longitude at 60N is half that of the equator.
+  const LatLng n60a{60.0, 0.0};
+  const LatLng n60b{60.0, 1.0};
+  EXPECT_NEAR(HaversineMeters(n60a, n60b), 111195.0 / 2.0, 100.0);
+}
+
+TEST(GeodesyTest, HaversineIsSymmetric) {
+  const LatLng a{37.9, 23.7};
+  const LatLng b{40.6, 22.9};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(GeodesyTest, ApproxDistanceMatchesHaversineAtShortRange) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double lat = rng.Uniform(-70.0, 70.0);
+    const double lon = rng.Uniform(-170.0, 170.0);
+    const LatLng a{lat, lon};
+    // Offsets up to ~0.2 degrees (tens of km).
+    const LatLng b{lat + rng.Uniform(-0.2, 0.2), lon + rng.Uniform(-0.2, 0.2)};
+    const double exact = HaversineMeters(a, b);
+    const double approx = ApproxDistanceMeters(a, b);
+    if (exact > 100.0) {
+      EXPECT_NEAR(approx / exact, 1.0, 0.01)
+          << "at lat=" << lat << " lon=" << lon;
+    }
+  }
+}
+
+TEST(GeodesyTest, InitialBearingCardinalDirections) {
+  const LatLng origin{10.0, 10.0};
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLng{11.0, 10.0}), 0.0, 0.1);
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLng{10.0, 11.0}), 90.0, 0.2);
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLng{9.0, 10.0}), 180.0, 0.1);
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLng{10.0, 9.0}), 270.0, 0.2);
+}
+
+TEST(GeodesyTest, DestinationPointRoundTrip) {
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const LatLng origin{rng.Uniform(-60.0, 60.0), rng.Uniform(-179.0, 179.0)};
+    const double bearing = rng.Uniform(0.0, 360.0);
+    const double distance = rng.Uniform(10.0, 50000.0);
+    const LatLng dest = DestinationPoint(origin, bearing, distance);
+    EXPECT_NEAR(HaversineMeters(origin, dest), distance, distance * 1e-6 + 0.01);
+    EXPECT_NEAR(InitialBearingDeg(origin, dest), bearing, 0.5);
+  }
+}
+
+TEST(GeodesyTest, DestinationPointZeroDistance) {
+  const LatLng origin{45.0, -30.0};
+  const LatLng dest = DestinationPoint(origin, 123.0, 0.0);
+  EXPECT_NEAR(dest.lat_deg, origin.lat_deg, 1e-9);
+  EXPECT_NEAR(dest.lon_deg, origin.lon_deg, 1e-9);
+}
+
+TEST(GeodesyTest, WrapLongitude) {
+  EXPECT_DOUBLE_EQ(WrapLongitude(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(180.0), -180.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(-180.0), -180.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(540.0), -180.0);
+  EXPECT_NEAR(WrapLongitude(359.0), -1.0, 1e-9);
+}
+
+TEST(GeodesyTest, ClampLatitude) {
+  EXPECT_DOUBLE_EQ(ClampLatitude(91.0), 90.0);
+  EXPECT_DOUBLE_EQ(ClampLatitude(-91.0), -90.0);
+  EXPECT_DOUBLE_EQ(ClampLatitude(45.0), 45.0);
+}
+
+TEST(GeodesyTest, DegreesMetersRoundTrip) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const double at_lat = rng.Uniform(-70.0, 70.0);
+    const double dlat = rng.Uniform(-0.5, 0.5);
+    const double dlon = rng.Uniform(-0.5, 0.5);
+    double north, east, dlat2, dlon2;
+    DegreesToMeters(dlat, dlon, at_lat, &north, &east);
+    MetersToDegrees(north, east, at_lat, &dlat2, &dlon2);
+    EXPECT_NEAR(dlat2, dlat, 1e-9);
+    EXPECT_NEAR(dlon2, dlon, 1e-9);
+  }
+}
+
+TEST(GeodesyTest, KnotsConversion) {
+  // 20 knots over 5 minutes ~ 3.09 km.
+  const double distance = 20.0 * kKnotsToMps * 300.0;
+  EXPECT_NEAR(distance, 3086.7, 1.0);
+}
+
+TEST(LocalProjectionTest, RoundTripNearOrigin) {
+  const LatLng origin{38.0, 24.0};
+  const LocalProjection proj(origin);
+  Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng p{origin.lat_deg + rng.Uniform(-0.5, 0.5),
+                   origin.lon_deg + rng.Uniform(-0.5, 0.5)};
+    double x, y;
+    proj.Forward(p, &x, &y);
+    const LatLng back = proj.Inverse(x, y);
+    EXPECT_NEAR(back.lat_deg, p.lat_deg, 1e-9);
+    EXPECT_NEAR(back.lon_deg, p.lon_deg, 1e-9);
+  }
+}
+
+TEST(LocalProjectionTest, DistancePreservedLocally) {
+  const LatLng origin{38.0, 24.0};
+  const LocalProjection proj(origin);
+  const LatLng a{38.01, 24.02};
+  const LatLng b{38.03, 23.98};
+  double ax, ay, bx, by;
+  proj.Forward(a, &ax, &ay);
+  proj.Forward(b, &bx, &by);
+  const double planar = std::hypot(bx - ax, by - ay);
+  EXPECT_NEAR(planar / HaversineMeters(a, b), 1.0, 0.005);
+}
+
+TEST(BoundingBoxTest, ContainsChecksAllEdges) {
+  BoundingBox box{30.0, 20.0, 40.0, 30.0};
+  EXPECT_TRUE(box.Contains(LatLng{35.0, 25.0}));
+  EXPECT_TRUE(box.Contains(LatLng{30.0, 20.0}));  // inclusive corner
+  EXPECT_FALSE(box.Contains(LatLng{29.9, 25.0}));
+  EXPECT_FALSE(box.Contains(LatLng{41.0, 25.0}));
+  EXPECT_FALSE(box.Contains(LatLng{35.0, 19.9}));
+  EXPECT_FALSE(box.Contains(LatLng{35.0, 31.0}));
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+
+#include "core/pipeline.h"
+#include "middleware/api_service.h"
+#include "middleware/http_server.h"
+#include "vrf/linear_model.h"
+
+namespace marlin {
+namespace {
+
+/// Tiny blocking HTTP GET client for the tests.
+std::string HttpGet(int port, const std::string& target, int* status) {
+  *status = -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = response.find(' ');
+  if (space != std::string::npos) {
+    *status = std::atoi(response.c_str() + space + 1);
+  }
+  const size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? "" : response.substr(body + 4);
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PipelineConfig config;
+    config.actor_system.num_threads = 2;
+    pipeline_ = std::make_unique<MaritimePipeline>(
+        std::make_shared<LinearKinematicModel>(), config);
+    ASSERT_TRUE(pipeline_->Start().ok());
+    api_ = std::make_unique<ApiService>(pipeline_.get());
+    server_ = std::make_unique<HttpServer>(api_.get(), 0);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  std::unique_ptr<MaritimePipeline> pipeline_;
+  std::unique_ptr<ApiService> api_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, ServesStatsOverTcp) {
+  AisPosition report;
+  report.mmsi = 1;
+  report.timestamp = kMicrosPerSecond;
+  report.position = LatLng{38.0, 24.0};
+  ASSERT_TRUE(pipeline_->Ingest(report).ok());
+  pipeline_->AwaitQuiescence();
+
+  int status = 0;
+  const std::string body = HttpGet(server_->port(), "/stats", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"positions_ingested\":1"), std::string::npos);
+  EXPECT_GE(server_->requests_served(), 1);
+}
+
+TEST_F(HttpServerTest, Returns404And400OverTcp) {
+  int status = 0;
+  HttpGet(server_->port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+  HttpGet(server_->port(), "/traffic/0", &status);
+  EXPECT_EQ(status, 400);
+}
+
+TEST_F(HttpServerTest, ConcurrentClients) {
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([this, &ok] {
+      for (int j = 0; j < 5; ++j) {
+        int status = 0;
+        HttpGet(server_->port(), "/stats", &status);
+        if (status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * 5);
+}
+
+TEST_F(HttpServerTest, StopUnblocksAndIsIdempotent) {
+  server_->Stop();
+  server_->Stop();
+  int status = 0;
+  HttpGet(server_->port(), "/stats", &status);
+  EXPECT_EQ(status, -1);  // connection refused
+}
+
+TEST(HttpServerStandaloneTest, DoubleStartRejected) {
+  PipelineConfig config;
+  config.actor_system.num_threads = 2;
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
+  ASSERT_TRUE(pipeline.Start().ok());
+  ApiService api(&pipeline);
+  HttpServer server(&api, 0);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "kvstore/kvstore.h"
+#include "util/clock.h"
+
+namespace marlin {
+namespace {
+
+TEST(KvStoreTest, SetGetOverwrite) {
+  KvStore store;
+  store.Set("a", "1");
+  EXPECT_EQ(*store.Get("a"), "1");
+  store.Set("a", "2");
+  EXPECT_EQ(*store.Get("a"), "2");
+}
+
+TEST(KvStoreTest, GetMissingIsNotFound) {
+  KvStore store;
+  auto result = store.Get("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, DelAndExists) {
+  KvStore store;
+  store.Set("a", "1");
+  EXPECT_TRUE(store.Exists("a"));
+  EXPECT_TRUE(store.Del("a"));
+  EXPECT_FALSE(store.Exists("a"));
+  EXPECT_FALSE(store.Del("a"));
+}
+
+TEST(KvStoreTest, HashCommands) {
+  KvStore store;
+  ASSERT_TRUE(store.HSet("vessel:1", "lat", "38.1").ok());
+  ASSERT_TRUE(store.HSet("vessel:1", "lon", "24.2").ok());
+  ASSERT_TRUE(store.HSet("vessel:1", "lat", "38.5").ok());
+  EXPECT_EQ(*store.HGet("vessel:1", "lat"), "38.5");
+  EXPECT_EQ(*store.HGet("vessel:1", "lon"), "24.2");
+  const auto all = store.HGetAll("vessel:1");
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_FALSE(store.HGet("vessel:1", "sog").ok());
+  EXPECT_FALSE(store.HGet("vessel:2", "lat").ok());
+  EXPECT_TRUE(store.HGetAll("vessel:2").empty());
+}
+
+TEST(KvStoreTest, TypeMismatchFailsPrecondition) {
+  KvStore store;
+  store.Set("s", "string");
+  EXPECT_EQ(store.HSet("s", "f", "v").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.HGet("s", "f").status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store.HSet("h", "f", "v").ok());
+  EXPECT_EQ(store.Get("h").status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KvStoreTest, SetOverwritesHash) {
+  KvStore store;
+  ASSERT_TRUE(store.HSet("k", "f", "v").ok());
+  store.Set("k", "plain");
+  EXPECT_EQ(*store.Get("k"), "plain");
+}
+
+TEST(KvStoreTest, TtlExpiryWithSimulatedClock) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  store.Set("a", "1");
+  EXPECT_TRUE(store.Expire("a", 100));
+  EXPECT_TRUE(store.Exists("a"));
+  EXPECT_EQ(*store.Ttl("a"), 100);
+  clock.Advance(99);
+  EXPECT_TRUE(store.Exists("a"));
+  clock.Advance(1);
+  EXPECT_FALSE(store.Exists("a"));
+  EXPECT_FALSE(store.Get("a").ok());
+  EXPECT_FALSE(store.Ttl("a").has_value());
+}
+
+TEST(KvStoreTest, ExpireMissingKeyFalse) {
+  KvStore store;
+  EXPECT_FALSE(store.Expire("nope", 100));
+}
+
+TEST(KvStoreTest, SetClearsTtl) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  store.Set("a", "1");
+  store.Expire("a", 100);
+  store.Set("a", "2");  // fresh value: TTL cleared
+  clock.Advance(200);
+  EXPECT_TRUE(store.Exists("a"));
+}
+
+TEST(KvStoreTest, TtlNulloptWithoutExpiry) {
+  KvStore store;
+  store.Set("a", "1");
+  EXPECT_FALSE(store.Ttl("a").has_value());
+}
+
+TEST(KvStoreTest, SizeCountsLiveKeysOnly) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  store.Set("a", "1");
+  store.Set("b", "2");
+  store.Expire("b", 10);
+  EXPECT_EQ(store.Size(), 2u);
+  clock.Advance(20);
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(KvStoreTest, PurgeExpiredRemovesPhysically) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  for (int i = 0; i < 10; ++i) {
+    store.Set("k" + std::to_string(i), "v");
+    if (i % 2 == 0) store.Expire("k" + std::to_string(i), 10);
+  }
+  clock.Advance(20);
+  EXPECT_EQ(store.PurgeExpired(), 5u);
+  EXPECT_EQ(store.Size(), 5u);
+}
+
+TEST(KvStoreTest, ScanPrefixSorted) {
+  KvStore store;
+  store.Set("vessel:3", "c");
+  store.Set("vessel:1", "a");
+  store.Set("event:9", "x");
+  store.Set("vessel:2", "b");
+  const auto keys = store.ScanPrefix("vessel:");
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "vessel:1");
+  EXPECT_EQ(keys[1], "vessel:2");
+  EXPECT_EQ(keys[2], "vessel:3");
+  EXPECT_EQ(store.ScanPrefix("").size(), 4u);
+  EXPECT_TRUE(store.ScanPrefix("zzz").empty());
+}
+
+TEST(KvStoreTest, SnapshotRendersHashes) {
+  KvStore store;
+  store.Set("plain", "v");
+  store.HSet("hash", "a", "1");
+  store.HSet("hash", "b", "2");
+  const auto snapshot = store.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "hash");
+  EXPECT_EQ(snapshot[0].second, "a=1,b=2");
+  EXPECT_EQ(snapshot[1].first, "plain");
+  EXPECT_EQ(snapshot[1].second, "v");
+}
+
+TEST(KvStoreTest, ClearRemovesEverything) {
+  KvStore store;
+  store.Set("a", "1");
+  store.HSet("h", "f", "v");
+  store.Clear();
+  EXPECT_EQ(store.Size(), 0u);
+}
+
+TEST(KvStoreTest, ConcurrentWritersDistinctKeys) {
+  KvStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.Set("t" + std::to_string(t) + ":" + std::to_string(i),
+                  std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.Size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(KvStoreTest, ConcurrentHashFieldWrites) {
+  KvStore store;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(store
+                        .HSet("shared", "f" + std::to_string(t * 1000 + i),
+                              "v")
+                        .ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.HGetAll("shared").size(), static_cast<size_t>(kThreads * 500));
+}
+
+}  // namespace
+}  // namespace marlin

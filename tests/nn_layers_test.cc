@@ -1,0 +1,175 @@
+// Direct layer-level tests for the nn substrate: paths the model-level
+// suites do not reach (per-step hidden gradients, individual activations,
+// parameter wiring).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace marlin {
+namespace {
+
+/// Scalar loss L = sum_t <h_t, R_t> over all per-step hidden states, used
+/// to exercise the grad_hidden_steps path of LstmCell::Backward.
+double PerStepLoss(const std::vector<Matrix>& hidden,
+                   const std::vector<Matrix>& weights) {
+  double loss = 0.0;
+  for (size_t t = 0; t < hidden.size(); ++t) {
+    for (size_t i = 0; i < hidden[t].size(); ++i) {
+      loss += hidden[t].storage()[i] * weights[t].storage()[i];
+    }
+  }
+  return loss;
+}
+
+TEST(LstmCellBackwardTest, PerStepHiddenGradientsMatchFiniteDifferences) {
+  const int input_dim = 2, hidden_dim = 3, steps = 5, batch = 2;
+  Rng rng(321);
+  LstmCell cell("cell", input_dim, hidden_dim, &rng);
+  std::vector<Matrix> inputs(steps);
+  for (auto& x : inputs) {
+    x = Matrix(input_dim, batch);
+    x.FillNormal(&rng, 0.8);
+  }
+  // Random per-step loss weights; the last step also receives the "final
+  // hidden" gradient to exercise both paths together.
+  std::vector<Matrix> loss_weights(steps);
+  for (auto& w : loss_weights) {
+    w = Matrix(hidden_dim, batch);
+    w.FillNormal(&rng, 1.0);
+  }
+
+  cell.Forward(inputs);
+  const double base_loss = PerStepLoss(cell.hidden_states(), loss_weights);
+  (void)base_loss;
+
+  // Analytic: dL/dh_t = loss_weights[t]; final-step grad goes through the
+  // grad_last_hidden argument, the rest through grad_hidden_steps.
+  std::vector<Matrix> per_step(steps);
+  for (int t = 0; t < steps - 1; ++t) per_step[t] = loss_weights[t];
+  per_step[steps - 1] = Matrix();  // empty: covered by grad_last_hidden
+  for (Parameter* p : cell.Params()) p->ZeroGrad();
+  std::vector<Matrix> grad_inputs;
+  cell.Backward(loss_weights[steps - 1], per_step, &grad_inputs);
+
+  // Finite differences on the weight matrix.
+  Parameter* weight = cell.Params()[0];
+  const double eps = 1e-5;
+  const size_t stride = std::max<size_t>(1, weight->value.size() / 20);
+  for (size_t i = 0; i < weight->value.size(); i += stride) {
+    const double saved = weight->value.storage()[i];
+    weight->value.storage()[i] = saved + eps;
+    cell.Forward(inputs);
+    const double plus = PerStepLoss(cell.hidden_states(), loss_weights);
+    weight->value.storage()[i] = saved - eps;
+    cell.Forward(inputs);
+    const double minus = PerStepLoss(cell.hidden_states(), loss_weights);
+    weight->value.storage()[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(weight->grad.storage()[i], numeric,
+                2e-5 * std::max(1.0, std::abs(numeric)))
+        << "weight[" << i << "]";
+  }
+
+  // Input gradients against finite differences too.
+  cell.Forward(inputs);
+  for (int t = 0; t < steps; ++t) {
+    ASSERT_EQ(grad_inputs[static_cast<size_t>(t)].rows(), input_dim);
+    const double saved = inputs[static_cast<size_t>(t)](0, 0);
+    inputs[static_cast<size_t>(t)](0, 0) = saved + eps;
+    cell.Forward(inputs);
+    const double plus = PerStepLoss(cell.hidden_states(), loss_weights);
+    inputs[static_cast<size_t>(t)](0, 0) = saved - eps;
+    cell.Forward(inputs);
+    const double minus = PerStepLoss(cell.hidden_states(), loss_weights);
+    inputs[static_cast<size_t>(t)](0, 0) = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(grad_inputs[static_cast<size_t>(t)](0, 0), numeric,
+                2e-5 * std::max(1.0, std::abs(numeric)))
+        << "input step " << t;
+  }
+}
+
+TEST(DenseLayerTest, ReluBackwardZeroesInactiveUnits) {
+  Rng rng(7);
+  Dense layer("relu", 2, 2, Dense::Activation::kRelu, &rng);
+  Parameter* weight = layer.Params()[0];
+  Parameter* bias = layer.Params()[1];
+  // Force one positive and one negative pre-activation.
+  weight->value(0, 0) = 1.0;
+  weight->value(0, 1) = 0.0;
+  weight->value(1, 0) = -1.0;
+  weight->value(1, 1) = 0.0;
+  bias->value.Zero();
+  Matrix x(2, 1);
+  x(0, 0) = 2.0;
+  x(1, 0) = 0.0;
+  const Matrix& y = layer.Forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(y(1, 0), 0.0);  // clamped
+  Matrix dy(2, 1);
+  dy(0, 0) = 1.0;
+  dy(1, 0) = 1.0;
+  weight->ZeroGrad();
+  const Matrix& dx = layer.Backward(dy);
+  // Unit 1 was inactive: its weight row receives no gradient and it
+  // contributes nothing to dx.
+  EXPECT_DOUBLE_EQ(weight->grad(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(weight->grad(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(dx(0, 0), 1.0);  // only through unit 0's weight 1.0
+}
+
+TEST(DenseLayerTest, DimensionsReported) {
+  Rng rng(9);
+  Dense layer("d", 5, 3, Dense::Activation::kTanh, &rng);
+  EXPECT_EQ(layer.in_dim(), 5);
+  EXPECT_EQ(layer.out_dim(), 3);
+}
+
+TEST(ActivationTest, DerivativesFromOutputs) {
+  EXPECT_DOUBLE_EQ(act::SigmoidDerivFromOutput(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(act::TanhDerivFromOutput(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(act::ReluDerivFromOutput(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(act::ReluDerivFromOutput(0.0), 0.0);
+  EXPECT_NEAR(act::Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(act::Tanh(0.0), 0.0, 1e-12);
+}
+
+TEST(ParameterTest, L1FlagAndZeroGrad) {
+  Parameter p("p", 2, 3, /*l1=*/true);
+  EXPECT_TRUE(p.l1_regularised);
+  EXPECT_EQ(p.value.rows(), 2);
+  EXPECT_EQ(p.grad.cols(), 3);
+  p.grad(0, 0) = 5.0;
+  p.ZeroGrad();
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);
+}
+
+TEST(BiLstmTest, BackwardAccumulatesIntoAllFourParameters) {
+  Rng rng(17);
+  BiLstm layer("bi", 2, 3, &rng);
+  std::vector<Matrix> inputs(4);
+  for (auto& x : inputs) {
+    x = Matrix(2, 2);
+    x.FillNormal(&rng, 1.0);
+  }
+  const Matrix& out = layer.Forward(inputs);
+  Matrix grad(out.rows(), out.cols());
+  grad.Apply([](double) { return 1.0; });
+  for (Parameter* p : layer.Params()) p->ZeroGrad();
+  std::vector<Matrix> grad_inputs;
+  layer.Backward(grad, &grad_inputs);
+  for (Parameter* p : layer.Params()) {
+    EXPECT_GT(p->grad.SquaredNorm(), 0.0) << p->name;
+  }
+  ASSERT_EQ(grad_inputs.size(), 4u);
+  for (const Matrix& g : grad_inputs) {
+    EXPECT_GT(g.SquaredNorm(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,316 @@
+// Property-based sweeps (parameterised gtest) over the substrates'
+// invariants: things that must hold for *every* resolution, region,
+// threshold, or network shape — not just the examples unit tests pin down.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "ais/codec.h"
+#include "ais/preprocess.h"
+#include "events/collision.h"
+#include "geo/geodesy.h"
+#include "hexgrid/hexgrid.h"
+#include "nn/model.h"
+#include "stream/broker.h"
+#include "util/rng.h"
+#include "vrf/linear_model.h"
+
+namespace marlin {
+namespace {
+
+// ------------------------------------------------ HexGrid x resolution
+
+class HexGridResolutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HexGridResolutionTest, CenterRoundTripEverywhere) {
+  const int resolution = GetParam();
+  Rng rng(1000 + resolution);
+  for (int i = 0; i < 300; ++i) {
+    const LatLng p{rng.Uniform(-80.0, 80.0), rng.Uniform(-179.5, 179.5)};
+    const CellId cell = HexGrid::LatLngToCell(p, resolution);
+    ASSERT_TRUE(HexGrid::IsValid(cell));
+    EXPECT_EQ(HexGrid::Resolution(cell), resolution);
+    EXPECT_EQ(HexGrid::LatLngToCell(HexGrid::CellToLatLng(cell), resolution),
+              cell);
+  }
+}
+
+TEST_P(HexGridResolutionTest, NeighboursAreMutual) {
+  const int resolution = GetParam();
+  Rng rng(2000 + resolution);
+  for (int i = 0; i < 50; ++i) {
+    const LatLng p{rng.Uniform(-70.0, 70.0), rng.Uniform(-170.0, 170.0)};
+    const CellId cell = HexGrid::LatLngToCell(p, resolution);
+    for (CellId neighbour : HexGrid::Neighbors(cell)) {
+      const auto back = HexGrid::Neighbors(neighbour);
+      EXPECT_NE(std::find(back.begin(), back.end(), cell), back.end());
+    }
+  }
+}
+
+TEST_P(HexGridResolutionTest, KRingContainsAllCloserPoints) {
+  // Any point within one inradius of the center point maps into the
+  // 1-ring of the center's cell.
+  const int resolution = GetParam();
+  if (resolution < 2) return;  // planet-scale cells: sampling is meaningless
+  Rng rng(3000 + resolution);
+  const double inradius =
+      HexGrid::CircumradiusMeters(resolution) * 0.8660254;
+  for (int i = 0; i < 100; ++i) {
+    const LatLng p{rng.Uniform(-55.0, 55.0), rng.Uniform(-170.0, 170.0)};
+    const CellId center = HexGrid::LatLngToCell(p, resolution);
+    const auto ring = HexGrid::KRing(center, 1);
+    const std::unordered_set<CellId> ring_set(ring.begin(), ring.end());
+    const LatLng q = DestinationPoint(p, rng.Uniform(0.0, 360.0),
+                                      rng.Uniform(0.0, inradius * 0.9));
+    EXPECT_TRUE(ring_set.count(HexGrid::LatLngToCell(q, resolution)) > 0)
+        << "res " << resolution;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllResolutions, HexGridResolutionTest,
+                         ::testing::Range(0, 16));
+
+// ------------------------------------------------ Codec x latitude band
+
+struct CodecBand {
+  double min_lat, max_lat;
+};
+
+class CodecLatitudeTest : public ::testing::TestWithParam<CodecBand> {};
+
+TEST_P(CodecLatitudeTest, RoundTripWithinQuantisation) {
+  const CodecBand band = GetParam();
+  Rng rng(static_cast<uint64_t>(band.min_lat * 100.0) + 7777);
+  for (int i = 0; i < 100; ++i) {
+    AisPosition p;
+    p.mmsi = static_cast<Mmsi>(rng.UniformInt(int64_t{201000000},
+                                              int64_t{775999999}));
+    p.timestamp = TimeMicros{1700000000} * kMicrosPerSecond +
+                  rng.UniformInt(int64_t{0}, int64_t{86400}) * kMicrosPerSecond;
+    p.position.lat_deg = rng.Uniform(band.min_lat, band.max_lat);
+    p.position.lon_deg = rng.Uniform(-179.9, 179.9);
+    p.sog_knots = rng.Uniform(0.0, 60.0);
+    p.cog_deg = rng.Uniform(0.0, 359.9);
+    p.heading_deg = static_cast<int>(p.cog_deg);
+    for (const bool class_b : {false, true}) {
+      const std::string sentence = class_b
+                                       ? AisCodec::EncodePositionClassB(p)
+                                       : AisCodec::EncodePosition(p);
+      StatusOr<AisPosition> decoded =
+          AisCodec::DecodePosition(sentence, p.timestamp);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      // 1/600000 degree quantisation = ~0.19 m of latitude.
+      EXPECT_NEAR(decoded->position.lat_deg, p.position.lat_deg, 2e-6);
+      EXPECT_NEAR(decoded->position.lon_deg, p.position.lon_deg, 2e-6);
+      EXPECT_EQ(decoded->mmsi, p.mmsi);
+      EXPECT_EQ(decoded->timestamp, p.timestamp);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LatitudeBands, CodecLatitudeTest,
+                         ::testing::Values(CodecBand{-85.0, -60.0},
+                                           CodecBand{-60.0, -20.0},
+                                           CodecBand{-20.0, 20.0},
+                                           CodecBand{20.0, 60.0},
+                                           CodecBand{60.0, 85.0}));
+
+// -------------------------------------------- Downsampler x interval
+
+class DownsamplerIntervalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DownsamplerIntervalTest, AcceptedSpacingNeverBelowInterval) {
+  const TimeMicros interval = GetParam() * kMicrosPerSecond;
+  Downsampler downsampler(interval);
+  Rng rng(GetParam());
+  TimeMicros t = 0;
+  TimeMicros last_accepted = -1;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<TimeMicros>(rng.Uniform(0.5, 40.0) * kMicrosPerSecond);
+    if (downsampler.Accept(t)) {
+      if (last_accepted >= 0) {
+        EXPECT_GE(t - last_accepted, interval);
+      }
+      last_accepted = t;
+    }
+  }
+  EXPECT_GT(last_accepted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, DownsamplerIntervalTest,
+                         ::testing::Values(5, 30, 60, 120, 300));
+
+// ------------------------------------- Gradient check x network shape
+
+struct NetShape {
+  int input_dim, hidden_dim, dense_dim, output_dim, steps, batch;
+};
+
+class GradientShapeTest : public ::testing::TestWithParam<NetShape> {};
+
+TEST_P(GradientShapeTest, BackpropMatchesFiniteDifferences) {
+  const NetShape shape = GetParam();
+  SequenceRegressor::Config config;
+  config.input_dim = shape.input_dim;
+  config.hidden_dim = shape.hidden_dim;
+  config.dense_dim = shape.dense_dim;
+  config.output_dim = shape.output_dim;
+  config.seed = 1234 + shape.hidden_dim;
+  SequenceRegressor model(config);
+  Rng rng(99 + shape.steps);
+  std::vector<Matrix> inputs(shape.steps);
+  for (auto& x : inputs) {
+    x = Matrix(shape.input_dim, shape.batch);
+    x.FillNormal(&rng, 0.8);
+  }
+  Matrix targets(shape.output_dim, shape.batch);
+  targets.FillNormal(&rng, 1.0);
+  for (Parameter* p : model.Params()) p->ZeroGrad();
+  model.TrainBatch(inputs, targets, 0.0);
+  const double eps = 1e-5;
+  for (Parameter* p : model.Params()) {
+    const size_t stride = std::max<size_t>(1, p->value.size() / 10);
+    for (size_t i = 0; i < p->value.size(); i += stride) {
+      const double saved = p->value.storage()[i];
+      p->value.storage()[i] = saved + eps;
+      const double plus = model.Evaluate(inputs, targets);
+      p->value.storage()[i] = saved - eps;
+      const double minus = model.Evaluate(inputs, targets);
+      p->value.storage()[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double analytic = p->grad.storage()[i];
+      const double scale = std::max({1.0, std::abs(numeric)});
+      EXPECT_NEAR(analytic / scale, numeric / scale, 2e-5) << p->name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GradientShapeTest,
+    ::testing::Values(NetShape{1, 2, 2, 1, 2, 1},
+                      NetShape{3, 4, 3, 2, 5, 2},
+                      NetShape{5, 3, 6, 12, 8, 3},
+                      NetShape{2, 6, 2, 4, 20, 2}));
+
+// --------------------------- Collision threshold monotonicity property
+
+class CollisionThresholdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollisionThresholdTest, DetectionsMonotoneInTemporalThreshold) {
+  // For a fixed pair of trajectories, a detection at threshold T must also
+  // be a detection at any threshold T' > T.
+  const int minutes = GetParam();
+  Rng rng(500 + minutes);
+  int detected_small = 0, detected_large = 0;
+  for (int i = 0; i < 60; ++i) {
+    const LatLng cross{rng.Uniform(30.0, 45.0), rng.Uniform(-10.0, 30.0)};
+    const double sog = rng.Uniform(8.0, 20.0);
+    const double offset_min = rng.Uniform(0.0, 10.0);
+    auto make = [&](Mmsi mmsi, double course, double minutes_to_cross) {
+      ForecastTrajectory trajectory;
+      trajectory.mmsi = mmsi;
+      const LatLng start = DestinationPoint(
+          cross, course + 180.0, sog * kKnotsToMps * 60.0 * minutes_to_cross);
+      LatLng p = start;
+      for (int step = 0; step <= kSvrfOutputSteps; ++step) {
+        trajectory.points.push_back(
+            ForecastPoint{p, step * kSvrfStepMicros});
+        p = DestinationPoint(p, course, sog * kKnotsToMps * 300.0);
+      }
+      return trajectory;
+    };
+    const auto a = make(1, rng.Uniform(0.0, 360.0), 12.0);
+    const auto b = make(2, rng.Uniform(0.0, 360.0), 12.0 + offset_min);
+    CollisionForecaster::Config small_config;
+    small_config.temporal_threshold = minutes * kMicrosPerMinute;
+    CollisionForecaster small(small_config);
+    small.Observe(a);
+    const bool hit_small = !small.Observe(b).empty();
+    CollisionForecaster::Config large_config;
+    large_config.temporal_threshold = (minutes + 3) * kMicrosPerMinute;
+    CollisionForecaster large(large_config);
+    large.Observe(a);
+    const bool hit_large = !large.Observe(b).empty();
+    detected_small += hit_small;
+    detected_large += hit_large;
+    EXPECT_TRUE(!hit_small || hit_large) << "monotonicity violated";
+  }
+  EXPECT_GE(detected_large, detected_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, CollisionThresholdTest,
+                         ::testing::Values(1, 2, 5, 8));
+
+// ----------------------------------- Broker x partition count property
+
+class BrokerPartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BrokerPartitionTest, PerKeyOrderPreservedAcrossPartitionCounts) {
+  const int partitions = GetParam();
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", partitions).ok());
+  constexpr int kKeys = 20;
+  constexpr int kPerKey = 50;
+  for (int i = 0; i < kPerKey; ++i) {
+    for (int k = 0; k < kKeys; ++k) {
+      ASSERT_TRUE(broker
+                      .Append("t", "key" + std::to_string(k),
+                              std::to_string(i), i)
+                      .ok());
+    }
+  }
+  Consumer consumer(&broker, "g", "t");
+  std::map<std::string, int> last_per_key;
+  int total = 0;
+  for (;;) {
+    const auto batch = consumer.Poll(64);
+    if (batch.empty()) break;
+    for (const Record& record : batch) {
+      const int value = std::stoi(record.value);
+      auto it = last_per_key.find(record.key);
+      if (it != last_per_key.end()) {
+        EXPECT_GT(value, it->second)
+            << "per-key order broken at " << record.key;
+      }
+      last_per_key[record.key] = value;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kKeys * kPerKey);
+  EXPECT_EQ(last_per_key.size(), static_cast<size_t>(kKeys));
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, BrokerPartitionTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+// --------------------------- Linear model invariance property sweeps
+
+class LinearSpeedTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinearSpeedTest, ForecastDistanceMatchesSpeed) {
+  const double sog = GetParam();
+  SvrfInput input;
+  for (auto& d : input.displacements) d = {0.0, 0.001, 60.0};
+  input.anchor = LatLng{40.0, -20.0};
+  input.anchor_time = kMicrosPerMinute;
+  input.anchor_sog_knots = sog;
+  input.anchor_cog_deg = 45.0;
+  LinearKinematicModel model;
+  auto forecast = model.Forecast(input);
+  ASSERT_TRUE(forecast.ok());
+  for (int step = 1; step <= kSvrfOutputSteps; ++step) {
+    const double expected = sog * kKnotsToMps * step * 300.0;
+    EXPECT_NEAR(HaversineMeters(input.anchor,
+                                forecast->at_step(step).position),
+                expected, std::max(1.0, expected * 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, LinearSpeedTest,
+                         ::testing::Values(0.5, 5.0, 12.0, 25.0, 40.0));
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "core/static_registry.h"
+#include "vrf/linear_model.h"
+
+namespace marlin {
+namespace {
+
+TEST(StaticRegistryTest, PutAndFind) {
+  StaticRegistry registry;
+  AisStatic record;
+  record.mmsi = 237000001;
+  record.name = "EXPRESS";
+  record.type = VesselType::kPassenger;
+  record.length_m = 120.0;
+  registry.Put(record);
+  registry.Freeze();
+  ASSERT_NE(registry.Find(237000001), nullptr);
+  EXPECT_EQ(registry.Find(237000001)->name, "EXPRESS");
+  EXPECT_EQ(registry.Find(999), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.frozen());
+}
+
+TEST(StaticRegistryTest, TextRoundTrip) {
+  StaticRegistry registry;
+  for (int i = 0; i < 5; ++i) {
+    AisStatic record;
+    record.mmsi = 240000000 + static_cast<Mmsi>(i);
+    record.name = "SHIP " + std::to_string(i);
+    record.type = i % 2 == 0 ? VesselType::kCargo : VesselType::kTanker;
+    record.length_m = 100.0 + i;
+    record.beam_m = 20.0;
+    record.draught_m = 9.5;
+    record.dwt = 50000.0;
+    record.destination = "PIRAEUS";
+    registry.Put(record);
+  }
+  const std::string dump = registry.DumpToText();
+  StaticRegistry restored;
+  EXPECT_EQ(restored.LoadFromText(dump), 5);
+  ASSERT_NE(restored.Find(240000002), nullptr);
+  EXPECT_EQ(restored.Find(240000002)->name, "SHIP 2");
+  EXPECT_EQ(restored.Find(240000002)->type, VesselType::kCargo);
+  EXPECT_NEAR(restored.Find(240000002)->length_m, 102.0, 0.1);
+  EXPECT_EQ(restored.Find(240000003)->type, VesselType::kTanker);
+}
+
+TEST(StaticRegistryTest, LoadSkipsMalformedLines) {
+  StaticRegistry registry;
+  const std::string text =
+      "# comment\n"
+      "notanumber|X|70|1|1|1|1|Y\n"
+      "too|few|fields\n"
+      "\n"
+      "237000009|GOOD SHIP|80|200|32|11|80000|ROTTERDAM\n";
+  EXPECT_EQ(registry.LoadFromText(text), 1);
+  ASSERT_NE(registry.Find(237000009), nullptr);
+  EXPECT_EQ(registry.Find(237000009)->type, VesselType::kTanker);
+}
+
+TEST(StaticRegistryTest, PipelineFusesRegistryIntoPublishedState) {
+  StaticRegistry registry;
+  AisStatic record;
+  record.mmsi = 237000042;
+  record.name = "MARLIN STAR";
+  record.type = VesselType::kCargo;
+  registry.Put(record);
+  registry.Freeze();
+
+  PipelineConfig config;
+  config.actor_system.num_threads = 2;
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
+  pipeline.SetStaticRegistry(&registry);
+  ASSERT_TRUE(pipeline.Start().ok());
+  AisPosition report;
+  report.mmsi = 237000042;
+  report.timestamp = kMicrosPerSecond;
+  report.position = LatLng{38.0, 24.0};
+  ASSERT_TRUE(pipeline.Ingest(report).ok());
+  // A vessel without a registry record gets no enrichment but still works.
+  report.mmsi = 111111111;
+  ASSERT_TRUE(pipeline.Ingest(report).ok());
+  pipeline.AwaitQuiescence();
+
+  const auto known = pipeline.store().HGetAll("vessel:237000042");
+  EXPECT_EQ(known.at("name"), "MARLIN STAR");
+  EXPECT_EQ(known.at("type"), "Cargo");
+  const auto unknown = pipeline.store().HGetAll("vessel:111111111");
+  EXPECT_EQ(unknown.count("name"), 0u);
+  EXPECT_EQ(unknown.count("lat"), 1u);
+}
+
+}  // namespace
+}  // namespace marlin

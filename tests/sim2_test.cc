@@ -1,0 +1,129 @@
+// Additional simulator coverage: the emission mixture, vessel statics,
+// weather/cell enrichment, and encounter-style training tracks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ais/preprocess.h"
+#include "sim/proximity_dataset.h"
+#include "sim/vessel.h"
+#include "sim/weather.h"
+#include "sim/world.h"
+
+namespace marlin {
+namespace {
+
+TEST(EmissionModelTest, IntervalMixtureHasExpectedMean) {
+  EmissionModel model;
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  double max_interval = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double interval = model.SampleIntervalSec(&rng);
+    EXPECT_GT(interval, 0.0);
+    sum += interval;
+    max_interval = std::max(max_interval, interval);
+  }
+  const double expected = model.p_nominal *
+                              (model.nominal_min_sec + model.nominal_max_sec) /
+                              2.0 +
+                          model.p_degraded * model.degraded_mean_sec +
+                          (1.0 - model.p_nominal - model.p_degraded) *
+                              model.gap_mean_sec;
+  EXPECT_NEAR(sum / n, expected, expected * 0.05);
+  // The heavy tail exists: some intervals are vastly above the mean.
+  EXPECT_GT(max_interval, 10.0 * expected);
+}
+
+TEST(VesselSimTest, StaticInfoIsPlausible) {
+  const World world = World::GlobalWorld(7);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    VesselSim vessel(static_cast<Mmsi>(237000000 + seed), &world, Rng(seed));
+    const AisStatic& info = vessel.static_info();
+    EXPECT_EQ(info.mmsi, 237000000 + seed);
+    EXPECT_GT(info.length_m, 10.0);
+    EXPECT_LT(info.length_m, 400.0);
+    EXPECT_GT(info.beam_m, 1.0);
+    EXPECT_LT(info.beam_m, info.length_m);
+    EXPECT_GT(info.draught_m, 0.0);
+    EXPECT_GT(info.dwt, 0.0);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.destination.empty());
+  }
+}
+
+TEST(VesselSimTest, ReportedKinematicsCarryBoundedNoise) {
+  const World world = World::GlobalWorld(7);
+  VesselSim vessel(237000500, &world, Rng(55));
+  TimeMicros now = 0;
+  int checked = 0;
+  for (int i = 0; i < 3000 && checked < 50; ++i) {
+    const double true_sog = vessel.sog_knots();
+    const double true_cog = vessel.cog_deg();
+    vessel.Step(5.0);
+    now += 5 * kMicrosPerSecond;
+    if (auto report = vessel.MaybeEmit(now)) {
+      // Reported values are near (but noisy around) the true state.
+      EXPECT_NEAR(report->sog_knots, true_sog, 2.0);
+      double dc = std::fmod(report->cog_deg - true_cog + 540.0, 360.0) - 180.0;
+      EXPECT_LT(std::abs(dc), 15.0);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(WeatherTest, CellEnrichmentMatchesCenterSample) {
+  const WeatherField field(11);
+  const LatLng p{44.0, -30.0};
+  const CellId cell = HexGrid::LatLngToCell(p, 6);
+  const TimeMicros t = TimeMicros{1700000000} * kMicrosPerSecond;
+  const WeatherSample at_cell = field.AtCell(cell, t);
+  const WeatherSample at_center = field.At(HexGrid::CellToLatLng(cell), t);
+  EXPECT_DOUBLE_EQ(at_cell.wind_speed_mps, at_center.wind_speed_mps);
+  EXPECT_DOUBLE_EQ(at_cell.wave_height_m, at_center.wave_height_m);
+}
+
+TEST(EncounterTrackTest, YieldsTrainableSamples) {
+  Rng rng(33);
+  const BoundingBox aegean{35.0, 23.0, 40.0, 27.0};
+  const auto track = GenerateEncounterStyleTrack(900000001, aegean,
+                                                 2.5 * 3600.0, 60.0, &rng);
+  ASSERT_GT(track.size(), 60u);
+  // Timestamps strictly increase; positions stay in/near the region.
+  for (size_t i = 1; i < track.size(); ++i) {
+    EXPECT_GT(track[i].timestamp, track[i - 1].timestamp);
+  }
+  SampleBuilderOptions options;
+  const auto samples = BuildSvrfSamples(track, options);
+  EXPECT_GT(samples.size(), 10u);
+}
+
+TEST(EncounterTrackTest, CurvedTracksTurnAtTheConfiguredRate) {
+  // Generate many tracks; at least some must show sustained course change
+  // (the manoeuvre distribution the Table-2 difficulty relies on).
+  Rng rng(77);
+  const BoundingBox aegean{35.0, 23.0, 40.0, 27.0};
+  int curved = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto track = GenerateEncounterStyleTrack(
+        900000100 + static_cast<Mmsi>(i), aegean, 3600.0, 60.0, &rng);
+    if (track.size() < 10) continue;
+    const double first = track.front().cog_deg;
+    const double last = track.back().cog_deg;
+    const double change =
+        std::abs(std::fmod(last - first + 540.0, 360.0) - 180.0);
+    if (change > 20.0) ++curved;
+  }
+  EXPECT_GE(curved, 2);
+}
+
+TEST(WorldTest, LanesFromEmptyForUnknownPort) {
+  const World world = World::GlobalWorld(7);
+  EXPECT_TRUE(world.LanesFrom(10000).empty());
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ais/preprocess.h"
+#include "sim/fleet.h"
+#include "sim/proximity_dataset.h"
+#include "sim/vessel.h"
+#include "sim/world.h"
+
+namespace marlin {
+namespace {
+
+// ---------------------------------------------------------------- World
+
+TEST(WorldTest, GlobalWorldHasPortsAndLanes) {
+  const World world = World::GlobalWorld();
+  EXPECT_EQ(world.ports().size(), 40u);
+  EXPECT_GT(world.lanes().size(), 80u);
+  for (const Lane& lane : world.lanes()) {
+    EXPECT_GE(lane.waypoints.size(), 2u);
+    EXPECT_GT(lane.length_m, 0.0);
+    EXPECT_NE(lane.from_port, lane.to_port);
+    // Endpoints coincide with the ports.
+    EXPECT_LT(HaversineMeters(lane.waypoints.front(),
+                              world.ports()[lane.from_port].position),
+              1.0);
+    EXPECT_LT(HaversineMeters(lane.waypoints.back(),
+                              world.ports()[lane.to_port].position),
+              1.0);
+  }
+}
+
+TEST(WorldTest, EveryPortHasOutgoingLanes) {
+  const World world = World::GlobalWorld();
+  for (size_t p = 0; p < world.ports().size(); ++p) {
+    EXPECT_FALSE(world.LanesFrom(static_cast<int>(p)).empty())
+        << world.ports()[p].name;
+  }
+}
+
+TEST(WorldTest, WaypointsFollowLaneWithoutHugeJumps) {
+  const World world = World::GlobalWorld();
+  for (const Lane& lane : world.lanes()) {
+    for (size_t i = 1; i < lane.waypoints.size(); ++i) {
+      const double d =
+          HaversineMeters(lane.waypoints[i - 1], lane.waypoints[i]);
+      EXPECT_LT(d, 200000.0);  // < 200 km between consecutive waypoints
+    }
+  }
+}
+
+TEST(WorldTest, RegionalWorldRespectsBounds) {
+  const BoundingBox aegean{35.0, 23.0, 40.0, 27.0};
+  const World world = World::RegionalWorld(aegean, 12, 5);
+  EXPECT_EQ(world.ports().size(), 12u);
+  for (const Port& port : world.ports()) {
+    EXPECT_TRUE(aegean.Contains(port.position));
+  }
+  for (size_t p = 0; p < world.ports().size(); ++p) {
+    EXPECT_FALSE(world.LanesFrom(static_cast<int>(p)).empty());
+  }
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  const World a = World::GlobalWorld(3);
+  const World b = World::GlobalWorld(3);
+  ASSERT_EQ(a.lanes().size(), b.lanes().size());
+  for (size_t i = 0; i < a.lanes().size(); ++i) {
+    ASSERT_EQ(a.lanes()[i].waypoints.size(), b.lanes()[i].waypoints.size());
+    EXPECT_EQ(a.lanes()[i].waypoints[1].lat_deg,
+              b.lanes()[i].waypoints[1].lat_deg);
+  }
+}
+
+// --------------------------------------------------------------- Vessel
+
+TEST(VesselSimTest, MovesConsistentlyWithSpeed) {
+  const World world = World::GlobalWorld();
+  VesselSim vessel(237000001, &world, Rng(11));
+  const LatLng start = vessel.position();
+  double expected_m = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    expected_m += vessel.sog_knots() * kKnotsToMps * 10.0;
+    vessel.Step(10.0);
+  }
+  const double travelled = HaversineMeters(start, vessel.position());
+  // Straight-line displacement is at most the path length, and with lane
+  // following it stays comparable (no teleporting, no standstill).
+  EXPECT_GT(travelled, expected_m * 0.2);
+  EXPECT_LT(travelled, expected_m * 1.2);
+}
+
+TEST(VesselSimTest, StaysNearLaneCorridor) {
+  const World world = World::GlobalWorld();
+  VesselSim vessel(237000002, &world, Rng(13));
+  for (int i = 0; i < 500; ++i) {
+    vessel.Step(10.0);
+    const Lane& lane = world.lanes()[vessel.current_lane()];
+    double min_d = 1e18;
+    for (const LatLng& w : lane.waypoints) {
+      min_d = std::min(min_d, ApproxDistanceMeters(vessel.position(), w));
+    }
+    // Within ~40 km of some waypoint of its current lane (waypoints are
+    // 25 km apart, plus wiggle and turning slack).
+    EXPECT_LT(min_d, 40000.0) << "step " << i;
+  }
+}
+
+TEST(VesselSimTest, EmitsIrregularStream) {
+  const World world = World::GlobalWorld();
+  VesselSim vessel(237000003, &world, Rng(17));
+  TimeMicros now = 0;
+  std::vector<TimeMicros> emissions;
+  for (int i = 0; i < 5000; ++i) {
+    vessel.Step(5.0);
+    now += 5 * kMicrosPerSecond;
+    if (auto report = vessel.MaybeEmit(now)) {
+      EXPECT_EQ(report->mmsi, 237000003u);
+      EXPECT_GT(report->sog_knots, 0.0);
+      emissions.push_back(report->timestamp);
+    }
+  }
+  EXPECT_GT(emissions.size(), 50u);
+  for (size_t i = 1; i < emissions.size(); ++i) {
+    EXPECT_GT(emissions[i], emissions[i - 1]);
+  }
+}
+
+TEST(VesselSimTest, SilenceSuppressesEmission) {
+  const World world = World::GlobalWorld();
+  VesselSim vessel(237000004, &world, Rng(19));
+  const TimeMicros hour = 3600 * kMicrosPerSecond;
+  vessel.SilenceUntil(hour);
+  TimeMicros now = 0;
+  int before = 0, after = 0;
+  for (int i = 0; i < 2000; ++i) {
+    vessel.Step(5.0);
+    now += 5 * kMicrosPerSecond;
+    if (vessel.MaybeEmit(now).has_value()) {
+      if (now < hour) {
+        ++before;
+      } else {
+        ++after;
+      }
+    }
+  }
+  EXPECT_EQ(before, 0);
+  EXPECT_GT(after, 5);
+}
+
+// ---------------------------------------------------------------- Fleet
+
+TEST(FleetSimulatorTest, ProducesMessagesForAllVessels) {
+  const World world = World::GlobalWorld();
+  FleetConfig config;
+  config.num_vessels = 50;
+  config.seed = 23;
+  FleetSimulator fleet(&world, config);
+  const auto messages = fleet.Run(3600.0);
+  std::set<Mmsi> seen;
+  for (const auto& m : messages) seen.insert(m.mmsi);
+  EXPECT_GT(messages.size(), 500u);
+  EXPECT_GE(seen.size(), 45u);  // nearly every vessel transmits in an hour
+  for (const auto& m : messages) {
+    EXPECT_GE(m.position.lat_deg, -90.0);
+    EXPECT_LE(m.position.lat_deg, 90.0);
+    EXPECT_GE(m.position.lon_deg, -180.0);
+    EXPECT_LE(m.position.lon_deg, 180.0);
+  }
+}
+
+TEST(FleetSimulatorTest, StreamStatisticsMatchPaperRegime) {
+  // §6.1: after 30 s downsampling, mean sampling interval 78.6 s with a
+  // standard deviation of 418.3 s. Require the same regime: mean within
+  // [55, 110] s and a heavy tail (stddev > 150 s, i.e. far above the mean
+  // spacing — the signature of satellite gaps).
+  const World world = World::GlobalWorld();
+  FleetConfig config;
+  config.num_vessels = 150;
+  config.seed = 29;
+  FleetSimulator fleet(&world, config);
+  const auto tracks = fleet.RunTracks(6.0 * 3600.0);
+  Downsampler reference;
+  double sum = 0.0, sum_sq = 0.0;
+  int64_t n = 0;
+  for (const auto& [mmsi, track] : tracks) {
+    Downsampler ds;
+    TimeMicros last = -1;
+    for (const auto& report : track) {
+      if (!ds.Accept(report.timestamp)) continue;
+      if (last >= 0) {
+        const double dt =
+            static_cast<double>(report.timestamp - last) / kMicrosPerSecond;
+        sum += dt;
+        sum_sq += dt * dt;
+        ++n;
+      }
+      last = report.timestamp;
+    }
+  }
+  ASSERT_GT(n, 1000);
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  const double stddev = std::sqrt(std::max(0.0, var));
+  EXPECT_GT(mean, 55.0) << "mean=" << mean;
+  EXPECT_LT(mean, 110.0) << "mean=" << mean;
+  EXPECT_GT(stddev, 150.0) << "stddev=" << stddev;
+}
+
+TEST(FleetSimulatorTest, ArrivalSpanIntroducesVesselsGradually) {
+  const World world = World::GlobalWorld();
+  FleetConfig config;
+  config.num_vessels = 100;
+  config.seed = 31;
+  config.arrival_span_sec = 3000.0;
+  FleetSimulator fleet(&world, config);
+  std::vector<AisPosition> sink;
+  fleet.Step(&sink);
+  const int early = fleet.active_vessels();
+  for (int i = 0; i < 400; ++i) fleet.Step(&sink);
+  const int late = fleet.active_vessels();
+  EXPECT_LT(early, 30);
+  EXPECT_EQ(late, 100);
+}
+
+TEST(FleetSimulatorTest, DeterministicForSeed) {
+  const World world = World::GlobalWorld();
+  FleetConfig config;
+  config.num_vessels = 20;
+  config.seed = 37;
+  FleetSimulator a(&world, config);
+  FleetSimulator b(&world, config);
+  const auto ma = a.Run(1800.0);
+  const auto mb = b.Run(1800.0);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i].mmsi, mb[i].mmsi);
+    EXPECT_EQ(ma[i].timestamp, mb[i].timestamp);
+    EXPECT_DOUBLE_EQ(ma[i].position.lat_deg, mb[i].position.lat_deg);
+  }
+}
+
+TEST(FleetSimulatorTest, TracksLongEnoughForSvrfSamples) {
+  const World world = World::GlobalWorld();
+  FleetConfig config;
+  config.num_vessels = 30;
+  config.seed = 41;
+  FleetSimulator fleet(&world, config);
+  const auto tracks = fleet.RunTracks(5.0 * 3600.0);
+  int with_samples = 0;
+  SampleBuilderOptions options;
+  options.stride = 3;
+  for (const auto& [mmsi, track] : tracks) {
+    if (!BuildSvrfSamples(track, options).empty()) ++with_samples;
+  }
+  // Most vessels yield usable supervised windows within 5 hours.
+  EXPECT_GT(with_samples, 15);
+}
+
+// -------------------------------------------------------- ProximityDataset
+
+TEST(ProximityDatasetTest, ReproducesPaperComposition) {
+  ProximityDatasetConfig config;
+  const ProximityDataset dataset = GenerateProximityDataset(config);
+  EXPECT_EQ(dataset.TotalEvents(), 237);
+  EXPECT_EQ(dataset.EventsWithin(120.0), 61);   // Sub dataset A
+  EXPECT_EQ(dataset.EventsWithin(300.0), 152);  // Sub dataset B
+  EXPECT_EQ(static_cast<int>(dataset.scenarios.size()),
+            237 + config.negatives);
+  EXPECT_GT(dataset.TotalMessages(), 3000);
+}
+
+TEST(ProximityDatasetTest, TruthConsistentWithTracks) {
+  ProximityDatasetConfig config;
+  config.events_under_2min = 10;
+  config.events_2_to_5min = 10;
+  config.events_5_to_12min = 10;
+  config.negatives = 10;
+  const ProximityDataset dataset = GenerateProximityDataset(config);
+  for (const auto& scenario : dataset.scenarios) {
+    // Empirical minimum distance between the two tracks around the CPA
+    // (sampled by interpolating both tracks on a common time grid).
+    double min_d = 1e18;
+    for (TimeMicros t = scenario.truth.cpa_time - 3 * kMicrosPerMinute;
+         t <= scenario.truth.cpa_time + 3 * kMicrosPerMinute;
+         t += 5 * kMicrosPerSecond) {
+      auto pa = InterpolatePosition(scenario.track_a, t);
+      auto pb = InterpolatePosition(scenario.track_b, t);
+      if (!pa.ok() || !pb.ok()) continue;
+      min_d = std::min(min_d, ApproxDistanceMeters(*pa, *pb));
+    }
+    ASSERT_LT(min_d, 1e18);
+    if (scenario.truth.is_event) {
+      EXPECT_LT(min_d, config.proximity_threshold_m + 150.0)
+          << "event pair " << scenario.truth.vessel_a;
+    } else {
+      // Negatives include hard near-misses, but never below the proximity
+      // threshold itself (truth CPA >= 1.6x threshold; empirical sampling
+      // and track noise can shave a little off).
+      EXPECT_GT(min_d, config.proximity_threshold_m)
+          << "negative pair " << scenario.truth.vessel_a;
+    }
+  }
+}
+
+TEST(ProximityDatasetTest, HistoriesLongEnoughForModelInput) {
+  ProximityDatasetConfig config;
+  config.events_under_2min = 5;
+  config.events_2_to_5min = 5;
+  config.events_5_to_12min = 5;
+  config.negatives = 5;
+  const ProximityDataset dataset = GenerateProximityDataset(config);
+  for (const auto& scenario : dataset.scenarios) {
+    int before_eval_a = 0, before_eval_b = 0;
+    for (const auto& m : scenario.track_a) {
+      if (m.timestamp <= scenario.eval_time) ++before_eval_a;
+    }
+    for (const auto& m : scenario.track_b) {
+      if (m.timestamp <= scenario.eval_time) ++before_eval_b;
+    }
+    EXPECT_GE(before_eval_a, kSvrfInputLength + 1);
+    EXPECT_GE(before_eval_b, kSvrfInputLength + 1);
+  }
+}
+
+TEST(ProximityDatasetTest, DeterministicForSeed) {
+  ProximityDatasetConfig config;
+  config.events_under_2min = 3;
+  config.events_2_to_5min = 3;
+  config.events_5_to_12min = 3;
+  config.negatives = 3;
+  const ProximityDataset a = GenerateProximityDataset(config);
+  const ProximityDataset b = GenerateProximityDataset(config);
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  for (size_t i = 0; i < a.scenarios.size(); ++i) {
+    EXPECT_EQ(a.scenarios[i].truth.cpa_time, b.scenarios[i].truth.cpa_time);
+    EXPECT_DOUBLE_EQ(a.scenarios[i].truth.cpa_distance_m,
+                     b.scenarios[i].truth.cpa_distance_m);
+  }
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "stream/broker.h"
+
+namespace marlin {
+namespace {
+
+TEST(BrokerTest, CreateTopicValidation) {
+  Broker broker;
+  EXPECT_TRUE(broker.CreateTopic("ais", 4).ok());
+  EXPECT_TRUE(broker.HasTopic("ais"));
+  EXPECT_EQ(broker.NumPartitions("ais"), 4);
+  EXPECT_EQ(broker.CreateTopic("ais", 2).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(broker.CreateTopic("bad", 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(broker.HasTopic("nope"));
+  EXPECT_EQ(broker.NumPartitions("nope"), 0);
+}
+
+TEST(BrokerTest, AppendAssignsMonotonicOffsetsPerPartition) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto rec = broker.Append("t", "key", "v" + std::to_string(i), i);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->offset, i);
+    EXPECT_EQ(rec->partition, 0);
+  }
+  EXPECT_EQ(broker.TopicSize("t"), 10);
+}
+
+TEST(BrokerTest, AppendToMissingTopicFails) {
+  Broker broker;
+  EXPECT_EQ(broker.Append("missing", "k", "v", 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BrokerTest, SameKeyAlwaysSamePartition) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 8).ok());
+  int first_partition = -1;
+  for (int i = 0; i < 20; ++i) {
+    auto rec = broker.Append("t", "mmsi-237000001", "v", i);
+    ASSERT_TRUE(rec.ok());
+    if (first_partition < 0) first_partition = rec->partition;
+    EXPECT_EQ(rec->partition, first_partition);
+  }
+}
+
+TEST(BrokerTest, KeysSpreadAcrossPartitions) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 8).ok());
+  std::set<int> used;
+  for (int i = 0; i < 200; ++i) {
+    auto rec = broker.Append("t", "key-" + std::to_string(i), "v", i);
+    ASSERT_TRUE(rec.ok());
+    used.insert(rec->partition);
+  }
+  EXPECT_GE(used.size(), 6u);
+}
+
+TEST(BrokerTest, ReadRespectsOffsetAndLimit) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) broker.Append("t", "k", std::to_string(i), i);
+  auto batch = broker.Read("t", 0, 4, 3);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_EQ((*batch)[0].value, "4");
+  EXPECT_EQ((*batch)[2].value, "6");
+  // Past the end: empty.
+  auto empty = broker.Read("t", 0, 100, 10);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  // Bad partition.
+  EXPECT_FALSE(broker.Read("t", 5, 0, 10).ok());
+}
+
+TEST(BrokerTest, EndOffsetTracksAppends) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
+  EXPECT_EQ(*broker.EndOffset("t", 0), 0);
+  broker.Append("t", "k", "v", 0);
+  EXPECT_EQ(*broker.EndOffset("t", 0), 1);
+}
+
+TEST(BrokerTest, CommittedOffsetsPerGroup) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 2).ok());
+  EXPECT_EQ(broker.CommittedOffset("g1", "t", 0), 0);
+  broker.CommitOffset("g1", "t", 0, 5);
+  broker.CommitOffset("g2", "t", 0, 9);
+  EXPECT_EQ(broker.CommittedOffset("g1", "t", 0), 5);
+  EXPECT_EQ(broker.CommittedOffset("g2", "t", 0), 9);
+  EXPECT_EQ(broker.CommittedOffset("g1", "t", 1), 0);
+}
+
+TEST(ConsumerTest, PollsEverythingInPartitionOrder) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 4).ok());
+  for (int i = 0; i < 100; ++i) {
+    broker.Append("t", "key-" + std::to_string(i % 10), std::to_string(i), i);
+  }
+  Consumer consumer(&broker, "g", "t");
+  EXPECT_EQ(consumer.Lag(), 100);
+  std::vector<Record> all;
+  for (;;) {
+    auto batch = consumer.Poll(7);
+    if (batch.empty()) break;
+    for (auto& r : batch) all.push_back(std::move(r));
+  }
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(consumer.Lag(), 0);
+  // Within each partition, offsets are strictly increasing.
+  std::vector<int64_t> last(4, -1);
+  for (const auto& r : all) {
+    EXPECT_GT(r.offset, last[r.partition]);
+    last[r.partition] = r.offset;
+  }
+}
+
+TEST(ConsumerTest, CommitResumesAcrossConsumers) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) broker.Append("t", "k", std::to_string(i), i);
+  {
+    Consumer first(&broker, "group", "t");
+    auto batch = first.Poll(4);
+    ASSERT_EQ(batch.size(), 4u);
+    first.Commit();
+  }
+  Consumer second(&broker, "group", "t");
+  auto batch = second.Poll(100);
+  ASSERT_EQ(batch.size(), 6u);
+  EXPECT_EQ(batch[0].value, "4");
+}
+
+TEST(ConsumerTest, UncommittedProgressIsLostOnRestart) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) broker.Append("t", "k", std::to_string(i), i);
+  {
+    Consumer first(&broker, "group", "t");
+    first.Poll(4);  // no commit
+  }
+  Consumer second(&broker, "group", "t");
+  EXPECT_EQ(second.Poll(100).size(), 10u);
+}
+
+TEST(ConsumerTest, IndependentGroups) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 5; ++i) broker.Append("t", "k", std::to_string(i), i);
+  Consumer a(&broker, "ga", "t");
+  Consumer b(&broker, "gb", "t");
+  EXPECT_EQ(a.Poll(100).size(), 5u);
+  EXPECT_EQ(b.Poll(100).size(), 5u);
+}
+
+TEST(ConsumerTest, PollOnMissingTopicIsEmpty) {
+  Broker broker;
+  Consumer consumer(&broker, "g", "missing");
+  EXPECT_TRUE(consumer.Poll(10).empty());
+  EXPECT_EQ(consumer.Lag(), 0);
+}
+
+TEST(BrokerTest, ConcurrentProducersAndConsumer) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 4).ok());
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&broker, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto rec = broker.Append("t", "key-" + std::to_string(p), "v",
+                                 p * kPerProducer + i);
+        ASSERT_TRUE(rec.ok());
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::thread consumer_thread([&broker, &consumed] {
+    Consumer consumer(&broker, "g", "t");
+    while (consumed.load() < kProducers * kPerProducer) {
+      auto batch = consumer.Poll(128);
+      consumed.fetch_add(static_cast<int>(batch.size()));
+      if (batch.empty()) std::this_thread::yield();
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer_thread.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(broker.TopicSize("t"), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace marlin
