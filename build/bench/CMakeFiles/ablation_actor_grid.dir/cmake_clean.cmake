@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_actor_grid.dir/ablation_actor_grid.cc.o"
+  "CMakeFiles/ablation_actor_grid.dir/ablation_actor_grid.cc.o.d"
+  "ablation_actor_grid"
+  "ablation_actor_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_actor_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

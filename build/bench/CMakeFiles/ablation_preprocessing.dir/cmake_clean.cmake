@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preprocessing.dir/ablation_preprocessing.cc.o"
+  "CMakeFiles/ablation_preprocessing.dir/ablation_preprocessing.cc.o.d"
+  "ablation_preprocessing"
+  "ablation_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

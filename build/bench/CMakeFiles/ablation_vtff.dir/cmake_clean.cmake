@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vtff.dir/ablation_vtff.cc.o"
+  "CMakeFiles/ablation_vtff.dir/ablation_vtff.cc.o.d"
+  "ablation_vtff"
+  "ablation_vtff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vtff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

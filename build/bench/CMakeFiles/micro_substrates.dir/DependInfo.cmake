@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_substrates.cc" "bench/CMakeFiles/micro_substrates.dir/micro_substrates.cc.o" "gcc" "bench/CMakeFiles/micro_substrates.dir/micro_substrates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actor/CMakeFiles/marlin_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ais/CMakeFiles/marlin_ais.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/marlin_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/hexgrid/CMakeFiles/marlin_hexgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/marlin_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/marlin_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrf/CMakeFiles/marlin_vrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/marlin_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/marlin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/marlin_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marlin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

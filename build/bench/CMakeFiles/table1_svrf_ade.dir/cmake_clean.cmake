@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_svrf_ade.dir/table1_svrf_ade.cc.o"
+  "CMakeFiles/table1_svrf_ade.dir/table1_svrf_ade.cc.o.d"
+  "table1_svrf_ade"
+  "table1_svrf_ade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_svrf_ade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

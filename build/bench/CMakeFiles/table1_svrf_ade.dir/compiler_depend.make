@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_svrf_ade.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_collision.dir/table2_collision.cc.o"
+  "CMakeFiles/table2_collision.dir/table2_collision.cc.o.d"
+  "table2_collision"
+  "table2_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

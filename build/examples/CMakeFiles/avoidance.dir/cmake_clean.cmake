@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoidance.dir/avoidance.cpp.o"
+  "CMakeFiles/avoidance.dir/avoidance.cpp.o.d"
+  "avoidance"
+  "avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

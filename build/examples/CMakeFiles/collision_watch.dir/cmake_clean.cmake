@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_watch.dir/collision_watch.cpp.o"
+  "CMakeFiles/collision_watch.dir/collision_watch.cpp.o.d"
+  "collision_watch"
+  "collision_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

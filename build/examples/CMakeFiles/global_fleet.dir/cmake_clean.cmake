@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_fleet.dir/global_fleet.cpp.o"
+  "CMakeFiles/global_fleet.dir/global_fleet.cpp.o.d"
+  "global_fleet"
+  "global_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_term_route.dir/long_term_route.cpp.o"
+  "CMakeFiles/long_term_route.dir/long_term_route.cpp.o.d"
+  "long_term_route"
+  "long_term_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_term_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_flow.dir/traffic_flow.cpp.o"
+  "CMakeFiles/traffic_flow.dir/traffic_flow.cpp.o.d"
+  "traffic_flow"
+  "traffic_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("hexgrid")
+subdirs("ais")
+subdirs("actor")
+subdirs("stream")
+subdirs("kvstore")
+subdirs("nn")
+subdirs("sim")
+subdirs("vrf")
+subdirs("events")
+subdirs("core")
+subdirs("middleware")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_actor.dir/actor_system.cc.o"
+  "CMakeFiles/marlin_actor.dir/actor_system.cc.o.d"
+  "libmarlin_actor.a"
+  "libmarlin_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ais/codec.cc" "src/ais/CMakeFiles/marlin_ais.dir/codec.cc.o" "gcc" "src/ais/CMakeFiles/marlin_ais.dir/codec.cc.o.d"
+  "/root/repo/src/ais/preprocess.cc" "src/ais/CMakeFiles/marlin_ais.dir/preprocess.cc.o" "gcc" "src/ais/CMakeFiles/marlin_ais.dir/preprocess.cc.o.d"
+  "/root/repo/src/ais/stream_io.cc" "src/ais/CMakeFiles/marlin_ais.dir/stream_io.cc.o" "gcc" "src/ais/CMakeFiles/marlin_ais.dir/stream_io.cc.o.d"
+  "/root/repo/src/ais/types.cc" "src/ais/CMakeFiles/marlin_ais.dir/types.cc.o" "gcc" "src/ais/CMakeFiles/marlin_ais.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/marlin_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marlin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

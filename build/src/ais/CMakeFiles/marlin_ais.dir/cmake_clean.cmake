@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_ais.dir/codec.cc.o"
+  "CMakeFiles/marlin_ais.dir/codec.cc.o.d"
+  "CMakeFiles/marlin_ais.dir/preprocess.cc.o"
+  "CMakeFiles/marlin_ais.dir/preprocess.cc.o.d"
+  "CMakeFiles/marlin_ais.dir/stream_io.cc.o"
+  "CMakeFiles/marlin_ais.dir/stream_io.cc.o.d"
+  "CMakeFiles/marlin_ais.dir/types.cc.o"
+  "CMakeFiles/marlin_ais.dir/types.cc.o.d"
+  "libmarlin_ais.a"
+  "libmarlin_ais.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_ais.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for marlin_ais.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_core.dir/actors.cc.o"
+  "CMakeFiles/marlin_core.dir/actors.cc.o.d"
+  "CMakeFiles/marlin_core.dir/pipeline.cc.o"
+  "CMakeFiles/marlin_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/marlin_core.dir/static_registry.cc.o"
+  "CMakeFiles/marlin_core.dir/static_registry.cc.o.d"
+  "libmarlin_core.a"
+  "libmarlin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

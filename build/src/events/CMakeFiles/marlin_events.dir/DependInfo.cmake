@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/events/collision.cc" "src/events/CMakeFiles/marlin_events.dir/collision.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/collision.cc.o.d"
+  "/root/repo/src/events/collision_avoidance.cc" "src/events/CMakeFiles/marlin_events.dir/collision_avoidance.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/collision_avoidance.cc.o.d"
+  "/root/repo/src/events/collision_eval.cc" "src/events/CMakeFiles/marlin_events.dir/collision_eval.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/collision_eval.cc.o.d"
+  "/root/repo/src/events/port_congestion.cc" "src/events/CMakeFiles/marlin_events.dir/port_congestion.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/port_congestion.cc.o.d"
+  "/root/repo/src/events/proximity.cc" "src/events/CMakeFiles/marlin_events.dir/proximity.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/proximity.cc.o.d"
+  "/root/repo/src/events/route_deviation.cc" "src/events/CMakeFiles/marlin_events.dir/route_deviation.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/route_deviation.cc.o.d"
+  "/root/repo/src/events/switch_off.cc" "src/events/CMakeFiles/marlin_events.dir/switch_off.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/switch_off.cc.o.d"
+  "/root/repo/src/events/traffic_flow.cc" "src/events/CMakeFiles/marlin_events.dir/traffic_flow.cc.o" "gcc" "src/events/CMakeFiles/marlin_events.dir/traffic_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ais/CMakeFiles/marlin_ais.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/marlin_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hexgrid/CMakeFiles/marlin_hexgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/marlin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrf/CMakeFiles/marlin_vrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marlin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/marlin_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

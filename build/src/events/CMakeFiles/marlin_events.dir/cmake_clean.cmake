@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_events.dir/collision.cc.o"
+  "CMakeFiles/marlin_events.dir/collision.cc.o.d"
+  "CMakeFiles/marlin_events.dir/collision_avoidance.cc.o"
+  "CMakeFiles/marlin_events.dir/collision_avoidance.cc.o.d"
+  "CMakeFiles/marlin_events.dir/collision_eval.cc.o"
+  "CMakeFiles/marlin_events.dir/collision_eval.cc.o.d"
+  "CMakeFiles/marlin_events.dir/port_congestion.cc.o"
+  "CMakeFiles/marlin_events.dir/port_congestion.cc.o.d"
+  "CMakeFiles/marlin_events.dir/proximity.cc.o"
+  "CMakeFiles/marlin_events.dir/proximity.cc.o.d"
+  "CMakeFiles/marlin_events.dir/route_deviation.cc.o"
+  "CMakeFiles/marlin_events.dir/route_deviation.cc.o.d"
+  "CMakeFiles/marlin_events.dir/switch_off.cc.o"
+  "CMakeFiles/marlin_events.dir/switch_off.cc.o.d"
+  "CMakeFiles/marlin_events.dir/traffic_flow.cc.o"
+  "CMakeFiles/marlin_events.dir/traffic_flow.cc.o.d"
+  "libmarlin_events.a"
+  "libmarlin_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

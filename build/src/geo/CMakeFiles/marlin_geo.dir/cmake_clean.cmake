@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_geo.dir/geodesy.cc.o"
+  "CMakeFiles/marlin_geo.dir/geodesy.cc.o.d"
+  "libmarlin_geo.a"
+  "libmarlin_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_hexgrid.dir/hexgrid.cc.o"
+  "CMakeFiles/marlin_hexgrid.dir/hexgrid.cc.o.d"
+  "libmarlin_hexgrid.a"
+  "libmarlin_hexgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_hexgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/marlin_kvstore.dir/kvstore.cc.o.d"
+  "libmarlin_kvstore.a"
+  "libmarlin_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_middleware.dir/api_service.cc.o"
+  "CMakeFiles/marlin_middleware.dir/api_service.cc.o.d"
+  "CMakeFiles/marlin_middleware.dir/http_server.cc.o"
+  "CMakeFiles/marlin_middleware.dir/http_server.cc.o.d"
+  "CMakeFiles/marlin_middleware.dir/json.cc.o"
+  "CMakeFiles/marlin_middleware.dir/json.cc.o.d"
+  "libmarlin_middleware.a"
+  "libmarlin_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_nn.dir/layers.cc.o"
+  "CMakeFiles/marlin_nn.dir/layers.cc.o.d"
+  "CMakeFiles/marlin_nn.dir/matrix.cc.o"
+  "CMakeFiles/marlin_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/marlin_nn.dir/model.cc.o"
+  "CMakeFiles/marlin_nn.dir/model.cc.o.d"
+  "libmarlin_nn.a"
+  "libmarlin_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fleet.cc" "src/sim/CMakeFiles/marlin_sim.dir/fleet.cc.o" "gcc" "src/sim/CMakeFiles/marlin_sim.dir/fleet.cc.o.d"
+  "/root/repo/src/sim/proximity_dataset.cc" "src/sim/CMakeFiles/marlin_sim.dir/proximity_dataset.cc.o" "gcc" "src/sim/CMakeFiles/marlin_sim.dir/proximity_dataset.cc.o.d"
+  "/root/repo/src/sim/vessel.cc" "src/sim/CMakeFiles/marlin_sim.dir/vessel.cc.o" "gcc" "src/sim/CMakeFiles/marlin_sim.dir/vessel.cc.o.d"
+  "/root/repo/src/sim/weather.cc" "src/sim/CMakeFiles/marlin_sim.dir/weather.cc.o" "gcc" "src/sim/CMakeFiles/marlin_sim.dir/weather.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/marlin_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/marlin_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ais/CMakeFiles/marlin_ais.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/marlin_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hexgrid/CMakeFiles/marlin_hexgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marlin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_sim.dir/fleet.cc.o"
+  "CMakeFiles/marlin_sim.dir/fleet.cc.o.d"
+  "CMakeFiles/marlin_sim.dir/proximity_dataset.cc.o"
+  "CMakeFiles/marlin_sim.dir/proximity_dataset.cc.o.d"
+  "CMakeFiles/marlin_sim.dir/vessel.cc.o"
+  "CMakeFiles/marlin_sim.dir/vessel.cc.o.d"
+  "CMakeFiles/marlin_sim.dir/weather.cc.o"
+  "CMakeFiles/marlin_sim.dir/weather.cc.o.d"
+  "CMakeFiles/marlin_sim.dir/world.cc.o"
+  "CMakeFiles/marlin_sim.dir/world.cc.o.d"
+  "libmarlin_sim.a"
+  "libmarlin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_stream.dir/broker.cc.o"
+  "CMakeFiles/marlin_stream.dir/broker.cc.o.d"
+  "libmarlin_stream.a"
+  "libmarlin_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

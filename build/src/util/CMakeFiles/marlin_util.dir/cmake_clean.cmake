@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_util.dir/file.cc.o"
+  "CMakeFiles/marlin_util.dir/file.cc.o.d"
+  "CMakeFiles/marlin_util.dir/latency_recorder.cc.o"
+  "CMakeFiles/marlin_util.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/marlin_util.dir/logging.cc.o"
+  "CMakeFiles/marlin_util.dir/logging.cc.o.d"
+  "CMakeFiles/marlin_util.dir/status.cc.o"
+  "CMakeFiles/marlin_util.dir/status.cc.o.d"
+  "CMakeFiles/marlin_util.dir/thread_pool.cc.o"
+  "CMakeFiles/marlin_util.dir/thread_pool.cc.o.d"
+  "libmarlin_util.a"
+  "libmarlin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

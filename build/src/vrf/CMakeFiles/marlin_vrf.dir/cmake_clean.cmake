@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_vrf.dir/envclus.cc.o"
+  "CMakeFiles/marlin_vrf.dir/envclus.cc.o.d"
+  "CMakeFiles/marlin_vrf.dir/linear_model.cc.o"
+  "CMakeFiles/marlin_vrf.dir/linear_model.cc.o.d"
+  "CMakeFiles/marlin_vrf.dir/metrics.cc.o"
+  "CMakeFiles/marlin_vrf.dir/metrics.cc.o.d"
+  "CMakeFiles/marlin_vrf.dir/patterns_of_life.cc.o"
+  "CMakeFiles/marlin_vrf.dir/patterns_of_life.cc.o.d"
+  "CMakeFiles/marlin_vrf.dir/svrf_model.cc.o"
+  "CMakeFiles/marlin_vrf.dir/svrf_model.cc.o.d"
+  "libmarlin_vrf.a"
+  "libmarlin_vrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_vrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for marlin_vrf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexgrid_test.dir/hexgrid_test.cc.o"
+  "CMakeFiles/hexgrid_test.dir/hexgrid_test.cc.o.d"
+  "hexgrid_test"
+  "hexgrid_test.pdb"
+  "hexgrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexgrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
