@@ -14,6 +14,7 @@
 #include "events/proximity.h"
 #include "hexgrid/hexgrid.h"
 #include "kvstore/kvstore.h"
+#include "obs/metrics.h"
 #include "stream/broker.h"
 #include "util/rng.h"
 #include "vrf/linear_model.h"
@@ -72,6 +73,44 @@ void BM_AisCodecDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AisCodecDecode);
+
+// Cost of one hot-path metric update — this rides on every actor message,
+// so it must stay in the few-nanosecond range.
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  static obs::Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_ObsCounterIncrement)->Threads(1)->Threads(8);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  static obs::Histogram histogram;
+  int64_t nanos = 1;
+  for (auto _ : state) {
+    histogram.Observe(nanos);
+    nanos = (nanos * 7) & 0xFFFFF;
+  }
+  benchmark::DoNotOptimize(histogram.Count());
+}
+BENCHMARK(BM_ObsHistogramObserve)->Threads(1)->Threads(8);
+
+void BM_ObsRegistryRender(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 20; ++i) {
+    registry
+        .GetCounter("bench_total", "bench", {{"k", std::to_string(i)}})
+        ->Increment(i);
+    registry
+        .GetHistogram("bench_nanos", "bench", {{"k", std::to_string(i)}})
+        ->Observe(i * 1000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.RenderPrometheus());
+  }
+}
+BENCHMARK(BM_ObsRegistryRender);
 
 void BM_KvStoreHSet(benchmark::State& state) {
   KvStore store;

@@ -73,6 +73,7 @@ int main() {
   Show(&api, "/traffic/6");
   Show(&api, "/ports");
   Show(&api, "/viewport?min_lat=30&min_lon=-10&max_lat=60&max_lon=30");
+  Show(&api, "/metrics");  // Prometheus text exposition of every substrate
   Show(&api, "/nonexistent");
   return 0;
 }

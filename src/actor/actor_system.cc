@@ -22,6 +22,28 @@ ActorSystem::ActorSystem(const ActorSystemConfig& config)
                 ? config.num_threads
                 : static_cast<int>(std::max(
                       2u, std::thread::hardware_concurrency()))) {
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::OrGlobal(config.metrics);
+  metrics_.registry = registry;
+  metrics_.messages_processed = registry->GetCounter(
+      "marlin_actor_messages_processed_total",
+      "Messages delivered to actors and processed");
+  metrics_.messages_dropped = registry->GetCounter(
+      "marlin_actor_messages_dropped_total",
+      "Messages dropped (stopped target or shutdown)");
+  metrics_.actors_spawned = registry->GetCounter(
+      "marlin_actor_spawned_total", "Actors spawned");
+  metrics_.actors_stopped = registry->GetCounter(
+      "marlin_actor_stopped_total", "Actors stopped");
+  metrics_.restarts = registry->GetCounter(
+      "marlin_actor_restarts_total", "Actor supervision restarts");
+  metrics_.live_actors = registry->GetGauge(
+      "marlin_actor_live", "Actors currently registered");
+  metrics_.mailbox_highwater = registry->GetGauge(
+      "marlin_actor_mailbox_highwater",
+      "Deepest mailbox observed at enqueue time");
+  metrics_.dispatcher_queue_depth = registry->GetGauge(
+      "marlin_dispatcher_queue_depth",
+      "Dispatcher pool queue depth sampled at scheduling points");
   timer_thread_ = std::thread([this] { TimerLoop(); });
 }
 
@@ -45,6 +67,8 @@ StatusOr<ActorRef> ActorSystem::Spawn(std::string name,
     by_name_.emplace(name, cell);
     by_id_.emplace(cell->id, cell);
   }
+  metrics_.actors_spawned->Increment();
+  metrics_.live_actors->Add(1);
   ActorRef ref(cell->id, std::move(name), cell);
   Envelope start_env;
   ActorContext ctx(this, cell->id, &start_env);
@@ -158,6 +182,8 @@ void ActorSystem::Shutdown() {
     if (!cell->stopped) {
       cell->stopped = true;
       cell->actor->OnStop();
+      metrics_.actors_stopped->Increment();
+      metrics_.live_actors->Sub(1);
     }
   }
   {
@@ -183,15 +209,20 @@ bool ActorSystem::Enqueue(const std::shared_ptr<ActorCell>& cell,
     std::lock_guard<std::mutex> lock(cell->mu);
     if (cell->stopped) {
       DecrementPending(1);
+      metrics_.messages_dropped->Increment();
       return false;
     }
     cell->mailbox.push_back(std::move(envelope));
+    metrics_.mailbox_highwater->UpdateMax(
+        static_cast<int64_t>(cell->mailbox.size()));
     if (!cell->scheduled) {
       cell->scheduled = true;
       schedule = true;
     }
   }
   if (schedule) {
+    metrics_.dispatcher_queue_depth->Set(
+        static_cast<int64_t>(pool_.QueueDepth()));
     if (!pool_.Submit([this, cell] { DrainMailbox(cell); })) {
       // Pool already shut down; roll back so quiescence does not hang.
       size_t dropped;
@@ -202,6 +233,7 @@ bool ActorSystem::Enqueue(const std::shared_ptr<ActorCell>& cell,
         cell->scheduled = false;
       }
       DecrementPending(static_cast<int64_t>(dropped));
+      metrics_.messages_dropped->Increment(dropped);
       return false;
     }
   }
@@ -240,6 +272,7 @@ void ActorSystem::DrainMailbox(std::shared_ptr<ActorCell> cell) {
     const Status status = cell->actor->Receive(env.payload, ctx);
     ++processed_here;
     processed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.messages_processed->Increment();
     if (!status.ok()) {
       // Handle the failure before releasing the pending count so that
       // AwaitQuiescence observes completed supervision, not just delivery.
@@ -263,6 +296,7 @@ void ActorSystem::HandleFailure(const std::shared_ptr<ActorCell>& cell,
     std::lock_guard<std::mutex> lock(cell->mu);
     restarts = ++cell->restarts;
   }
+  metrics_.restarts->Increment();
   if (restarts > config_.max_restarts) {
     MARLIN_LOG(WARNING) << "actor '" << cell->name << "' exceeded "
                         << config_.max_restarts
@@ -288,6 +322,9 @@ void ActorSystem::StopCell(const std::shared_ptr<ActorCell>& cell) {
     cell->actor->OnStop();
   }
   DecrementPending(static_cast<int64_t>(dropped));
+  if (dropped > 0) metrics_.messages_dropped->Increment(dropped);
+  metrics_.actors_stopped->Increment();
+  metrics_.live_actors->Sub(1);
   std::lock_guard<std::mutex> lock(registry_mu_);
   by_name_.erase(cell->name);
   by_id_.erase(cell->id);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "actor/actor.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -42,6 +43,8 @@ struct ActorSystemConfig {
   int throughput = 64;
   /// Restarts allowed per actor before it is stopped for good.
   int max_restarts = 5;
+  /// Registry the runtime reports its metrics into (null = process global).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// An asynchronous message-passing runtime in the style of Akka [8]: actors
@@ -112,7 +115,24 @@ class ActorSystem {
     return processed_.load(std::memory_order_relaxed);
   }
 
+  /// The registry this system reports into.
+  obs::MetricsRegistry* metrics_registry() const { return metrics_.registry; }
+
  private:
+  /// Cached handles into the metrics registry (resolved once at
+  /// construction; updates are lock-free afterwards).
+  struct Metrics {
+    obs::MetricsRegistry* registry = nullptr;
+    obs::Counter* messages_processed = nullptr;
+    obs::Counter* messages_dropped = nullptr;
+    obs::Counter* actors_spawned = nullptr;
+    obs::Counter* actors_stopped = nullptr;
+    obs::Counter* restarts = nullptr;
+    obs::Gauge* live_actors = nullptr;
+    obs::Gauge* mailbox_highwater = nullptr;
+    obs::Gauge* dispatcher_queue_depth = nullptr;
+  };
+
   struct TimerEntry {
     TimeMicros fire_at_wall;  // wall-clock micros
     ActorRef target;
@@ -132,6 +152,7 @@ class ActorSystem {
   void TimerLoop();
 
   const ActorSystemConfig config_;
+  Metrics metrics_;
   ThreadPool pool_;
 
   mutable std::mutex registry_mu_;

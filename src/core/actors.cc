@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -116,6 +117,7 @@ Status VesselActor::HandlePosition(const AisPosition& report,
 
   // Generate a forecast once a full input window is available.
   if (accepted && history_.Ready()) {
+    obs::ScopedTimer forecast_timer(pipeline_->stage_forecast);
     const SvrfInput input = history_.MakeInput();
     StatusOr<ForecastTrajectory> forecast =
         pipeline_->forecaster->Forecast(input);
@@ -157,9 +159,12 @@ Status VesselActor::HandlePosition(const AisPosition& report,
   if (has_forecast_) state.forecast = latest_forecast_;
   ctx.system().Tell(pipeline_->WriterFor(mmsi_), std::move(state), ctx.self());
 
-  pipeline_->latency->Record(
-      static_cast<int64_t>(ctx.system().ActorCount()),
-      stopwatch.ElapsedNanos() + ingest_cost_nanos);
+  const int64_t total_nanos = stopwatch.ElapsedNanos() + ingest_cost_nanos;
+  if (pipeline_->stage_position != nullptr) {
+    pipeline_->stage_position->Observe(total_nanos);
+  }
+  pipeline_->latency->Record(static_cast<int64_t>(ctx.system().ActorCount()),
+                             total_nanos);
   return Status::Ok();
 }
 
@@ -341,6 +346,7 @@ Status WriterActor::Receive(const std::any& message, ActorContext& ctx) {
 }
 
 void WriterActor::WriteVesselState(const VesselStateMsg& state) {
+  obs::ScopedTimer write_timer(pipeline_->stage_write);
   const std::string key = "vessel:" + std::to_string(state.latest.mmsi);
   KvStore* store = pipeline_->store;
   char buf[64];
@@ -389,6 +395,7 @@ void WriterActor::WriteVesselState(const VesselStateMsg& state) {
 }
 
 void WriterActor::WriteEvent(const MaritimeEvent& event) {
+  obs::ScopedTimer write_timer(pipeline_->stage_write);
   const std::string key = "event:" + std::to_string(shard_) + ":" +
                           std::to_string(event_seq_++);
   KvStore* store = pipeline_->store;

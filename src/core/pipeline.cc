@@ -9,8 +9,15 @@ namespace marlin {
 MaritimePipeline::MaritimePipeline(
     std::shared_ptr<const RouteForecaster> forecaster,
     const PipelineConfig& config)
-    : config_(config), forecaster_(std::move(forecaster)) {
+    : config_(config),
+      forecaster_(std::move(forecaster)),
+      metrics_(obs::MetricsRegistry::OrGlobal(config.metrics)),
+      store_(nullptr, 16, metrics_),
+      broker_(metrics_) {
   MARLIN_CHECK(forecaster_ != nullptr);
+  if (config_.actor_system.metrics == nullptr) {
+    config_.actor_system.metrics = metrics_;
+  }
 }
 
 MaritimePipeline::~MaritimePipeline() { Stop(); }
@@ -27,6 +34,16 @@ Status MaritimePipeline::Start() {
   context_->broker = &broker_;
   context_->latency = &latency_;
   context_->system = system_.get();
+  const std::string stage_name = "marlin_pipeline_stage_nanos";
+  const std::string stage_help = "Per-stage pipeline latency in nanoseconds";
+  context_->stage_ingest =
+      metrics_->GetHistogram(stage_name, stage_help, {{"stage", "ingest"}});
+  context_->stage_position =
+      metrics_->GetHistogram(stage_name, stage_help, {{"stage", "position"}});
+  context_->stage_forecast =
+      metrics_->GetHistogram(stage_name, stage_help, {{"stage", "forecast"}});
+  context_->stage_write =
+      metrics_->GetHistogram(stage_name, stage_help, {{"stage", "write"}});
 
   const int writers = std::max(1, config_.num_writer_actors);
   for (int i = 0; i < writers; ++i) {
@@ -75,6 +92,7 @@ Status MaritimePipeline::Ingest(const AisPosition& report) {
   if (!started_ || stopped_) {
     return Status::FailedPrecondition("pipeline not running");
   }
+  obs::ScopedTimer ingest_timer(context_->stage_ingest);
   Stopwatch spawn_watch;
   StatusOr<ActorRef> actor = system_->GetOrSpawn(
       marlin::VesselActorName(report.mmsi), [this, &report] {
@@ -217,7 +235,11 @@ PipelineStats MaritimePipeline::Stats() const {
     stats.events_detected =
         context_->events_detected.load(std::memory_order_relaxed);
   }
-  stats.mean_processing_nanos = latency_.MeanNanos();
+  // The position-stage histogram observes the same per-message totals the
+  // Figure-6 recorder sees, so its running mean replaces the recorder's.
+  if (context_ != nullptr && context_->stage_position != nullptr) {
+    stats.mean_processing_nanos = context_->stage_position->Mean();
+  }
   return stats;
 }
 

@@ -65,6 +65,10 @@ struct PipelineConfig {
   /// (§3: actors "communicate their state back to the respective affected
   /// subset of vessel actors").
   bool notify_vessel_actors = true;
+  /// Registry all pipeline substrates (actor system, broker, store, stage
+  /// histograms) report into. Null = process global. Also applied to
+  /// `actor_system.metrics` when that is unset.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate pipeline statistics.
@@ -88,6 +92,12 @@ struct PipelineContext {
   Broker* broker = nullptr;
   LatencyRecorder* latency = nullptr;
   ActorSystem* system = nullptr;
+  /// Stage-latency members of marlin_pipeline_stage_nanos{stage=...},
+  /// cached at Start() so actors never touch the registry on the hot path.
+  obs::Histogram* stage_ingest = nullptr;
+  obs::Histogram* stage_position = nullptr;
+  obs::Histogram* stage_forecast = nullptr;
+  obs::Histogram* stage_write = nullptr;
   std::vector<ActorRef> writers;
   ActorRef traffic;
   ActorRef ports;
@@ -184,6 +194,7 @@ class MaritimePipeline {
   KvStore& store() { return store_; }
   Broker& broker() { return broker_; }
   ActorSystem& system() { return *system_; }
+  obs::MetricsRegistry* metrics() { return metrics_; }
 
  private:
   std::string VesselActorName(Mmsi mmsi) const;
@@ -191,6 +202,7 @@ class MaritimePipeline {
   PipelineConfig config_;
   std::shared_ptr<const RouteForecaster> forecaster_;
   const StaticRegistry* registry_ = nullptr;
+  obs::MetricsRegistry* metrics_;  // declared before the substrates it feeds
   KvStore store_;
   Broker broker_;
   LatencyRecorder latency_;

@@ -6,11 +6,28 @@
 
 namespace marlin {
 
-KvStore::KvStore(const Clock* clock, int num_shards)
+KvStore::KvStore(const Clock* clock, int num_shards,
+                 obs::MetricsRegistry* metrics)
     : clock_(clock != nullptr ? clock : &default_clock_) {
   const int n = std::max(1, num_shards);
   shards_.reserve(n);
   for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::OrGlobal(metrics);
+  const std::string ops_name = "marlin_kv_ops_total";
+  const std::string ops_help = "KvStore operations by command";
+  metrics_.set = registry->GetCounter(ops_name, ops_help, {{"op", "set"}});
+  metrics_.get = registry->GetCounter(ops_name, ops_help, {{"op", "get"}});
+  metrics_.hset = registry->GetCounter(ops_name, ops_help, {{"op", "hset"}});
+  metrics_.hget = registry->GetCounter(ops_name, ops_help, {{"op", "hget"}});
+  metrics_.hgetall =
+      registry->GetCounter(ops_name, ops_help, {{"op", "hgetall"}});
+  metrics_.del = registry->GetCounter(ops_name, ops_help, {{"op", "del"}});
+  metrics_.scan = registry->GetCounter(ops_name, ops_help, {{"op", "scan"}});
+  metrics_.snapshot =
+      registry->GetCounter(ops_name, ops_help, {{"op", "snapshot"}});
+  metrics_.expired_purged = registry->GetCounter(
+      "marlin_kv_expired_purged_total", "Expired entries physically removed");
 }
 
 TimeMicros KvStore::Now() const { return clock_->Now(); }
@@ -24,6 +41,7 @@ const KvStore::Shard& KvStore::ShardFor(const std::string& key) const {
 }
 
 void KvStore::Set(const std::string& key, std::string value) {
+  metrics_.set->Increment();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry& entry = shard.map[key];
@@ -34,6 +52,7 @@ void KvStore::Set(const std::string& key, std::string value) {
 }
 
 StatusOr<std::string> KvStore::Get(const std::string& key) const {
+  metrics_.get->Increment();
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -48,6 +67,7 @@ StatusOr<std::string> KvStore::Get(const std::string& key) const {
 
 Status KvStore::HSet(const std::string& key, const std::string& field,
                      std::string value) {
+  metrics_.hset->Increment();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -71,6 +91,7 @@ Status KvStore::HSet(const std::string& key, const std::string& field,
 
 StatusOr<std::string> KvStore::HGet(const std::string& key,
                                     const std::string& field) const {
+  metrics_.hget->Increment();
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -89,6 +110,7 @@ StatusOr<std::string> KvStore::HGet(const std::string& key,
 
 std::map<std::string, std::string> KvStore::HGetAll(
     const std::string& key) const {
+  metrics_.hgetall->Increment();
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -100,6 +122,7 @@ std::map<std::string, std::string> KvStore::HGetAll(
 }
 
 bool KvStore::Del(const std::string& key) {
+  metrics_.del->Increment();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -157,6 +180,7 @@ void KvStore::Clear() {
 }
 
 std::vector<std::string> KvStore::ScanPrefix(const std::string& prefix) const {
+  metrics_.scan->Increment();
   std::vector<std::string> out;
   const TimeMicros now = Now();
   for (const auto& shard : shards_) {
@@ -172,6 +196,7 @@ std::vector<std::string> KvStore::ScanPrefix(const std::string& prefix) const {
 }
 
 std::vector<std::pair<std::string, std::string>> KvStore::Snapshot() const {
+  metrics_.snapshot->Increment();
   std::vector<std::pair<std::string, std::string>> out;
   const TimeMicros now = Now();
   for (const auto& shard : shards_) {
@@ -347,6 +372,7 @@ size_t KvStore::PurgeExpired() {
       }
     }
   }
+  if (removed > 0) metrics_.expired_purged->Increment(removed);
   return removed;
 }
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -24,8 +25,10 @@ namespace marlin {
 class KvStore {
  public:
   /// `clock` drives TTL expiry; defaults to the wall clock. `num_shards`
-  /// bounds lock contention.
-  explicit KvStore(const Clock* clock = nullptr, int num_shards = 16);
+  /// bounds lock contention. `metrics` is the registry op counters report
+  /// into (null = process global).
+  explicit KvStore(const Clock* clock = nullptr, int num_shards = 16,
+                   obs::MetricsRegistry* metrics = nullptr);
 
   // -- String commands -------------------------------------------------
 
@@ -112,8 +115,23 @@ class KvStore {
     return entry.expires_at != 0 && entry.expires_at <= now;
   }
 
+  /// Cached members of marlin_kv_ops_total{op=...} plus the purge counter,
+  /// fetched once at construction so op paths never touch the registry.
+  struct Metrics {
+    obs::Counter* set = nullptr;
+    obs::Counter* get = nullptr;
+    obs::Counter* hset = nullptr;
+    obs::Counter* hget = nullptr;
+    obs::Counter* hgetall = nullptr;
+    obs::Counter* del = nullptr;
+    obs::Counter* scan = nullptr;
+    obs::Counter* snapshot = nullptr;
+    obs::Counter* expired_purged = nullptr;
+  };
+
   const Clock* clock_;
   WallClock default_clock_;
+  Metrics metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

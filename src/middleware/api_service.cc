@@ -99,7 +99,19 @@ ApiResponse ApiService::Handle(const std::string& method,
   if (root == "ports") return HandlePorts();
   if (root == "patterns") return HandlePatterns(request);
   if (root == "viewport") return HandleViewport(request);
+  if (root == "metrics") return HandleMetrics(request);
   return Error(404, "not found");
+}
+
+ApiResponse ApiService::HandleMetrics(const Request& request) {
+  obs::MetricsRegistry* registry = pipeline_->metrics();
+  if (request.segments.size() >= 2) {
+    if (request.segments[1] != "json") return Error(404, "not found");
+    return ApiResponse{200, registry->RenderJson()};
+  }
+  // Prometheus text exposition format, version 0.0.4.
+  return ApiResponse{200, registry->RenderPrometheus(),
+                     "text/plain; version=0.0.4; charset=utf-8"};
 }
 
 ApiResponse ApiService::HandleStats() {

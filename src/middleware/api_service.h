@@ -10,10 +10,13 @@
 
 namespace marlin {
 
-/// A REST-style response: an HTTP-like status code plus a JSON body.
+/// A REST-style response: an HTTP-like status code plus a body. The body is
+/// JSON unless `content_type` says otherwise (GET /metrics serves the
+/// Prometheus text format).
 struct ApiResponse {
   int status = 200;
   std::string body;
+  std::string content_type = "application/json";
 };
 
 /// The middleware API of §3: the "dedicated API responsible to interface
@@ -35,6 +38,8 @@ struct ApiResponse {
 ///   GET /patterns?top=N                busiest historical cells (PoL)
 ///   GET /viewport?min_lat=&min_lon=&max_lat=&max_lon=
 ///                                      vessels currently inside a bbox
+///   GET /metrics                       Prometheus text exposition
+///   GET /metrics/json                  same snapshot as JSON
 class ApiService {
  public:
   /// `pipeline` must outlive the service.
@@ -62,6 +67,7 @@ class ApiService {
   ApiResponse HandlePorts();
   ApiResponse HandlePatterns(const Request& request);
   ApiResponse HandleViewport(const Request& request);
+  ApiResponse HandleMetrics(const Request& request);
 
   static JsonValue EventToJson(const MaritimeEvent& event);
 

@@ -125,8 +125,8 @@ void HttpServer::HandleConnection(int client_fd) {
   const ApiResponse response = api_->Handle(method, target);
   requests_.fetch_add(1, std::memory_order_relaxed);
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    StatusText(response.status) +
-                    "\r\nContent-Type: application/json\r\nContent-Length: " +
+                    StatusText(response.status) + "\r\nContent-Type: " +
+                    response.content_type + "\r\nContent-Length: " +
                     std::to_string(response.body.size()) +
                     "\r\nConnection: close\r\n\r\n" + response.body;
   size_t sent = 0;

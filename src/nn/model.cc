@@ -6,6 +6,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace marlin {
@@ -71,6 +72,13 @@ void SequenceRegressor::Backward(const Matrix& grad_output) {
 
 std::vector<double> SequenceRegressor::Predict(
     const std::vector<std::vector<double>>& steps) {
+  // Single-sample inference is the forecast-serving hot path; batched
+  // training goes through Forward/TrainBatch and is not timed here.
+  static obs::Histogram* const inference_nanos =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "marlin_nn_inference_nanos",
+          "SequenceRegressor::Predict latency in nanoseconds");
+  obs::ScopedTimer timer(inference_nanos);
   std::vector<Matrix> inputs(steps.size());
   for (size_t t = 0; t < steps.size(); ++t) {
     inputs[t] = Matrix(config_.input_dim, 1);

@@ -1,0 +1,346 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace marlin {
+namespace obs {
+namespace {
+
+/// Serialises a label set into the Prometheus inner form
+/// `key1="v1",key2="v2"` (sorted by key), escaping backslash, quote and
+/// newline in values. Doubles as the member map key.
+std::string SerializeLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ",";
+    out += key;
+    out += "=\"";
+    for (const char c : value) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out.push_back(c);
+      }
+    }
+    out += "\"";
+  }
+  return out;
+}
+
+/// `name` or `name{labels}`, with `extra` (e.g. a le="...") merged in.
+std::string SeriesRef(const std::string& name, const std::string& labels,
+                      const std::string& extra = "") {
+  std::string inner = labels;
+  if (!extra.empty()) {
+    if (!inner.empty()) inner += ",";
+    inner += extra;
+  }
+  if (inner.empty()) return name;
+  return name + "{" + inner + "}";
+}
+
+std::string FormatDouble(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // %.17g round-trips doubles; trims to the shortest exact form for
+  // integers, which covers all bucket bounds and nanosecond sums.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Minimal JSON string escaping (metric names and label values are ASCII by
+/// convention; control characters are dropped).
+std::string JsonStr(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- Histogram
+
+Histogram::Histogram() : Histogram(Options()) {}
+
+Histogram::Histogram(const Options& options)
+    : bucket_counts_(
+          static_cast<size_t>(std::max(1, options.buckets)) + 1) {
+  const int n = std::max(1, options.buckets);
+  const double growth = options.growth > 1.0 ? options.growth : 2.0;
+  double bound = options.lowest > 0 ? options.lowest : 1.0;
+  upper_bounds_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    upper_bounds_.push_back(bound);
+    bound *= growth;
+  }
+}
+
+void Histogram::Observe(int64_t value) {
+  const double v = static_cast<double>(std::max<int64_t>(0, value));
+  // Branch-free enough: the bound arrays are tiny (<= ~20 entries) and
+  // read-only, so this is a short scan over one cache line.
+  size_t index = upper_bounds_.size();  // +Inf bucket
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (v <= upper_bounds_[i]) {
+      index = i;
+      break;
+    }
+  }
+  bucket_counts_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<uint64_t>(std::max<int64_t>(0, value)),
+                 std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.count = Count();
+  snapshot.sum = Sum();
+  snapshot.buckets.reserve(bucket_counts_.size());
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts_.size(); ++i) {
+    cumulative += bucket_counts_[i].load(std::memory_order_relaxed);
+    const double bound = i < upper_bounds_.size()
+                             ? upper_bounds_[i]
+                             : std::numeric_limits<double>::infinity();
+    snapshot.buckets.push_back(BucketSnapshot{bound, cumulative});
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : bucket_counts_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const kGlobal = new MetricsRegistry();
+  return *kGlobal;
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.kind = kind;
+  } else {
+    MARLIN_CHECK(it->second.kind == kind);  // one name, one metric type
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Kind::kCounter);
+  Member& member = family->members[SerializeLabels(labels)];
+  if (member.counter == nullptr) {
+    member.labels = std::move(labels);
+    member.counter = std::make_unique<Counter>();
+  }
+  return member.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Kind::kGauge);
+  Member& member = family->members[SerializeLabels(labels)];
+  if (member.gauge == nullptr) {
+    member.labels = std::move(labels);
+    member.gauge = std::make_unique<Gauge>();
+  }
+  return member.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         Labels labels,
+                                         const Histogram::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Kind::kHistogram);
+  Member& member = family->members[SerializeLabels(labels)];
+  if (member.histogram == nullptr) {
+    member.labels = std::move(labels);
+    member.histogram = std::make_unique<Histogram>(options);
+  }
+  return member.histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [label_key, member] : family.members) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += SeriesRef(name, label_key) + " " +
+                 std::to_string(member.counter->Value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += SeriesRef(name, label_key) + " " +
+                 std::to_string(member.gauge->Value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snapshot =
+              member.histogram->TakeSnapshot();
+          for (const auto& bucket : snapshot.buckets) {
+            out += SeriesRef(name + "_bucket", label_key,
+                             "le=\"" + FormatDouble(bucket.upper_bound) +
+                                 "\"") +
+                   " " + std::to_string(bucket.cumulative_count) + "\n";
+          }
+          out += SeriesRef(name + "_sum", label_key) + " " +
+                 FormatDouble(snapshot.sum) + "\n";
+          out += SeriesRef(name + "_count", label_key) + " " +
+                 std::to_string(snapshot.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += JsonStr(name) + ":{";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "\"type\":\"counter\"";
+        break;
+      case Kind::kGauge:
+        out += "\"type\":\"gauge\"";
+        break;
+      case Kind::kHistogram:
+        out += "\"type\":\"histogram\"";
+        break;
+    }
+    out += ",\"help\":" + JsonStr(family.help) + ",\"series\":[";
+    bool first_member = true;
+    for (const auto& [label_key, member] : family.members) {
+      if (!first_member) out += ",";
+      first_member = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : member.labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += JsonStr(key) + ":" + JsonStr(value);
+      }
+      out += "}";
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += ",\"value\":" + std::to_string(member.counter->Value());
+          break;
+        case Kind::kGauge:
+          out += ",\"value\":" + std::to_string(member.gauge->Value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snapshot =
+              member.histogram->TakeSnapshot();
+          out += ",\"count\":" + std::to_string(snapshot.count);
+          out += ",\"sum\":" + FormatDouble(snapshot.sum);
+          out += ",\"mean\":" + FormatDouble(member.histogram->Mean());
+          out += ",\"buckets\":[";
+          bool first_bucket = true;
+          for (const auto& bucket : snapshot.buckets) {
+            if (!first_bucket) out += ",";
+            first_bucket = false;
+            out += "{\"le\":" + JsonStr(FormatDouble(bucket.upper_bound)) +
+                   ",\"count\":" + std::to_string(bucket.cumulative_count) +
+                   "}";
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [label_key, member] : family.members) {
+      if (member.counter != nullptr) member.counter->Reset();
+      if (member.gauge != nullptr) member.gauge->Set(0);
+      if (member.histogram != nullptr) member.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace marlin

@@ -1,0 +1,230 @@
+#ifndef MARLIN_OBS_METRICS_H_
+#define MARLIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace marlin {
+namespace obs {
+
+/// Sorted (key, value) label pairs identifying one time series within a
+/// metric family. Kept small: the conventions (DESIGN.md §Observability)
+/// cap label cardinality at topics, groups, stages and op names — never
+/// per-vessel or per-actor values.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A monotonically increasing counter, sharded across cache lines so that
+/// dispatcher threads incrementing the same family member never contend on
+/// one cache line. Increment is a single relaxed fetch_add on the calling
+/// thread's shard; Value() sums the shards (scrape-time only).
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes all shards. Test-only; concurrent increments may survive.
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// A settable instantaneous value (queue depths, lags, live counts) with a
+/// CAS-max update for high-water marks.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(int64_t delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `candidate` if it is larger (high-water mark).
+  void UpdateMax(int64_t candidate) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A histogram over fixed exponential buckets: bucket i covers values
+/// <= lowest * growth^i, with a final +Inf bucket. Observations and the
+/// running sum/count are lock-free atomics; designed for nanosecond
+/// latencies (integer values, clamped at zero).
+class Histogram {
+ public:
+  struct Options {
+    /// Upper bound of the first bucket (1 µs in nanoseconds by default).
+    double lowest = 1e3;
+    /// Bucket-to-bucket growth factor.
+    double growth = 4.0;
+    /// Number of finite buckets (a +Inf bucket is always appended).
+    int buckets = 12;
+  };
+
+  /// One rendered bucket: cumulative count of observations <= upper_bound.
+  struct BucketSnapshot {
+    double upper_bound = 0.0;  // +Inf for the last bucket
+    uint64_t cumulative_count = 0;
+  };
+
+  struct Snapshot {
+    std::vector<BucketSnapshot> buckets;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  Histogram();  // default Options
+  explicit Histogram(const Options& options);
+
+  void Observe(int64_t value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  /// Mean observation, or 0 when empty.
+  double Mean() const;
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes counts and sum. Test-only; concurrent observes may survive.
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;               // finite bounds, ascending
+  std::vector<std::atomic<uint64_t>> bucket_counts_;  // one per bound + Inf
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// A process-wide registry of labeled metric families. Families are created
+/// on first Get* and live for the registry's lifetime, so instruments can
+/// cache the returned pointers and update them without any registry lock —
+/// the registry mutex is taken only at registration and scrape time.
+///
+/// Components default to the process-global registry; tests may pass their
+/// own instance for isolation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry exported via GET /metrics.
+  static MetricsRegistry& Global();
+
+  /// Resolves the conventional "null means global" handle.
+  static MetricsRegistry* OrGlobal(MetricsRegistry* registry) {
+    return registry != nullptr ? registry : &Global();
+  }
+
+  /// Returns the counter `name{labels}`, creating the family (with `help`)
+  /// and the member on first use. The pointer is stable for the registry's
+  /// lifetime. Aborts if `name` already names a non-counter family.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          Labels labels = {},
+                          const Histogram::Options& options = {});
+
+  /// Renders every family in the Prometheus text exposition format
+  /// (HELP/TYPE headers, cumulative `_bucket`/`_sum`/`_count` series for
+  /// histograms).
+  std::string RenderPrometheus() const;
+
+  /// Renders the same snapshot as a JSON object keyed by family name.
+  std::string RenderJson() const;
+
+  /// Zeroes every counter, gauge and histogram (families stay registered).
+  /// Test-only.
+  void ResetAll();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Member {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    // Keyed by the serialised label set for stable, deduplicated lookup.
+    std::map<std::string, Member> members;
+  };
+
+  Family* GetFamily(const std::string& name, const std::string& help,
+                    Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;  // ordered for stable rendering
+};
+
+/// Observes the lifetime of one scope into a histogram, in nanoseconds.
+/// `histogram` may be null (disabled instrumentation).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_(histogram != nullptr ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point()) {}
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    histogram_->Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace marlin
+
+#endif  // MARLIN_OBS_METRICS_H_

@@ -18,6 +18,9 @@ Status Broker::CreateTopic(const std::string& topic, int num_partitions) {
   for (int i = 0; i < num_partitions; ++i) {
     state.partitions.push_back(std::make_unique<Partition>());
   }
+  state.append_counter = metrics_->GetCounter(
+      "marlin_broker_append_records_total", "Records appended per topic",
+      {{"topic", topic}});
   topics_.emplace(topic, std::move(state));
   return Status::Ok();
 }
@@ -42,6 +45,7 @@ const Broker::TopicState* Broker::FindTopic(const std::string& topic) const {
 StatusOr<Record> Broker::Append(const std::string& topic, std::string key,
                                 std::string value, TimeMicros timestamp) {
   Partition* partition = nullptr;
+  obs::Counter* append_counter = nullptr;
   int partition_index = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -52,6 +56,7 @@ StatusOr<Record> Broker::Append(const std::string& topic, std::string key,
     partition_index = static_cast<int>(
         std::hash<std::string>{}(key) % state->partitions.size());
     partition = state->partitions[partition_index].get();
+    append_counter = state->append_counter;
   }
   Record record;
   record.key = std::move(key);
@@ -63,6 +68,7 @@ StatusOr<Record> Broker::Append(const std::string& topic, std::string key,
     record.offset = static_cast<int64_t>(partition->log.size());
     partition->log.push_back(record);
   }
+  append_counter->Increment();
   return record;
 }
 
@@ -158,14 +164,32 @@ int64_t Broker::TopicSize(const std::string& topic) const {
 
 Consumer::Consumer(Broker* broker, std::string group, std::string topic)
     : broker_(broker), group_(std::move(group)), topic_(std::move(topic)) {
+  obs::MetricsRegistry* registry = broker_->metrics_registry();
+  const obs::Labels labels = {{"group", group_}, {"topic", topic_}};
+  polled_records_ = registry->GetCounter("marlin_broker_poll_records_total",
+                                         "Records polled per consumer group",
+                                         labels);
+  commits_ = registry->GetCounter("marlin_broker_commits_total",
+                                  "Offset commits per consumer group", labels);
+  lag_gauge_ = registry->GetGauge(
+      "marlin_consumer_lag",
+      "Records remaining (end minus position) per consumer group", labels);
+  SyncPartitions();
+}
+
+void Consumer::SyncPartitions() {
   const int n = broker_->NumPartitions(topic_);
-  positions_.resize(static_cast<size_t>(std::max(0, n)));
-  for (int p = 0; p < n; ++p) {
-    positions_[p] = broker_->CommittedOffset(group_, topic_, p);
+  if (static_cast<int>(positions_.size()) >= n) return;
+  const size_t old_size = positions_.size();
+  positions_.resize(static_cast<size_t>(n));
+  for (size_t p = old_size; p < positions_.size(); ++p) {
+    positions_[p] =
+        broker_->CommittedOffset(group_, topic_, static_cast<int>(p));
   }
 }
 
 std::vector<Record> Consumer::Poll(int max_records) {
+  SyncPartitions();
   std::vector<Record> out;
   const int n = static_cast<int>(positions_.size());
   if (n == 0) return out;
@@ -182,6 +206,7 @@ std::vector<Record> Consumer::Poll(int max_records) {
       out.push_back(std::move(r));
     }
   }
+  if (!out.empty()) polled_records_->Increment(out.size());
   return out;
 }
 
@@ -189,14 +214,24 @@ void Consumer::Commit() {
   for (size_t p = 0; p < positions_.size(); ++p) {
     broker_->CommitOffset(group_, topic_, static_cast<int>(p), positions_[p]);
   }
+  commits_->Increment();
+  lag_gauge_->Set(Lag());
 }
 
 int64_t Consumer::Lag() const {
+  // Covers partitions that appeared after construction without mutating
+  // state: positions beyond our snapshot fall back to committed offsets.
+  const int n = broker_->NumPartitions(topic_);
   int64_t lag = 0;
-  for (size_t p = 0; p < positions_.size(); ++p) {
-    StatusOr<int64_t> end = broker_->EndOffset(topic_, static_cast<int>(p));
-    if (end.ok()) lag += std::max<int64_t>(0, *end - positions_[p]);
+  for (int p = 0; p < n; ++p) {
+    const int64_t position =
+        p < static_cast<int>(positions_.size())
+            ? positions_[p]
+            : broker_->CommittedOffset(group_, topic_, p);
+    StatusOr<int64_t> end = broker_->EndOffset(topic_, p);
+    if (end.ok()) lag += std::max<int64_t>(0, *end - position);
   }
+  lag_gauge_->Set(lag);
   return lag;
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -33,7 +34,13 @@ struct Record {
 /// operations are thread-safe.
 class Broker {
  public:
-  Broker() = default;
+  /// `metrics` is the registry append/poll/lag metrics report into (null =
+  /// process global).
+  explicit Broker(obs::MetricsRegistry* metrics = nullptr)
+      : metrics_(obs::MetricsRegistry::OrGlobal(metrics)) {}
+
+  /// The registry this broker (and its consumers) report into.
+  obs::MetricsRegistry* metrics_registry() const { return metrics_; }
 
   /// Creates a topic with `num_partitions` partitions (>= 1).
   Status CreateTopic(const std::string& topic, int num_partitions);
@@ -76,10 +83,12 @@ class Broker {
   };
   struct TopicState {
     std::vector<std::unique_ptr<Partition>> partitions;
+    obs::Counter* append_counter = nullptr;  // cached per-topic family member
   };
 
   const TopicState* FindTopic(const std::string& topic) const;
 
+  obs::MetricsRegistry* metrics_;
   mutable std::mutex mu_;  // guards topology & offsets, not partition logs
   std::unordered_map<std::string, TopicState> topics_;
   // group -> topic -> partition -> committed offset
@@ -107,7 +116,8 @@ class Producer {
 /// Offset-tracking consumer bound to one (group, topic). Polls all
 /// partitions round-robin from its positions; `Commit` persists positions
 /// back to the broker so a re-created consumer resumes where the group left
-/// off.
+/// off. A consumer may be created before its topic exists: the partition
+/// count is re-synced lazily on each Poll()/Lag().
 class Consumer {
  public:
   Consumer(Broker* broker, std::string group, std::string topic);
@@ -123,11 +133,18 @@ class Consumer {
   int64_t Lag() const;
 
  private:
+  /// Picks up partitions that appeared after construction (topic created
+  /// late), seeding their positions from the group's committed offsets.
+  void SyncPartitions();
+
   Broker* broker_;
   std::string group_;
   std::string topic_;
   std::vector<int64_t> positions_;
   int next_partition_ = 0;
+  obs::Counter* polled_records_;  // marlin_broker_poll_records_total
+  obs::Counter* commits_;        // marlin_broker_commits_total
+  obs::Gauge* lag_gauge_;        // marlin_consumer_lag
 };
 
 }  // namespace marlin

@@ -9,6 +9,14 @@ LatencyRecorder::LatencyRecorder(int window)
 
 void LatencyRecorder::Record(int64_t actor_count, int64_t nanos) {
   std::lock_guard<std::mutex> lock(mu_);
+  const bool boundary = actor_count != last_actor_count_;
+  if (boundary) {
+    // New actor-count regime: restart the window so the emitted point
+    // reflects only samples observed at this count, not a mean dominated
+    // by whatever actor count came before (the Fig. 6 skew).
+    recent_.clear();
+    recent_sum_ = 0;
+  }
   recent_.push_back(nanos);
   recent_sum_ += nanos;
   if (static_cast<int>(recent_.size()) > window_) {
@@ -17,7 +25,7 @@ void LatencyRecorder::Record(int64_t actor_count, int64_t nanos) {
   }
   ++count_;
   total_ += static_cast<double>(nanos);
-  if (actor_count != last_actor_count_) {
+  if (boundary) {
     last_actor_count_ = actor_count;
     series_.push_back(LatencyPoint{
         actor_count,

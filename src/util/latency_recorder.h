@@ -18,7 +18,9 @@ struct LatencyPoint {
 /// Records per-message processing latency against the number of distinct
 /// active actors, reproducing the measurement of Figure 6 in the paper: the
 /// average processing time over a moving window of the last `window` actors
-/// (vessels), sampled each time a previously unseen actor appears.
+/// (vessels), sampled each time a previously unseen actor appears. The
+/// window restarts at each actor-count boundary so a series point never
+/// mixes in samples from a different actor count.
 ///
 /// Thread-safe; `Record` is called from dispatcher threads.
 class LatencyRecorder {

@@ -5,10 +5,10 @@
 
 namespace marlin {
 
-ThreadPool::ThreadPool(int num_threads) {
-  const int n = std::max(1, num_threads);
-  workers_.reserve(n);
-  for (int i = 0; i < n; ++i) {
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -20,6 +20,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
+    queued_.fetch_add(1, std::memory_order_relaxed);
   }
   work_cv_.notify_one();
   return true;
@@ -31,24 +32,19 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::Shutdown() {
+  // Serialise concurrent callers: the first joins the workers, later ones
+  // block here until the join completes, then find nothing left to do.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      // Already shut down; workers may still be joining in another caller,
-      // but the destructor is the only double-caller and it is sequential.
-    }
     shutdown_ = true;
+    workers.swap(workers_);
   }
   work_cv_.notify_all();
-  for (std::thread& worker : workers_) {
+  for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
-}
-
-size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -63,6 +59,7 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       ++active_;
     }
     task();

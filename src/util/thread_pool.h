@@ -1,6 +1,7 @@
 #ifndef MARLIN_UTIL_THREAD_POOL_H_
 #define MARLIN_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -31,18 +32,25 @@ class ThreadPool {
   void WaitIdle();
 
   /// Stops accepting tasks, drains the queue, joins all workers.
-  /// Idempotent; also called by the destructor.
+  /// Idempotent and safe to call from several threads concurrently: every
+  /// caller blocks until the workers are joined.
   void Shutdown();
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const { return num_threads_; }
 
-  /// Number of tasks waiting in the queue (diagnostic).
-  size_t QueueDepth() const;
+  /// Number of tasks waiting in the queue (diagnostic; lock-free, so the
+  /// dispatcher can export it as a gauge on the hot path).
+  size_t QueueDepth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop();
 
+  int num_threads_ = 0;
+  std::atomic<size_t> queued_{0};
   mutable std::mutex mu_;
+  std::mutex shutdown_mu_;  // serialises concurrent Shutdown callers
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;

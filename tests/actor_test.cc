@@ -17,24 +17,26 @@ class CounterActor : public Actor {
  public:
   Status Receive(const std::any& message, ActorContext& ctx) override {
     if (const int* v = std::any_cast<int>(&message)) {
-      sum_ += *v;
-      ++count_;
-      if (ctx.IsAsk()) ctx.Reply(sum_);
+      const int total = sum_.fetch_add(*v) + *v;
+      count_.fetch_add(1);
+      if (ctx.IsAsk()) ctx.Reply(total);
       return Status::Ok();
     }
     if (std::any_cast<std::string>(&message) != nullptr) {
-      if (ctx.IsAsk()) ctx.Reply(sum_);
+      if (ctx.IsAsk()) ctx.Reply(sum_.load());
       return Status::Ok();
     }
     return Status::InvalidArgument("unexpected message type");
   }
 
-  int sum() const { return sum_; }
-  int count() const { return count_; }
+  int sum() const { return sum_.load(); }
+  int count() const { return count_.load(); }
 
  private:
-  int sum_ = 0;
-  int count_ = 0;
+  // Atomic so tests may peek at the counters while worker threads deliver
+  // (e.g. the not-yet-delivered check in ScheduleTellDeliversLater).
+  std::atomic<int> sum_{0};
+  std::atomic<int> count_{0};
 };
 
 /// Records message order to verify per-actor FIFO processing.

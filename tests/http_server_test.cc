@@ -107,6 +107,52 @@ TEST_F(HttpServerTest, ConcurrentClients) {
   EXPECT_EQ(ok.load(), kClients * 5);
 }
 
+/// Like HttpGet but returns the full response (status line + headers + body).
+std::string HttpGetRaw(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(HttpServerTest, MetricsServedAsPrometheusText) {
+  AisPosition report;
+  report.mmsi = 9;
+  report.timestamp = kMicrosPerSecond;
+  report.position = LatLng{38.0, 24.0};
+  ASSERT_TRUE(pipeline_->Ingest(report).ok());
+  pipeline_->AwaitQuiescence();
+
+  const std::string metrics = HttpGetRaw(server_->port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE marlin_actor_messages_processed_total"),
+            std::string::npos);
+
+  // JSON routes keep their original content type.
+  const std::string stats = HttpGetRaw(server_->port(), "/stats");
+  EXPECT_NE(stats.find("Content-Type: application/json"), std::string::npos);
+}
+
 TEST_F(HttpServerTest, StopUnblocksAndIsIdempotent) {
   server_->Stop();
   server_->Stop();

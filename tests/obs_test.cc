@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ais/codec.h"
+#include "core/pipeline.h"
+#include "geo/geodesy.h"
+#include "middleware/api_service.h"
+#include "obs/metrics.h"
+#include "vrf/linear_model.h"
+#include "vrf/svrf_model.h"
+
+namespace marlin {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+// ----------------------------------------------------------------- Counter
+
+TEST(CounterTest, IncrementsAndSums) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------------------- Gauge
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(10);
+  gauge.Add(5);
+  gauge.Sub(3);
+  EXPECT_EQ(gauge.Value(), 12);
+  gauge.Set(-4);
+  EXPECT_EQ(gauge.Value(), -4);
+}
+
+TEST(GaugeTest, UpdateMaxKeepsHighWater) {
+  Gauge gauge;
+  gauge.UpdateMax(7);
+  gauge.UpdateMax(3);  // lower: ignored
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.UpdateMax(11);
+  EXPECT_EQ(gauge.Value(), 11);
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, CountsSumAndMean) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+  histogram.Observe(100);
+  histogram.Observe(300);
+  EXPECT_EQ(histogram.Count(), 2u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 400.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 200.0);
+}
+
+TEST(HistogramTest, BucketsAreCumulativeWithInfLast) {
+  Histogram::Options options;
+  options.lowest = 10.0;
+  options.growth = 10.0;
+  options.buckets = 3;  // bounds: 10, 100, 1000, +Inf
+  Histogram histogram(options);
+  histogram.Observe(5);
+  histogram.Observe(50);
+  histogram.Observe(500);
+  histogram.Observe(5000);
+  const Histogram::Snapshot snapshot = histogram.TakeSnapshot();
+  ASSERT_EQ(snapshot.buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(snapshot.buckets[0].upper_bound, 10.0);
+  EXPECT_DOUBLE_EQ(snapshot.buckets[1].upper_bound, 100.0);
+  EXPECT_DOUBLE_EQ(snapshot.buckets[2].upper_bound, 1000.0);
+  EXPECT_TRUE(std::isinf(snapshot.buckets[3].upper_bound));
+  EXPECT_EQ(snapshot.buckets[0].cumulative_count, 1u);
+  EXPECT_EQ(snapshot.buckets[1].cumulative_count, 2u);
+  EXPECT_EQ(snapshot.buckets[2].cumulative_count, 3u);
+  EXPECT_EQ(snapshot.buckets[3].cumulative_count, 4u);
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 5555.0);
+}
+
+TEST(HistogramTest, NegativeObservationsClampToZero) {
+  Histogram histogram;
+  histogram.Observe(-100);
+  EXPECT_EQ(histogram.Count(), 1u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesLoseNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Observe(1000);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const Histogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snapshot.buckets.back().cumulative_count, snapshot.count);
+}
+
+// ------------------------------------------------------------ ScopedTimer
+
+TEST(ScopedTimerTest, ObservesOnceAndNullIsSafe) {
+  Histogram histogram;
+  {
+    obs::ScopedTimer timer(&histogram);
+  }
+  EXPECT_EQ(histogram.Count(), 1u);
+  {
+    obs::ScopedTimer null_timer(nullptr);  // must not crash
+  }
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, SameNameAndLabelsSharePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reqs_total", "requests", {{"svc", "x"}});
+  Counter* b = registry.GetCounter("reqs_total", "requests", {{"svc", "x"}});
+  EXPECT_EQ(a, b);
+  Counter* c = registry.GetCounter("reqs_total", "requests", {{"svc", "y"}});
+  EXPECT_NE(a, c);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ops", "", {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("ops", "", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, OrGlobalResolvesNull) {
+  MetricsRegistry registry;
+  EXPECT_EQ(MetricsRegistry::OrGlobal(&registry), &registry);
+  EXPECT_EQ(MetricsRegistry::OrGlobal(nullptr), &MetricsRegistry::Global());
+}
+
+TEST(MetricsRegistryTest, RendersPrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("marlin_test_total", "Things counted", {{"kind", "a"}})
+      ->Increment(3);
+  registry.GetGauge("marlin_test_depth", "A depth")->Set(-2);
+  Histogram::Options options;
+  options.lowest = 10.0;
+  options.growth = 10.0;
+  options.buckets = 2;
+  Histogram* histogram = registry.GetHistogram(
+      "marlin_test_nanos", "A latency", {{"stage", "s"}}, options);
+  histogram->Observe(5);
+  histogram->Observe(5000);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP marlin_test_total Things counted\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE marlin_test_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("marlin_test_total{kind=\"a\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE marlin_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("marlin_test_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE marlin_test_nanos histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("marlin_test_nanos_bucket{stage=\"s\",le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("marlin_test_nanos_bucket{stage=\"s\",le=\"+Inf\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("marlin_test_nanos_sum{stage=\"s\"} 5005\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("marlin_test_nanos_count{stage=\"s\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc_total", "", {{"k", "a\"b\\c\nd"}})->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RendersJsonSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", "help me", {{"k", "v"}})->Increment(7);
+  registry.GetHistogram("h_nanos", "hist")->Observe(50);
+  const std::string json = registry.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"c_total\":{\"type\":\"counter\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"help\":\"help me\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"k\":\"v\"},\"value\":7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"h_nanos\":{\"type\":\"histogram\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\":1,\"sum\":50,\"mean\":50"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEverything) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total", "");
+  Gauge* gauge = registry.GetGauge("g", "");
+  Histogram* histogram = registry.GetHistogram("h_nanos", "");
+  counter->Increment(5);
+  gauge->Set(5);
+  histogram->Observe(5);
+  registry.ResetAll();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(), 0u);
+}
+
+// ------------------------------------------------------ pipeline coverage
+
+AisPosition At(Mmsi mmsi, TimeMicros t, double lat, double lon) {
+  AisPosition p;
+  p.mmsi = mmsi;
+  p.timestamp = t;
+  p.position = LatLng{lat, lon};
+  p.sog_knots = 12.0;
+  p.cog_deg = 90.0;
+  p.heading_deg = 90;
+  return p;
+}
+
+void FeedStraightTrack(MaritimePipeline* pipeline, Mmsi mmsi, int points) {
+  LatLng pos{38.0, 24.0};
+  for (int i = 0; i < points; ++i) {
+    ASSERT_TRUE(
+        pipeline
+            ->Ingest(At(mmsi, static_cast<TimeMicros>(i) * kMicrosPerMinute,
+                        pos.lat_deg, pos.lon_deg))
+            .ok());
+    pos = DestinationPoint(pos, 90.0, 12.0 * kKnotsToMps * 60.0);
+  }
+}
+
+// A mini end-to-end run against an isolated registry: every instrumented
+// subsystem the pipeline owns must advance its counters/histograms.
+TEST(ObsIntegrationTest, PipelineRunAdvancesMetrics) {
+  MetricsRegistry registry;
+  PipelineConfig config;
+  config.metrics = &registry;
+  config.actor_system.num_threads = 4;
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  // Broker path: produce encoded AIVDM sentences, then pump them through.
+  int produced = 0;
+  {
+    LatLng pos{38.0, 24.0};
+    for (int i = 0; i < kSvrfInputLength + 3; ++i) {
+      AisPosition report =
+          At(700, static_cast<TimeMicros>(i) * kMicrosPerMinute, pos.lat_deg,
+             pos.lon_deg);
+      ASSERT_TRUE(pipeline
+                      .Produce(AisCodec::EncodePosition(report),
+                               report.timestamp)
+                      .ok());
+      ++produced;
+      pos = DestinationPoint(pos, 90.0, 12.0 * kKnotsToMps * 60.0);
+    }
+  }
+  while (pipeline.PumpIngestion() > 0) {
+  }
+  // Direct path for a second vessel.
+  FeedStraightTrack(&pipeline, 701, kSvrfInputLength + 3);
+  pipeline.AwaitQuiescence();
+
+  // Actor metrics.
+  EXPECT_GT(registry.GetCounter("marlin_actor_messages_processed_total", "")
+                ->Value(),
+            0u);
+  EXPECT_GT(registry.GetCounter("marlin_actor_spawned_total", "")->Value(),
+            0u);
+  EXPECT_GT(registry.GetGauge("marlin_actor_live", "")->Value(), 0);
+  EXPECT_GT(registry.GetGauge("marlin_actor_mailbox_highwater", "")->Value(),
+            0);
+
+  // Broker metrics (topic/group labels follow the pipeline config).
+  EXPECT_EQ(registry
+                .GetCounter("marlin_broker_append_records_total", "",
+                            {{"topic", config.topic}})
+                ->Value(),
+            static_cast<uint64_t>(produced));
+  EXPECT_EQ(registry
+                .GetCounter("marlin_broker_poll_records_total", "",
+                            {{"group", config.consumer_group},
+                             {"topic", config.topic}})
+                ->Value(),
+            static_cast<uint64_t>(produced));
+  EXPECT_GT(registry
+                .GetCounter("marlin_broker_commits_total", "",
+                            {{"group", config.consumer_group},
+                             {"topic", config.topic}})
+                ->Value(),
+            0u);
+
+  // Pipeline stage histograms.
+  EXPECT_GT(registry
+                .GetHistogram("marlin_pipeline_stage_nanos", "",
+                              {{"stage", "ingest"}})
+                ->Count(),
+            0u);
+  EXPECT_GT(registry
+                .GetHistogram("marlin_pipeline_stage_nanos", "",
+                              {{"stage", "position"}})
+                ->Count(),
+            0u);
+  EXPECT_GT(registry
+                .GetHistogram("marlin_pipeline_stage_nanos", "",
+                              {{"stage", "forecast"}})
+                ->Count(),
+            0u);
+  EXPECT_GT(registry
+                .GetHistogram("marlin_pipeline_stage_nanos", "",
+                              {{"stage", "write"}})
+                ->Count(),
+            0u);
+
+  // KvStore op counters (the writer actor HSETs vessel state).
+  EXPECT_GT(
+      registry.GetCounter("marlin_kv_ops_total", "", {{"op", "hset"}})
+          ->Value(),
+      0u);
+
+  // Stats() mean comes from the position-stage histogram now.
+  EXPECT_GT(pipeline.Stats().mean_processing_nanos, 0.0);
+}
+
+// The /metrics endpoint must expose families from every instrumented layer
+// (actor, broker, pipeline, kvstore, NN) in Prometheus text format.
+TEST(ObsIntegrationTest, MetricsEndpointCoversAllLayers) {
+  // The process-global registry (default) is the one GET /metrics serves;
+  // an S-VRF forecaster routes inference through SequenceRegressor::Predict
+  // so the NN histogram registers too.
+  SvrfModel::Config model_config;
+  model_config.hidden_dim = 4;
+  model_config.dense_dim = 4;
+  PipelineConfig config;
+  config.actor_system.num_threads = 2;
+  MaritimePipeline pipeline(std::make_shared<SvrfModel>(model_config), config);
+  ASSERT_TRUE(pipeline.Start().ok());
+  FeedStraightTrack(&pipeline, 702, kSvrfInputLength + 2);
+  pipeline.AwaitQuiescence();
+
+  ApiService api(&pipeline);
+  const ApiResponse response = api.Handle("GET", "/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type.rfind("text/plain", 0), 0u);
+  for (const char* family :
+       {"marlin_actor_messages_processed_total", "marlin_actor_live",
+        "marlin_dispatcher_queue_depth", "marlin_broker_append_records_total",
+        "marlin_consumer_lag", "marlin_pipeline_stage_nanos_bucket",
+        "marlin_kv_ops_total", "marlin_nn_inference_nanos_count"}) {
+    EXPECT_NE(response.body.find(family), std::string::npos)
+        << "missing family: " << family;
+  }
+
+  const ApiResponse json = api.Handle("GET", "/metrics/json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_EQ(json.body.front(), '{');
+  EXPECT_NE(json.body.find("\"marlin_nn_inference_nanos\""),
+            std::string::npos);
+
+  EXPECT_EQ(api.Handle("GET", "/metrics/bogus").status, 404);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -168,6 +168,63 @@ TEST(ConsumerTest, PollOnMissingTopicIsEmpty) {
   EXPECT_EQ(consumer.Lag(), 0);
 }
 
+// Regression: the consumer snapshotted the partition count once at
+// construction, so one created before its topic existed polled nothing
+// forever. The partition layout must re-sync lazily.
+TEST(ConsumerTest, CreatedBeforeTopicSeesRecordsOnceTopicExists) {
+  Broker broker;
+  Consumer consumer(&broker, "g", "late");
+  EXPECT_TRUE(consumer.Poll(10).empty());
+  ASSERT_TRUE(broker.CreateTopic("late", 2).ok());
+  for (int i = 0; i < 8; ++i) {
+    broker.Append("late", "k" + std::to_string(i), std::to_string(i), i);
+  }
+  EXPECT_EQ(consumer.Lag(), 8);
+  std::vector<Record> all;
+  for (;;) {
+    auto batch = consumer.Poll(3);
+    if (batch.empty()) break;
+    for (auto& r : batch) all.push_back(std::move(r));
+  }
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(consumer.Lag(), 0);
+}
+
+// Offset-commit semantics: a re-created consumer in the same group resumes
+// from the committed offset — not from the log end — so records appended
+// between commit and restart are delivered exactly where the group left off.
+TEST(ConsumerTest, RecreatedConsumerResumesFromCommittedNotEnd) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 6; ++i) broker.Append("t", "k", std::to_string(i), i);
+  {
+    Consumer first(&broker, "group", "t");
+    ASSERT_EQ(first.Poll(3).size(), 3u);
+    first.Commit();
+  }
+  for (int i = 6; i < 10; ++i) broker.Append("t", "k", std::to_string(i), i);
+  Consumer second(&broker, "group", "t");
+  auto batch = second.Poll(100);
+  ASSERT_EQ(batch.size(), 7u);
+  EXPECT_EQ(batch.front().value, "3");
+  EXPECT_EQ(batch.back().value, "9");
+}
+
+TEST(BrokerTest, CommittedOffsetOnUnknownPartitionStaysZero) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 2).ok());
+  broker.CommitOffset("g", "t", 0, 5);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 0), 5);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 1), 0);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 7), 0);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", -1), 0);
+  EXPECT_EQ(broker.CommittedOffset("g", "missing", 0), 0);
+  EXPECT_EQ(broker.CommittedOffset("other-group", "t", 0), 0);
+  // Committing to a bogus partition is ignored, not recorded.
+  broker.CommitOffset("g", "t", 9, 42);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 9), 0);
+}
+
 TEST(BrokerTest, ConcurrentProducersAndConsumer) {
   Broker broker;
   ASSERT_TRUE(broker.CreateTopic("t", 4).ok());

@@ -243,6 +243,35 @@ TEST(ThreadPoolTest, MinimumOneThread) {
   EXPECT_TRUE(ran.load());
 }
 
+// Regression: a second concurrent Shutdown() caller used to race the first
+// one's worker.join()/workers_.clear() (joining already-joined threads,
+// clearing a vector mid-iteration). Every caller must block until the
+// workers are down, and the pool must stay usable for queries afterwards.
+TEST(ThreadPoolTest, ConcurrentShutdownIsIdempotent) {
+  for (int round = 0; round < 25; ++round) {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([] {});
+    }
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&pool] { pool.Shutdown(); });
+    }
+    for (auto& th : callers) th.join();
+    EXPECT_FALSE(pool.Submit([] {}));
+    EXPECT_EQ(pool.num_threads(), 4);
+  }
+}
+
+TEST(ThreadPoolTest, QueueDepthDrainsToZero) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([] {});
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
 // ------------------------------------------------------- LatencyRecorder
 
 TEST(LatencyRecorderTest, TracksCountAndMean) {
@@ -274,6 +303,24 @@ TEST(LatencyRecorderTest, MovingWindowForgetsOldSamples) {
   const auto series = recorder.Series();
   // The third point's window holds only the last two samples.
   EXPECT_DOUBLE_EQ(series.back().avg_nanos, 100.0);
+}
+
+// Regression: the point emitted at an actor-count boundary used to average
+// a window still full of the previous actor count's samples, so a slow
+// regime bled into the first point of the next one (skewing the Figure-6
+// curve). The window restarts at the boundary: the new point reflects only
+// the new count's samples.
+TEST(LatencyRecorderTest, WindowRestartsAtActorCountBoundary) {
+  LatencyRecorder recorder(4);
+  recorder.Record(1, 1000);
+  recorder.Record(1, 1000);
+  recorder.Record(1, 1000);
+  recorder.Record(2, 10);
+  const auto series = recorder.Series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].avg_nanos, 1000.0);
+  // Old behaviour: (1000*3 + 10) / 4 = 752.5.
+  EXPECT_DOUBLE_EQ(series[1].avg_nanos, 10.0);
 }
 
 TEST(LatencyRecorderTest, ThreadSafeUnderConcurrentRecords) {
