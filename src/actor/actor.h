@@ -69,6 +69,11 @@ class ActorContext {
 
   bool IsAsk() const { return envelope_->reply != nullptr; }
 
+  /// Checked builds: asserts the calling thread is the one currently
+  /// draining this actor's mailbox — i.e. that actor state accessed here
+  /// honours the isolation guarantee. No-op in release builds.
+  void AssertExclusive(const char* what = "actor state") const;
+
  private:
   ActorSystem* system_;
   ActorId self_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "chk/chk.h"
 #include "util/logging.h"
 
 namespace marlin {
@@ -16,12 +17,24 @@ TimeMicros WallNowMicros() {
 
 }  // namespace
 
+void ActorContext::AssertExclusive(const char* what) const {
+#if defined(MARLIN_CHECKED) && MARLIN_CHECKED
+  chk::ThreadOwnership::AssertOwned(self_, what);
+#else
+  (void)what;
+#endif
+}
+
 ActorSystem::ActorSystem(const ActorSystemConfig& config)
     : config_(config),
-      pool_(config.num_threads > 0
-                ? config.num_threads
-                : static_cast<int>(std::max(
-                      2u, std::thread::hardware_concurrency()))) {
+      dispatcher_(config.dispatcher
+                      ? config.dispatcher
+                      : std::make_shared<ThreadPoolDispatcher>(
+                            config.num_threads > 0
+                                ? config.num_threads
+                                : static_cast<int>(std::max(
+                                      2u,
+                                      std::thread::hardware_concurrency())))) {
   obs::MetricsRegistry* registry = obs::MetricsRegistry::OrGlobal(config.metrics);
   metrics_.registry = registry;
   metrics_.messages_processed = registry->GetCounter(
@@ -72,7 +85,10 @@ StatusOr<ActorRef> ActorSystem::Spawn(std::string name,
   ActorRef ref(cell->id, std::move(name), cell);
   Envelope start_env;
   ActorContext ctx(this, cell->id, &start_env);
-  cell->actor->OnStart(ctx);
+  {
+    MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
+    cell->actor->OnStart(ctx);
+  }
   return ref;
 }
 
@@ -150,6 +166,18 @@ void ActorSystem::Stop(const ActorRef& target) {
 }
 
 void ActorSystem::AwaitQuiescence() {
+  if (dispatcher_->cooperative()) {
+    // Cooperative dispatchers (chk::DeterministicScheduler) only run tasks
+    // inside Quiesce() on this thread; poll for stragglers racing in from
+    // the timer thread between a pending_ increment and its Submit.
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      dispatcher_->Quiesce();
+      if (pending_.load(std::memory_order_acquire) != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    return;
+  }
   std::unique_lock<std::mutex> lock(quiesce_mu_);
   quiesce_cv_.wait(lock, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
@@ -170,7 +198,7 @@ void ActorSystem::Shutdown() {
   timer_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
   AwaitQuiescence();
-  pool_.Shutdown();
+  dispatcher_->Shutdown();
   std::vector<std::shared_ptr<ActorCell>> cells;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -181,6 +209,7 @@ void ActorSystem::Shutdown() {
     std::lock_guard<std::mutex> lock(cell->mu);
     if (!cell->stopped) {
       cell->stopped = true;
+      MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
       cell->actor->OnStop();
       metrics_.actors_stopped->Increment();
       metrics_.live_actors->Sub(1);
@@ -222,8 +251,9 @@ bool ActorSystem::Enqueue(const std::shared_ptr<ActorCell>& cell,
   }
   if (schedule) {
     metrics_.dispatcher_queue_depth->Set(
-        static_cast<int64_t>(pool_.QueueDepth()));
-    if (!pool_.Submit([this, cell] { DrainMailbox(cell); })) {
+        static_cast<int64_t>(dispatcher_->QueueDepth()));
+    if (!dispatcher_->Submit(
+            DispatchTask{[this, cell] { DrainMailbox(cell); }, cell->name})) {
       // Pool already shut down; roll back so quiescence does not hang.
       size_t dropped;
       {
@@ -260,7 +290,8 @@ void ActorSystem::DrainMailbox(std::shared_ptr<ActorCell> cell) {
       }
       if (processed_here >= config_.throughput) {
         // Yield the thread; reschedule for fairness.
-        if (!pool_.Submit([this, cell] { DrainMailbox(cell); })) {
+        if (!dispatcher_->Submit(DispatchTask{
+                [this, cell] { DrainMailbox(cell); }, cell->name})) {
           cell->scheduled = false;
         }
         return;
@@ -269,14 +300,19 @@ void ActorSystem::DrainMailbox(std::shared_ptr<ActorCell> cell) {
       cell->mailbox.pop_front();
     }
     ActorContext ctx(this, cell->id, &env);
-    const Status status = cell->actor->Receive(env.payload, ctx);
+    Status status;
+    {
+      MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
+      status = cell->actor->Receive(env.payload, ctx);
+      // Handle the failure before releasing the pending count so that
+      // AwaitQuiescence observes completed supervision, not just delivery;
+      // supervision (OnRestart/OnStop) runs inside the ownership scope.
+      if (!status.ok()) HandleFailure(cell, status);
+    }
     ++processed_here;
     processed_.fetch_add(1, std::memory_order_relaxed);
     metrics_.messages_processed->Increment();
     if (!status.ok()) {
-      // Handle the failure before releasing the pending count so that
-      // AwaitQuiescence observes completed supervision, not just delivery.
-      HandleFailure(cell, status);
       DecrementPending(1);
       std::lock_guard<std::mutex> lock(cell->mu);
       if (cell->stopped) {
@@ -308,6 +344,7 @@ void ActorSystem::HandleFailure(const std::shared_ptr<ActorCell>& cell,
   MARLIN_LOG(WARNING) << "actor '" << cell->name
                       << "' failed: " << failure.ToString() << " (restart "
                       << restarts << "/" << config_.max_restarts << ")";
+  MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
   cell->actor->OnRestart(failure);
 }
 
@@ -319,6 +356,7 @@ void ActorSystem::StopCell(const std::shared_ptr<ActorCell>& cell) {
     cell->stopped = true;
     dropped = cell->mailbox.size();
     cell->mailbox.clear();
+    MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
     cell->actor->OnStop();
   }
   DecrementPending(static_cast<int64_t>(dropped));

@@ -14,10 +14,10 @@
 #include <vector>
 
 #include "actor/actor.h"
+#include "actor/dispatcher.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace marlin {
 
@@ -36,8 +36,13 @@ struct ActorCell {
 
 /// Configuration of an ActorSystem.
 struct ActorSystemConfig {
-  /// Dispatcher threads. <= 0 selects hardware_concurrency().
+  /// Dispatcher threads. <= 0 selects hardware_concurrency(). Ignored when
+  /// `dispatcher` is set.
   int num_threads = 0;
+  /// Execution substrate. Null selects a ThreadPoolDispatcher with
+  /// `num_threads` workers; tests inject chk::DeterministicScheduler here
+  /// to explore and replay message interleavings.
+  std::shared_ptr<Dispatcher> dispatcher = nullptr;
   /// Messages processed per mailbox drain before yielding the thread
   /// (Akka's "throughput" fairness knob).
   int throughput = 64;
@@ -153,7 +158,7 @@ class ActorSystem {
 
   const ActorSystemConfig config_;
   Metrics metrics_;
-  ThreadPool pool_;
+  std::shared_ptr<Dispatcher> dispatcher_;
 
   mutable std::mutex registry_mu_;
   std::unordered_map<std::string, std::shared_ptr<ActorCell>> by_name_;

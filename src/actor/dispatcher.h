@@ -1,0 +1,74 @@
+#ifndef MARLIN_ACTOR_DISPATCHER_H_
+#define MARLIN_ACTOR_DISPATCHER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace marlin {
+
+/// The unit of scheduling the actor runtime hands to a dispatcher: one
+/// mailbox drain (or timer-driven resubmission). `label` names the actor
+/// whose mailbox the task drains so that schedule-recording dispatchers can
+/// produce human-readable traces.
+struct DispatchTask {
+  std::function<void()> fn;
+  std::string label;
+};
+
+/// The seam between the actor runtime and its execution substrate.
+///
+/// Production uses ThreadPoolDispatcher (below): tasks are multiplexed onto
+/// a fixed worker pool and run concurrently. The checked build swaps in
+/// chk::DeterministicScheduler, a single-threaded seed-driven dispatcher
+/// that explores distinct task interleavings and can replay any schedule
+/// from its recorded trace — the same seam a reproducible-schedule training
+/// or inference runtime would hook.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Enqueues a task. Returns false when the dispatcher no longer accepts
+  /// work (shut down); the caller must roll back its bookkeeping.
+  virtual bool Submit(DispatchTask task) = 0;
+
+  /// Cooperative scheduling point. ActorSystem::AwaitQuiescence calls this
+  /// before blocking: inline (cooperative) dispatchers drain their run
+  /// queue here on the calling thread; threaded dispatchers do nothing
+  /// because their workers make progress on their own.
+  virtual void Quiesce() {}
+
+  /// True when tasks only run inside Quiesce() on the caller's thread.
+  /// The actor runtime polls instead of blocking on such dispatchers.
+  virtual bool cooperative() const { return false; }
+
+  /// Stops accepting tasks; runs or discards anything still queued.
+  virtual void Shutdown() = 0;
+
+  /// Tasks queued but not yet running (diagnostic gauge).
+  virtual size_t QueueDepth() const = 0;
+};
+
+/// Production dispatcher: a fixed-size worker pool with a FIFO task queue.
+class ThreadPoolDispatcher : public Dispatcher {
+ public:
+  explicit ThreadPoolDispatcher(int num_threads) : pool_(num_threads) {}
+
+  bool Submit(DispatchTask task) override {
+    return pool_.Submit(std::move(task.fn));
+  }
+  void Shutdown() override { pool_.Shutdown(); }
+  size_t QueueDepth() const override { return pool_.QueueDepth(); }
+
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_ACTOR_DISPATCHER_H_

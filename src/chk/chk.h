@@ -1,0 +1,45 @@
+#ifndef MARLIN_CHK_CHK_H_
+#define MARLIN_CHK_CHK_H_
+
+/// Umbrella header for Marlin's debug-build correctness layer.
+///
+/// The components (deterministic scheduler, thread-ownership checker,
+/// lock-order registry, violation reporting) are ordinary classes usable in
+/// any build; what `-DMARLIN_CHECKED=ON` controls is (a) the runtime hooks
+/// compiled into ActorSystem / Broker / KvStore hot paths and (b) the
+/// MARLIN_CHK_INVARIANT assertions below. Release builds pay nothing.
+
+#include "chk/deterministic_scheduler.h"
+#include "chk/lock_registry.h"
+#include "chk/thread_ownership.h"
+#include "chk/violation.h"
+
+/// Asserts a runtime invariant in checked builds; compiles to nothing
+/// otherwise. Violations route through the chk violation handler (abort by
+/// default, recordable in tests) rather than assert(), so a checked test
+/// run can observe them without dying.
+#if defined(MARLIN_CHECKED) && MARLIN_CHECKED
+#define MARLIN_CHK_INVARIANT(cond, msg)                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::marlin::chk::ReportViolation(                                   \
+          ::marlin::chk::ViolationKind::kInvariant,                     \
+          std::string("invariant '" #cond "' failed: ") + (msg));       \
+    }                                                                   \
+  } while (0)
+#else
+#define MARLIN_CHK_INVARIANT(cond, msg) \
+  do {                                  \
+  } while (0)
+#endif
+
+/// Brackets the enclosing scope as the mailbox-drain context of `actor_id`
+/// for the thread-ownership checker (checked builds; no-op otherwise).
+#if defined(MARLIN_CHECKED) && MARLIN_CHECKED
+#define MARLIN_CHK_OWNERSHIP_SCOPE(actor_id) \
+  ::marlin::chk::OwnershipScope marlin_chk_ownership_scope_(actor_id)
+#else
+#define MARLIN_CHK_OWNERSHIP_SCOPE(actor_id) ((void)(actor_id))
+#endif
+
+#endif  // MARLIN_CHK_CHK_H_

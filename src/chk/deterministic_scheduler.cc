@@ -1,0 +1,101 @@
+#include "chk/deterministic_scheduler.h"
+
+#include <utility>
+
+namespace marlin {
+namespace chk {
+
+DeterministicScheduler::DeterministicScheduler(uint64_t seed)
+    : seed_(seed), rng_(seed) {}
+
+DeterministicScheduler::DeterministicScheduler(uint64_t seed,
+                                               ScheduleTrace replay)
+    : seed_(seed), rng_(seed), replay_(std::move(replay)) {}
+
+bool DeterministicScheduler::Submit(DispatchTask task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return false;
+  ready_.push_back(std::move(task));
+  return true;
+}
+
+void DeterministicScheduler::Quiesce() { DrainLoop(); }
+
+void DeterministicScheduler::Shutdown() {
+  DrainLoop();
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  ready_.clear();
+}
+
+size_t DeterministicScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.size();
+}
+
+ScheduleTrace DeterministicScheduler::Trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+uint64_t DeterministicScheduler::TraceHash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  auto mix = [&hash](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  };
+  for (const SchedDecision& d : trace_) {
+    mix(d.chosen);
+    mix(d.ready);
+    for (char c : d.label) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001B3ULL;
+    }
+  }
+  return hash;
+}
+
+size_t DeterministicScheduler::StepCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_.size();
+}
+
+void DeterministicScheduler::DrainLoop() {
+  {
+    // Re-entrant drain (a task calling AwaitQuiescence) would recurse into
+    // its own scheduler; let the outer loop finish the queue instead.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && draining_thread_ == std::this_thread::get_id()) return;
+    draining_ = true;
+    draining_thread_ = std::this_thread::get_id();
+  }
+  for (;;) {
+    DispatchTask task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (ready_.empty()) {
+        draining_ = false;
+        return;
+      }
+      const uint32_t ready = static_cast<uint32_t>(ready_.size());
+      uint32_t pick;
+      if (replay_pos_ < replay_.size()) {
+        pick = replay_[replay_pos_].chosen;
+        if (pick >= ready) pick = ready - 1;  // diverged run: stay in range
+        ++replay_pos_;
+      } else {
+        pick = static_cast<uint32_t>(rng_.UniformInt(ready));
+      }
+      trace_.push_back(SchedDecision{pick, ready, ready_[pick].label});
+      task = std::move(ready_[pick]);
+      ready_.erase(ready_.begin() + pick);
+    }
+    task.fn();
+  }
+}
+
+}  // namespace chk
+}  // namespace marlin

@@ -1,0 +1,109 @@
+#include "chk/lock_registry.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chk/violation.h"
+
+namespace marlin {
+namespace chk {
+
+struct LockRegistry::Impl {
+  struct Node {
+    std::string name;
+    std::unordered_set<const void*> held_before;  // successors: this → other
+  };
+
+  mutable std::mutex mu;
+  std::unordered_map<const void*, Node> graph;
+
+  // Locks held by the calling thread, in acquisition order.
+  static std::vector<const void*>& Held() {
+    thread_local std::vector<const void*> held;
+    return held;
+  }
+
+  // True when `to` is reachable from `from` over held-before edges.
+  // Caller holds `mu`.
+  bool Reachable(const void* from, const void* to) const {
+    std::vector<const void*> stack{from};
+    std::unordered_set<const void*> seen;
+    while (!stack.empty()) {
+      const void* node = stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!seen.insert(node).second) continue;
+      auto it = graph.find(node);
+      if (it == graph.end()) continue;
+      for (const void* next : it->second.held_before) stack.push_back(next);
+    }
+    return false;
+  }
+
+  std::string NameOf(const void* lock) const {
+    auto it = graph.find(lock);
+    return it == graph.end() ? "<unregistered>" : it->second.name;
+  }
+};
+
+LockRegistry::Impl& LockRegistry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+LockRegistry& LockRegistry::Global() {
+  static LockRegistry registry;
+  return registry;
+}
+
+void LockRegistry::NoteAcquired(const void* lock, const char* name) {
+  Impl& state = impl();
+  std::vector<const void*>& held = Impl::Held();
+  {
+    std::lock_guard<std::mutex> guard(state.mu);
+    state.graph[lock].name = name;
+    for (const void* prior : held) {
+      if (prior == lock) continue;
+      Impl::Node& node = state.graph[prior];
+      if (node.held_before.count(lock) > 0) continue;
+      // Adding prior→lock: a path lock→…→prior means some other history
+      // acquired these in the opposite order — a potential deadlock cycle.
+      if (state.Reachable(lock, prior)) {
+        ReportViolation(
+            ViolationKind::kLockOrder,
+            "acquiring '" + std::string(name) + "' while holding '" +
+                state.NameOf(prior) +
+                "' closes a lock-order cycle (the opposite order was "
+                "recorded earlier); potential deadlock");
+      }
+      node.held_before.insert(lock);
+    }
+  }
+  held.push_back(lock);
+}
+
+void LockRegistry::NoteReleased(const void* lock) {
+  std::vector<const void*>& held = Impl::Held();
+  auto it = std::find(held.rbegin(), held.rend(), lock);
+  if (it != held.rend()) held.erase(std::next(it).base());
+}
+
+size_t LockRegistry::EdgeCount() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> guard(state.mu);
+  size_t edges = 0;
+  for (const auto& [lock, node] : state.graph) edges += node.held_before.size();
+  return edges;
+}
+
+void LockRegistry::Reset() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> guard(state.mu);
+  state.graph.clear();
+  Impl::Held().clear();
+}
+
+}  // namespace chk
+}  // namespace marlin

@@ -1,0 +1,78 @@
+#ifndef MARLIN_CHK_LOCK_REGISTRY_H_
+#define MARLIN_CHK_LOCK_REGISTRY_H_
+
+#include <mutex>
+#include <string>
+
+namespace marlin {
+namespace chk {
+
+/// Lock-order registry: detects *potential* deadlock cycles at acquisition
+/// time, before any thread ever blocks.
+///
+/// Every instrumented acquisition records held-before edges (each lock the
+/// thread already holds → the lock being acquired) into a global directed
+/// graph. If the new edge closes a cycle — some other code path acquired
+/// these locks in the opposite order — a ViolationKind::kLockOrder is
+/// reported immediately, even though this particular run did not deadlock.
+/// This is the classic lock-order-graph half of a GoodLock/TSan-deadlock
+/// style detector, cheap enough for debug builds.
+class LockRegistry {
+ public:
+  static LockRegistry& Global();
+
+  /// Records that the calling thread acquired `lock` (named `name` for
+  /// diagnostics) while holding its current lock set, adding held-before
+  /// edges and reporting a violation when an edge closes a cycle.
+  void NoteAcquired(const void* lock, const char* name);
+
+  /// Records that the calling thread released `lock`.
+  void NoteReleased(const void* lock);
+
+  /// Number of distinct held-before edges recorded so far.
+  size_t EdgeCount() const;
+
+  /// Forgets all edges and the calling thread's held set (test isolation).
+  void Reset();
+
+ private:
+  LockRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// A named std::mutex whose lock/unlock feed the global LockRegistry.
+/// BasicLockable, so it works with std::lock_guard / std::unique_lock.
+/// Instrumentation is always compiled (the class lives in tests and checked
+/// builds; production code keeps using std::mutex).
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(const char* name) : name_(name) {}
+
+  void lock() {
+    mu_.lock();
+    LockRegistry::Global().NoteAcquired(this, name_);
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    LockRegistry::Global().NoteAcquired(this, name_);
+    return true;
+  }
+
+  void unlock() {
+    LockRegistry::Global().NoteReleased(this);
+    mu_.unlock();
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+};
+
+}  // namespace chk
+}  // namespace marlin
+
+#endif  // MARLIN_CHK_LOCK_REGISTRY_H_

@@ -1,0 +1,108 @@
+#include "chk/thread_ownership.h"
+
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "chk/violation.h"
+
+namespace marlin {
+namespace chk {
+namespace {
+
+struct Owner {
+  std::thread::id thread;
+  int depth = 0;  // Enter/Exit nest (Receive → supervision → OnStop)
+};
+
+struct OwnershipTable {
+  std::mutex mu;
+  std::unordered_map<uint64_t, Owner> owner;
+};
+
+OwnershipTable& Table() {
+  static OwnershipTable table;
+  return table;
+}
+
+std::string Describe(std::thread::id id) {
+  std::ostringstream os;
+  os << id;
+  return os.str();
+}
+
+}  // namespace
+
+void ThreadOwnership::Enter(uint64_t actor_id) {
+  OwnershipTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  Owner& owner = table.owner[actor_id];
+  if (owner.depth > 0 && owner.thread != std::this_thread::get_id()) {
+    ReportViolation(
+        ViolationKind::kOwnership,
+        "actor " + std::to_string(actor_id) + " entered by thread " +
+            Describe(std::this_thread::get_id()) + " while owned by thread " +
+            Describe(owner.thread) + " (two concurrent mailbox drains)");
+    owner.depth = 0;
+  }
+  owner.thread = std::this_thread::get_id();
+  ++owner.depth;
+}
+
+void ThreadOwnership::Exit(uint64_t actor_id) {
+  OwnershipTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  auto it = table.owner.find(actor_id);
+  if (it != table.owner.end() &&
+      it->second.thread == std::this_thread::get_id()) {
+    if (--it->second.depth <= 0) table.owner.erase(it);
+  }
+}
+
+void ThreadOwnership::AssertOwned(uint64_t actor_id, const char* what) {
+  OwnershipTable& table = Table();
+  std::thread::id owner;
+  bool owned = false;
+  {
+    std::lock_guard<std::mutex> lock(table.mu);
+    auto it = table.owner.find(actor_id);
+    if (it != table.owner.end()) {
+      owned = true;
+      owner = it->second.thread;
+    }
+  }
+  if (!owned) {
+    ReportViolation(ViolationKind::kOwnership,
+                    std::string(what) + " of actor " +
+                        std::to_string(actor_id) +
+                        " touched outside any mailbox drain (thread " +
+                        Describe(std::this_thread::get_id()) + ")");
+    return;
+  }
+  if (owner != std::this_thread::get_id()) {
+    ReportViolation(ViolationKind::kOwnership,
+                    std::string(what) + " of actor " +
+                        std::to_string(actor_id) + " touched from thread " +
+                        Describe(std::this_thread::get_id()) +
+                        " while its mailbox runs on thread " +
+                        Describe(owner));
+  }
+}
+
+bool ThreadOwnership::IsOwnedByCurrentThread(uint64_t actor_id) {
+  OwnershipTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  auto it = table.owner.find(actor_id);
+  return it != table.owner.end() &&
+         it->second.thread == std::this_thread::get_id();
+}
+
+void ThreadOwnership::Reset() {
+  OwnershipTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  table.owner.clear();
+}
+
+}  // namespace chk
+}  // namespace marlin

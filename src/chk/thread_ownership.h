@@ -1,0 +1,57 @@
+#ifndef MARLIN_CHK_THREAD_OWNERSHIP_H_
+#define MARLIN_CHK_THREAD_OWNERSHIP_H_
+
+#include <cstdint>
+
+namespace marlin {
+namespace chk {
+
+/// Actor-context thread-ownership checker.
+///
+/// The actor model's isolation guarantee — actor state is only ever touched
+/// by the thread currently draining that actor's mailbox — is tracked here
+/// as a map from actor id to owning thread. The runtime brackets every
+/// Receive/OnStart/OnRestart/OnStop with Enter/Exit (checked builds only);
+/// actor code and tests call AssertOwned wherever state is read or written.
+/// A mismatch (wrong thread, or no drain in progress) reports a
+/// ViolationKind::kOwnership through the violation handler.
+class ThreadOwnership {
+ public:
+  /// Marks the calling thread as owner of `actor_id`. Reports a violation
+  /// if another thread already owns it (the runtime should make that
+  /// impossible; the check guards the runtime itself).
+  static void Enter(uint64_t actor_id);
+
+  /// Releases ownership of `actor_id` by the calling thread.
+  static void Exit(uint64_t actor_id);
+
+  /// Asserts the calling thread currently owns `actor_id`; `what` names the
+  /// touched state for the violation message.
+  static void AssertOwned(uint64_t actor_id, const char* what);
+
+  /// True when the calling thread owns `actor_id` (no reporting).
+  static bool IsOwnedByCurrentThread(uint64_t actor_id);
+
+  /// Drops all ownership records (test isolation helper).
+  static void Reset();
+};
+
+/// RAII Enter/Exit bracket.
+class OwnershipScope {
+ public:
+  explicit OwnershipScope(uint64_t actor_id) : actor_id_(actor_id) {
+    ThreadOwnership::Enter(actor_id_);
+  }
+  ~OwnershipScope() { ThreadOwnership::Exit(actor_id_); }
+
+  OwnershipScope(const OwnershipScope&) = delete;
+  OwnershipScope& operator=(const OwnershipScope&) = delete;
+
+ private:
+  uint64_t actor_id_;
+};
+
+}  // namespace chk
+}  // namespace marlin
+
+#endif  // MARLIN_CHK_THREAD_OWNERSHIP_H_

@@ -1,0 +1,102 @@
+#include "chk/violation.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace marlin {
+namespace chk {
+namespace {
+
+void DefaultHandler(ViolationKind kind, const std::string& message) {
+  MARLIN_LOG(ERROR) << "chk violation [" << ViolationKindName(kind)
+                    << "]: " << message;
+  std::abort();
+}
+
+std::atomic<ViolationHandler> g_handler{&DefaultHandler};
+std::atomic<int64_t> g_count{0};
+
+// Backing store for the active ScopedViolationRecorder. Guarded by its own
+// mutex: violations can surface from any thread (dispatcher workers, test
+// helper threads).
+std::mutex g_recorder_mu;
+bool g_recording = false;
+
+std::vector<std::pair<ViolationKind, std::string>>& RecordedStore() {
+  static std::vector<std::pair<ViolationKind, std::string>> store;
+  return store;
+}
+
+void RecordingHandler(ViolationKind kind, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  if (g_recording) RecordedStore().emplace_back(kind, message);
+}
+
+}  // namespace
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kOwnership:
+      return "ownership";
+    case ViolationKind::kLockOrder:
+      return "lock-order";
+    case ViolationKind::kInvariant:
+      return "invariant";
+  }
+  return "unknown";
+}
+
+ViolationHandler ExchangeViolationHandler(ViolationHandler handler) {
+  if (handler == nullptr) handler = &DefaultHandler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void ReportViolation(ViolationKind kind, const std::string& message) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_handler.load(std::memory_order_acquire)(kind, message);
+}
+
+int64_t ViolationCount() { return g_count.load(std::memory_order_relaxed); }
+
+void ResetViolationCount() { g_count.store(0, std::memory_order_relaxed); }
+
+ScopedViolationRecorder::ScopedViolationRecorder() {
+  {
+    std::lock_guard<std::mutex> lock(g_recorder_mu);
+    RecordedStore().clear();
+    g_recording = true;
+  }
+  previous_ = ExchangeViolationHandler(&RecordingHandler);
+}
+
+ScopedViolationRecorder::~ScopedViolationRecorder() {
+  ExchangeViolationHandler(previous_);
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  g_recording = false;
+  RecordedStore().clear();
+}
+
+int64_t ScopedViolationRecorder::count() const {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  return static_cast<int64_t>(RecordedStore().size());
+}
+
+std::string ScopedViolationRecorder::message(size_t i) const {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  if (i >= RecordedStore().size()) return "";
+  return RecordedStore()[i].second;
+}
+
+ViolationKind ScopedViolationRecorder::kind(size_t i) const {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  if (i >= RecordedStore().size()) return ViolationKind::kInvariant;
+  return RecordedStore()[i].first;
+}
+
+}  // namespace chk
+}  // namespace marlin

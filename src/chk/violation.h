@@ -1,0 +1,60 @@
+#ifndef MARLIN_CHK_VIOLATION_H_
+#define MARLIN_CHK_VIOLATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace marlin {
+namespace chk {
+
+/// Classes of correctness violations the chk detectors report.
+enum class ViolationKind {
+  kOwnership,  // actor state touched off its mailbox thread
+  kLockOrder,  // lock acquisition closes a cycle in the order graph
+  kInvariant,  // MARLIN_CHK_INVARIANT condition failed
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+/// Callback invoked for every detected violation. The default handler logs
+/// FATAL and aborts so CI fails loudly; negative tests install a recording
+/// handler instead.
+using ViolationHandler = void (*)(ViolationKind, const std::string&);
+
+/// Installs `handler` and returns the previous one (never null). Passing
+/// nullptr restores the default abort-on-violation handler.
+ViolationHandler ExchangeViolationHandler(ViolationHandler handler);
+
+/// Reports a violation through the installed handler and bumps the global
+/// violation counter (counted before the handler runs, so even the abort
+/// path registers it).
+void ReportViolation(ViolationKind kind, const std::string& message);
+
+/// Violations reported since process start (or the last Reset).
+int64_t ViolationCount();
+void ResetViolationCount();
+
+/// RAII test helper: records violations instead of aborting, restoring the
+/// previous handler on destruction. At most one recorder may be active.
+class ScopedViolationRecorder {
+ public:
+  ScopedViolationRecorder();
+  ~ScopedViolationRecorder();
+
+  ScopedViolationRecorder(const ScopedViolationRecorder&) = delete;
+  ScopedViolationRecorder& operator=(const ScopedViolationRecorder&) = delete;
+
+  int64_t count() const;
+  /// Message of the i-th recorded violation ("" when out of range).
+  std::string message(size_t i) const;
+  /// Kind of the i-th recorded violation (kInvariant when out of range).
+  ViolationKind kind(size_t i) const;
+
+ private:
+  ViolationHandler previous_;
+};
+
+}  // namespace chk
+}  // namespace marlin
+
+#endif  // MARLIN_CHK_VIOLATION_H_

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <functional>
 
+#include "chk/chk.h"
+
 namespace marlin {
 
 KvStore::KvStore(const Clock* clock, int num_shards,
@@ -85,6 +87,8 @@ Status KvStore::HSet(const std::string& key, const std::string& field,
   if (!it->second.is_hash) {
     return Status::FailedPrecondition("key '" + key + "' holds a string");
   }
+  MARLIN_CHK_INVARIANT(it->second.value.empty(),
+                       "hash entries must not carry a string value");
   it->second.hash[field] = std::move(value);
   return Status::Ok();
 }
@@ -145,6 +149,8 @@ bool KvStore::Expire(const std::string& key, TimeMicros ttl) {
   auto it = shard.map.find(key);
   if (it == shard.map.end() || IsExpired(it->second, Now())) return false;
   it->second.expires_at = Now() + ttl;
+  MARLIN_CHK_INVARIANT(ttl <= 0 || !IsExpired(it->second, Now()),
+                       "a freshly set positive TTL must leave the key live");
   return true;
 }
 
@@ -350,6 +356,10 @@ Status KvStore::Restore(const std::string& blob) {
     }
     ++pos;
     if (!IsExpired(entry, now)) {
+      MARLIN_CHK_INVARIANT(entry.is_hash ? entry.value.empty()
+                                         : entry.hash.empty(),
+                           "restored entry must be exclusively string or "
+                           "hash shaped");
       Shard& shard = ShardFor(key);
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.map[key] = std::move(entry);

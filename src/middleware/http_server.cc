@@ -68,16 +68,22 @@ Status HttpServer::Start() {
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Shut the listening socket down to unblock accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // Claim the fd before closing so the accept loop never touches a stale
+  // (or reused) descriptor number.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // Shut the listening socket down to unblock accept().
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
 }
 
 void HttpServer::AcceptLoop() {
   while (running_.load()) {
-    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = listen_fd_.load();
+    if (fd < 0) return;
+    const int client_fd = ::accept(fd, nullptr, nullptr);
     if (client_fd < 0) {
       if (!running_.load()) return;
       continue;

@@ -44,7 +44,8 @@ class HttpServer {
 
   ApiService* api_;
   int port_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates the fd concurrently with AcceptLoop()'s reads.
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::atomic<int64_t> requests_{0};
   std::thread accept_thread_;

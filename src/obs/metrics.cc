@@ -162,7 +162,7 @@ void Histogram::Reset() {
 // ----------------------------------------------------- MetricsRegistry
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* const kGlobal = new MetricsRegistry();
+  static MetricsRegistry* const kGlobal = new MetricsRegistry();  // chk-lint: allow(naked-new) leaky singleton
   return *kGlobal;
 }
 

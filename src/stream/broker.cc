@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "chk/chk.h"
+
 namespace marlin {
 
 Status Broker::CreateTopic(const std::string& topic, int num_partitions) {
@@ -66,6 +68,10 @@ StatusOr<Record> Broker::Append(const std::string& topic, std::string key,
   {
     std::lock_guard<std::mutex> lock(partition->mu);
     record.offset = static_cast<int64_t>(partition->log.size());
+    MARLIN_CHK_INVARIANT(
+        partition->log.empty() ||
+            partition->log.back().offset == record.offset - 1,
+        "partition log offsets must be dense and monotonic");
     partition->log.push_back(record);
   }
   append_counter->Increment();
@@ -143,6 +149,15 @@ void Broker::CommitOffset(const std::string& group, const std::string& topic,
   if (per_topic.size() < state->partitions.size()) {
     per_topic.resize(state->partitions.size(), 0);
   }
+#if defined(MARLIN_CHECKED) && MARLIN_CHECKED
+  // Commits beyond the current log end are documented as harmless (the
+  // consumer simply waits for the log to catch up), but a commit that goes
+  // negative or moves a group's position backwards means the consumer's
+  // bookkeeping diverged from its poll order.
+  MARLIN_CHK_INVARIANT(
+      offset >= 0 && offset >= per_topic[partition],
+      "committed offset regressed or negative for topic '" + topic + "'");
+#endif
   per_topic[partition] = offset;
 }
 
@@ -202,6 +217,9 @@ std::vector<Record> Consumer::Poll(int max_records) {
         broker_->Read(topic_, p, positions_[p], budget);
     if (!batch.ok()) continue;
     for (Record& r : *batch) {
+      MARLIN_CHK_INVARIANT(r.offset + 1 > positions_[p],
+                           "poll must advance the partition position "
+                           "monotonically (no re-delivery)");
       positions_[p] = r.offset + 1;
       out.push_back(std::move(r));
     }

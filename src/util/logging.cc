@@ -31,7 +31,7 @@ const char* Basename(const char* path) {
 }  // namespace
 
 Logger& Logger::Instance() {
-  static Logger* logger = new Logger();
+  static Logger* logger = new Logger();  // chk-lint: allow(naked-new) leaky singleton
   return *logger;
 }
 

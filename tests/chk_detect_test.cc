@@ -1,0 +1,199 @@
+// Negative tests for the chk runtime detectors: deliberately injected
+// thread-ownership violations and lock-order inversions must be caught and
+// reported through the violation handler. Labelled `chk`.
+
+#include <any>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "actor/actor_system.h"
+#include "chk/chk.h"
+#include "stream/broker.h"
+
+namespace marlin {
+namespace {
+
+TEST(LockRegistryTest, ConsistentOrderReportsNothing) {
+  chk::LockRegistry::Global().Reset();
+  chk::ScopedViolationRecorder recorder;
+  chk::OrderedMutex outer("registry"), inner("partition");
+  for (int i = 0; i < 3; ++i) {
+    std::lock_guard<chk::OrderedMutex> a(outer);
+    std::lock_guard<chk::OrderedMutex> b(inner);
+  }
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_GE(chk::LockRegistry::Global().EdgeCount(), 1u);
+}
+
+// The inversion tests drive NoteAcquired/NoteReleased on synthetic lock
+// identities instead of actually holding real mutexes in inverted order:
+// TSan's own deadlock detector (rightly) flags a genuine inversion, and the
+// unit under test here is the registry's held-before graph — the RAII
+// plumbing is covered by ConsistentOrderReportsNothing above.
+TEST(LockRegistryTest, DetectsLockOrderInversionAtAcquisition) {
+  chk::LockRegistry::Global().Reset();
+  chk::ScopedViolationRecorder recorder;
+  int a = 0, b = 0;  // addresses stand in for lock identities
+  auto& reg = chk::LockRegistry::Global();
+  reg.NoteAcquired(&a, "broker.mu");
+  reg.NoteAcquired(&b, "partition.mu");  // records a → b
+  reg.NoteReleased(&b);
+  reg.NoteReleased(&a);
+  ASSERT_EQ(recorder.count(), 0);
+  reg.NoteAcquired(&b, "partition.mu");
+  reg.NoteAcquired(&a, "broker.mu");  // b → a closes the cycle
+  reg.NoteReleased(&a);
+  reg.NoteReleased(&b);
+  ASSERT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kLockOrder);
+  EXPECT_NE(recorder.message(0).find("potential deadlock"), std::string::npos);
+}
+
+TEST(LockRegistryTest, DetectsTransitiveCycle) {
+  chk::LockRegistry::Global().Reset();
+  chk::ScopedViolationRecorder recorder;
+  int a = 0, b = 0, c = 0;
+  auto& reg = chk::LockRegistry::Global();
+  reg.NoteAcquired(&a, "A");
+  reg.NoteAcquired(&b, "B");  // A → B
+  reg.NoteReleased(&b);
+  reg.NoteReleased(&a);
+  reg.NoteAcquired(&b, "B");
+  reg.NoteAcquired(&c, "C");  // B → C
+  reg.NoteReleased(&c);
+  reg.NoteReleased(&b);
+  ASSERT_EQ(recorder.count(), 0);
+  reg.NoteAcquired(&c, "C");
+  reg.NoteAcquired(&a, "A");  // C → A: cycle through B
+  reg.NoteReleased(&a);
+  reg.NoteReleased(&c);
+  EXPECT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kLockOrder);
+}
+
+TEST(ThreadOwnershipTest, OwnerThreadPasses) {
+  chk::ThreadOwnership::Reset();
+  chk::ScopedViolationRecorder recorder;
+  chk::ThreadOwnership::Enter(7);
+  chk::ThreadOwnership::AssertOwned(7, "vessel state");
+  chk::ThreadOwnership::Exit(7);
+  EXPECT_EQ(recorder.count(), 0);
+}
+
+TEST(ThreadOwnershipTest, TouchOutsideAnyDrainReports) {
+  chk::ThreadOwnership::Reset();
+  chk::ScopedViolationRecorder recorder;
+  chk::ThreadOwnership::AssertOwned(7, "vessel state");
+  ASSERT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kOwnership);
+}
+
+TEST(ThreadOwnershipTest, CrossThreadTouchReports) {
+  chk::ThreadOwnership::Reset();
+  chk::ScopedViolationRecorder recorder;
+  chk::ThreadOwnership::Enter(9);
+  std::thread intruder(
+      [] { chk::ThreadOwnership::AssertOwned(9, "vessel state"); });
+  intruder.join();
+  chk::ThreadOwnership::Exit(9);
+  ASSERT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kOwnership);
+  EXPECT_NE(recorder.message(0).find("vessel state"), std::string::npos);
+}
+
+TEST(ThreadOwnershipTest, ConcurrentDrainOfSameActorReports) {
+  chk::ThreadOwnership::Reset();
+  chk::ScopedViolationRecorder recorder;
+  chk::ThreadOwnership::Enter(11);
+  std::thread second([] {
+    chk::ThreadOwnership::Enter(11);
+    chk::ThreadOwnership::Exit(11);
+  });
+  second.join();
+  EXPECT_GE(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kOwnership);
+  chk::ThreadOwnership::Reset();
+}
+
+TEST(ThreadOwnershipTest, NestedEnterSameThreadIsClean) {
+  chk::ThreadOwnership::Reset();
+  chk::ScopedViolationRecorder recorder;
+  chk::ThreadOwnership::Enter(13);
+  chk::ThreadOwnership::Enter(13);  // Receive → supervision nest
+  chk::ThreadOwnership::AssertOwned(13, "state");
+  chk::ThreadOwnership::Exit(13);
+  chk::ThreadOwnership::AssertOwned(13, "state");  // still owned at depth 1
+  chk::ThreadOwnership::Exit(13);
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_FALSE(chk::ThreadOwnership::IsOwnedByCurrentThread(13));
+}
+
+#if defined(MARLIN_CHECKED) && MARLIN_CHECKED
+
+/// Deliberately violates actor isolation: mid-Receive it lets a helper
+/// thread touch actor state. The runtime's ownership hook must flag it.
+class LeakyActor : public Actor {
+ public:
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    (void)message;
+    ctx.AssertExclusive("counter");  // legal: we are the draining thread
+    std::thread intruder([&ctx] { ctx.AssertExclusive("counter"); });
+    intruder.join();
+    ++counter_;
+    return Status::Ok();
+  }
+
+ private:
+  int counter_ = 0;
+};
+
+TEST(CheckedRuntimeTest, InjectedOwnershipViolationIsCaught) {
+  chk::ThreadOwnership::Reset();
+  chk::ScopedViolationRecorder recorder;
+  auto sched = std::make_shared<chk::DeterministicScheduler>(1);
+  ActorSystemConfig config;
+  config.dispatcher = sched;
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  ActorSystem system(config);
+  ActorRef leaky = *system.SpawnActor<LeakyActor>("leaky");
+  system.Tell(leaky, std::any(0));
+  system.AwaitQuiescence();
+  system.Shutdown();
+  ASSERT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kOwnership);
+  EXPECT_NE(recorder.message(0).find("counter"), std::string::npos);
+}
+
+TEST(CheckedRuntimeTest, InvariantMacroRoutesToHandler) {
+  chk::ScopedViolationRecorder recorder;
+  const int lhs = 1, rhs = 2;
+  MARLIN_CHK_INVARIANT(lhs == rhs, "deliberately broken");
+  ASSERT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kInvariant);
+  EXPECT_NE(recorder.message(0).find("deliberately broken"),
+            std::string::npos);
+}
+
+TEST(CheckedRuntimeTest, BrokerCommittedOffsetRegressionIsCaught) {
+  chk::ScopedViolationRecorder recorder;
+  obs::MetricsRegistry registry;
+  Broker broker(&registry);
+  ASSERT_TRUE(broker.CreateTopic("ais", 1).ok());
+  // Committing ahead of the log end is documented as harmless...
+  broker.CommitOffset("group", "ais", 0, 5);
+  EXPECT_EQ(recorder.count(), 0);
+  // ...but moving the group's position backwards is diverged bookkeeping.
+  broker.CommitOffset("group", "ais", 0, 2);
+  ASSERT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.kind(0), chk::ViolationKind::kInvariant);
+}
+
+#endif  // MARLIN_CHECKED
+
+}  // namespace
+}  // namespace marlin

@@ -161,6 +161,23 @@ TEST_F(HttpServerTest, StopUnblocksAndIsIdempotent) {
   EXPECT_EQ(status, -1);  // connection refused
 }
 
+// Regression: Stop() used to write the (plain int) listen fd while the
+// accept loop was still reading it — a data race under TSan, and a window
+// where the loop could accept() on a stale or reused descriptor. Rapid
+// start/stop cycles with live clients keep that window exercised.
+TEST_F(HttpServerTest, StopRacingAcceptLoopIsClean) {
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    int status = 0;
+    HttpGet(server_->port(), "/stats", &status);
+    server_->Stop();
+    server_->Stop();  // idempotent while the loop is tearing down
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  int status = 0;
+  HttpGet(server_->port(), "/stats", &status);
+  EXPECT_EQ(status, 200);
+}
+
 TEST(HttpServerStandaloneTest, DoubleStartRejected) {
   PipelineConfig config;
   config.actor_system.num_threads = 2;
