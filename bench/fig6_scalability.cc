@@ -13,10 +13,17 @@
 // for the full-scale run), MARLIN_F6_MINUTES, MARLIN_F6_TRAIN_EPOCHS.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cluster/cluster_node.h"
+#include "cluster/transport.h"
 #include "core/pipeline.h"
 #include "util/clock.h"
 #include "vrf/svrf_model.h"
@@ -190,7 +197,229 @@ int Run() {
   return 0;
 }
 
+// ------------------------------------------------------------------------
+// Multi-node variant: the same vessel-actor workload spread over 1/2/4
+// in-process cluster members via ShardRegion routing. Reports per-node
+// delivery throughput and the latency of envelopes that crossed a node
+// boundary, and emits BENCH_cluster.json for the plotting scripts.
+// Scale knob: MARLIN_F6C_VESSELS_PER_NODE (default 10000).
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct NodeDeliveryStats {
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> remote{0};
+  std::atomic<int64_t> remote_latency_sum_ns{0};
+  std::atomic<int64_t> remote_latency_max_ns{0};
+};
+
+/// Entity actor for the cluster benchmark. Payloads are
+/// "<origin-node>|<send-nanos>"; an envelope whose origin differs from the
+/// node hosting this actor crossed the transport, and its age on arrival is
+/// the cross-node envelope latency.
+class BenchVesselActor : public Actor {
+ public:
+  BenchVesselActor(cluster::NodeId home, NodeDeliveryStats* stats)
+      : home_(home), stats_(stats) {}
+
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    (void)ctx;
+    const auto* envelope = std::any_cast<cluster::ShardEnvelope>(&message);
+    if (envelope == nullptr) {
+      return Status::InvalidArgument("unexpected message type");
+    }
+    stats_->delivered.fetch_add(1, std::memory_order_relaxed);
+    const size_t bar = envelope->payload.find('|');
+    if (bar == std::string::npos) return Status::Ok();
+    const cluster::NodeId origin = static_cast<cluster::NodeId>(
+        std::strtoull(envelope->payload.c_str(), nullptr, 10));
+    if (origin == home_) return Status::Ok();
+    const int64_t sent =
+        std::strtoll(envelope->payload.c_str() + bar + 1, nullptr, 10);
+    const int64_t age = SteadyNanos() - sent;
+    stats_->remote.fetch_add(1, std::memory_order_relaxed);
+    stats_->remote_latency_sum_ns.fetch_add(age, std::memory_order_relaxed);
+    int64_t prev = stats_->remote_latency_max_ns.load();
+    while (age > prev &&
+           !stats_->remote_latency_max_ns.compare_exchange_weak(prev, age)) {
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const cluster::NodeId home_;
+  NodeDeliveryStats* stats_;
+};
+
+struct ClusterCaseResult {
+  int num_nodes = 0;
+  int64_t entities = 0;
+  int64_t total_delivered = 0;
+  double wall_sec = 0.0;
+  std::vector<int64_t> per_node_delivered;
+  int64_t remote_count = 0;
+  double remote_avg_us = 0.0;
+  double remote_max_us = 0.0;
+};
+
+ClusterCaseResult RunClusterCase(int num_nodes, int vessels_per_node) {
+  cluster::InProcessHub hub;
+  std::vector<cluster::NodeId> roster;
+  for (int i = 1; i <= num_nodes; ++i) {
+    roster.push_back(static_cast<cluster::NodeId>(i));
+  }
+
+  struct BenchNode {
+    obs::MetricsRegistry registry;
+    NodeDeliveryStats stats;
+    std::unique_ptr<cluster::ClusterNode> node;
+    cluster::ShardRegion* region = nullptr;
+  };
+  std::vector<std::unique_ptr<BenchNode>> nodes;
+  for (const cluster::NodeId id : roster) {
+    auto bench_node = std::make_unique<BenchNode>();
+    cluster::ClusterNodeConfig config;
+    config.self = id;
+    config.nodes = roster;
+    config.auto_tick = false;  // the driver ticks protocol time below
+    config.metrics = &bench_node->registry;
+    config.actor.metrics = &bench_node->registry;
+    bench_node->node = std::make_unique<cluster::ClusterNode>(
+        config, std::make_shared<cluster::InProcessTransport>(&hub));
+    if (!bench_node->node->Start().ok()) return {};
+    cluster::ShardRegionOptions options;
+    options.name = "vessel";
+    NodeDeliveryStats* stats = &bench_node->stats;
+    options.factory = [id, stats](const std::string&) {
+      return std::make_unique<BenchVesselActor>(id, stats);
+    };
+    bench_node->region = *bench_node->node->CreateRegion(std::move(options));
+    nodes.push_back(std::move(bench_node));
+  }
+
+  // Two heartbeat rounds converge the static membership.
+  constexpr TimeMicros kBeat = 200'000;
+  for (int round = 0; round < 2; ++round) {
+    for (auto& n : nodes) {
+      n->node->Tick(1'000'000 + round * kBeat);
+    }
+  }
+
+  const int64_t entities =
+      static_cast<int64_t>(num_nodes) * vessels_per_node;
+  constexpr int kMessagesPerEntity = 5;
+  Stopwatch wall;
+  for (int message = 0; message < kMessagesPerEntity; ++message) {
+    for (int64_t k = 0; k < entities; ++k) {
+      // Round-robin the sending node, so ~ (N-1)/N of envelopes cross a
+      // node boundary.
+      BenchNode& sender = *nodes[static_cast<size_t>(k % num_nodes)];
+      const std::string entity = "mmsi-" + std::to_string(240000000 + k);
+      sender.region->Tell(entity,
+                          std::to_string(sender.node->self()) + "|" +
+                              std::to_string(SteadyNanos()));
+    }
+    for (auto& n : nodes) n->node->system().AwaitQuiescence();
+  }
+  for (auto& n : nodes) n->node->system().AwaitQuiescence();
+  const double wall_sec = wall.ElapsedMillis() / 1000.0;
+
+  ClusterCaseResult result;
+  result.num_nodes = num_nodes;
+  result.entities = entities;
+  result.wall_sec = wall_sec;
+  int64_t remote_sum_ns = 0;
+  int64_t remote_max_ns = 0;
+  for (auto& n : nodes) {
+    const int64_t delivered = n->stats.delivered.load();
+    result.per_node_delivered.push_back(delivered);
+    result.total_delivered += delivered;
+    result.remote_count += n->stats.remote.load();
+    remote_sum_ns += n->stats.remote_latency_sum_ns.load();
+    remote_max_ns = std::max(remote_max_ns,
+                             n->stats.remote_latency_max_ns.load());
+  }
+  result.remote_avg_us = result.remote_count > 0
+                             ? remote_sum_ns / 1e3 / result.remote_count
+                             : 0.0;
+  result.remote_max_us = remote_max_ns / 1e3;
+  for (auto& n : nodes) n->node->Shutdown();
+  return result;
+}
+
+int RunCluster() {
+  const int vessels_per_node = static_cast<int>(
+      bench::EnvInt("MARLIN_F6C_VESSELS_PER_NODE", 10000));
+  std::printf("\n=== Figure 6 extension: multi-node sharding — %d vessel "
+              "actors per node ===\n",
+              vessels_per_node);
+  std::printf("| nodes | entities | delivered | wall (s) | per-node msg/s | "
+              "remote envelopes | remote avg (us) | remote max (us) |\n");
+  std::printf("|-------|----------|-----------|----------|----------------|-"
+              "-----------------|-----------------|-----------------|\n");
+
+  std::vector<ClusterCaseResult> results;
+  for (const int num_nodes : {1, 2, 4}) {
+    const ClusterCaseResult r = RunClusterCase(num_nodes, vessels_per_node);
+    if (r.num_nodes == 0) {
+      std::printf("ERROR: cluster case with %d nodes failed to start\n",
+                  num_nodes);
+      return 1;
+    }
+    const double per_node_rate =
+        r.wall_sec > 0.0
+            ? r.total_delivered / r.wall_sec / r.num_nodes
+            : 0.0;
+    std::printf("| %5d | %8lld | %9lld | %8.2f | %14.0f | %16lld | %15.1f | "
+                "%15.1f |\n",
+                r.num_nodes, static_cast<long long>(r.entities),
+                static_cast<long long>(r.total_delivered), r.wall_sec,
+                per_node_rate, static_cast<long long>(r.remote_count),
+                r.remote_avg_us, r.remote_max_us);
+    results.push_back(r);
+  }
+
+  FILE* json = std::fopen("BENCH_cluster.json", "w");
+  if (json == nullptr) {
+    std::printf("ERROR: cannot write BENCH_cluster.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"vessels_per_node\": %d,\n  \"cases\": [\n",
+               vessels_per_node);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ClusterCaseResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"num_nodes\": %d, \"entities\": %lld, "
+                 "\"delivered\": %lld, \"wall_sec\": %.4f,\n"
+                 "     \"per_node_delivered\": [",
+                 r.num_nodes, static_cast<long long>(r.entities),
+                 static_cast<long long>(r.total_delivered), r.wall_sec);
+    for (size_t n = 0; n < r.per_node_delivered.size(); ++n) {
+      std::fprintf(json, "%s%lld", n == 0 ? "" : ", ",
+                   static_cast<long long>(r.per_node_delivered[n]));
+    }
+    std::fprintf(json,
+                 "],\n     \"remote_envelopes\": %lld, "
+                 "\"remote_latency_avg_us\": %.1f, "
+                 "\"remote_latency_max_us\": %.1f}%s\n",
+                 static_cast<long long>(r.remote_count), r.remote_avg_us,
+                 r.remote_max_us, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_cluster.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace marlin
 
-int main() { return marlin::Run(); }
+int main() {
+  const int single_node = marlin::Run();
+  if (single_node != 0) return single_node;
+  return marlin::RunCluster();
+}

@@ -1,0 +1,190 @@
+// Cluster sharding demo: vessel entity actors distributed over two Marlin
+// nodes, with MMSI-keyed envelopes routed transparently to whichever node
+// owns the vessel's shard (see DESIGN.md §8).
+//
+// Two ways to run it:
+//
+//   ./build/examples/cluster_demo
+//       Single process, two in-process nodes — shows shard split, remote
+//       routing, failure detection, and shard handoff with buffered replay.
+//
+//   ./build/examples/cluster_demo 1 7101 7102     # terminal A
+//   ./build/examples/cluster_demo 2 7101 7102     # terminal B
+//       Two real processes on loopback TCP: node <self_id> listens on its
+//       own port and dials the other. Each process ingests reports for the
+//       whole fleet; only the vessels whose shards it owns run locally.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cluster/cluster_node.h"
+#include "cluster/tcp_transport.h"
+#include "cluster/transport.h"
+
+using namespace marlin;
+using namespace marlin::cluster;
+
+namespace {
+
+/// A stand-in vessel actor: counts the position reports routed to it.
+class VesselActor : public Actor {
+ public:
+  explicit VesselActor(NodeId home) : home_(home) {}
+
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    (void)ctx;
+    if (const auto* env = std::any_cast<ShardEnvelope>(&message)) {
+      ++reports_;
+      if (reports_ == 1) {
+        std::printf("  [node %u] vessel %s spawned, first report: %s\n",
+                    static_cast<unsigned>(home_), env->entity.c_str(),
+                    env->payload.c_str());
+      }
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("unexpected message");
+  }
+
+ private:
+  const NodeId home_;
+  int reports_ = 0;
+};
+
+ShardRegionOptions VesselRegion(NodeId self) {
+  ShardRegionOptions options;
+  options.name = "vessel";
+  options.factory = [self](const std::string&) {
+    return std::make_unique<VesselActor>(self);
+  };
+  return options;
+}
+
+std::string Mmsi(int i) { return "mmsi-" + std::to_string(244060000 + i); }
+
+// ---------------------------------------------------------------- in-proc
+
+int RunInProcess() {
+  std::printf("== two in-process nodes, shared hub ==\n");
+  InProcessHub hub;
+  ClusterNodeConfig c1, c2;
+  c1.self = 1;
+  c2.self = 2;
+  c1.nodes = c2.nodes = {1, 2};
+  c1.auto_tick = c2.auto_tick = false;  // the demo drives protocol time
+  ClusterNode n1(c1, std::make_shared<InProcessTransport>(&hub));
+  ClusterNode n2(c2, std::make_shared<InProcessTransport>(&hub));
+  if (!n1.Start().ok() || !n2.Start().ok()) return 1;
+  ShardRegion* r1 = *n1.CreateRegion(VesselRegion(1));
+  ShardRegion* r2 = *n2.CreateRegion(VesselRegion(2));
+
+  // Two heartbeat rounds converge the membership; the shard space splits.
+  constexpr TimeMicros kBeat = 200'000;
+  TimeMicros now = 1'000'000;
+  for (int round = 0; round < 2; ++round, now += kBeat) {
+    n1.Tick(now);
+    n2.Tick(now);
+  }
+  std::printf("converged: node 1 owns %zu shards, node 2 owns %zu\n",
+              r1->OwnedShardCount(), r2->OwnedShardCount());
+
+  // Route a handful of vessels from node 1; roughly half run remotely.
+  for (int i = 0; i < 6; ++i) {
+    r1->Tell(Mmsi(i), "lat=37.9,lon=23.6,sog=12.4");
+  }
+  n1.system().AwaitQuiescence();
+  n2.system().AwaitQuiescence();
+  std::printf("6 vessels told from node 1: %zu spawned locally, %zu on "
+              "node 2\n",
+              r1->LocalEntityCount(), r2->LocalEntityCount());
+
+  // Kill the link and let node 1's failure detector fire: node 2's shards
+  // hand off to node 1 (buffered envelopes replay once the handoff acks).
+  hub.SetLinkUp(1, 2, false);
+  for (int i = 0; i < 6; ++i, now += kBeat) n1.Tick(now);
+  n1.system().AwaitQuiescence();
+  std::printf("link cut -> node 2 unreachable on node 1; node 1 now owns "
+              "%zu shards (epoch %llu)\n",
+              r1->OwnedShardCount(),
+              static_cast<unsigned long long>(n1.membership().epoch()));
+  for (int i = 0; i < 6; ++i) {
+    r1->Tell(Mmsi(i), "lat=38.0,lon=23.7,sog=12.1");
+  }
+  n1.system().AwaitQuiescence();
+  std::printf("all 6 vessels now run on node 1 (%zu local entities)\n",
+              r1->LocalEntityCount());
+
+  std::printf("node 1 status: %s\n", n1.StatusJson().c_str());
+  n1.Shutdown();
+  n2.Shutdown();
+  return 0;
+}
+
+// ---------------------------------------------------------------- TCP
+
+int RunTcpNode(NodeId self, uint16_t port_a, uint16_t port_b) {
+  const NodeId other = self == 1 ? 2 : 1;
+  const uint16_t my_port = self == 1 ? port_a : port_b;
+  const uint16_t other_port = self == 1 ? port_b : port_a;
+
+  TcpTransportOptions transport_options;
+  transport_options.listen_port = my_port;
+  auto transport = std::make_shared<TcpTransport>(transport_options);
+  if (Status status = transport->Listen(); !status.ok()) {
+    std::printf("listen failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  transport->SetPeers({{other, "127.0.0.1", other_port}});
+
+  ClusterNodeConfig config;
+  config.self = self;
+  config.nodes = {1, 2};
+  config.membership.heartbeat_interval = 100'000;  // 100 ms
+  ClusterNode node(config, transport);  // auto_tick drives the protocol
+  if (Status status = node.Start(); !status.ok()) {
+    std::printf("start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ShardRegion* region = *node.CreateRegion(VesselRegion(self));
+  std::printf("node %u up on 127.0.0.1:%u, dialing peer %u on :%u\n",
+              static_cast<unsigned>(self), transport->port(),
+              static_cast<unsigned>(other), other_port);
+
+  // Both processes ingest the same fleet; the region routes each vessel to
+  // the single node that owns its shard once membership converges.
+  for (int second = 0; second < 10; ++second) {
+    for (int i = 0; i < 10; ++i) {
+      region->Tell(Mmsi(i), "t=" + std::to_string(second) +
+                                ",reporter=" + std::to_string(self));
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    std::printf("t=%ds: %zu shards owned, %zu local vessels\n", second,
+                region->OwnedShardCount(), region->LocalEntityCount());
+  }
+  std::printf("final status: %s\n", node.StatusJson().c_str());
+  node.Shutdown();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return RunInProcess();
+  if (argc == 4) {
+    const int self = std::atoi(argv[1]);
+    const int port_a = std::atoi(argv[2]);
+    const int port_b = std::atoi(argv[3]);
+    if ((self == 1 || self == 2) && port_a > 0 && port_b > 0) {
+      return RunTcpNode(static_cast<NodeId>(self),
+                        static_cast<uint16_t>(port_a),
+                        static_cast<uint16_t>(port_b));
+    }
+  }
+  std::printf("usage: %s                 (two in-process nodes)\n", argv[0]);
+  std::printf("       %s <1|2> <port_a> <port_b>   (one TCP node of a "
+              "two-process pair)\n",
+              argv[0]);
+  return 2;
+}

@@ -3,6 +3,7 @@
 
 #include <any>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -30,15 +31,38 @@ struct Envelope {
 
 /// Lightweight handle to an actor. Copyable; holds the target alive through
 /// the cell registry (messages to stopped actors are dropped).
+///
+/// A ref may also point at a *remote* actor hosted by another cluster node:
+/// it then carries no cell but a delivery function that routes the payload
+/// over the wire (cluster::ShardRegion installs one that re-resolves the
+/// owner on every send, so the ref stays correct across shard handoffs).
+/// Remote refs accept only std::string payloads and do not support Ask.
 class ActorRef {
  public:
+  /// Serialises and forwards one payload toward the remote actor. Returns
+  /// false when the payload is not a std::string or the transport refused.
+  using RemoteDeliverFn = std::function<bool(std::any)>;
+
   ActorRef() = default;
 
-  bool valid() const { return !cell_.expired(); }
+  bool valid() const { return remote_ != nullptr || !cell_.expired(); }
+  bool is_remote() const { return remote_ != nullptr; }
   ActorId id() const { return id_; }
   const std::string& name() const { return name_; }
 
-  bool operator==(const ActorRef& other) const { return id_ == other.id_; }
+  bool operator==(const ActorRef& other) const {
+    return is_remote() || other.is_remote() ? name_ == other.name_
+                                            : id_ == other.id_;
+  }
+
+  /// Builds a remote ref (cluster layer only; local refs come from Spawn).
+  static ActorRef Remote(std::string name,
+                         std::shared_ptr<RemoteDeliverFn> deliver) {
+    ActorRef ref;
+    ref.name_ = std::move(name);
+    ref.remote_ = std::move(deliver);
+    return ref;
+  }
 
  private:
   friend class ActorSystem;
@@ -48,6 +72,7 @@ class ActorRef {
   ActorId id_ = kNoActor;
   std::string name_;
   std::weak_ptr<ActorCell> cell_;
+  std::shared_ptr<RemoteDeliverFn> remote_;
 };
 
 /// Per-delivery context handed to Actor::Receive: identifies the sender,
@@ -55,8 +80,10 @@ class ActorRef {
 /// and messaging other actors.
 class ActorContext {
  public:
-  ActorContext(ActorSystem* system, ActorId self, Envelope* envelope)
-      : system_(system), self_(self), envelope_(envelope) {}
+  ActorContext(ActorSystem* system, ActorId self, Envelope* envelope,
+               uint64_t chk_key = 0)
+      : system_(system), self_(self), envelope_(envelope),
+        chk_key_(chk_key) {}
 
   ActorSystem& system() const { return *system_; }
   ActorId self() const { return self_; }
@@ -78,6 +105,7 @@ class ActorContext {
   ActorSystem* system_;
   ActorId self_;
   Envelope* envelope_;
+  uint64_t chk_key_;  // ownership-checker key (see ActorCell::chk_key)
 };
 
 /// Base class for all actors. Exactly one message is processed at a time per

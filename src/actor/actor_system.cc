@@ -15,11 +15,19 @@ TimeMicros WallNowMicros() {
       .count();
 }
 
+/// Ownership-checker keys must be unique across every ActorSystem in the
+/// process (per-system actor ids all start at 1), so they come from one
+/// process-wide counter.
+uint64_t NextChkKey() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 void ActorContext::AssertExclusive(const char* what) const {
 #if defined(MARLIN_CHECKED) && MARLIN_CHECKED
-  chk::ThreadOwnership::AssertOwned(self_, what);
+  chk::ThreadOwnership::AssertOwned(chk_key_, what);
 #else
   (void)what;
 #endif
@@ -75,8 +83,13 @@ StatusOr<ActorRef> ActorSystem::Spawn(std::string name,
     }
     cell = std::make_shared<ActorCell>();
     cell->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    cell->chk_key = NextChkKey();
     cell->name = name;
     cell->actor = std::move(actor);
+    // Born "scheduled": the cell is visible in the registry from here on,
+    // so concurrent senders can already enqueue — but no mailbox drain may
+    // start until OnStart has finished on this thread.
+    cell->scheduled = true;
     by_name_.emplace(name, cell);
     by_id_.emplace(cell->id, cell);
   }
@@ -84,10 +97,32 @@ StatusOr<ActorRef> ActorSystem::Spawn(std::string name,
   metrics_.live_actors->Add(1);
   ActorRef ref(cell->id, std::move(name), cell);
   Envelope start_env;
-  ActorContext ctx(this, cell->id, &start_env);
+  ActorContext ctx(this, cell->id, &start_env, cell->chk_key);
   {
-    MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
+    MARLIN_CHK_OWNERSHIP_SCOPE(cell->chk_key);
     cell->actor->OnStart(ctx);
+  }
+  // Release the birth claim: drain anything that arrived during OnStart.
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    if (cell->mailbox.empty() || cell->stopped) {
+      cell->scheduled = false;
+    } else {
+      drain = true;
+    }
+  }
+  if (drain && !dispatcher_->Submit(DispatchTask{
+                   [this, cell] { DrainMailbox(cell); }, cell->name})) {
+    size_t dropped;
+    {
+      std::lock_guard<std::mutex> lock(cell->mu);
+      dropped = cell->mailbox.size();
+      cell->mailbox.clear();
+      cell->scheduled = false;
+    }
+    DecrementPending(static_cast<int64_t>(dropped));
+    metrics_.messages_dropped->Increment(dropped);
   }
   return ref;
 }
@@ -95,20 +130,37 @@ StatusOr<ActorRef> ActorSystem::Spawn(std::string name,
 StatusOr<ActorRef> ActorSystem::GetOrSpawn(
     const std::string& name,
     const std::function<std::unique_ptr<Actor>()>& factory) {
+  // Claim the name before running the factory so concurrent callers for the
+  // same key construct the actor exactly once: losers wait for the winner's
+  // spawn to finish instead of building a throwaway instance. The factory
+  // and Spawn run outside registry_mu_, so an OnStart that itself calls
+  // GetOrSpawn (for a different name) cannot deadlock.
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    auto it = by_name_.find(name);
-    if (it != by_name_.end()) {
-      return ActorRef(it->second->id, name, it->second);
+    std::unique_lock<std::mutex> lock(registry_mu_);
+    for (;;) {
+      auto it = by_name_.find(name);
+      if (it != by_name_.end()) {
+        return ActorRef(it->second->id, name, it->second);
+      }
+      if (shutting_down_) {
+        return Status::FailedPrecondition("actor system is shutting down");
+      }
+      if (spawning_.insert(name).second) break;  // we own the spawn
+      spawn_cv_.wait(lock);
     }
   }
   StatusOr<ActorRef> spawned = Spawn(name, factory());
-  if (spawned.ok()) return spawned;
-  if (spawned.status().code() == StatusCode::kAlreadyExists) {
-    // Lost a race with a concurrent GetOrSpawn; return the winner.
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    spawning_.erase(name);
+  }
+  spawn_cv_.notify_all();
+  if (!spawned.ok() &&
+      spawned.status().code() == StatusCode::kAlreadyExists) {
+    // A direct Spawn (not holding a claim) slipped in; return the winner.
     return Find(name);
   }
-  return spawned.status();
+  return spawned;
 }
 
 StatusOr<ActorRef> ActorSystem::Find(const std::string& name) const {
@@ -123,7 +175,13 @@ StatusOr<ActorRef> ActorSystem::Find(const std::string& name) const {
 bool ActorSystem::Tell(const ActorRef& target, std::any message,
                        ActorId sender) {
   std::shared_ptr<ActorCell> cell = target.cell_.lock();
-  if (cell == nullptr) return false;
+  if (cell == nullptr) {
+    if (target.remote_ != nullptr) {
+      // Remote ref: hand the payload to the cluster layer's routing hook.
+      return (*target.remote_)(std::move(message));
+    }
+    return false;
+  }
   Envelope env;
   env.payload = std::move(message);
   env.sender = sender;
@@ -209,7 +267,7 @@ void ActorSystem::Shutdown() {
     std::lock_guard<std::mutex> lock(cell->mu);
     if (!cell->stopped) {
       cell->stopped = true;
-      MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
+      MARLIN_CHK_OWNERSHIP_SCOPE(cell->chk_key);
       cell->actor->OnStop();
       metrics_.actors_stopped->Increment();
       metrics_.live_actors->Sub(1);
@@ -299,10 +357,10 @@ void ActorSystem::DrainMailbox(std::shared_ptr<ActorCell> cell) {
       env = std::move(cell->mailbox.front());
       cell->mailbox.pop_front();
     }
-    ActorContext ctx(this, cell->id, &env);
+    ActorContext ctx(this, cell->id, &env, cell->chk_key);
     Status status;
     {
-      MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
+      MARLIN_CHK_OWNERSHIP_SCOPE(cell->chk_key);
       status = cell->actor->Receive(env.payload, ctx);
       // Handle the failure before releasing the pending count so that
       // AwaitQuiescence observes completed supervision, not just delivery;
@@ -344,7 +402,7 @@ void ActorSystem::HandleFailure(const std::shared_ptr<ActorCell>& cell,
   MARLIN_LOG(WARNING) << "actor '" << cell->name
                       << "' failed: " << failure.ToString() << " (restart "
                       << restarts << "/" << config_.max_restarts << ")";
-  MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
+  MARLIN_CHK_OWNERSHIP_SCOPE(cell->chk_key);
   cell->actor->OnRestart(failure);
 }
 
@@ -356,7 +414,7 @@ void ActorSystem::StopCell(const std::shared_ptr<ActorCell>& cell) {
     cell->stopped = true;
     dropped = cell->mailbox.size();
     cell->mailbox.clear();
-    MARLIN_CHK_OWNERSHIP_SCOPE(cell->id);
+    MARLIN_CHK_OWNERSHIP_SCOPE(cell->chk_key);
     cell->actor->OnStop();
   }
   DecrementPending(static_cast<int64_t>(dropped));

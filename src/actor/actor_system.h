@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "actor/actor.h"
@@ -25,6 +26,10 @@ namespace marlin {
 /// flag. Internal to the runtime; exposed only for ActorRef's weak handle.
 struct ActorCell {
   ActorId id = kNoActor;
+  /// Process-globally unique key for the thread-ownership checker. Actor
+  /// ids restart at 1 in every ActorSystem, so a multi-system process (a
+  /// cluster node pair in one test) would alias ids across systems.
+  uint64_t chk_key = 0;
   std::string name;
   std::unique_ptr<Actor> actor;
   std::mutex mu;
@@ -163,6 +168,11 @@ class ActorSystem {
   mutable std::mutex registry_mu_;
   std::unordered_map<std::string, std::shared_ptr<ActorCell>> by_name_;
   std::unordered_map<ActorId, std::shared_ptr<ActorCell>> by_id_;
+  /// Names a GetOrSpawn is currently constructing (claim registered under
+  /// registry_mu_ before the factory runs, so concurrent callers for the
+  /// same name wait on spawn_cv_ instead of double-constructing).
+  std::unordered_set<std::string> spawning_;
+  std::condition_variable spawn_cv_;
   std::atomic<ActorId> next_id_{1};
   bool shutting_down_ = false;
 

@@ -1,0 +1,95 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace marlin {
+namespace cluster {
+namespace {
+
+/// Ring positions compare full 64-bit values, and raw FNV-1a has poor
+/// high-bit avalanche for inputs that share a prefix ("shard-0".."shard-63"
+/// would all land in one narrow band, collapsing the ring to one arc). A
+/// splitmix64-style finalizer spreads them. Key→shard stays raw FNV-1a
+/// (its low bits mix fine under modulo, and it must match the broker's
+/// partitioner).
+uint64_t MixPosition(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+HashRing::HashRing(int num_shards, int vnodes_per_node)
+    : num_shards_(std::max(1, num_shards)),
+      vnodes_per_node_(std::max(1, vnodes_per_node)),
+      shard_owner_(static_cast<size_t>(num_shards_), kNoNode) {}
+
+void HashRing::SetMembers(const std::vector<NodeId>& members, uint64_t epoch) {
+  members_ = members;
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  epoch_ = epoch;
+  if (members_.empty()) {
+    std::fill(shard_owner_.begin(), shard_owner_.end(), kNoNode);
+    return;
+  }
+  // Virtual points, sorted by position. Hash inputs are textual so the
+  // layout is stable across processes and architectures.
+  struct Point {
+    uint64_t position;
+    NodeId node;
+    bool operator<(const Point& other) const {
+      return position != other.position ? position < other.position
+                                        : node < other.node;
+    }
+  };
+  std::vector<Point> points;
+  points.reserve(members_.size() * static_cast<size_t>(vnodes_per_node_));
+  for (const NodeId node : members_) {
+    for (int replica = 0; replica < vnodes_per_node_; ++replica) {
+      const std::string label =
+          "node-" + std::to_string(node) + "#" + std::to_string(replica);
+      points.push_back(Point{MixPosition(Fnv1a(label)), node});
+    }
+  }
+  std::sort(points.begin(), points.end());
+  for (int shard = 0; shard < num_shards_; ++shard) {
+    const uint64_t position =
+        MixPosition(Fnv1a("shard-" + std::to_string(shard)));
+    // First point clockwise (>= position), wrapping to the start.
+    auto it = std::lower_bound(
+        points.begin(), points.end(), Point{position, 0},
+        [](const Point& a, const Point& b) { return a.position < b.position; });
+    if (it == points.end()) it = points.begin();
+    shard_owner_[static_cast<size_t>(shard)] = it->node;
+  }
+}
+
+int HashRing::ShardForKey(std::string_view key) const {
+  return static_cast<int>(Fnv1a(key) % static_cast<uint64_t>(num_shards_));
+}
+
+NodeId HashRing::OwnerOfShard(int shard) const {
+  if (shard < 0 || shard >= num_shards_) return kNoNode;
+  return shard_owner_[static_cast<size_t>(shard)];
+}
+
+std::vector<int> HashRing::ShardsOwnedBy(NodeId node) const {
+  std::vector<int> owned;
+  for (int shard = 0; shard < num_shards_; ++shard) {
+    if (shard_owner_[static_cast<size_t>(shard)] == node) {
+      owned.push_back(shard);
+    }
+  }
+  return owned;
+}
+
+}  // namespace cluster
+}  // namespace marlin

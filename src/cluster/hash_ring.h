@@ -1,0 +1,68 @@
+#ifndef MARLIN_CLUSTER_HASH_RING_H_
+#define MARLIN_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cluster/frame.h"
+
+namespace marlin {
+namespace cluster {
+
+/// Consistent-hash ring mapping entity keys (MMSI strings) → shard → node,
+/// Akka-cluster-sharding style. The indirection through a fixed shard count
+/// keeps the routing table tiny (num_shards entries, not num_entities) and
+/// makes handoff a per-shard, not per-entity, operation.
+///
+/// Every node places `vnodes_per_node` virtual points on a 64-bit circle;
+/// a shard is owned by the first point clockwise of its own hash. The
+/// mapping is a pure function of (members, num_shards, vnodes), so every
+/// node that observes the same up-set computes the same owner table without
+/// any coordination — the property the gossip-free membership relies on.
+///
+/// Key→shard uses FNV-1a modulo num_shards, the same partitioner the broker
+/// uses for key→partition: with num_shards == num_partitions, a record's
+/// broker partition equals its entity's shard, so consumers can be assigned
+/// exactly the partitions their node owns (see Consumer::SetAssignment).
+///
+/// Plain value type; not internally synchronised. ShardRegion keeps its own
+/// snapshot under its lock; ClusterNode guards the master copy.
+class HashRing {
+ public:
+  explicit HashRing(int num_shards = 64, int vnodes_per_node = 16);
+
+  /// Rebuilds the owner table for the given member set at `epoch`. Members
+  /// may be unsorted; an empty set leaves every shard unowned (kNoNode).
+  void SetMembers(const std::vector<NodeId>& members, uint64_t epoch);
+
+  int num_shards() const { return num_shards_; }
+  uint64_t epoch() const { return epoch_; }
+  const std::vector<NodeId>& members() const { return members_; }
+
+  /// FNV-1a(key) % num_shards.
+  int ShardForKey(std::string_view key) const;
+
+  /// Owner of a shard, or kNoNode when the member set is empty.
+  NodeId OwnerOfShard(int shard) const;
+
+  NodeId OwnerOfKey(std::string_view key) const {
+    return OwnerOfShard(ShardForKey(key));
+  }
+
+  /// All shards currently owned by `node`, ascending. Doubles as the
+  /// shard-aligned broker partition assignment for that node.
+  std::vector<int> ShardsOwnedBy(NodeId node) const;
+
+ private:
+  int num_shards_;
+  int vnodes_per_node_;
+  uint64_t epoch_ = 0;
+  std::vector<NodeId> members_;     // sorted
+  std::vector<NodeId> shard_owner_;  // shard index → owner
+};
+
+}  // namespace cluster
+}  // namespace marlin
+
+#endif  // MARLIN_CLUSTER_HASH_RING_H_

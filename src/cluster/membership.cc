@@ -1,0 +1,129 @@
+#include "cluster/membership.h"
+
+#include "chk/chk.h"
+
+namespace marlin {
+namespace cluster {
+
+const char* NodeStateName(NodeState state) {
+  switch (state) {
+    case NodeState::kJoining:
+      return "joining";
+    case NodeState::kUp:
+      return "up";
+    case NodeState::kUnreachable:
+      return "unreachable";
+    case NodeState::kRemoved:
+      return "removed";
+  }
+  return "unknown";
+}
+
+Membership::Membership(NodeId self, std::vector<NodeId> nodes,
+                       const MembershipOptions& options)
+    : self_(self), options_(options) {
+  for (const NodeId node : nodes) {
+    Member member;
+    // Self is authoritatively up; peers must prove themselves with a first
+    // heartbeat before they can own shards.
+    member.state = node == self ? NodeState::kUp : NodeState::kJoining;
+    members_.emplace(node, member);
+  }
+  members_[self].state = NodeState::kUp;  // even if absent from `nodes`
+}
+
+void Membership::Transition(NodeId node, Member* member, NodeState to,
+                            std::vector<MembershipEvent>* events) {
+  const NodeState from = member->state;
+  if (from == to) return;
+  member->state = to;
+  const uint64_t previous_epoch = epoch_;
+  ++epoch_;
+  MARLIN_CHK_INVARIANT(epoch_ > previous_epoch,
+                       "membership epochs must be strictly monotonic");
+  (void)previous_epoch;  // release builds compile the invariant out
+  events->push_back(MembershipEvent{node, from, to, epoch_});
+}
+
+std::vector<MembershipEvent> Membership::RecordHeartbeat(NodeId from,
+                                                         TimeMicros now) {
+  std::vector<MembershipEvent> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(from);
+  if (it == members_.end()) return events;  // not on the static roster
+  Member& member = it->second;
+  member.last_heartbeat = now;
+  switch (member.state) {
+    case NodeState::kJoining:
+    case NodeState::kUnreachable:
+      Transition(from, &member, NodeState::kUp, &events);
+      break;
+    case NodeState::kUp:
+      break;
+    case NodeState::kRemoved:
+      // Terminal: late heartbeats from a removed node are ignored.
+      break;
+  }
+  return events;
+}
+
+std::vector<MembershipEvent> Membership::Tick(TimeMicros now) {
+  std::vector<MembershipEvent> events;
+  const TimeMicros unreachable_age =
+      options_.heartbeat_interval * options_.unreachable_after_missed;
+  const TimeMicros removed_age =
+      options_.removed_after_missed > 0
+          ? options_.heartbeat_interval * options_.removed_after_missed
+          : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [node, member] : members_) {
+    if (node == self_) continue;
+    // A joining peer that never spoke is not failed — it just has not
+    // arrived yet (static roster, nodes boot in any order).
+    if (member.state == NodeState::kJoining && member.last_heartbeat == 0) {
+      continue;
+    }
+    const TimeMicros age = now - member.last_heartbeat;
+    if (member.state == NodeState::kUp && age > unreachable_age) {
+      Transition(node, &member, NodeState::kUnreachable, &events);
+    }
+    if (member.state == NodeState::kUnreachable && removed_age > 0 &&
+        age > removed_age) {
+      Transition(node, &member, NodeState::kRemoved, &events);
+    }
+  }
+  return events;
+}
+
+NodeState Membership::StateOf(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(node);
+  return it == members_.end() ? NodeState::kRemoved : it->second.state;
+}
+
+std::vector<NodeId> Membership::UpNodes() const {
+  std::vector<NodeId> up;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [node, member] : members_) {
+    if (member.state == NodeState::kUp) up.push_back(node);
+  }
+  return up;  // std::map iteration is already sorted
+}
+
+std::vector<MemberInfo> Membership::Members() const {
+  std::vector<MemberInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(members_.size());
+  for (const auto& [node, member] : members_) {
+    out.push_back(MemberInfo{node, member.state, member.last_heartbeat});
+  }
+  return out;
+}
+
+uint64_t Membership::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+}  // namespace cluster
+}  // namespace marlin

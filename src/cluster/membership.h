@@ -1,0 +1,111 @@
+#ifndef MARLIN_CLUSTER_MEMBERSHIP_H_
+#define MARLIN_CLUSTER_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "cluster/frame.h"
+#include "util/clock.h"
+
+namespace marlin {
+namespace cluster {
+
+/// Lifecycle of one member in the static node list:
+///
+///   joining ──heartbeat──▶ up ──missed beats──▶ unreachable ──more──▶ removed
+///                           ▲─────heartbeat───────┘
+///
+/// `removed` is terminal: a removed node that comes back must rejoin under
+/// a fresh process (its shards were permanently reassigned).
+enum class NodeState : uint8_t { kJoining, kUp, kUnreachable, kRemoved };
+
+const char* NodeStateName(NodeState state);
+
+/// One observed state transition. `epoch` is the membership epoch *after*
+/// the transition; epochs are strictly monotonic (chk-asserted).
+struct MembershipEvent {
+  NodeId node = kNoNode;
+  NodeState from = NodeState::kJoining;
+  NodeState to = NodeState::kJoining;
+  uint64_t epoch = 0;
+};
+
+struct MemberInfo {
+  NodeId id = kNoNode;
+  NodeState state = NodeState::kJoining;
+  TimeMicros last_heartbeat = 0;
+};
+
+struct MembershipOptions {
+  /// Expected heartbeat cadence (ClusterNode sends one per Tick at this
+  /// interval).
+  TimeMicros heartbeat_interval = 200'000;  // 200 ms
+  /// Missed beats before a peer is declared unreachable — the
+  /// phi-accrual-lite threshold: suspicion is a step function of missed
+  /// intervals rather than a continuous phi.
+  int unreachable_after_missed = 4;
+  /// Missed beats before an unreachable peer is removed for good
+  /// (<= 0 disables removal).
+  int removed_after_missed = 0;
+};
+
+/// Gossip-free membership over a static node list: every node knows the
+/// full roster at construction and runs its own heartbeat failure detector
+/// against it. No agreement protocol — two nodes may transiently disagree
+/// about a third — but because shard placement is a pure function of the
+/// up-set (HashRing), views converge as soon as detectors do.
+///
+/// Thread-safe; pure bookkeeping (no I/O, no clocks — callers feed
+/// timestamps), so it is deterministic under test-controlled time.
+class Membership {
+ public:
+  Membership(NodeId self, std::vector<NodeId> nodes,
+             const MembershipOptions& options);
+
+  NodeId self() const { return self_; }
+
+  /// Records liveness evidence for `from` at `now` (a received heartbeat
+  /// or heartbeat-ack). Returns the transitions this triggered
+  /// (joining→up, unreachable→up).
+  std::vector<MembershipEvent> RecordHeartbeat(NodeId from, TimeMicros now);
+
+  /// Advances the failure detector to `now`: peers whose last evidence is
+  /// older than the missed-beat thresholds transition to unreachable /
+  /// removed. Returns the transitions.
+  std::vector<MembershipEvent> Tick(TimeMicros now);
+
+  NodeState StateOf(NodeId node) const;
+
+  /// Nodes currently kUp (including self when up), sorted — the member set
+  /// the hash ring is built from.
+  std::vector<NodeId> UpNodes() const;
+
+  std::vector<MemberInfo> Members() const;
+
+  /// Monotonic epoch, bumped by every transition.
+  uint64_t epoch() const;
+
+ private:
+  struct Member {
+    NodeState state = NodeState::kJoining;
+    TimeMicros last_heartbeat = 0;
+  };
+
+  /// Applies one transition under mu_; appends the event.
+  void Transition(NodeId node, Member* member, NodeState to,
+                  std::vector<MembershipEvent>* events);
+
+  const NodeId self_;
+  const MembershipOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, Member> members_;
+  uint64_t epoch_ = 1;  // epoch 1 = the initial roster
+};
+
+}  // namespace cluster
+}  // namespace marlin
+
+#endif  // MARLIN_CLUSTER_MEMBERSHIP_H_

@@ -1,0 +1,417 @@
+#include "cluster/shard_region.h"
+
+#include <chrono>
+#include <utility>
+
+#include "chk/chk.h"
+#include "util/logging.h"
+
+namespace marlin {
+namespace cluster {
+namespace {
+
+/// Wire-envelope flag bits (payload byte after the region tag).
+constexpr uint8_t kFlagForwarded = 1u << 0;  // already took its forward hop
+constexpr uint8_t kFlagReplayed = 1u << 1;   // re-sent from a handoff buffer
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ShardRegion::ShardRegion(ShardRegionOptions options, ActorSystem* system,
+                         Transport* transport, NodeId self,
+                         const HashRing& ring, obs::MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      system_(system),
+      transport_(transport),
+      self_(self),
+      ring_(ring),
+      shards_(static_cast<size_t>(ring.num_shards())) {
+  for (int shard = 0; shard < ring.num_shards(); ++shard) {
+    shards_[static_cast<size_t>(shard)].owner = ring.OwnerOfShard(shard);
+  }
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::OrGlobal(metrics);
+  const obs::Labels region_label = {{"region", options_.name}};
+  auto route_counter = [&](const char* route) {
+    obs::Labels labels = region_label;
+    labels.emplace_back("route", route);
+    return registry->GetCounter("marlin_cluster_envelopes_total",
+                                "Envelopes routed by the shard region",
+                                std::move(labels));
+  };
+  metrics_.local = route_counter("local");
+  metrics_.remote = route_counter("remote");
+  metrics_.forwarded = route_counter("forward");
+  metrics_.misrouted = route_counter("misrouted");
+  metrics_.buffered = route_counter("buffered");
+  metrics_.replayed = route_counter("replayed");
+  metrics_.dropped = route_counter("dropped");
+  metrics_.handoffs = registry->GetCounter(
+      "marlin_cluster_handoffs_total", "Completed shard handoffs (buffer "
+      "flushed after the next owner's ack)", region_label);
+  metrics_.shards_owned = registry->GetGauge(
+      "marlin_cluster_shards_owned", "Shards owned by this node",
+      region_label);
+  metrics_.entities = registry->GetGauge(
+      "marlin_cluster_entities", "Live local entity actors", region_label);
+  metrics_.buffered_now = registry->GetGauge(
+      "marlin_cluster_envelopes_buffered",
+      "Envelopes parked awaiting a handoff ack", region_label);
+  metrics_.handoff_latency = registry->GetHistogram(
+      "marlin_cluster_handoff_latency_nanos",
+      "Handoff begin→ack→flush latency", region_label);
+  metrics_.shards_owned->Set(
+      static_cast<int64_t>(ring.ShardsOwnedBy(self_).size()));
+}
+
+Frame ShardRegion::MakeEnvelopeFrame(const std::string& entity,
+                                     const std::string& payload, uint64_t seq,
+                                     uint8_t flags) const {
+  WireWriter writer;
+  writer.PutString16(options_.name);
+  writer.PutU8(flags);
+  writer.PutString16(entity);
+  writer.PutString32(payload);
+  Frame frame;
+  frame.type = FrameType::kEnvelope;
+  frame.src = self_;
+  frame.seq = seq;
+  frame.payload = writer.Take();
+  return frame;
+}
+
+bool ShardRegion::Tell(const std::string& entity, std::string payload) {
+  enum class Route { kLocal, kRemote, kBuffered };
+  Route route;
+  NodeId owner = kNoNode;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int shard = ring_.ShardForKey(entity);
+    ShardInfo& info = shards_[static_cast<size_t>(shard)];
+    if (info.buffering) {
+      seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+      info.buffer.push_back(BufferedEnvelope{entity, std::move(payload), seq});
+      metrics_.buffered->Increment();
+      metrics_.buffered_now->Add(1);
+      return true;
+    }
+    owner = info.owner;
+    if (owner == self_ || owner == kNoNode) {
+      route = Route::kLocal;
+    } else {
+      route = Route::kRemote;
+      seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (route == Route::kLocal) {
+    metrics_.local->Increment();
+    DeliverLocal(entity, std::move(payload), self_, 0);
+    return true;
+  }
+  const Frame frame = MakeEnvelopeFrame(entity, payload, seq, 0);
+  if (!transport_->Send(owner, frame)) {
+    metrics_.dropped->Increment();
+    return false;
+  }
+  metrics_.remote->Increment();
+  return true;
+}
+
+StatusOr<ActorRef> ShardRegion::Resolve(const std::string& entity) {
+  NodeId owner;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owner = shards_[static_cast<size_t>(ring_.ShardForKey(entity))].owner;
+  }
+  const std::string actor_name = options_.name + "/" + entity;
+  if (owner == self_ || owner == kNoNode) {
+    StatusOr<ActorRef> ref = system_->GetOrSpawn(
+        actor_name, [this, &entity] { return options_.factory(entity); });
+    if (ref.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const int shard = ring_.ShardForKey(entity);
+      ShardInfo& info = shards_[static_cast<size_t>(shard)];
+      if (info.local_entities.insert(entity).second) {
+        metrics_.entities->Add(1);
+      }
+    }
+    return ref;
+  }
+  // Remote entity: hand out a ref whose deliveries re-enter this region,
+  // so the route stays correct across later handoffs.
+  auto deliver = std::make_shared<ActorRef::RemoteDeliverFn>(
+      [this, entity](std::any message) {
+        std::string* payload = std::any_cast<std::string>(&message);
+        if (payload == nullptr) return false;  // cross-node needs bytes
+        return Tell(entity, std::move(*payload));
+      });
+  return ActorRef::Remote(actor_name, std::move(deliver));
+}
+
+void ShardRegion::DeliverLocal(const std::string& entity, std::string payload,
+                               NodeId origin, uint64_t seq) {
+#if defined(MARLIN_CHECKED) && MARLIN_CHECKED
+  if (origin != self_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool fresh = delivered_[origin].insert(seq).second;
+    MARLIN_CHK_INVARIANT(
+        fresh, "envelope (origin=" + std::to_string(origin) + ", seq=" +
+                   std::to_string(seq) + ") delivered twice in region '" +
+                   options_.name + "'");
+  }
+#else
+  (void)origin;
+  (void)seq;
+#endif
+  const std::string actor_name = options_.name + "/" + entity;
+  StatusOr<ActorRef> ref = system_->GetOrSpawn(
+      actor_name, [this, &entity] { return options_.factory(entity); });
+  if (!ref.ok()) return;  // shutting down
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int shard = ring_.ShardForKey(entity);
+    ShardInfo& info = shards_[static_cast<size_t>(shard)];
+    MARLIN_CHK_INVARIANT(
+        info.owner == self_ || info.owner == kNoNode || origin != self_,
+        "local delivery for shard " + std::to_string(shard) +
+            " this node does not own (region '" + options_.name + "')");
+    if (info.local_entities.insert(entity).second) {
+      metrics_.entities->Add(1);
+    }
+  }
+  system_->Tell(*ref, ShardEnvelope{entity, std::move(payload)});
+}
+
+void ShardRegion::OnEnvelope(const Frame& frame) {
+  WireReader reader(frame.payload);
+  std::string region, entity, payload;
+  uint8_t flags = 0;
+  if (!reader.GetString16(&region) || !reader.GetU8(&flags) ||
+      !reader.GetString16(&entity) || !reader.GetString32(&payload)) {
+    metrics_.dropped->Increment();
+    return;
+  }
+  enum class Route { kDeliver, kForward, kMisrouteDeliver };
+  Route route;
+  NodeId owner;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int shard = ring_.ShardForKey(entity);
+    owner = shards_[static_cast<size_t>(shard)].owner;
+    if (owner == self_ || owner == kNoNode) {
+      route = Route::kDeliver;
+    } else if ((flags & kFlagForwarded) == 0) {
+      // The sender's ring lagged ours; forward one hop to the owner we
+      // know. The flag caps route length at 2 so view splits cannot loop.
+      route = Route::kForward;
+    } else {
+      route = Route::kMisrouteDeliver;
+    }
+  }
+  switch (route) {
+    case Route::kDeliver:
+      DeliverLocal(entity, std::move(payload), frame.src, frame.seq);
+      break;
+    case Route::kForward: {
+      Frame forwarded = MakeEnvelopeFrame(entity, payload, frame.seq,
+                                          flags | kFlagForwarded);
+      // Preserve the original origin so duplicate detection stays keyed on
+      // the true sender's sequence.
+      forwarded.src = frame.src;
+      if (transport_->Send(owner, forwarded)) {
+        metrics_.forwarded->Increment();
+      } else {
+        metrics_.dropped->Increment();
+      }
+      break;
+    }
+    case Route::kMisrouteDeliver:
+      // Both hops disagreed with us — deliver rather than loop; the next
+      // topology convergence re-homes the entity.
+      metrics_.misrouted->Increment();
+      DeliverLocal(entity, std::move(payload), frame.src, frame.seq);
+      break;
+  }
+}
+
+void ShardRegion::ApplyTopology(const HashRing& ring) {
+  std::vector<std::pair<NodeId, Frame>> sends;
+  std::vector<std::string> stop_entities;
+  std::vector<BufferedEnvelope> local_replay;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_ = ring;
+    for (int shard = 0; shard < ring_.num_shards(); ++shard) {
+      ShardInfo& info = shards_[static_cast<size_t>(shard)];
+      const NodeId new_owner = ring_.OwnerOfShard(shard);
+      const NodeId old_owner = info.owner;
+      if (new_owner == old_owner) continue;
+      info.owner = new_owner;
+      if (new_owner == self_) {
+        // Gained the shard. Any envelopes we were buffering toward a
+        // now-dethroned owner are ours to deliver.
+        if (info.buffering) {
+          info.buffering = false;
+          metrics_.buffered_now->Sub(
+              static_cast<int64_t>(info.buffer.size()));
+          for (BufferedEnvelope& env : info.buffer) {
+            local_replay.push_back(std::move(env));
+          }
+          info.buffer.clear();
+        }
+        continue;
+      }
+      // Shard now belongs to a peer: stop local entities (successors spawn
+      // on demand on the owner) and open a handoff so in-flight sends
+      // buffer until the owner confirms.
+      if (old_owner == self_) {
+        for (const std::string& entity : info.local_entities) {
+          stop_entities.push_back(entity);
+        }
+        metrics_.entities->Sub(
+            static_cast<int64_t>(info.local_entities.size()));
+        info.local_entities.clear();
+      }
+      if (!info.buffering) {
+        info.buffering = true;
+        info.begin_sent_nanos = SteadyNanos();
+      }
+      WireWriter writer;
+      writer.PutString16(options_.name);
+      writer.PutU32(static_cast<uint32_t>(shard));
+      writer.PutU64(ring_.epoch());
+      Frame begin;
+      begin.type = FrameType::kHandoffBegin;
+      begin.src = self_;
+      begin.payload = writer.Take();
+      sends.emplace_back(new_owner, std::move(begin));
+    }
+    metrics_.shards_owned->Set(
+        static_cast<int64_t>(ring_.ShardsOwnedBy(self_).size()));
+  }
+  for (const std::string& entity : stop_entities) {
+    StatusOr<ActorRef> ref = system_->Find(options_.name + "/" + entity);
+    if (ref.ok()) system_->Stop(*ref);
+  }
+  for (auto& [to, frame] : sends) {
+    transport_->Send(to, frame);
+  }
+  for (BufferedEnvelope& env : local_replay) {
+    metrics_.replayed->Increment();
+    DeliverLocal(env.entity, std::move(env.payload), self_, 0);
+  }
+}
+
+void ShardRegion::OnHandoffBegin(NodeId from, int shard, uint64_t epoch) {
+  (void)epoch;  // informational: the sender's view when it opened the handoff
+  bool ack = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard >= 0 && shard < ring_.num_shards()) {
+      // Only confirm shards we agree we own; a lagging view acks nothing
+      // and the sender's Tick retries after we converge.
+      ack = shards_[static_cast<size_t>(shard)].owner == self_;
+    }
+  }
+  if (!ack) return;
+  WireWriter writer;
+  writer.PutString16(options_.name);
+  writer.PutU32(static_cast<uint32_t>(shard));
+  Frame frame;
+  frame.type = FrameType::kHandoffAck;
+  frame.src = self_;
+  frame.payload = writer.Take();
+  transport_->Send(from, frame);
+}
+
+void ShardRegion::OnHandoffAck(NodeId from, int shard) {
+  std::vector<BufferedEnvelope> flush;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard < 0 || shard >= ring_.num_shards()) return;
+    ShardInfo& info = shards_[static_cast<size_t>(shard)];
+    // Stale ack (owner moved again, or duplicate): ignore.
+    if (!info.buffering || info.owner != from) return;
+    info.buffering = false;
+    flush.swap(info.buffer);
+    metrics_.buffered_now->Sub(static_cast<int64_t>(flush.size()));
+    metrics_.handoffs->Increment();
+    metrics_.handoff_latency->Observe(SteadyNanos() - info.begin_sent_nanos);
+  }
+  for (BufferedEnvelope& env : flush) {
+    const Frame frame =
+        MakeEnvelopeFrame(env.entity, env.payload, env.seq, kFlagReplayed);
+    if (transport_->Send(from, frame)) {
+      metrics_.replayed->Increment();
+    } else {
+      metrics_.dropped->Increment();
+    }
+  }
+}
+
+void ShardRegion::ResendPendingHandoffs() {
+  std::vector<std::pair<NodeId, Frame>> sends;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int shard = 0; shard < ring_.num_shards(); ++shard) {
+      const ShardInfo& info = shards_[static_cast<size_t>(shard)];
+      if (!info.buffering || info.owner == kNoNode) continue;
+      WireWriter writer;
+      writer.PutString16(options_.name);
+      writer.PutU32(static_cast<uint32_t>(shard));
+      writer.PutU64(ring_.epoch());
+      Frame begin;
+      begin.type = FrameType::kHandoffBegin;
+      begin.src = self_;
+      begin.payload = writer.Take();
+      sends.emplace_back(info.owner, std::move(begin));
+    }
+  }
+  for (auto& [to, frame] : sends) {
+    transport_->Send(to, frame);
+  }
+}
+
+NodeId ShardRegion::OwnerOfShard(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) return kNoNode;
+  return shards_[static_cast<size_t>(shard)].owner;
+}
+
+int ShardRegion::ShardForEntity(const std::string& entity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.ShardForKey(entity);
+}
+
+size_t ShardRegion::OwnedShardCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t owned = 0;
+  for (const ShardInfo& info : shards_) {
+    if (info.owner == self_) ++owned;
+  }
+  return owned;
+}
+
+size_t ShardRegion::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t buffered = 0;
+  for (const ShardInfo& info : shards_) buffered += info.buffer.size();
+  return buffered;
+}
+
+size_t ShardRegion::LocalEntityCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t entities = 0;
+  for (const ShardInfo& info : shards_) {
+    entities += info.local_entities.size();
+  }
+  return entities;
+}
+
+}  // namespace cluster
+}  // namespace marlin

@@ -1,0 +1,167 @@
+#ifndef MARLIN_CLUSTER_SHARD_REGION_H_
+#define MARLIN_CLUSTER_SHARD_REGION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "actor/actor_system.h"
+#include "cluster/frame.h"
+#include "cluster/hash_ring.h"
+#include "cluster/transport.h"
+#include "obs/metrics.h"
+
+namespace marlin {
+namespace cluster {
+
+/// What a sharded entity actor receives: the entity key (MMSI) plus the
+/// opaque payload bytes the sender routed. Payloads are strings because a
+/// message that may cross a node boundary must be serialisable anyway; the
+/// entity actor owns the decode.
+struct ShardEnvelope {
+  std::string entity;
+  std::string payload;
+};
+
+struct ShardRegionOptions {
+  /// Region name, e.g. "vessel". Scopes entity actor names
+  /// ("vessel/244060000") and appears as the wire-envelope region tag and
+  /// the metrics label.
+  std::string name = "entities";
+  /// Builds the entity actor on first local delivery — the distributed
+  /// extension of ActorSystem::GetOrSpawn's factory.
+  std::function<std::unique_ptr<Actor>(const std::string& entity)> factory;
+};
+
+/// The front door to a sharded entity type, Akka-cluster-sharding style:
+/// `Tell(entity, payload)` transparently either delivers to a local actor
+/// (spawned on demand via the region factory, exactly like
+/// ActorSystem::GetOrSpawn) or serialises the envelope onto the transport
+/// toward the node that owns the entity's shard.
+///
+/// Topology changes drive per-shard handoff: while a shard migrates, this
+/// region buffers envelopes for it, sends the new owner a handoff-begin,
+/// and replays the buffer only after the owner acks — so no envelope is
+/// lost in the window and (chk-asserted) none is delivered twice. Local
+/// entity actors of a lost shard are stopped; their successors spawn on
+/// demand on the new owner.
+///
+/// Created via ClusterNode::CreateRegion; thread-safe.
+class ShardRegion {
+ public:
+  /// Internal constructor — use ClusterNode::CreateRegion.
+  ShardRegion(ShardRegionOptions options, ActorSystem* system,
+              Transport* transport, NodeId self, const HashRing& ring,
+              obs::MetricsRegistry* metrics);
+
+  const std::string& name() const { return options_.name; }
+
+  /// Routes `payload` to `entity`'s actor, wherever its shard lives.
+  /// Returns false only when the envelope could not even be queued
+  /// (transport down and shard remote).
+  bool Tell(const std::string& entity, std::string payload);
+
+  /// Resolves an ActorRef for `entity`: a live local ref (spawning on
+  /// demand) when this node owns the shard, or a remote ref whose
+  /// deliveries route back through this region. Remote refs accept only
+  /// std::string payloads; Ask is not supported across nodes.
+  StatusOr<ActorRef> Resolve(const std::string& entity);
+
+  // -- Introspection (tests, admin API) ---------------------------------
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  NodeId OwnerOfShard(int shard) const;
+  int ShardForEntity(const std::string& entity) const;
+  /// Shards this node owns per its current ring snapshot.
+  size_t OwnedShardCount() const;
+  /// Envelopes currently parked waiting for a handoff ack.
+  size_t BufferedCount() const;
+  /// Live local entity actors.
+  size_t LocalEntityCount() const;
+
+ private:
+  friend class ClusterNode;
+
+  struct BufferedEnvelope {
+    std::string entity;
+    std::string payload;
+    uint64_t seq = 0;
+  };
+
+  struct ShardInfo {
+    NodeId owner = kNoNode;
+    /// True while this node waits for the owner's handoff ack; Tells for
+    /// the shard park in `buffer` meanwhile.
+    bool buffering = false;
+    std::vector<BufferedEnvelope> buffer;
+    int64_t begin_sent_nanos = 0;  // steady-clock stamp for handoff latency
+    std::set<std::string> local_entities;
+  };
+
+  // Frame entry points, called by ClusterNode's dispatcher.
+  void OnEnvelope(const Frame& frame);
+  void OnHandoffBegin(NodeId from, int shard, uint64_t epoch);
+  void OnHandoffAck(NodeId from, int shard);
+  /// Adopts a new ring snapshot; stops local entities of lost shards and
+  /// opens handoffs toward the new owners.
+  void ApplyTopology(const HashRing& ring);
+  /// Re-sends handoff-begin for shards stuck buffering (owner view lagged
+  /// or the begin frame was lost). Called from ClusterNode::Tick.
+  void ResendPendingHandoffs();
+
+  /// Encodes a wire envelope frame for `entity`.
+  Frame MakeEnvelopeFrame(const std::string& entity,
+                          const std::string& payload, uint64_t seq,
+                          uint8_t flags) const;
+
+  /// Spawns (if needed) and tells the local entity actor. `origin`/`seq`
+  /// identify remote-originated envelopes for the duplicate-delivery
+  /// check; local tells pass origin == self.
+  void DeliverLocal(const std::string& entity, std::string payload,
+                    NodeId origin, uint64_t seq);
+
+  const ShardRegionOptions options_;
+  ActorSystem* system_;
+  Transport* transport_;
+  const NodeId self_;
+
+  mutable std::mutex mu_;
+  HashRing ring_;
+  std::vector<ShardInfo> shards_;
+  std::atomic<uint64_t> next_seq_{1};
+
+#if defined(MARLIN_CHECKED) && MARLIN_CHECKED
+  /// Every (origin, seq) pair delivered locally — duplicate delivery after
+  /// handoff is the bug class this exists to catch. Checked builds only
+  /// (unbounded growth is fine for test lifetimes).
+  std::unordered_map<NodeId, std::unordered_set<uint64_t>> delivered_;
+#endif
+
+  struct Metrics {
+    obs::Counter* local = nullptr;
+    obs::Counter* remote = nullptr;
+    obs::Counter* forwarded = nullptr;
+    obs::Counter* misrouted = nullptr;
+    obs::Counter* buffered = nullptr;
+    obs::Counter* replayed = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* handoffs = nullptr;
+    obs::Gauge* shards_owned = nullptr;
+    obs::Gauge* entities = nullptr;
+    obs::Gauge* buffered_now = nullptr;
+    obs::Histogram* handoff_latency = nullptr;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace cluster
+}  // namespace marlin
+
+#endif  // MARLIN_CLUSTER_SHARD_REGION_H_

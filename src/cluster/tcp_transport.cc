@@ -1,0 +1,283 @@
+#include "cluster/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace marlin {
+namespace cluster {
+namespace {
+
+TimeMicros WallNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Writes the whole buffer, absorbing short writes. False on I/O error.
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)) {
+  obs::MetricsRegistry* registry =
+      obs::MetricsRegistry::OrGlobal(options_.metrics);
+  metrics_.connects = registry->GetCounter(
+      "marlin_cluster_tcp_connects_total", "Outbound connections established");
+  metrics_.accepts = registry->GetCounter(
+      "marlin_cluster_tcp_accepts_total", "Inbound connections accepted");
+  metrics_.send_drops_queue_full = registry->GetCounter(
+      "marlin_cluster_tcp_send_drops_total",
+      "Outbound frames dropped by reason", {{"reason", "queue_full"}});
+  metrics_.send_drops_timeout = registry->GetCounter(
+      "marlin_cluster_tcp_send_drops_total",
+      "Outbound frames dropped by reason", {{"reason", "timeout"}});
+  metrics_.send_drops_io = registry->GetCounter(
+      "marlin_cluster_tcp_send_drops_total",
+      "Outbound frames dropped by reason", {{"reason", "io"}});
+  metrics_.decode_errors = registry->GetCounter(
+      "marlin_cluster_tcp_decode_errors_total",
+      "Inbound streams dropped on malformed frames");
+}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+Status TcpTransport::Listen() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(options_.listen_port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    return Status::Unavailable("bind() failed on port " +
+                               std::to_string(options_.listen_port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  // Discover the OS-assigned port when 0 was requested.
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) == 0) {
+    port_ = ntohs(address.sin_port);
+  }
+  listen_fd_.store(fd);
+  return Status::Ok();
+}
+
+void TcpTransport::SetPeers(std::vector<TcpPeer> peers) {
+  for (TcpPeer& peer : peers) {
+    auto state = std::make_unique<PeerState>();
+    state->address = std::move(peer);
+    peers_.emplace(state->address.id, std::move(state));
+  }
+}
+
+Status TcpTransport::Start(NodeId self, FrameHandler handler) {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("transport already started");
+  }
+  if (listen_fd_.load() < 0) {
+    Status status = Listen();
+    if (!status.ok()) {
+      running_.store(false);
+      return status;
+    }
+  }
+  self_ = self;
+  handler_ = std::move(handler);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (auto& [id, peer] : peers_) {
+    PeerState* raw = peer.get();
+    peer->sender = std::thread([this, raw] { SenderLoop(raw); });
+  }
+  return Status::Ok();
+}
+
+bool TcpTransport::Send(NodeId to, const Frame& frame) {
+  if (!running_.load(std::memory_order_acquire)) return false;
+  auto it = peers_.find(to);
+  if (it == peers_.end()) return false;
+  PeerState* peer = it->second.get();
+  {
+    std::lock_guard<std::mutex> lock(peer->mu);
+    if (peer->queue.size() >= options_.max_queue) {
+      metrics_.send_drops_queue_full->Increment();
+      return false;
+    }
+    peer->queue.emplace_back(WallNowMicros(), EncodeFrame(frame));
+  }
+  peer->cv.notify_one();
+  return true;
+}
+
+void TcpTransport::Shutdown() {
+  if (!running_.exchange(false)) return;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  for (auto& [id, peer] : peers_) {
+    peer->cv.notify_all();
+    if (peer->sender.joinable()) peer->sender.join();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::pair<int, std::thread>> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    readers.swap(readers_);
+  }
+  for (auto& [reader_fd, thread] : readers) {
+    ::shutdown(reader_fd, SHUT_RDWR);
+    if (thread.joinable()) thread.join();
+    ::close(reader_fd);
+  }
+}
+
+void TcpTransport::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = listen_fd_.load();
+    if (fd < 0) return;
+    const int client_fd = ::accept(fd, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    metrics_.accepts->Increment();
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    if (!running_.load()) {
+      ::close(client_fd);
+      return;
+    }
+    readers_.emplace_back(client_fd,
+                          std::thread([this, client_fd] {
+                            ReaderLoop(client_fd);
+                          }));
+  }
+}
+
+void TcpTransport::ReaderLoop(int fd) {
+  FrameDecoder decoder;
+  char buffer[16384];
+  bool attributed = false;
+  while (running_.load()) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    decoder.Feed(buffer, static_cast<size_t>(n));
+    Frame frame;
+    while (decoder.Next(&frame)) {
+      if (frame.type == FrameType::kHello) {
+        // Attribution preamble from the dialing node; not for the handler.
+        attributed = true;
+        continue;
+      }
+      handler_(frame);
+    }
+    if (!decoder.error().ok()) {
+      metrics_.decode_errors->Increment();
+      MARLIN_LOG(WARNING) << "cluster tcp: dropping connection ("
+                          << decoder.error().ToString() << ")";
+      break;
+    }
+  }
+  (void)attributed;
+  // The fd is closed by Shutdown (which owns the readers_ entries); closing
+  // here as well would race the shutdown path's ::shutdown on the fd.
+}
+
+int TcpTransport::DialPeer(const TcpPeer& address) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  if (::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpTransport::SenderLoop(PeerState* peer) {
+  TimeMicros backoff = options_.reconnect_initial;
+  int fd = -1;
+  while (running_.load()) {
+    std::pair<TimeMicros, std::string> entry;
+    {
+      std::unique_lock<std::mutex> lock(peer->mu);
+      peer->cv.wait(lock, [this, peer] {
+        return !peer->queue.empty() || !running_.load();
+      });
+      if (!running_.load()) break;
+      entry = std::move(peer->queue.front());
+      peer->queue.pop_front();
+    }
+    if (WallNowMicros() - entry.first > options_.send_timeout) {
+      metrics_.send_drops_timeout->Increment();
+      continue;
+    }
+    if (fd < 0) {
+      fd = DialPeer(peer->address);
+      if (fd < 0) {
+        metrics_.send_drops_io->Increment();
+        // Park until the backoff elapses (or shutdown); the frame is lost —
+        // heartbeat cadence and handoff retries recover the protocol state.
+        std::unique_lock<std::mutex> lock(peer->mu);
+        peer->cv.wait_for(lock, std::chrono::microseconds(backoff),
+                          [this] { return !running_.load(); });
+        backoff = std::min(backoff * 2, options_.reconnect_max);
+        continue;
+      }
+      metrics_.connects->Increment();
+      backoff = options_.reconnect_initial;
+      Frame hello;
+      hello.type = FrameType::kHello;
+      hello.src = self_;
+      if (!WriteAll(fd, EncodeFrame(hello))) {
+        ::close(fd);
+        fd = -1;
+        metrics_.send_drops_io->Increment();
+        continue;
+      }
+    }
+    if (!WriteAll(fd, entry.second)) {
+      ::close(fd);
+      fd = -1;
+      metrics_.send_drops_io->Increment();
+    }
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace cluster
+}  // namespace marlin

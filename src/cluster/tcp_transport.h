@@ -1,0 +1,124 @@
+#ifndef MARLIN_CLUSTER_TCP_TRANSPORT_H_
+#define MARLIN_CLUSTER_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/transport.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace marlin {
+namespace cluster {
+
+/// Address of one roster member for the TCP transport.
+struct TcpPeer {
+  NodeId id = kNoNode;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  /// Port to listen on; 0 picks an ephemeral port (read it via port()).
+  uint16_t listen_port = 0;
+  /// Frames older than this in an outbound queue are dropped, not sent —
+  /// stale heartbeats and envelopes are worse than lost ones.
+  TimeMicros send_timeout = 2'000'000;  // 2 s
+  /// Reconnect backoff: starts here, doubles per failure, caps at max.
+  TimeMicros reconnect_initial = 50'000;  // 50 ms
+  TimeMicros reconnect_max = 2'000'000;   // 2 s
+  /// Per-peer outbound queue cap; Send fails beyond it (backpressure).
+  size_t max_queue = 4096;
+  /// Registry for transport metrics (null = process global).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Real-socket transport: one listening socket, one accept thread plus a
+/// reader thread per inbound connection, and one sender thread per peer
+/// draining a bounded outbound queue. Send never blocks on the network —
+/// it enqueues and returns; the sender thread connects lazily with
+/// exponential backoff and re-dials after failures, so transient peer
+/// outages surface as dropped frames (which the cluster layer's heartbeat
+/// and handoff retries absorb), never as a blocked caller.
+///
+/// Wire format: length-prefixed frames (see frame.h). The first frame on
+/// every outbound connection is a kHello carrying the dialing node's id.
+///
+/// Lifecycle: Listen() binds (so ephemeral ports can be exchanged between
+/// processes before any traffic), SetPeers() installs the roster's
+/// addresses, Start() begins accepting and sending, Shutdown() joins every
+/// thread.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options = {});
+  ~TcpTransport() override;
+
+  /// Binds and listens on options.listen_port (loopback). After success,
+  /// port() returns the actual port.
+  Status Listen();
+
+  uint16_t port() const { return port_; }
+
+  /// Installs peer addresses. Call before Start().
+  void SetPeers(std::vector<TcpPeer> peers);
+
+  Status Start(NodeId self, FrameHandler handler) override;
+  bool Send(NodeId to, const Frame& frame) override;
+  void Shutdown() override;
+
+ private:
+  /// Outbound state for one peer, drained by a dedicated sender thread.
+  struct PeerState {
+    TcpPeer address;
+    std::mutex mu;
+    std::condition_variable cv;
+    /// (enqueue time, encoded frame) — timestamps implement send_timeout.
+    std::deque<std::pair<TimeMicros, std::string>> queue;
+    std::thread sender;
+    int fd = -1;  // guarded by mu; owned by the sender thread
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(int fd);
+  void SenderLoop(PeerState* peer);
+  /// Dials the peer once; returns the connected fd or -1.
+  int DialPeer(const TcpPeer& address);
+
+  const TcpTransportOptions options_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  NodeId self_ = kNoNode;
+  FrameHandler handler_;
+  std::atomic<bool> running_{false};
+
+  std::map<NodeId, std::unique_ptr<PeerState>> peers_;  // set before Start
+
+  std::thread accept_thread_;
+  std::mutex readers_mu_;
+  /// (fd, thread) per accepted connection; fds are shut down to unblock
+  /// the readers at Shutdown.
+  std::vector<std::pair<int, std::thread>> readers_;
+
+  struct Metrics {
+    obs::Counter* connects = nullptr;
+    obs::Counter* accepts = nullptr;
+    obs::Counter* send_drops_queue_full = nullptr;
+    obs::Counter* send_drops_timeout = nullptr;
+    obs::Counter* send_drops_io = nullptr;
+    obs::Counter* decode_errors = nullptr;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace cluster
+}  // namespace marlin
+
+#endif  // MARLIN_CLUSTER_TCP_TRANSPORT_H_

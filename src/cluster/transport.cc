@@ -1,0 +1,81 @@
+#include "cluster/transport.h"
+
+namespace marlin {
+namespace cluster {
+namespace {
+
+std::pair<NodeId, NodeId> NormalisedLink(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+void InProcessHub::SetLinkUp(NodeId a, NodeId b, bool up) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (up) {
+    down_links_.erase(NormalisedLink(a, b));
+  } else {
+    down_links_.insert(NormalisedLink(a, b));
+  }
+}
+
+bool InProcessHub::LinkUp(NodeId a, NodeId b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_links_.count(NormalisedLink(a, b)) == 0;
+}
+
+void InProcessHub::Register(NodeId node, Transport::FrameHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[node] = std::move(handler);
+}
+
+void InProcessHub::Unregister(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(node);
+}
+
+bool InProcessHub::Deliver(NodeId from, NodeId to, const Frame& frame) {
+  Transport::FrameHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_links_.count(NormalisedLink(from, to)) > 0) return false;
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) return false;
+    handler = it->second;
+  }
+  handler(frame);
+  return true;
+}
+
+Status InProcessTransport::Start(NodeId self, FrameHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("transport already started");
+  self_ = self;
+  running_ = true;
+  hub_->Register(self, std::move(handler));
+  return Status::Ok();
+}
+
+bool InProcessTransport::Send(NodeId to, const Frame& frame) {
+  NodeId self;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return false;
+    self = self_;
+  }
+  return hub_->Deliver(self, to, frame);
+}
+
+void InProcessTransport::Shutdown() {
+  NodeId self = kNoNode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    self = self_;
+  }
+  hub_->Unregister(self);
+}
+
+}  // namespace cluster
+}  // namespace marlin

@@ -1,0 +1,97 @@
+#ifndef MARLIN_CLUSTER_TRANSPORT_H_
+#define MARLIN_CLUSTER_TRANSPORT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "cluster/frame.h"
+#include "util/status.h"
+
+namespace marlin {
+namespace cluster {
+
+/// The seam between a ClusterNode and the wire. Two implementations:
+/// InProcessTransport (virtual nodes sharing one Hub — deterministic,
+/// test-friendly) and TcpTransport (real sockets for multi-process
+/// deployment). Send never blocks the caller beyond queueing.
+class Transport {
+ public:
+  /// Invoked for every inbound frame. May run on a transport thread (TCP
+  /// readers) or synchronously on the sender's thread (in-process), so
+  /// handlers must be thread-safe and must not hold locks across their own
+  /// Send calls (re-entrancy).
+  using FrameHandler = std::function<void(const Frame&)>;
+
+  virtual ~Transport() = default;
+
+  /// Binds this transport to `self` and starts delivering inbound frames
+  /// to `handler`.
+  virtual Status Start(NodeId self, FrameHandler handler) = 0;
+
+  /// Queues (or directly delivers) one frame to `to`. Returns false when
+  /// the peer is unknown/unreachable or the transport is shut down; the
+  /// frame is dropped in that case — cluster-layer retry (heartbeats,
+  /// handoff re-begins) provides the recovery, not the transport.
+  virtual bool Send(NodeId to, const Frame& frame) = 0;
+
+  /// Stops delivery. Idempotent.
+  virtual void Shutdown() = 0;
+};
+
+class InProcessTransport;
+
+/// Wiring harness for in-process "virtual node" clusters: every transport
+/// registers its handler here and Send is a synchronous call into the
+/// peer's handler. Links can be administratively cut (SetLinkUp) to
+/// simulate partitions and node death deterministically — the failure
+/// detector then sees real missed heartbeats without any wall-clock
+/// sleeping. The hub must outlive its transports.
+class InProcessHub {
+ public:
+  /// Cuts or restores the (bidirectional) link between `a` and `b`.
+  /// Frames over a down link are silently dropped (Send returns false).
+  void SetLinkUp(NodeId a, NodeId b, bool up);
+
+  bool LinkUp(NodeId a, NodeId b) const;
+
+ private:
+  friend class InProcessTransport;
+
+  void Register(NodeId node, Transport::FrameHandler handler);
+  void Unregister(NodeId node);
+  /// Copies the handler out under the lock, then invokes it unlocked —
+  /// synchronous delivery without holding hub state across user code.
+  bool Deliver(NodeId from, NodeId to, const Frame& frame);
+
+  mutable std::mutex mu_;
+  std::map<NodeId, Transport::FrameHandler> handlers_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;  // normalised (min,max)
+};
+
+/// Virtual-node transport: delivery is a synchronous function call on the
+/// caller's thread through the shared hub. Deterministic given a
+/// deterministic caller, which is what the `cluster`-label tests exploit.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(InProcessHub* hub) : hub_(hub) {}
+  ~InProcessTransport() override { Shutdown(); }
+
+  Status Start(NodeId self, FrameHandler handler) override;
+  bool Send(NodeId to, const Frame& frame) override;
+  void Shutdown() override;
+
+ private:
+  InProcessHub* hub_;
+  std::mutex mu_;
+  NodeId self_ = kNoNode;
+  bool running_ = false;
+};
+
+}  // namespace cluster
+}  // namespace marlin
+
+#endif  // MARLIN_CLUSTER_TRANSPORT_H_

@@ -100,6 +100,10 @@ ApiResponse ApiService::Handle(const std::string& method,
   if (root == "patterns") return HandlePatterns(request);
   if (root == "viewport") return HandleViewport(request);
   if (root == "metrics") return HandleMetrics(request);
+  if (root == "cluster") {
+    if (!cluster_status_) return Error(404, "no cluster on this deployment");
+    return ApiResponse{200, cluster_status_()};
+  }
   return Error(404, "not found");
 }
 

@@ -1,6 +1,7 @@
 #ifndef MARLIN_MIDDLEWARE_API_SERVICE_H_
 #define MARLIN_MIDDLEWARE_API_SERVICE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,6 +41,8 @@ struct ApiResponse {
 ///                                      vessels currently inside a bbox
 ///   GET /metrics                       Prometheus text exposition
 ///   GET /metrics/json                  same snapshot as JSON
+///   GET /cluster                       cluster membership + shard status
+///                                      (404 on single-node deployments)
 class ApiService {
  public:
   /// `pipeline` must outlive the service.
@@ -48,6 +51,14 @@ class ApiService {
   /// Dispatches one request. Unknown routes yield 404; bad parameters 400;
   /// non-GET methods 405.
   ApiResponse Handle(const std::string& method, const std::string& target);
+
+  /// Installs the provider behind GET /cluster. The middleware stays free
+  /// of a cluster-layer dependency: a deployment running a ClusterNode
+  /// registers `[&node] { return node.StatusJson(); }` here; without one
+  /// the route answers 404.
+  void set_cluster_status_provider(std::function<std::string()> provider) {
+    cluster_status_ = std::move(provider);
+  }
 
  private:
   struct Request {
@@ -72,6 +83,7 @@ class ApiService {
   static JsonValue EventToJson(const MaritimeEvent& event);
 
   MaritimePipeline* pipeline_;
+  std::function<std::string()> cluster_status_;
 };
 
 }  // namespace marlin

@@ -1,11 +1,17 @@
 #include "stream/broker.h"
 
 #include <algorithm>
-#include <functional>
 
 #include "chk/chk.h"
+#include "util/hash.h"
 
 namespace marlin {
+
+int Broker::PartitionForKey(const std::string& key, int num_partitions) {
+  if (num_partitions < 1) return 0;
+  return static_cast<int>(Fnv1a(key) %
+                          static_cast<uint64_t>(num_partitions));
+}
 
 Status Broker::CreateTopic(const std::string& topic, int num_partitions) {
   if (num_partitions < 1) {
@@ -55,8 +61,8 @@ StatusOr<Record> Broker::Append(const std::string& topic, std::string key,
     if (state == nullptr) {
       return Status::NotFound("topic '" + topic + "' not found");
     }
-    partition_index = static_cast<int>(
-        std::hash<std::string>{}(key) % state->partitions.size());
+    partition_index =
+        PartitionForKey(key, static_cast<int>(state->partitions.size()));
     partition = state->partitions[partition_index].get();
     append_counter = state->append_counter;
   }
@@ -203,15 +209,28 @@ void Consumer::SyncPartitions() {
   }
 }
 
+void Consumer::SetAssignment(std::vector<int> partitions) {
+  std::sort(partitions.begin(), partitions.end());
+  partitions.erase(std::unique(partitions.begin(), partitions.end()),
+                   partitions.end());
+  assignment_ = std::move(partitions);
+  next_partition_ = 0;
+}
+
 std::vector<Record> Consumer::Poll(int max_records) {
   SyncPartitions();
   std::vector<Record> out;
-  const int n = static_cast<int>(positions_.size());
+  const int total = static_cast<int>(positions_.size());
+  // Round-robin over the assigned partitions (all of them by default).
+  const int n = assignment_.empty() ? total
+                                    : static_cast<int>(assignment_.size());
   if (n == 0) return out;
   for (int scanned = 0; scanned < n && static_cast<int>(out.size()) < max_records;
        ++scanned) {
-    const int p = next_partition_;
+    const int slot = next_partition_;
     next_partition_ = (next_partition_ + 1) % n;
+    const int p = assignment_.empty() ? slot : assignment_[slot];
+    if (p < 0 || p >= total) continue;  // assigned partition not created yet
     const int budget = max_records - static_cast<int>(out.size());
     StatusOr<std::vector<Record>> batch =
         broker_->Read(topic_, p, positions_[p], budget);
@@ -230,6 +249,11 @@ std::vector<Record> Consumer::Poll(int max_records) {
 
 void Consumer::Commit() {
   for (size_t p = 0; p < positions_.size(); ++p) {
+    if (!assignment_.empty() &&
+        !std::binary_search(assignment_.begin(), assignment_.end(),
+                            static_cast<int>(p))) {
+      continue;  // another node's partition; don't clobber its offsets
+    }
     broker_->CommitOffset(group_, topic_, static_cast<int>(p), positions_[p]);
   }
   commits_->Increment();
@@ -242,6 +266,10 @@ int64_t Consumer::Lag() const {
   const int n = broker_->NumPartitions(topic_);
   int64_t lag = 0;
   for (int p = 0; p < n; ++p) {
+    if (!assignment_.empty() &&
+        !std::binary_search(assignment_.begin(), assignment_.end(), p)) {
+      continue;
+    }
     const int64_t position =
         p < static_cast<int>(positions_.size())
             ? positions_[p]

@@ -51,6 +51,13 @@ class Broker {
   /// Number of partitions of a topic, or 0 if absent.
   int NumPartitions(const std::string& topic) const;
 
+  /// The partitioner: FNV-1a(key) % num_partitions. Stable across
+  /// processes and platforms (unlike std::hash), and identical to the
+  /// cluster layer's key→shard mapping (HashRing::ShardForKey), so with
+  /// num_partitions == num_shards a record's partition equals its entity's
+  /// shard — the property shard-aligned consumer assignment relies on.
+  static int PartitionForKey(const std::string& key, int num_partitions);
+
   /// Appends a record; the partition is chosen by hashing `key`. Returns
   /// the assigned (partition, offset).
   StatusOr<Record> Append(const std::string& topic, std::string key,
@@ -122,6 +129,16 @@ class Consumer {
  public:
   Consumer(Broker* broker, std::string group, std::string topic);
 
+  /// Restricts this consumer to `partitions` (sorted, deduplicated). An
+  /// empty list restores the default "all partitions" behaviour. Poll,
+  /// Commit and Lag then only touch the assigned partitions — this is how
+  /// a cluster node consumes exactly the partitions of the shards it owns
+  /// (HashRing::ShardsOwnedBy with num_partitions == num_shards).
+  void SetAssignment(std::vector<int> partitions);
+
+  /// Current assignment (empty = all partitions).
+  const std::vector<int>& assignment() const { return assignment_; }
+
   /// Returns up to `max_records` records in partition order, advancing the
   /// in-memory positions.
   std::vector<Record> Poll(int max_records);
@@ -129,7 +146,7 @@ class Consumer {
   /// Persists current positions to the broker.
   void Commit();
 
-  /// Records remaining across all partitions (end offsets minus positions).
+  /// Records remaining across assigned partitions (end minus positions).
   int64_t Lag() const;
 
  private:
@@ -141,7 +158,8 @@ class Consumer {
   std::string group_;
   std::string topic_;
   std::vector<int64_t> positions_;
-  int next_partition_ = 0;
+  std::vector<int> assignment_;  // sorted; empty = all partitions
+  int next_partition_ = 0;       // index into assignment_ when non-empty
   obs::Counter* polled_records_;  // marlin_broker_poll_records_total
   obs::Counter* commits_;        // marlin_broker_commits_total
   obs::Gauge* lag_gauge_;        // marlin_consumer_lag

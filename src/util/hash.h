@@ -1,0 +1,26 @@
+#ifndef MARLIN_UTIL_HASH_H_
+#define MARLIN_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace marlin {
+
+/// FNV-1a over bytes. The one stable hash the partitioning layers share:
+/// the broker's key→partition map and the cluster's key→shard map both use
+/// it, so with `num_shards == num_partitions` a record's partition equals
+/// its entity's shard and a node can consume exactly the partitions whose
+/// keys it owns (shard-aligned consumer assignment). std::hash gives no
+/// such cross-component (or cross-process) stability guarantee.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;  // offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;  // prime
+  }
+  return hash;
+}
+
+}  // namespace marlin
+
+#endif  // MARLIN_UTIL_HASH_H_

@@ -149,6 +149,45 @@ TEST(ActorSystemTest, GetOrSpawnConcurrent) {
   EXPECT_EQ(system.ActorCount(), 1u);
 }
 
+/// Regression: GetOrSpawn used to drop the registry lock between the lookup
+/// and the Spawn, so two racing callers could each run the factory and
+/// construct an actor (one instance leaked unregistered). The in-flight
+/// claim set must serialise construction: 8 threads racing on a cold name
+/// get the same ref and the factory runs exactly once.
+TEST(ActorSystemTest, GetOrSpawnConstructsExactlyOnceUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    ActorSystem system;
+    std::atomic<int> constructions{0};
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    std::vector<ActorId> ids(kThreads, kNoActor);
+    const std::string name = "vessel-" + std::to_string(round);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (!go.load()) {
+        }  // spin so all threads hit GetOrSpawn together
+        auto ref = system.GetOrSpawn(name, [&constructions] {
+          constructions.fetch_add(1);
+          return std::make_unique<CounterActor>();
+        });
+        ASSERT_TRUE(ref.ok());
+        ids[t] = ref->id();
+      });
+    }
+    while (ready.load() < kThreads) {
+    }
+    go.store(true);
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(constructions.load(), 1) << "round " << round;
+    EXPECT_EQ(system.ActorCount(), 1u);
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t], ids[0]);
+  }
+}
+
 TEST(ActorSystemTest, AskReturnsReply) {
   ActorSystem system;
   auto ref = system.SpawnActor<CounterActor>("asker");

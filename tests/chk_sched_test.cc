@@ -163,6 +163,111 @@ TEST(DeterministicSchedulerTest, ReplayReproducesFailingSchedule) {
   EXPECT_TRUE(found) << "no failing schedule in 64 seeds";
 }
 
+/// Ring actor that crashes (returns a failure status, triggering the
+/// supervisor's restart path) on odd hop counts — after logging and
+/// forwarding, so every causal chain still completes.
+class CrashyRingActor : public Actor {
+ public:
+  CrashyRingActor(std::string name, std::string next, std::mutex* mu,
+                  std::vector<std::string>* log)
+      : name_(std::move(name)), next_(std::move(next)), mu_(mu), log_(log) {}
+
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    const RingMsg msg = std::any_cast<RingMsg>(message);
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      log_->push_back(name_ + ":" + std::to_string(msg.hops));
+    }
+    if (msg.hops > 0) {
+      StatusOr<ActorRef> next = ctx.system().Find(next_);
+      if (next.ok()) {
+        ctx.system().Tell(*next, RingMsg{msg.hops - 1}, ctx.self());
+      }
+    }
+    if (msg.hops % 2 == 1) return Status::Internal("crash on odd hop");
+    return Status::Ok();
+  }
+
+  void OnRestart(const Status& failure) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    log_->push_back(name_ + ":restart:" + std::string(failure.message()));
+  }
+
+ private:
+  std::string name_;
+  std::string next_;
+  std::mutex* mu_;
+  std::vector<std::string>* log_;
+};
+
+/// Like RunRing, but actor "b" is crashy: its failures route through the
+/// supervisor, whose restart handling executes under the same deterministic
+/// schedule as ordinary deliveries.
+RingRun RunCrashyRing(uint64_t seed) {
+  auto sched = std::make_shared<chk::DeterministicScheduler>(seed);
+  ActorSystemConfig config;
+  config.dispatcher = sched;
+  config.throughput = 1;
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  ActorSystem system(config);
+
+  std::mutex mu;
+  std::vector<std::string> log;
+  ActorRef a = *system.SpawnActor<RingActor>("a", "a", "b", &mu, &log);
+  ActorRef b = *system.SpawnActor<CrashyRingActor>("b", "b", "c", &mu, &log);
+  ActorRef c = *system.SpawnActor<RingActor>("c", "c", "a", &mu, &log);
+
+  system.Tell(a, RingMsg{3});
+  system.Tell(b, RingMsg{3});
+  system.Tell(c, RingMsg{3});
+  system.AwaitQuiescence();
+
+  RingRun run;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    run.deliveries = log;
+  }
+  run.trace = sched->Trace();
+  run.trace_hash = sched->TraceHash();
+  system.Shutdown();
+  return run;
+}
+
+TEST(DeterministicSchedulerTest, RestartedChildReplaysToSameTraceHash) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const RingRun first = RunCrashyRing(seed);
+    const RingRun second = RunCrashyRing(seed);
+    // Determinism must survive the failure path: same seed → identical
+    // delivery log (including restart events at the same positions) and
+    // identical FNV schedule hash.
+    EXPECT_EQ(first.deliveries, second.deliveries) << "seed " << seed;
+    EXPECT_EQ(first.trace_hash, second.trace_hash) << "seed " << seed;
+
+    // b sees hops {3, 2, 1, 0} across the three chains: the two odd hop
+    // counts crash it, so every schedule restarts b exactly twice and all
+    // 12 ring deliveries still happen.
+    int restarts = 0;
+    int deliveries = 0;
+    for (const std::string& entry : first.deliveries) {
+      if (entry.find(":restart:") != std::string::npos) {
+        ++restarts;
+      } else {
+        ++deliveries;
+      }
+    }
+    EXPECT_EQ(restarts, 2) << "seed " << seed;
+    EXPECT_EQ(deliveries, 12) << "seed " << seed;
+  }
+
+  // The failure path must not collapse schedule diversity either.
+  std::set<uint64_t> hashes;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    hashes.insert(RunCrashyRing(seed).trace_hash);
+  }
+  EXPECT_GE(hashes.size(), 3u);
+}
+
 TEST(DeterministicSchedulerTest, StandaloneTaskOrderIsSeedDriven) {
   auto run_once = [](uint64_t seed) {
     chk::DeterministicScheduler sched(seed);

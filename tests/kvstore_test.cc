@@ -194,5 +194,105 @@ TEST(KvStoreTest, ConcurrentHashFieldWrites) {
   EXPECT_EQ(store.HGetAll("shared").size(), static_cast<size_t>(kThreads * 500));
 }
 
+// ------------------------------------------------------------ TTL edges
+
+TEST(KvStoreTest, DelAtExactExpiryBoundaryReturnsFalse) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  store.Set("a", "1");
+  store.Expire("a", 100);
+  clock.Set(100);  // expires_at <= now: the key is dead at the boundary
+  EXPECT_FALSE(store.Del("a"));
+  // The entry was still physically erased, so a second Del finds nothing.
+  EXPECT_FALSE(store.Del("a"));
+  // And the dead key can be recreated from scratch.
+  store.Set("a", "2");
+  EXPECT_TRUE(store.Del("a"));
+}
+
+TEST(KvStoreTest, ExistsAtExactExpiryBoundary) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  store.Set("a", "1");
+  store.Expire("a", 100);
+  clock.Set(99);
+  EXPECT_TRUE(store.Exists("a"));  // one microsecond before the deadline
+  clock.Set(100);
+  EXPECT_FALSE(store.Exists("a"));  // at the deadline: expired, not live
+  EXPECT_FALSE(store.Del("a"));     // Del agrees with Exists at the boundary
+}
+
+TEST(KvStoreTest, DelOfLiveTtlKeyReturnsTrueAndClearsIt) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  store.Set("a", "1");
+  store.Expire("a", 100);
+  clock.Set(99);
+  EXPECT_TRUE(store.Del("a"));  // still live: a real deletion
+  clock.Set(100);
+  EXPECT_FALSE(store.Exists("a"));
+  EXPECT_FALSE(store.Del("a"));
+}
+
+/// A clock that ticks forward on every read — the adversarial schedule for
+/// Snapshot: if Snapshot consulted the clock per key (instead of pinning
+/// `now` once), keys whose deadline falls between two reads would vanish
+/// from the middle of the iteration.
+class TickingClock : public Clock {
+ public:
+  explicit TickingClock(TimeMicros start, TimeMicros step)
+      : now_(start), step_(step) {}
+  TimeMicros Now() const override {
+    return now_.fetch_add(step_, std::memory_order_acq_rel);
+  }
+
+ private:
+  mutable std::atomic<TimeMicros> now_;
+  TimeMicros step_;
+};
+
+TEST(KvStoreTest, SnapshotIsAtomicWhileKeysExpireMidIteration) {
+  // Seed keys under a paused clock, each with a staggered deadline.
+  SimulatedClock seed_clock(0);
+  KvStore store(&seed_clock);
+  constexpr int kKeys = 64;  // >= shard count, so every shard is visited
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "vessel:" + std::to_string(i);
+    store.Set(key, std::to_string(i));
+    ASSERT_TRUE(store.Expire(key, 1000 + i));
+  }
+
+  // Re-home the same entries into a store driven by a ticking clock. Reads
+  // land at 0 (Restore), 600 (first Snapshot), 1200 (second Snapshot): the
+  // first snapshot pins an instant before ANY deadline (1000..1063), the
+  // second an instant after ALL of them.
+  TickingClock ticking(0, 600);
+  KvStore ticking_store(&ticking, 16);
+  ASSERT_TRUE(ticking_store.Restore(store.Dump()).ok());
+  auto snapshot = ticking_store.Snapshot();
+  // The snapshot pinned one `now` before the first deadline, so ALL keys
+  // are present — a per-key clock read would have dropped the tail of the
+  // iteration as time marched past the staggered deadlines.
+  EXPECT_EQ(snapshot.size(), static_cast<size_t>(kKeys));
+  // The very next snapshot pins a later instant: everything is gone.
+  auto after = ticking_store.Snapshot();
+  EXPECT_TRUE(after.empty());
+}
+
+TEST(KvStoreTest, SnapshotExcludesExpiredButKeepsLaterDeadlines) {
+  SimulatedClock clock(0);
+  KvStore store(&clock);
+  store.Set("early", "1");
+  store.Expire("early", 100);
+  store.Set("late", "2");
+  store.Expire("late", 200);
+  store.Set("forever", "3");
+  clock.Set(150);
+  auto snapshot = store.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "forever");
+  EXPECT_EQ(snapshot[1].first, "late");
+}
+
 }  // namespace
 }  // namespace marlin

@@ -192,5 +192,16 @@ TEST_F(ApiServiceTest, RoutingErrors) {
   EXPECT_EQ(api_->Handle("GET", "/").status, 404);
 }
 
+TEST_F(ApiServiceTest, ClusterRoute404WithoutProviderAnd200With) {
+  // Single-node deployment: no provider registered.
+  EXPECT_EQ(api_->Handle("GET", "/cluster").status, 404);
+  // A deployment running a ClusterNode plugs its StatusJson in.
+  api_->set_cluster_status_provider(
+      [] { return std::string(R"({"self":1,"epoch":2})"); });
+  const ApiResponse response = api_->Handle("GET", "/cluster");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"epoch\":2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace marlin

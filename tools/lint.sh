@@ -15,6 +15,11 @@
 #   3. no-plain-counter — tests may not use non-atomic static integer
 #                        counters (a classic hidden data race under the
 #                        multi-threaded dispatcher); use std::atomic.
+#   4. no-raw-socket   — `::socket(` may only appear in the two networking
+#                        substrates (src/cluster transport, src/middleware
+#                        HTTP server). Everything else must go through the
+#                        Transport / HttpServer seams so tests can swap in
+#                        in-process fakes.
 #
 # Suppress a finding on one line with `// chk-lint: allow(<rule>)`.
 
@@ -38,6 +43,7 @@ found=$(grep -rln --include='*.cc' --include='*.h' 'std::\(thread\|jthread\|asyn
     src/util/thread_pool.cc|src/util/thread_pool.h) continue ;;
     src/actor/actor_system.cc|src/actor/actor_system.h) continue ;;
     src/middleware/http_server.cc|src/middleware/http_server.h) continue ;;
+    src/cluster/tcp_transport.cc|src/cluster/tcp_transport.h) continue ;;
   esac
   awk -v file="$f" '
     /chk-lint:[ ]*allow\(no-raw-thread\)/ { next }
@@ -73,6 +79,12 @@ found=$(grep -rn --include='*.cc' \
     -E '^[[:space:]]*static[[:space:]]+(int|long|short|unsigned|size_t|ssize_t|int32_t|uint32_t|int64_t|uint64_t)[[:space:]&*]' \
     tests | grep -v -e 'atomic' -e 'constexpr' -e 'const ' -e 'chk-lint:[ ]*allow(no-plain-counter)' || true)
 report no-plain-counter "$found"
+
+# --- Rule 4: no raw sockets outside the networking substrates --------------
+found=$(grep -rn --include='*.cc' --include='*.h' '::socket(' src \
+    | grep -v -e '^src/cluster/' -e '^src/middleware/' \
+              -e 'chk-lint:[ ]*allow(no-raw-socket)' || true)
+report no-raw-socket "$found"
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED"
