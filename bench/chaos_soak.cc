@@ -1,0 +1,125 @@
+// Chaos soak sweeper: runs the full-pipeline chaos harness (see
+// tests/chaos_harness.h) across a range of seeds and reports per-seed fault
+// weather, invariant results, and replay fingerprints. The default 50-seed
+// sweep is the acceptance gate for the fault-injection layer; every failing
+// seed is printed with a one-command repro.
+//
+// Usage:
+//   ./bench/chaos_soak                 # 50-seed sweep (seeds 1..50)
+//   ./bench/chaos_soak --seeds=200     # longer sweep
+//   ./bench/chaos_soak --seed=17       # replay one seed, run twice, and
+//                                      # verify the trace/state hashes match
+//
+// Scale knobs: MARLIN_CHAOS_SEEDS mirrors --seeds for CI environments.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tests/chaos_harness.h"
+
+namespace marlin {
+namespace chaos {
+namespace {
+
+int ReplayOne(uint64_t seed) {
+  std::printf("replaying seed %llu twice for determinism...\n",
+              static_cast<unsigned long long>(seed));
+  const ChaosRunResult first = RunChaos(seed);
+  const ChaosRunResult second = RunChaos(seed);
+  std::printf(
+      "seed %llu: nodes=%d records=%zu crashes=%d dropped=%llu delayed=%llu "
+      "duplicated=%llu partitions=%llu\n  plan: %s\n",
+      static_cast<unsigned long long>(seed), first.num_nodes, first.records,
+      first.crashes, static_cast<unsigned long long>(first.frames_dropped),
+      static_cast<unsigned long long>(first.frames_delayed),
+      static_cast<unsigned long long>(first.frames_duplicated),
+      static_cast<unsigned long long>(first.partitions_injected),
+      first.plan.c_str());
+  std::printf("  run 1: %s  trace=%016llx state=%016llx\n",
+              first.ok ? "OK" : first.failure.c_str(),
+              static_cast<unsigned long long>(first.fault_trace_hash),
+              static_cast<unsigned long long>(first.state_hash));
+  std::printf("  run 2: %s  trace=%016llx state=%016llx\n",
+              second.ok ? "OK" : second.failure.c_str(),
+              static_cast<unsigned long long>(second.fault_trace_hash),
+              static_cast<unsigned long long>(second.state_hash));
+  bool ok = first.ok && second.ok;
+  if (first.fault_trace_hash != second.fault_trace_hash ||
+      first.state_hash != second.state_hash) {
+    std::printf("  NONDETERMINISTIC REPLAY: hashes differ between runs\n");
+    ok = false;
+  } else {
+    std::printf("  replay deterministic: hashes identical\n");
+  }
+  return ok ? 0 : 1;
+}
+
+int Sweep(uint64_t num_seeds) {
+  std::printf("chaos sweep: %llu seeds, full pipeline, invariants checked "
+              "after heal+drain\n",
+              static_cast<unsigned long long>(num_seeds));
+  std::printf("%-6s %-6s %-8s %-8s %-8s %-8s %-6s %-7s %s\n", "seed", "nodes",
+              "records", "dropped", "delayed", "dup", "crash", "parts",
+              "result");
+  std::vector<uint64_t> failing;
+  uint64_t total_dropped = 0, total_delayed = 0;
+  int total_crashes = 0;
+  for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+    const ChaosRunResult r = RunChaos(seed);
+    std::printf("%-6llu %-6d %-8zu %-8llu %-8llu %-8llu %-6d %-7llu %s\n",
+                static_cast<unsigned long long>(seed), r.num_nodes, r.records,
+                static_cast<unsigned long long>(r.frames_dropped),
+                static_cast<unsigned long long>(r.frames_delayed),
+                static_cast<unsigned long long>(r.frames_duplicated),
+                r.crashes,
+                static_cast<unsigned long long>(r.partitions_injected),
+                r.ok ? "OK" : r.failure.c_str());
+    if (!r.ok) failing.push_back(seed);
+    total_dropped += r.frames_dropped;
+    total_delayed += r.frames_delayed;
+    total_crashes += r.crashes;
+  }
+  std::printf("\nsweep totals: %llu frames dropped, %llu delayed, %d node "
+              "crashes across %llu seeds\n",
+              static_cast<unsigned long long>(total_dropped),
+              static_cast<unsigned long long>(total_delayed), total_crashes,
+              static_cast<unsigned long long>(num_seeds));
+  if (failing.empty()) {
+    std::printf("all %llu seeds passed every invariant\n",
+                static_cast<unsigned long long>(num_seeds));
+    return 0;
+  }
+  std::printf("%zu FAILING seed(s):\n", failing.size());
+  for (const uint64_t seed : failing) {
+    std::printf("  seed %llu — repro: %s\n",
+                static_cast<unsigned long long>(seed),
+                ReproCommand(seed).c_str());
+  }
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t num_seeds = 50;
+  if (const char* env = std::getenv("MARLIN_CHAOS_SEEDS")) {
+    num_seeds = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      return ReplayOne(std::strtoull(argv[i] + 7, nullptr, 10));
+    }
+    if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+      num_seeds = std::strtoull(argv[i] + 8, nullptr, 10);
+    }
+  }
+  if (num_seeds == 0) num_seeds = 50;
+  return Sweep(num_seeds);
+}
+
+}  // namespace
+}  // namespace chaos
+}  // namespace marlin
+
+int main(int argc, char** argv) { return marlin::chaos::Main(argc, argv); }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "chk/chk.h"
+#include "fault/fault_injector.h"
 #include "util/logging.h"
 
 namespace marlin {
@@ -178,6 +179,13 @@ bool ActorSystem::Tell(const ActorRef& target, std::any message,
   if (cell == nullptr) {
     if (target.remote_ != nullptr) {
       // Remote ref: hand the payload to the cluster layer's routing hook.
+      // Remote delivery is the one lossy Tell path (the hook serialises
+      // onto a transport), so it carries an injection point; local mailbox
+      // delivery below stays reliable by contract.
+      if (MARLIN_FAULT_POINT("actor.remote_tell") !=
+          fault::FaultAction::kNone) {
+        return false;
+      }
       return (*target.remote_)(std::move(message));
     }
     return false;

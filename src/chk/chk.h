@@ -10,6 +10,7 @@
 /// MARLIN_CHK_INVARIANT assertions below. Release builds pay nothing.
 
 #include "chk/deterministic_scheduler.h"
+#include "chk/fingerprint.h"
 #include "chk/lock_registry.h"
 #include "chk/thread_ownership.h"
 #include "chk/violation.h"

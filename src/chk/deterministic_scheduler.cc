@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "chk/fingerprint.h"
+
 namespace marlin {
 namespace chk {
 
@@ -40,22 +42,13 @@ ScheduleTrace DeterministicScheduler::Trace() const {
 
 uint64_t DeterministicScheduler::TraceHash() const {
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
-  auto mix = [&hash](uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      hash ^= (value >> (i * 8)) & 0xFF;
-      hash *= 0x100000001B3ULL;
-    }
-  };
+  Fingerprint fp;
   for (const SchedDecision& d : trace_) {
-    mix(d.chosen);
-    mix(d.ready);
-    for (char c : d.label) {
-      hash ^= static_cast<unsigned char>(c);
-      hash *= 0x100000001B3ULL;
-    }
+    fp.MixU64(d.chosen);
+    fp.MixU64(d.ready);
+    fp.MixBytes(d.label);
   }
-  return hash;
+  return fp.Value();
 }
 
 size_t DeterministicScheduler::StepCount() const {

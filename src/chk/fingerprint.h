@@ -1,0 +1,53 @@
+#ifndef MARLIN_CHK_FINGERPRINT_H_
+#define MARLIN_CHK_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string_view>
+
+/// Incremental FNV-1a fingerprinting, shared by trace hashers across the
+/// checking layers (the deterministic scheduler's schedule trace, the fault
+/// injector's decision trace). Two runs with the same fingerprint made the
+/// same decisions in the same order — the property "same seed → same trace
+/// hash" hangs off these few lines, so there is exactly one copy of them.
+
+namespace marlin {
+namespace chk {
+
+class Fingerprint {
+ public:
+  /// FNV-1a 64-bit offset basis.
+  static constexpr uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  static constexpr uint64_t kPrime = 0x100000001B3ULL;
+
+  void MixByte(uint8_t byte) {
+    hash_ ^= byte;
+    hash_ *= kPrime;
+  }
+
+  void MixU64(uint64_t value) {
+    for (int i = 0; i < 8; ++i) MixByte(static_cast<uint8_t>(value >> (i * 8)));
+  }
+
+  void MixBytes(std::string_view bytes) {
+    for (char c : bytes) MixByte(static_cast<uint8_t>(c));
+  }
+
+  uint64_t Value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kOffsetBasis;
+};
+
+/// One-shot FNV-1a over a byte string. Stable across platforms; used to key
+/// per-injection-point RNG streams so adding a point never shifts another
+/// point's stream.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  Fingerprint fp;
+  fp.MixBytes(bytes);
+  return fp.Value();
+}
+
+}  // namespace chk
+}  // namespace marlin
+
+#endif  // MARLIN_CHK_FINGERPRINT_H_

@@ -20,6 +20,15 @@ TimeMicros WallNowMicros() {
 /// Message type driving TickerActor.
 struct TickMsg {};
 
+/// Extracts the sender membership epoch from a heartbeat/ack payload.
+/// Empty payload (a pre-epoch sender) decodes as 0 = "no epoch reported".
+uint64_t SenderEpochOf(const Frame& frame) {
+  WireReader reader(frame.payload);
+  uint64_t epoch = 0;
+  if (!reader.GetU64(&epoch)) return 0;
+  return epoch;
+}
+
 }  // namespace
 
 /// Decorates the wire transport with per-peer frame/byte accounting so the
@@ -227,8 +236,13 @@ void ClusterNode::Tick(TimeMicros now) {
     heartbeat.src = config_.self;
     // The sequence carries the sender's protocol time; the ack echoes it,
     // so liveness evidence stays on the sender's own clock (deterministic
-    // under test-controlled time).
+    // under test-controlled time). The payload carries the sender's
+    // membership epoch so receivers can reject frames from a superseded
+    // view (delayed in flight across a topology change).
     heartbeat.seq = static_cast<uint64_t>(now);
+    WireWriter writer;
+    writer.PutU64(membership_.epoch());
+    heartbeat.payload = writer.Take();
     if (counting_transport_->Send(peer, heartbeat)) {
       metrics_.heartbeats_sent->Increment();
     }
@@ -239,7 +253,7 @@ void ClusterNode::Tick(TimeMicros now) {
     std::lock_guard<std::mutex> lock(regions_mu_);
     for (auto& [name, region] : regions_) regions.push_back(region.get());
   }
-  for (ShardRegion* region : regions) region->ResendPendingHandoffs();
+  for (ShardRegion* region : regions) region->ResendPendingHandoffs(now);
 }
 
 void ClusterNode::OnFrame(const Frame& frame) {
@@ -251,18 +265,23 @@ void ClusterNode::OnFrame(const Frame& frame) {
     case FrameType::kHeartbeat: {
       metrics_.heartbeats_received->Increment();
       ApplyEvents(membership_.RecordHeartbeat(
-          frame.src, static_cast<TimeMicros>(frame.seq)));
+          frame.src, static_cast<TimeMicros>(frame.seq),
+          SenderEpochOf(frame)));
       Frame ack;
       ack.type = FrameType::kHeartbeatAck;
       ack.src = config_.self;
       ack.seq = frame.seq;  // echo the sender's timestamp
+      WireWriter writer;
+      writer.PutU64(membership_.epoch());  // the acker's own epoch
+      ack.payload = writer.Take();
       counting_transport_->Send(frame.src, ack);
       break;
     }
     case FrameType::kHeartbeatAck:
       metrics_.heartbeats_received->Increment();
       ApplyEvents(membership_.RecordHeartbeat(
-          frame.src, static_cast<TimeMicros>(frame.seq)));
+          frame.src, static_cast<TimeMicros>(frame.seq),
+          SenderEpochOf(frame)));
       break;
     case FrameType::kEnvelope: {
       WireReader reader(frame.payload);

@@ -91,6 +91,12 @@ bool FrameDecoder::Next(Frame* out) {
   return true;
 }
 
+void FrameDecoder::Reset() {
+  buffer_.clear();
+  consumed_ = 0;
+  error_ = Status::Ok();
+}
+
 void WireWriter::PutU16(uint16_t v) { AppendLE(&out_, v, 2); }
 void WireWriter::PutU32(uint32_t v) { AppendLE(&out_, v, 4); }
 void WireWriter::PutU64(uint64_t v) { AppendLE(&out_, v, 8); }

@@ -78,6 +78,12 @@ class FrameDecoder {
   /// seen; the connection should be dropped.
   const Status& error() const { return error_; }
 
+  /// Discards all buffered bytes and clears the sticky error, returning
+  /// the decoder to its initial state. The recovery path after a corrupt
+  /// stream: drop the connection, Reset(), reuse the decoder for the next
+  /// connection's byte stream.
+  void Reset();
+
  private:
   std::string buffer_;
   size_t consumed_ = 0;  // bytes of buffer_ already decoded

@@ -37,6 +37,13 @@ void Membership::Transition(NodeId node, Member* member, NodeState to,
   const NodeState from = member->state;
   if (from == to) return;
   member->state = to;
+  if (to == NodeState::kUnreachable || to == NodeState::kRemoved) {
+    // Once the detector gives up on a peer, forget the epoch it reported:
+    // a restarted incarnation legitimately starts over at epoch 1, and
+    // holding it to the dead incarnation's high-water mark would reject
+    // its heartbeats forever.
+    member->last_epoch = 0;
+  }
   const uint64_t previous_epoch = epoch_;
   ++epoch_;
   MARLIN_CHK_INVARIANT(epoch_ > previous_epoch,
@@ -46,12 +53,22 @@ void Membership::Transition(NodeId node, Member* member, NodeState to,
 }
 
 std::vector<MembershipEvent> Membership::RecordHeartbeat(NodeId from,
-                                                         TimeMicros now) {
+                                                         TimeMicros now,
+                                                         uint64_t sender_epoch) {
   std::vector<MembershipEvent> events;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = members_.find(from);
   if (it == members_.end()) return events;  // not on the static roster
   Member& member = it->second;
+  // Reject evidence that is strictly older than what we already hold: a
+  // delayed or duplicated frame must not rewind the failure detector (the
+  // peer would look `age` stale and get declared unreachable while alive).
+  // Equal timestamps are fine — heartbeat and ack from one tick share one.
+  if (now < member.last_heartbeat) return events;
+  // Reject heartbeats from a superseded membership view: the sender's
+  // epoch only grows, so a smaller value is a stale in-flight frame.
+  if (sender_epoch != 0 && sender_epoch < member.last_epoch) return events;
+  if (sender_epoch > member.last_epoch) member.last_epoch = sender_epoch;
   member.last_heartbeat = now;
   switch (member.state) {
     case NodeState::kJoining:

@@ -69,7 +69,16 @@ class Membership {
   /// Records liveness evidence for `from` at `now` (a received heartbeat
   /// or heartbeat-ack). Returns the transitions this triggered
   /// (joining→up, unreachable→up).
-  std::vector<MembershipEvent> RecordHeartbeat(NodeId from, TimeMicros now);
+  ///
+  /// Stale evidence is rejected rather than applied: a heartbeat whose
+  /// sender timestamp is strictly older than evidence already recorded
+  /// (a delayed/reordered frame) must not rewind the failure detector,
+  /// and a heartbeat carrying a sender membership epoch older than one
+  /// already seen from that peer is a relic of a superseded view.
+  /// `sender_epoch` 0 means "sender did not report an epoch" (older wire
+  /// format) and skips the epoch check.
+  std::vector<MembershipEvent> RecordHeartbeat(NodeId from, TimeMicros now,
+                                               uint64_t sender_epoch = 0);
 
   /// Advances the failure detector to `now`: peers whose last evidence is
   /// older than the missed-beat thresholds transition to unreachable /
@@ -91,6 +100,9 @@ class Membership {
   struct Member {
     NodeState state = NodeState::kJoining;
     TimeMicros last_heartbeat = 0;
+    /// Highest membership epoch this peer has reported about itself; used
+    /// to reject stale-epoch heartbeats (delayed frames from an old view).
+    uint64_t last_epoch = 0;
   };
 
   /// Applies one transition under mu_; appends the event.

@@ -1,5 +1,6 @@
 #include "cluster/shard_region.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -281,6 +282,12 @@ void ShardRegion::ApplyTopology(const HashRing& ring) {
         info.buffering = true;
         info.begin_sent_nanos = SteadyNanos();
       }
+      // New owner, fresh handoff conversation: restart the retry backoff
+      // (the inline begin below counts as attempt zero; the next Tick may
+      // retransmit immediately in case it was lost).
+      info.next_resend_at = 0;
+      info.resend_delay = options_.handoff_resend_initial;
+      info.resend_attempts = 0;
       WireWriter writer;
       writer.PutString16(options_.name);
       writer.PutU32(static_cast<uint32_t>(shard));
@@ -354,13 +361,23 @@ void ShardRegion::OnHandoffAck(NodeId from, int shard) {
   }
 }
 
-void ShardRegion::ResendPendingHandoffs() {
+void ShardRegion::ResendPendingHandoffs(TimeMicros now) {
   std::vector<std::pair<NodeId, Frame>> sends;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int shard = 0; shard < ring_.num_shards(); ++shard) {
-      const ShardInfo& info = shards_[static_cast<size_t>(shard)];
+      ShardInfo& info = shards_[static_cast<size_t>(shard)];
       if (!info.buffering || info.owner == kNoNode) continue;
+      if (now < info.next_resend_at) continue;  // backoff window still open
+      if (info.resend_delay <= 0) {
+        info.resend_delay = options_.handoff_resend_initial;
+      }
+      info.next_resend_at = now + info.resend_delay;
+      ++info.resend_attempts;
+      if (info.resend_attempts >= 2) {
+        info.resend_delay =
+            std::min(info.resend_delay * 2, options_.handoff_resend_max);
+      }
       WireWriter writer;
       writer.PutString16(options_.name);
       writer.PutU32(static_cast<uint32_t>(shard));

@@ -38,6 +38,13 @@ struct ShardRegionOptions {
   /// Builds the entity actor on first local delivery — the distributed
   /// extension of ActorSystem::GetOrSpawn's factory.
   std::function<std::unique_ptr<Actor>(const std::string& entity)> factory;
+  /// Handoff-begin retransmission backoff: first retry after `initial`,
+  /// doubling per retry up to `max`. Bounded backoff instead of
+  /// retry-every-tick so a wedged peer sees O(log) duplicate begins, not a
+  /// begin per heartbeat forever; retries never stop entirely because the
+  /// buffered envelopes cannot be released without an ack.
+  TimeMicros handoff_resend_initial = 200'000;
+  TimeMicros handoff_resend_max = 1'600'000;
 };
 
 /// The front door to a sharded entity type, Akka-cluster-sharding style:
@@ -102,6 +109,14 @@ class ShardRegion {
     bool buffering = false;
     std::vector<BufferedEnvelope> buffer;
     int64_t begin_sent_nanos = 0;  // steady-clock stamp for handoff latency
+    /// Earliest protocol time the next handoff-begin retransmit may go out
+    /// (0 = retransmit on the next Tick) and the doubling retry delay.
+    /// The delay starts doubling from the second retransmit: the first one
+    /// re-covers a begin frame lost in flight at full speed; backoff only
+    /// kicks in once the peer is evidently not ready to ack.
+    TimeMicros next_resend_at = 0;
+    TimeMicros resend_delay = 0;
+    int resend_attempts = 0;
     std::set<std::string> local_entities;
   };
 
@@ -113,8 +128,9 @@ class ShardRegion {
   /// opens handoffs toward the new owners.
   void ApplyTopology(const HashRing& ring);
   /// Re-sends handoff-begin for shards stuck buffering (owner view lagged
-  /// or the begin frame was lost). Called from ClusterNode::Tick.
-  void ResendPendingHandoffs();
+  /// or the begin frame was lost), honoring the per-shard doubling backoff.
+  /// Called from ClusterNode::Tick with protocol time.
+  void ResendPendingHandoffs(TimeMicros now);
 
   /// Encodes a wire envelope frame for `entity`.
   Frame MakeEnvelopeFrame(const std::string& entity,

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/fault_injector.h"
 #include "util/logging.h"
 
 namespace marlin {
@@ -53,6 +54,12 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
   metrics_.send_drops_io = registry->GetCounter(
       "marlin_cluster_tcp_send_drops_total",
       "Outbound frames dropped by reason", {{"reason", "io"}});
+  metrics_.send_drops_shutdown = registry->GetCounter(
+      "marlin_cluster_tcp_send_drops_total",
+      "Outbound frames dropped by reason", {{"reason", "shutdown"}});
+  metrics_.send_drops_fault = registry->GetCounter(
+      "marlin_cluster_tcp_send_drops_total",
+      "Outbound frames dropped by reason", {{"reason", "fault"}});
   metrics_.decode_errors = registry->GetCounter(
       "marlin_cluster_tcp_decode_errors_total",
       "Inbound streams dropped on malformed frames");
@@ -121,6 +128,10 @@ bool TcpTransport::Send(NodeId to, const Frame& frame) {
   if (!running_.load(std::memory_order_acquire)) return false;
   auto it = peers_.find(to);
   if (it == peers_.end()) return false;
+  if (MARLIN_FAULT_POINT("tcp.send") != fault::FaultAction::kNone) {
+    metrics_.send_drops_fault->Increment();
+    return false;
+  }
   PeerState* peer = it->second.get();
   {
     std::lock_guard<std::mutex> lock(peer->mu);
@@ -144,6 +155,14 @@ void TcpTransport::Shutdown() {
   for (auto& [id, peer] : peers_) {
     peer->cv.notify_all();
     if (peer->sender.joinable()) peer->sender.join();
+    // Frames still queued when the sender thread exits are dropped; account
+    // for them so shutdown losses are visible to metrics like every other
+    // drop reason (they were accepted by Send and never hit the wire).
+    std::lock_guard<std::mutex> lock(peer->mu);
+    if (!peer->queue.empty()) {
+      metrics_.send_drops_shutdown->Increment(peer->queue.size());
+      peer->queue.clear();
+    }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::pair<int, std::thread>> readers;

@@ -113,6 +113,8 @@ class TcpTransport : public Transport {
     obs::Counter* send_drops_queue_full = nullptr;
     obs::Counter* send_drops_timeout = nullptr;
     obs::Counter* send_drops_io = nullptr;
+    obs::Counter* send_drops_shutdown = nullptr;
+    obs::Counter* send_drops_fault = nullptr;
     obs::Counter* decode_errors = nullptr;
   };
   Metrics metrics_;

@@ -1,5 +1,7 @@
 #include "cluster/transport.h"
 
+#include "fault/fault_injector.h"
+
 namespace marlin {
 namespace cluster {
 namespace {
@@ -62,6 +64,11 @@ bool InProcessTransport::Send(NodeId to, const Frame& frame) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return false;
     self = self_;
+  }
+  // Mirrors the TCP transport's injection site so fault-build tests can
+  // exercise lossy sends without real sockets.
+  if (MARLIN_FAULT_POINT("inproc.send") != fault::FaultAction::kNone) {
+    return false;
   }
   return hub_->Deliver(self, to, frame);
 }

@@ -1,0 +1,35 @@
+#ifndef MARLIN_FAULT_CHAOS_CLOCK_H_
+#define MARLIN_FAULT_CHAOS_CLOCK_H_
+
+#include "util/clock.h"
+
+namespace marlin {
+namespace fault {
+
+/// A clock that reports its base clock's time plus a fixed skew. Each
+/// cluster node in a chaos run reads protocol time through its own
+/// ChaosClock (skew drawn via `FaultInjector::ClockSkewFor`), so heartbeat
+/// timestamps and failure-detector thresholds experience the bounded
+/// inter-node disagreement real deployments have.
+///
+/// Skew is fixed, not drifting: membership evidence ordering only cares
+/// about offsets between sender clocks, and a constant offset already
+/// exercises the stale-evidence / reordering paths without making test
+/// assertions time-dependent.
+class ChaosClock : public Clock {
+ public:
+  ChaosClock(Clock* base, TimeMicros skew) : base_(base), skew_(skew) {}
+
+  TimeMicros Now() const override { return base_->Now() + skew_; }
+
+  TimeMicros skew() const { return skew_; }
+
+ private:
+  Clock* base_;  // not owned
+  TimeMicros skew_;
+};
+
+}  // namespace fault
+}  // namespace marlin
+
+#endif  // MARLIN_FAULT_CHAOS_CLOCK_H_

@@ -1,0 +1,215 @@
+#include "fault/chaos_hub.h"
+
+#include <string>
+
+namespace marlin {
+namespace fault {
+
+namespace {
+
+std::string LinkPoint(const char* prefix, cluster::NodeId a,
+                      cluster::NodeId b) {
+  return std::string(prefix) + "." + std::to_string(a) + "-" +
+         std::to_string(b);
+}
+
+}  // namespace
+
+std::unique_ptr<cluster::Transport> ChaosHub::CreateTransport() {
+  return std::make_unique<ChaosTransport>(this);
+}
+
+void ChaosHub::Register(cluster::NodeId node,
+                        cluster::Transport::FrameHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[node] = std::move(handler);
+}
+
+void ChaosHub::Unregister(cluster::NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(node);
+}
+
+bool ChaosHub::LinkDownLocked(cluster::NodeId a, cluster::NodeId b) const {
+  return down_links_.count(Normalize(a, b)) > 0;
+}
+
+bool ChaosHub::LinkUp(cluster::NodeId a, cluster::NodeId b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !LinkDownLocked(a, b);
+}
+
+void ChaosHub::SetLinkUp(cluster::NodeId a, cluster::NodeId b, bool up) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (up) {
+    down_links_.erase(Normalize(a, b));
+  } else {
+    down_links_[Normalize(a, b)] = 0;  // admin cut: never auto-heals
+  }
+}
+
+void ChaosHub::SetChaosEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_enabled_ = enabled;
+}
+
+void ChaosHub::HealAll() {
+  std::vector<DelayedFrame> to_deliver;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    down_links_.clear();
+    to_deliver.assign(delayed_frames_.begin(), delayed_frames_.end());
+    delayed_frames_.clear();
+  }
+  for (const DelayedFrame& d : to_deliver) Dispatch(d.to, d.frame);
+}
+
+void ChaosHub::Tick() {
+  std::vector<DelayedFrame> to_deliver;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++tick_;
+    // Heal partitions whose sentence is served (admin cuts carry tick 0).
+    for (auto it = down_links_.begin(); it != down_links_.end();) {
+      if (it->second != 0 && it->second <= tick_) {
+        it = down_links_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Roll for new transient partitions across every live node pair.
+    if (chaos_enabled_ && injector_ != nullptr) {
+      const FaultPlan& plan = injector_->plan();
+      for (auto a = handlers_.begin(); a != handlers_.end(); ++a) {
+        auto b = a;
+        for (++b; b != handlers_.end(); ++b) {
+          const LinkKey key = Normalize(a->first, b->first);
+          if (down_links_.count(key) > 0) continue;
+          const std::string point =
+              LinkPoint("hub.partition", key.first, key.second);
+          if (injector_->Chance(point, plan.partition_rate)) {
+            const uint64_t ticks =
+                1 + injector_->Pick(
+                        point, static_cast<uint64_t>(plan.max_partition_ticks));
+            down_links_[key] = tick_ + ticks;
+            ++partitions_count_;
+          }
+        }
+      }
+    }
+    // Release matured delayed frames in send order.
+    while (!delayed_frames_.empty() &&
+           delayed_frames_.front().release_tick <= tick_) {
+      to_deliver.push_back(delayed_frames_.front());
+      delayed_frames_.pop_front();
+    }
+  }
+  for (const DelayedFrame& d : to_deliver) Dispatch(d.to, d.frame);
+}
+
+uint64_t ChaosHub::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t ChaosHub::delayed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delayed_count_;
+}
+
+uint64_t ChaosHub::duplicated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicated_;
+}
+
+uint64_t ChaosHub::partitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_count_;
+}
+
+bool ChaosHub::Dispatch(cluster::NodeId to, const cluster::Frame& frame) {
+  cluster::Transport::FrameHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) return false;
+    handler = it->second;
+  }
+  handler(frame);
+  return true;
+}
+
+bool ChaosHub::Deliver(cluster::NodeId from, cluster::NodeId to,
+                       const cluster::Frame& frame) {
+  FaultDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (handlers_.find(to) == handlers_.end()) return false;
+    if (LinkDownLocked(from, to)) {
+      // The sender's kernel accepted the bytes; the partition ate them.
+      ++dropped_;
+      return true;
+    }
+    if (chaos_enabled_ && injector_ != nullptr) {
+      decision = injector_->DecideFrame(
+          LinkPoint("hub.frame", from, to),
+          /*allow_duplicate=*/frame.type != cluster::FrameType::kEnvelope);
+    }
+    switch (decision.action) {
+      case FaultAction::kDrop:
+      case FaultAction::kReset:
+        ++dropped_;
+        return true;
+      case FaultAction::kDelay:
+        ++delayed_count_;
+        delayed_frames_.push_back(DelayedFrame{
+            tick_ + static_cast<uint64_t>(decision.delay_ticks), to, frame});
+        return true;
+      case FaultAction::kDuplicate:
+        ++duplicated_;
+        break;
+      case FaultAction::kNone:
+        break;
+    }
+  }
+  const int copies = decision.action == FaultAction::kDuplicate ? 2 : 1;
+  bool delivered = true;
+  for (int i = 0; i < copies; ++i) delivered = Dispatch(to, frame) && delivered;
+  return delivered;
+}
+
+Status ChaosTransport::Start(cluster::NodeId self, FrameHandler handler) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_)
+      return Status::FailedPrecondition("chaos transport already started");
+    self_ = self;
+    running_ = true;
+  }
+  hub_->Register(self, std::move(handler));
+  return Status::Ok();
+}
+
+bool ChaosTransport::Send(cluster::NodeId to, const cluster::Frame& frame) {
+  cluster::NodeId self;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return false;
+    self = self_;
+  }
+  return hub_->Deliver(self, to, frame);
+}
+
+void ChaosTransport::Shutdown() {
+  cluster::NodeId self;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    self = self_;
+  }
+  hub_->Unregister(self);
+}
+
+}  // namespace fault
+}  // namespace marlin

@@ -1,0 +1,126 @@
+#ifndef MARLIN_FAULT_CHAOS_HUB_H_
+#define MARLIN_FAULT_CHAOS_HUB_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cluster/frame.h"
+#include "cluster/transport.h"
+#include "fault/fault_injector.h"
+
+namespace marlin {
+namespace fault {
+
+/// A drop-in replacement for cluster::InProcessHub whose links misbehave on
+/// purpose. Every frame crossing the hub consults the FaultInjector:
+///
+///   - kDrop       frame accepted, then lost (Send still returns true —
+///                 exactly how a TCP send into a doomed socket behaves)
+///   - kDelay      frame parked for 1..max_delay_ticks chaos ticks; frames
+///                 sent meanwhile overtake it (reordering)
+///   - kDuplicate  control frames (heartbeat/ack/handoff) delivered twice;
+///                 envelopes are never duplicated (see FaultPlan)
+///
+/// Once per `Tick()` each live link rolls for a transient partition
+/// (both directions cut for 1..max_partition_ticks ticks, auto-healing).
+/// All randomness comes from the injector's per-point streams, so one seed
+/// reproduces the identical weather.
+///
+/// Thread-safety matches InProcessHub: delivery copies the handler out
+/// under the lock and invokes it unlocked. The hub must outlive its
+/// transports.
+class ChaosHub {
+ public:
+  explicit ChaosHub(FaultInjector* injector) : injector_(injector) {}
+
+  /// Makes a transport for `node`; wire it into ClusterNodeConfig.
+  std::unique_ptr<cluster::Transport> CreateTransport();
+
+  /// Advances chaos time one tick: heals expired partitions, rolls new
+  /// ones, and delivers matured delayed frames (in send order).
+  void Tick();
+
+  /// Turns fault injection off (heal/convergence phase). Delayed frames
+  /// still mature via Tick(); existing partitions still heal on schedule
+  /// (or immediately via HealAll).
+  void SetChaosEnabled(bool enabled);
+
+  /// Restores every cut link and delivers all parked frames now. Used at
+  /// the start of the convergence phase so invariants are checked against
+  /// a connected, quiet network.
+  void HealAll();
+
+  /// Administratively cuts/restores a link (crash simulation support);
+  /// admin-down links never auto-heal.
+  void SetLinkUp(cluster::NodeId a, cluster::NodeId b, bool up);
+
+  bool LinkUp(cluster::NodeId a, cluster::NodeId b) const;
+
+  // Observability for soak logs.
+  uint64_t dropped() const;
+  uint64_t delayed() const;
+  uint64_t duplicated() const;
+  uint64_t partitions() const;
+
+ private:
+  friend class ChaosTransport;
+  using LinkKey = std::pair<cluster::NodeId, cluster::NodeId>;
+
+  static LinkKey Normalize(cluster::NodeId a, cluster::NodeId b) {
+    return a < b ? LinkKey{a, b} : LinkKey{b, a};
+  }
+
+  void Register(cluster::NodeId node, cluster::Transport::FrameHandler handler);
+  void Unregister(cluster::NodeId node);
+  bool Deliver(cluster::NodeId from, cluster::NodeId to,
+               const cluster::Frame& frame);
+  /// Invokes `to`'s handler outside the lock; false if unregistered.
+  bool Dispatch(cluster::NodeId to, const cluster::Frame& frame);
+  bool LinkDownLocked(cluster::NodeId a, cluster::NodeId b) const;
+
+  FaultInjector* injector_;  // not owned
+  mutable std::mutex mu_;
+  std::map<cluster::NodeId, cluster::Transport::FrameHandler> handlers_;
+  bool chaos_enabled_ = true;
+  uint64_t tick_ = 0;
+  // Chaos partitions heal at their tick; admin cuts (value 0) never do.
+  std::map<LinkKey, uint64_t> down_links_;
+  struct DelayedFrame {
+    uint64_t release_tick;
+    cluster::NodeId to;
+    cluster::Frame frame;
+  };
+  std::deque<DelayedFrame> delayed_frames_;
+  uint64_t dropped_ = 0;
+  uint64_t delayed_count_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t partitions_count_ = 0;
+};
+
+/// Transport handed to each virtual node by ChaosHub::CreateTransport.
+class ChaosTransport : public cluster::Transport {
+ public:
+  explicit ChaosTransport(ChaosHub* hub) : hub_(hub) {}
+  ~ChaosTransport() override { Shutdown(); }
+
+  Status Start(cluster::NodeId self, FrameHandler handler) override;
+  bool Send(cluster::NodeId to, const cluster::Frame& frame) override;
+  void Shutdown() override;
+
+ private:
+  ChaosHub* hub_;
+  std::mutex mu_;
+  cluster::NodeId self_ = cluster::kNoNode;
+  bool running_ = false;
+};
+
+}  // namespace fault
+}  // namespace marlin
+
+#endif  // MARLIN_FAULT_CHAOS_HUB_H_

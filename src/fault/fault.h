@@ -1,0 +1,26 @@
+#ifndef MARLIN_FAULT_FAULT_H_
+#define MARLIN_FAULT_FAULT_H_
+
+/// Umbrella header for Marlin's deterministic fault-injection layer.
+///
+/// The layer has two halves:
+///   - Harness-driven: a chaos harness builds a `FaultInjector` from a
+///     `FaultPlan` seed and wires it into a `ChaosHub` (lossy transport) and
+///     `ChaosClock` (skewed clocks). No production code changes; everything
+///     is dependency injection through the existing Transport/Clock seams.
+///   - In-line points: `MARLIN_FAULT_POINT("name")` sites compiled into
+///     production code. They expand to `FaultAction::kNone` (zero cost)
+///     unless the build sets -DMARLIN_FAULT=ON *and* a harness installed a
+///     process injector, in which case they yield kNone/kDrop/kReset for
+///     the guarded operation.
+///
+/// Both halves draw from per-point RNG streams keyed off one uint64 seed,
+/// and every decision lands in a fingerprintable trace: rerunning a failing
+/// seed reproduces the identical fault schedule (`FaultInjector::TraceHash`).
+
+#include "fault/chaos_clock.h"
+#include "fault/chaos_hub.h"
+#include "fault/fault_injector.h"  // also provides MARLIN_FAULT_POINT
+#include "fault/fault_plan.h"
+
+#endif  // MARLIN_FAULT_FAULT_H_

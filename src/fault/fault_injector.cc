@@ -1,0 +1,142 @@
+#include "fault/fault_injector.h"
+
+#include <atomic>
+
+#include "chk/fingerprint.h"
+
+namespace marlin {
+namespace fault {
+
+namespace {
+// Trace record kinds (stable values: they feed the trace hash).
+constexpr uint8_t kKindChance = 1;
+constexpr uint8_t kKindPick = 2;
+constexpr uint8_t kKindFrame = 3;
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+FaultInjector::PointStream& FaultInjector::StreamLocked(
+    std::string_view point) {
+  auto it = streams_.find(point);
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(std::string(point), std::make_unique<PointStream>(
+                                              plan_.seed ^ chk::Fnv1a(point)))
+             .first;
+  }
+  return *it->second;
+}
+
+void FaultInjector::RecordLocked(std::string_view point, uint8_t kind,
+                                 uint64_t outcome) {
+  trace_.push_back(Decision{chk::Fnv1a(point), kind, outcome});
+}
+
+bool FaultInjector::Chance(std::string_view point, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointStream& stream = StreamLocked(point);
+  ++stream.hits;
+  const bool hit = stream.rng.Bernoulli(p);
+  if (hit) ++stream.fired;
+  RecordLocked(point, kKindChance, hit ? 1 : 0);
+  return hit;
+}
+
+uint64_t FaultInjector::Pick(std::string_view point, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointStream& stream = StreamLocked(point);
+  ++stream.hits;
+  const uint64_t value = n <= 1 ? 0 : stream.rng.UniformInt(n);
+  RecordLocked(point, kKindPick, value);
+  return value;
+}
+
+FaultDecision FaultInjector::DecideFrame(std::string_view point,
+                                         bool allow_duplicate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointStream& stream = StreamLocked(point);
+  ++stream.hits;
+  // One uniform draw partitioned into [drop | delay | duplicate | none]
+  // bands keeps the stream advancing exactly once per frame regardless of
+  // outcome — critical for trace stability.
+  const double roll = stream.rng.Uniform(0.0, 1.0);
+  FaultDecision decision;
+  double band = plan_.drop_rate;
+  if (roll < band) {
+    decision.action = FaultAction::kDrop;
+  } else if (roll < (band += plan_.delay_rate)) {
+    decision.action = FaultAction::kDelay;
+    decision.delay_ticks =
+        1 + static_cast<int>(stream.rng.UniformInt(
+                static_cast<uint64_t>(plan_.max_delay_ticks)));
+  } else if (allow_duplicate && roll < band + plan_.duplicate_rate) {
+    decision.action = FaultAction::kDuplicate;
+  }
+  if (decision.action != FaultAction::kNone) ++stream.fired;
+  RecordLocked(point, kKindFrame,
+               (static_cast<uint64_t>(decision.action) << 8) |
+                   static_cast<uint64_t>(decision.delay_ticks));
+  return decision;
+}
+
+TimeMicros FaultInjector::ClockSkewFor(uint32_t node) const {
+  if (plan_.max_clock_skew <= 0) return 0;
+  Rng rng(plan_.seed ^ chk::Fnv1a("clock-skew") ^
+          (0x9E3779B97F4A7C15ULL * (node + 1)));
+  return static_cast<TimeMicros>(
+      rng.UniformInt(-plan_.max_clock_skew, plan_.max_clock_skew));
+}
+
+uint64_t FaultInjector::TraceHash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  chk::Fingerprint fp;
+  for (const Decision& d : trace_) {
+    fp.MixU64(d.point_hash);
+    fp.MixByte(d.kind);
+    fp.MixU64(d.outcome);
+  }
+  return fp.Value();
+}
+
+size_t FaultInjector::DecisionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_.size();
+}
+
+uint64_t FaultInjector::HitCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(point);
+  return it == streams_.end() ? 0 : it->second->hits;
+}
+
+uint64_t FaultInjector::FiredCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(point);
+  return it == streams_.end() ? 0 : it->second->fired;
+}
+
+namespace {
+std::atomic<FaultInjector*> g_process_injector{nullptr};
+}  // namespace
+
+FaultInjector* ExchangeProcessInjector(FaultInjector* injector) {
+  return g_process_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+FaultInjector* ProcessInjector() {
+  return g_process_injector.load(std::memory_order_acquire);
+}
+
+FaultAction PointAction(std::string_view point) {
+  FaultInjector* injector = ProcessInjector();
+  if (injector == nullptr) return FaultAction::kNone;
+  FaultDecision decision = injector->DecideFrame(point, /*allow_duplicate=*/false);
+  // In-line fault points cannot park work for later; a delay decision
+  // degrades to kNone so the stream still advances identically either way.
+  if (decision.action == FaultAction::kDelay) return FaultAction::kNone;
+  return decision.action;
+}
+
+}  // namespace fault
+}  // namespace marlin

@@ -1,0 +1,138 @@
+#ifndef MARLIN_FAULT_FAULT_INJECTOR_H_
+#define MARLIN_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace marlin {
+namespace fault {
+
+/// What a fault point does to the operation it guards.
+enum class FaultAction : uint8_t {
+  kNone = 0,       // proceed normally
+  kDrop = 1,       // silently lose the message / skip the operation
+  kDelay = 2,      // park and retry `delay_ticks` chaos ticks later
+  kDuplicate = 3,  // perform the operation twice
+  kReset = 4,      // sever the connection / fail the operation loudly
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int delay_ticks = 0;  // meaningful only for kDelay
+};
+
+/// Seed-driven decision oracle. Every queriable point gets its own RNG
+/// stream keyed by `plan.seed ^ fnv1a(point)`, so the decision sequence at
+/// one point is independent of how often any other point is hit — adding an
+/// injection point to the codebase does not reshuffle faults elsewhere.
+/// Every decision is appended to a trace; `TraceHash()` fingerprints it so
+/// replays can assert "same seed → same faults in the same order".
+///
+/// Thread-safe: transports may consult fault points from sender threads.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// True with probability `p`, drawn from `point`'s stream. Recorded.
+  bool Chance(std::string_view point, double p);
+
+  /// Uniform integer in [0, n), n >= 1, from `point`'s stream. Recorded.
+  uint64_t Pick(std::string_view point, uint64_t n);
+
+  /// Frame-level fault decision honoring the plan's drop/delay/duplicate
+  /// rates. `allow_duplicate` is false for envelope frames: TCP never
+  /// duplicates within a connection and the shard layer's exactly-once
+  /// dedup invariant would (correctly) flag the duplicate as a bug.
+  FaultDecision DecideFrame(std::string_view point, bool allow_duplicate);
+
+  /// Fixed per-node protocol-clock skew in [-max_clock_skew, +max_clock_skew].
+  /// A pure function of (seed, node) — independent of query order, so it is
+  /// not part of the decision trace.
+  TimeMicros ClockSkewFor(uint32_t node) const;
+
+  /// FNV-1a fingerprint of the decision trace (point, kind, outcome).
+  uint64_t TraceHash() const;
+  size_t DecisionCount() const;
+  /// Times `point` drew from its stream (0 if never hit).
+  uint64_t HitCount(std::string_view point) const;
+  /// Decisions at `point` that came back non-kNone / true.
+  uint64_t FiredCount(std::string_view point) const;
+
+ private:
+  struct PointStream {
+    explicit PointStream(uint64_t seed) : rng(seed) {}
+    Rng rng;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  PointStream& StreamLocked(std::string_view point);
+  void RecordLocked(std::string_view point, uint8_t kind, uint64_t outcome);
+
+  const FaultPlan plan_;
+  mutable std::mutex mu_;
+  // Keyed by point name; values are stable (unique_ptr) so references
+  // survive rehashing.
+  std::map<std::string, std::unique_ptr<PointStream>, std::less<>> streams_;
+  struct Decision {
+    uint64_t point_hash;
+    uint8_t kind;
+    uint64_t outcome;
+  };
+  std::vector<Decision> trace_;
+};
+
+/// Process-wide injector consulted by MARLIN_FAULT_POINT sites compiled
+/// with -DMARLIN_FAULT=ON. Null (all points no-op) unless a harness
+/// installs one. Returns the previous injector.
+FaultInjector* ExchangeProcessInjector(FaultInjector* injector);
+FaultInjector* ProcessInjector();
+
+/// RAII installer for test harnesses.
+class ScopedProcessInjector {
+ public:
+  explicit ScopedProcessInjector(FaultInjector* injector)
+      : previous_(ExchangeProcessInjector(injector)) {}
+  ~ScopedProcessInjector() { ExchangeProcessInjector(previous_); }
+  ScopedProcessInjector(const ScopedProcessInjector&) = delete;
+  ScopedProcessInjector& operator=(const ScopedProcessInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Implementation behind MARLIN_FAULT_POINT: asks the process injector for
+/// a frame decision at `point` (duplication disallowed — in-line code paths
+/// have no way to honor it safely). kNone when no injector is installed.
+FaultAction PointAction(std::string_view point);
+
+}  // namespace fault
+}  // namespace marlin
+
+/// Queries the process fault injector at a named point; yields a
+/// `::marlin::fault::FaultAction`. Typical use:
+///
+///   if (MARLIN_FAULT_POINT("tcp.send") != fault::FaultAction::kNone) {
+///     ... drop / fail the operation ...
+///   }
+///
+/// Compiles to the constant kNone unless -DMARLIN_FAULT=ON, so release
+/// binaries carry no branch and no string.
+#if defined(MARLIN_FAULT) && MARLIN_FAULT
+#define MARLIN_FAULT_POINT(name) (::marlin::fault::PointAction(name))
+#else
+#define MARLIN_FAULT_POINT(name) (::marlin::fault::FaultAction::kNone)
+#endif
+
+#endif  // MARLIN_FAULT_FAULT_INJECTOR_H_

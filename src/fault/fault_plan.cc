@@ -1,0 +1,46 @@
+#include "fault/fault_plan.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace marlin {
+namespace fault {
+
+FaultPlan FromSeedImpl(uint64_t seed) {
+  // A dedicated stream decoupled from the injector's decision streams, so
+  // adding a plan knob never perturbs the per-point decision sequences of
+  // existing seeds more than necessary.
+  Rng rng(seed ^ 0x8f1bbcdc5f3c2d4dULL);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_rate = rng.Uniform(0.0, 0.15);
+  plan.delay_rate = rng.Uniform(0.0, 0.25);
+  plan.max_delay_ticks = static_cast<int>(rng.UniformInt(1, 4));
+  plan.duplicate_rate = rng.Uniform(0.0, 0.15);
+  plan.partition_rate = rng.Uniform(0.0, 0.06);
+  plan.max_partition_ticks = static_cast<int>(rng.UniformInt(1, 5));
+  plan.crash_rate = rng.Uniform(0.0, 0.02);
+  plan.max_crash_ticks = static_cast<int>(rng.UniformInt(2, 6));
+  // Up to ±half a default heartbeat interval of fixed per-node skew.
+  plan.max_clock_skew = static_cast<TimeMicros>(rng.UniformInt(
+      static_cast<int64_t>(0), static_cast<int64_t>(100'000)));
+  return plan;
+}
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed) { return FromSeedImpl(seed); }
+
+std::string FaultPlan::Describe() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "seed=%llu drop=%.3f delay=%.3f(max %d) dup=%.3f "
+                "partition=%.3f(max %d) crash=%.3f(max %d) skew=%lldus",
+                static_cast<unsigned long long>(seed), drop_rate, delay_rate,
+                max_delay_ticks, duplicate_rate, partition_rate,
+                max_partition_ticks, crash_rate, max_crash_ticks,
+                static_cast<long long>(max_clock_skew));
+  return buffer;
+}
+
+}  // namespace fault
+}  // namespace marlin

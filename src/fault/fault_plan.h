@@ -1,0 +1,62 @@
+#ifndef MARLIN_FAULT_FAULT_PLAN_H_
+#define MARLIN_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace marlin {
+namespace fault {
+
+/// The complete description of one chaos run: a seed plus bounded fault
+/// rates. Everything the injector does is a pure function of this plan and
+/// the order of injection-point hits, so a failing run is reproduced by
+/// re-running with the same plan (in practice: the same seed —
+/// `FaultPlan::FromSeed` derives every rate from it deterministically).
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // -- Per-frame message faults (applied by ChaosHub / fault points) ------
+  /// Probability that a frame is silently lost after being accepted.
+  double drop_rate = 0.05;
+  /// Probability that a frame is parked and delivered 1..max_delay_ticks
+  /// chaos ticks later (delay doubles as reordering: delayed frames overtake
+  /// nothing, but everything sent meanwhile overtakes them).
+  double delay_rate = 0.10;
+  int max_delay_ticks = 3;
+  /// Probability that a *control* frame (heartbeat/ack/handoff) is
+  /// delivered twice. Envelopes are never duplicated: TCP does not
+  /// duplicate within a connection, and the shard layer's exactly-once
+  /// invariant treats a duplicated (origin, seq) as the bug it would be.
+  double duplicate_rate = 0.05;
+
+  // -- Link- and node-level faults (driven once per chaos tick) -----------
+  /// Per-link-per-tick probability of cutting the link for
+  /// 1..max_partition_ticks ticks (a transient partition / connection
+  /// reset; frames over a down link are dropped).
+  double partition_rate = 0.02;
+  int max_partition_ticks = 4;
+  /// Per-node-per-tick probability that the harness crashes the node and
+  /// restarts it a few ticks later (the driver owns the actual teardown).
+  double crash_rate = 0.0;
+  int max_crash_ticks = 5;
+
+  // -- Clock skew ---------------------------------------------------------
+  /// Each node's protocol clock is offset by a fixed skew drawn uniformly
+  /// from [-max_clock_skew, +max_clock_skew] at the start of the run.
+  TimeMicros max_clock_skew = 0;
+
+  /// Derives a randomized-but-bounded plan from a single seed: every rate
+  /// is drawn from a fixed range so a 50-seed sweep explores light drizzle
+  /// through heavy weather, all reproducible from the seed alone.
+  static FaultPlan FromSeed(uint64_t seed);
+
+  /// One-line human-readable summary (logged with failing seeds).
+  std::string Describe() const;
+};
+
+}  // namespace fault
+}  // namespace marlin
+
+#endif  // MARLIN_FAULT_FAULT_PLAN_H_

@@ -213,6 +213,35 @@ void Consumer::SetAssignment(std::vector<int> partitions) {
   std::sort(partitions.begin(), partitions.end());
   partitions.erase(std::unique(partitions.begin(), partitions.end()),
                    partitions.end());
+  // Re-seed the in-memory position of every partition *entering* the
+  // assignment from the group's committed offset: while the partition was
+  // assigned elsewhere, another consumer advanced and committed it, so the
+  // position held here is stale — resuming from it would re-deliver (or,
+  // after this consumer restarts, skip) records. Partitions the consumer
+  // already held keep their live positions. An empty previous assignment
+  // means "all partitions", so nothing was ever given away and no position
+  // is stale.
+  if (!assignment_.empty()) {
+    auto held = [this](int p) {
+      return std::binary_search(assignment_.begin(), assignment_.end(), p);
+    };
+    auto reseed = [this](int p) {
+      if (p >= 0 && p < static_cast<int>(positions_.size())) {
+        positions_[static_cast<size_t>(p)] =
+            broker_->CommittedOffset(group_, topic_, p);
+      }
+    };
+    if (partitions.empty()) {
+      // Expanding back to "all": partitions outside the old slice re-enter.
+      for (int p = 0; p < static_cast<int>(positions_.size()); ++p) {
+        if (!held(p)) reseed(p);
+      }
+    } else {
+      for (const int p : partitions) {
+        if (!held(p)) reseed(p);
+      }
+    }
+  }
   assignment_ = std::move(partitions);
   next_partition_ = 0;
 }

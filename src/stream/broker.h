@@ -134,6 +134,11 @@ class Consumer {
   /// Commit and Lag then only touch the assigned partitions — this is how
   /// a cluster node consumes exactly the partitions of the shards it owns
   /// (HashRing::ShardsOwnedBy with num_partitions == num_shards).
+  ///
+  /// Partitions entering the assignment resume from the group's committed
+  /// offset, not from this consumer's (stale) in-memory position — the
+  /// rebalance-resync rule that keeps a partition's consumption continuous
+  /// when ownership moves between nodes and back.
   void SetAssignment(std::vector<int> partitions);
 
   /// Current assignment (empty = all partitions).

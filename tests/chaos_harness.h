@@ -1,0 +1,599 @@
+#ifndef MARLIN_TESTS_CHAOS_HARNESS_H_
+#define MARLIN_TESTS_CHAOS_HARNESS_H_
+
+// Chaos harness: runs the full Marlin pipeline — simulated fleet → broker →
+// sharded entity actors → kvstore — on a 2–4 node in-process cluster whose
+// network, clocks, and nodes misbehave according to a seed-derived
+// FaultPlan, then heals everything and asserts the system converged to the
+// state a fault-free run would have produced.
+//
+// The run is deterministic end to end: every node's ActorSystem drains on
+// a chk::DeterministicScheduler, all fault decisions come from one
+// fault::FaultInjector, and protocol time is driven explicitly — so a
+// failing seed replays bit-for-bit (same fault trace hash, same final
+// state hash). Both tests/chaos_test.cc and bench/chaos_soak.cc build on
+// this header.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "actor/actor.h"
+#include "chk/deterministic_scheduler.h"
+#include "chk/fingerprint.h"
+#include "chk/violation.h"
+#include "cluster/cluster_node.h"
+#include "fault/fault.h"
+#include "kvstore/kvstore.h"
+#include "obs/metrics.h"
+#include "sim/fleet.h"
+#include "stream/broker.h"
+
+namespace marlin {
+namespace chaos {
+
+/// Protocol heartbeat; one chaos tick advances protocol time by one beat.
+constexpr TimeMicros kBeat = 200'000;
+constexpr TimeMicros kT0 = 1'000'000;
+
+inline constexpr const char* kTopic = "ais";
+inline constexpr const char* kGroup = "chaos";
+
+struct ChaosOptions {
+  /// Cluster size; 0 = derive from the seed (2..4 nodes).
+  int num_nodes = 0;
+  /// Shard count == broker partition count (shard-aligned consumption).
+  int num_shards = 8;
+  int num_vessels = 6;
+  double sim_step_sec = 60.0;
+  double sim_duration_sec = 600.0;
+  /// Ticks of active fault injection before the heal phase.
+  int chaos_ticks = 40;
+  int poll_batch = 32;
+  /// Tick caps for the heal and drain phases (a bound, not a target —
+  /// both phases exit as soon as their condition holds).
+  int converge_cap = 150;
+  int drain_cap = 300;
+  /// Speed-over-ground threshold for the derived "overspeed" event.
+  double overspeed_knots = 10.0;
+};
+
+struct ChaosRunResult {
+  bool ok = true;
+  /// First violated invariant, empty when ok.
+  std::string failure;
+  uint64_t seed = 0;
+  /// FaultInjector::TraceHash() — same seed must reproduce this exactly.
+  uint64_t fault_trace_hash = 0;
+  /// Fingerprint of the final kvstore contents.
+  uint64_t state_hash = 0;
+  int64_t chk_violations = 0;
+  int num_nodes = 0;
+  size_t records = 0;
+  int crashes = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t frames_delayed = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t partitions_injected = 0;
+  std::string plan;
+};
+
+/// One kvstore cell an AIS record writes. The field is "<partition>:<offset>"
+/// so redelivery (at-least-once consumption, handoff replay) is idempotent.
+struct KvWrite {
+  std::string key;
+  std::string field;
+  std::string value;
+};
+
+/// The pipeline's per-record application step, shared verbatim by the entity
+/// actor and the fault-free reference run — which is what "the kvstore
+/// converges to the fault-free run" means.
+inline std::vector<KvWrite> WritesFor(const std::string& entity, int partition,
+                                      int64_t offset, const std::string& value,
+                                      double overspeed_knots) {
+  std::vector<KvWrite> out;
+  const std::string field =
+      std::to_string(partition) + ":" + std::to_string(offset);
+  out.push_back({"vessel/" + entity, field, value});
+  // value is "sog=<knots>"; a reading above the threshold derives an event.
+  if (value.rfind("sog=", 0) == 0 &&
+      std::strtod(value.c_str() + 4, nullptr) > overspeed_knots) {
+    out.push_back({"event/" + entity, field, "overspeed"});
+  }
+  return out;
+}
+
+/// Sharded entity actor: applies each routed record to the shared kvstore.
+class VesselActor : public Actor {
+ public:
+  VesselActor(std::string entity, KvStore* kv, double overspeed_knots)
+      : entity_(std::move(entity)), kv_(kv), overspeed_knots_(overspeed_knots) {}
+
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    (void)ctx;
+    const cluster::ShardEnvelope* envelope =
+        std::any_cast<cluster::ShardEnvelope>(&message);
+    if (envelope == nullptr) {
+      return Status::InvalidArgument("vessel actor expects shard envelopes");
+    }
+    const std::string& payload = envelope->payload;
+    // payload = "<partition>:<offset>:<value>"
+    const size_t colon1 = payload.find(':');
+    const size_t colon2 =
+        colon1 == std::string::npos ? std::string::npos
+                                    : payload.find(':', colon1 + 1);
+    if (colon2 == std::string::npos) {
+      return Status::InvalidArgument("malformed chaos payload");
+    }
+    const int partition = std::atoi(payload.c_str());
+    const int64_t offset = std::atoll(payload.c_str() + colon1 + 1);
+    const std::string value = payload.substr(colon2 + 1);
+    for (const KvWrite& w :
+         WritesFor(entity_, partition, offset, value, overspeed_knots_)) {
+      Status status = kv_->HSet(w.key, w.field, w.value);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const std::string entity_;
+  KvStore* kv_;
+  const double overspeed_knots_;
+};
+
+/// A 2–4 node cluster under one ChaosHub, driven tick by tick.
+class ChaosCluster {
+ public:
+  ChaosCluster(uint64_t seed, const ChaosOptions& options)
+      : seed_(seed),
+        options_(options),
+        plan_(fault::FaultPlan::FromSeed(seed)),
+        injector_(plan_),
+        hub_(&injector_),
+        kv_(nullptr, options.num_shards, &registry_),
+        broker_(&registry_) {
+    if (options_.num_nodes <= 0) {
+      options_.num_nodes = 2 + static_cast<int>(seed % 3);
+    }
+    for (int i = 0; i < options_.num_nodes; ++i) {
+      roster_.push_back(static_cast<cluster::NodeId>(i + 1));
+    }
+    last_committed_.assign(static_cast<size_t>(options_.num_shards), 0);
+  }
+
+  ChaosRunResult Run() {
+    ChaosRunResult result;
+    result.seed = seed_;
+    result.num_nodes = options_.num_nodes;
+    result.plan = plan_.Describe();
+
+    SeedTopic(&result);
+    BootNodes();
+    if (result.ok) ChaosPhase(&result);
+    if (result.ok) HealPhase(&result);
+    if (result.ok) DrainPhase(&result);
+    if (result.ok) CheckInvariants(&result);
+
+    result.fault_trace_hash = injector_.TraceHash();
+    result.state_hash = StateHash();
+    result.frames_dropped = hub_.dropped();
+    result.frames_delayed = hub_.delayed();
+    result.frames_duplicated = hub_.duplicated();
+    result.partitions_injected = hub_.partitions();
+    result.records = records_.size();
+
+    // Teardown in dependency order before the hub dies.
+    for (auto& node : nodes_) {
+      if (node.node != nullptr) StopNode(node);
+    }
+    nodes_.clear();
+    return result;
+  }
+
+ private:
+  struct HarnessNode {
+    cluster::NodeId id = cluster::kNoNode;
+    std::unique_ptr<obs::MetricsRegistry> registry;
+    /// Protocol time source; ChaosClock layers this node's fixed skew on
+    /// top, so every timestamp the node emits is skew-adjusted.
+    std::unique_ptr<SimulatedClock> base_clock;
+    std::unique_ptr<fault::ChaosClock> clock;
+    std::shared_ptr<chk::DeterministicScheduler> sched;
+    std::shared_ptr<cluster::Transport> transport;
+    std::unique_ptr<cluster::ClusterNode> node;
+    cluster::ShardRegion* region = nullptr;
+    std::unique_ptr<Consumer> consumer;
+    int incarnation = 0;
+    /// Chaos tick at which a crashed node restarts.
+    int down_until = 0;
+    bool alive() const { return node != nullptr; }
+  };
+
+  static bool Fail(ChaosRunResult* result, std::string why) {
+    if (result->ok) {
+      result->ok = false;
+      result->failure = std::move(why);
+    }
+    return false;
+  }
+
+  void SeedTopic(ChaosRunResult* result) {
+    Status status = broker_.CreateTopic(kTopic, options_.num_shards);
+    if (!status.ok()) {
+      Fail(result, "create topic: " + status.message());
+      return;
+    }
+    World& world = SharedWorld();
+    FleetConfig fleet_config;
+    fleet_config.num_vessels = options_.num_vessels;
+    fleet_config.step_sec = options_.sim_step_sec;
+    fleet_config.seed = seed_;
+    FleetSimulator fleet(&world, fleet_config);
+    for (const AisPosition& position : fleet.Run(options_.sim_duration_sec)) {
+      char value[32];
+      std::snprintf(value, sizeof(value), "sog=%.1f", position.sog_knots);
+      StatusOr<Record> appended =
+          broker_.Append(kTopic, std::to_string(position.mmsi), value,
+                         position.timestamp);
+      if (!appended.ok()) {
+        Fail(result, "append: " + appended.status().message());
+        return;
+      }
+      records_.push_back(*appended);
+    }
+    if (records_.empty()) Fail(result, "fleet produced no records");
+  }
+
+  void BootNodes() {
+    nodes_.resize(roster_.size());
+    for (size_t i = 0; i < roster_.size(); ++i) {
+      HarnessNode& node = nodes_[i];
+      node.id = roster_[i];
+      node.registry = std::make_unique<obs::MetricsRegistry>();
+      node.base_clock = std::make_unique<SimulatedClock>(kT0);
+      node.clock = std::make_unique<fault::ChaosClock>(
+          node.base_clock.get(), injector_.ClockSkewFor(node.id));
+      StartNode(node);
+    }
+  }
+
+  void StartNode(HarnessNode& node) {
+    // Distinct deterministic schedule per (node, incarnation): restarting a
+    // node must not replay its previous incarnation's interleaving.
+    node.sched = std::make_shared<chk::DeterministicScheduler>(
+        seed_ ^ (0x9E3779B97F4A7C15ULL * node.id) ^
+        (0xC2B2AE3D27D4EB4FULL * static_cast<uint64_t>(node.incarnation)));
+    cluster::ClusterNodeConfig config;
+    config.self = node.id;
+    config.nodes = roster_;
+    config.num_shards = options_.num_shards;
+    config.membership.heartbeat_interval = kBeat;
+    config.actor.dispatcher = node.sched;
+    config.actor.throughput = 1;
+    config.metrics = node.registry.get();
+    config.auto_tick = false;
+    node.transport = hub_.CreateTransport();
+    node.node = std::make_unique<cluster::ClusterNode>(config, node.transport);
+    (void)node.node->Start();
+    cluster::ShardRegionOptions region_options;
+    region_options.name = "vessel";
+    KvStore* kv = &kv_;
+    const double overspeed = options_.overspeed_knots;
+    region_options.factory = [kv, overspeed](const std::string& entity) {
+      return std::make_unique<VesselActor>(entity, kv, overspeed);
+    };
+    node.region = *node.node->CreateRegion(std::move(region_options));
+    node.consumer = std::make_unique<Consumer>(&broker_, kGroup, kTopic);
+    ++node.incarnation;
+  }
+
+  void StopNode(HarnessNode& node) {
+    node.consumer.reset();
+    node.region = nullptr;
+    node.node->Shutdown();
+    node.node.reset();
+    node.transport.reset();
+    node.sched.reset();
+  }
+
+  int AliveCount() const {
+    int alive = 0;
+    for (const HarnessNode& node : nodes_) {
+      if (node.alive()) ++alive;
+    }
+    return alive;
+  }
+
+  /// One protocol step for every live node at chaos-tick time `now`.
+  void TickAll(TimeMicros now) {
+    for (HarnessNode& node : nodes_) {
+      if (!node.alive()) continue;
+      node.base_clock->Set(now);
+      node.node->Tick(node.clock->Now());
+    }
+    for (HarnessNode& node : nodes_) {
+      if (node.alive()) node.node->system().AwaitQuiescence();
+    }
+  }
+
+  /// Poll the shards this node currently believes it owns and route each
+  /// record through the shard region toward its entity actor.
+  void PollAndRoute(HarnessNode& node, bool require_delivery,
+                    ChaosRunResult* result) {
+    node.consumer->SetAssignment(node.node->ring().ShardsOwnedBy(node.id));
+    for (const Record& record : node.consumer->Poll(options_.poll_batch)) {
+      std::string payload = std::to_string(record.partition) + ":" +
+                            std::to_string(record.offset) + ":" + record.value;
+      const bool delivered = node.region->Tell(record.key, std::move(payload));
+      if (!delivered && require_delivery) {
+        Fail(result, "drain-phase Tell refused for key " + record.key);
+        return;
+      }
+    }
+  }
+
+  void ChaosPhase(ChaosRunResult* result) {
+    for (int tick = 0; tick < options_.chaos_ticks; ++tick) {
+      hub_.Tick();
+      for (HarnessNode& node : nodes_) {
+        const std::string id_str = std::to_string(node.id);
+        if (!node.alive()) {
+          if (tick >= node.down_until) StartNode(node);
+          continue;
+        }
+        // Keep at least one node alive so the cluster is always degraded,
+        // never gone. Outage length must exceed the unreachable threshold
+        // plus the maximum frame delay: peers need to declare the node
+        // dead (resetting its incarnation epoch) before it returns.
+        if (AliveCount() > 1 &&
+            injector_.Chance("node.crash." + id_str, plan_.crash_rate)) {
+          StopNode(node);
+          node.down_until =
+              tick + 7 +
+              static_cast<int>(injector_.Pick(
+                  "node.crash_ticks." + id_str,
+                  static_cast<uint64_t>(plan_.max_crash_ticks) + 1));
+          ++result->crashes;
+          continue;
+        }
+      }
+      const TimeMicros now = kT0 + (tick + 1) * kBeat;
+      TickAll(now);
+      for (HarnessNode& node : nodes_) {
+        if (!node.alive()) continue;
+        // Best-effort during chaos: dropped deliveries are re-polled in
+        // the drain phase (offsets are only committed once ownership is
+        // coordinated again, so nothing is lost for good).
+        PollAndRoute(node, /*require_delivery=*/false, result);
+      }
+      for (HarnessNode& node : nodes_) {
+        if (node.alive()) node.node->system().AwaitQuiescence();
+      }
+      now_ = now;
+    }
+  }
+
+  bool Converged() const {
+    std::vector<cluster::HashRing> rings;
+    for (const HarnessNode& node : nodes_) {
+      if (!node.alive()) return false;
+      for (const cluster::NodeId peer : roster_) {
+        if (node.node->membership().StateOf(peer) != cluster::NodeState::kUp) {
+          return false;
+        }
+      }
+      if (node.region->BufferedCount() != 0) return false;
+      rings.push_back(node.node->ring());
+    }
+    for (int shard = 0; shard < options_.num_shards; ++shard) {
+      const cluster::NodeId owner = rings[0].OwnerOfShard(shard);
+      if (owner == cluster::kNoNode) return false;
+      for (const cluster::HashRing& ring : rings) {
+        if (ring.OwnerOfShard(shard) != owner) return false;
+      }
+    }
+    return true;
+  }
+
+  void HealPhase(ChaosRunResult* result) {
+    hub_.SetChaosEnabled(false);
+    hub_.HealAll();
+    for (HarnessNode& node : nodes_) {
+      if (!node.alive()) StartNode(node);
+    }
+    for (int i = 0; i < options_.converge_cap; ++i) {
+      if (Converged()) return;
+      hub_.Tick();
+      now_ += kBeat;
+      TickAll(now_);
+    }
+    if (!Converged()) {
+      Fail(result, "cluster failed to converge after heal (membership or "
+                   "shard ownership still disagrees)");
+    }
+  }
+
+  void DrainPhase(ChaosRunResult* result) {
+    // Fresh consumers: positions re-seeded from the group's committed
+    // offsets, exactly like a consumer joining after a rebalance.
+    for (HarnessNode& node : nodes_) {
+      node.consumer = std::make_unique<Consumer>(&broker_, kGroup, kTopic);
+      node.consumer->SetAssignment(node.node->ring().ShardsOwnedBy(node.id));
+    }
+    for (int round = 0; round < options_.drain_cap; ++round) {
+      int64_t lag = 0;
+      for (HarnessNode& node : nodes_) lag += node.consumer->Lag();
+      if (lag == 0) {
+        // Everything polled and routed; settle in-flight deliveries.
+        now_ += kBeat;
+        TickAll(now_);
+        return;
+      }
+      for (HarnessNode& node : nodes_) {
+        PollAndRoute(node, /*require_delivery=*/true, result);
+        if (!result->ok) return;
+      }
+      now_ += kBeat;
+      TickAll(now_);
+      // Offsets are committed only here, where convergence guarantees a
+      // single owner per partition — commits stay monotone by construction
+      // and the harness verifies it.
+      for (HarnessNode& node : nodes_) {
+        node.consumer->Commit();
+      }
+      if (!CheckCommitsMonotone(result)) return;
+    }
+    Fail(result, "drain did not reach zero lag within the round cap");
+  }
+
+  bool CheckCommitsMonotone(ChaosRunResult* result) {
+    for (int p = 0; p < options_.num_shards; ++p) {
+      const int64_t committed = broker_.CommittedOffset(kGroup, kTopic, p);
+      if (committed < last_committed_[static_cast<size_t>(p)]) {
+        return Fail(result, "committed offset regressed on partition " +
+                                std::to_string(p));
+      }
+      last_committed_[static_cast<size_t>(p)] = committed;
+    }
+    return true;
+  }
+
+  void CheckInvariants(ChaosRunResult* result) {
+    // Shard ownership: disjoint across nodes and complete (every shard has
+    // exactly one owner — Converged() already established agreement).
+    size_t owned_total = 0;
+    for (const HarnessNode& node : nodes_) {
+      owned_total += node.node->ring().ShardsOwnedBy(node.id).size();
+      if (node.region->BufferedCount() != 0) {
+        Fail(result, "node " + std::to_string(node.id) +
+                         " still buffers handoff envelopes");
+        return;
+      }
+    }
+    if (owned_total != static_cast<size_t>(options_.num_shards)) {
+      Fail(result, "shard ownership not a partition of the shard space");
+      return;
+    }
+    // Every record consumed and committed.
+    for (int p = 0; p < options_.num_shards; ++p) {
+      const int64_t end = *broker_.EndOffset(kTopic, p);
+      const int64_t committed = broker_.CommittedOffset(kGroup, kTopic, p);
+      if (committed != end) {
+        Fail(result, "partition " + std::to_string(p) + " committed " +
+                         std::to_string(committed) + " != end " +
+                         std::to_string(end));
+        return;
+      }
+    }
+    // Entity actors live only on the shard owners: each distinct vessel has
+    // exactly one live actor cluster-wide after the drain.
+    const auto reference = Reference();
+    size_t distinct_entities = 0;
+    for (const auto& [key, fields] : reference) {
+      if (key.rfind("vessel/", 0) == 0) ++distinct_entities;
+    }
+    size_t live_entities = 0;
+    for (const HarnessNode& node : nodes_) {
+      live_entities += node.region->LocalEntityCount();
+    }
+    if (live_entities != distinct_entities) {
+      Fail(result, "live entity actors (" + std::to_string(live_entities) +
+                       ") != distinct vessels (" +
+                       std::to_string(distinct_entities) + ")");
+      return;
+    }
+    // The tentpole invariant: kvstore contents equal the fault-free run.
+    std::vector<std::string> keys = kv_.ScanPrefix("");
+    if (keys.size() != reference.size()) {
+      Fail(result, "kvstore key count " + std::to_string(keys.size()) +
+                       " != reference " + std::to_string(reference.size()));
+      return;
+    }
+    for (const auto& [key, fields] : reference) {
+      if (kv_.HGetAll(key) != fields) {
+        Fail(result, "kvstore diverged from fault-free run at key " + key);
+        return;
+      }
+    }
+  }
+
+  /// The fault-free run: apply every record in partition order.
+  std::map<std::string, std::map<std::string, std::string>> Reference() const {
+    std::map<std::string, std::map<std::string, std::string>> state;
+    for (const Record& record : records_) {
+      for (const KvWrite& w :
+           WritesFor(record.key, record.partition, record.offset, record.value,
+                     options_.overspeed_knots)) {
+        state[w.key][w.field] = w.value;
+      }
+    }
+    return state;
+  }
+
+  uint64_t StateHash() const {
+    chk::Fingerprint fp;
+    for (const std::string& key : kv_.ScanPrefix("")) {
+      fp.MixBytes(key);
+      for (const auto& [field, value] : kv_.HGetAll(key)) {
+        fp.MixBytes(field);
+        fp.MixBytes(value);
+      }
+    }
+    return fp.Value();
+  }
+
+  /// World construction is expensive relative to a chaos run; all runs in
+  /// the process share one (it is read-only after construction).
+  static World& SharedWorld() {
+    static World world = World::GlobalWorld(7);
+    return world;
+  }
+
+  const uint64_t seed_;
+  ChaosOptions options_;
+  const fault::FaultPlan plan_;
+  fault::FaultInjector injector_;
+  fault::ChaosHub hub_;
+  obs::MetricsRegistry registry_;  // kv + broker metrics (not per-node)
+  KvStore kv_;
+  Broker broker_;
+  std::vector<cluster::NodeId> roster_;
+  std::vector<HarnessNode> nodes_;
+  std::vector<Record> records_;
+  std::vector<int64_t> last_committed_;
+  TimeMicros now_ = kT0;
+};
+
+/// Runs one full chaos cycle for `seed`; chk violations anywhere in the run
+/// fail the result.
+inline ChaosRunResult RunChaos(uint64_t seed, const ChaosOptions& options = {}) {
+  chk::ScopedViolationRecorder violations;
+  ChaosCluster cluster(seed, options);
+  ChaosRunResult result = cluster.Run();
+  result.chk_violations = violations.count();
+  if (result.ok && result.chk_violations > 0) {
+    result.ok = false;
+    result.failure = std::to_string(result.chk_violations) +
+                     " chk invariant violation(s) during the run";
+  }
+  return result;
+}
+
+/// One-command repro string for a failing seed.
+inline std::string ReproCommand(uint64_t seed) {
+  return "MARLIN_CHAOS_SEED=" + std::to_string(seed) +
+         " ./tests/chaos_test  (or ./bench/chaos_soak --seed=" +
+         std::to_string(seed) + ")";
+}
+
+}  // namespace chaos
+}  // namespace marlin
+
+#endif  // MARLIN_TESTS_CHAOS_HARNESS_H_

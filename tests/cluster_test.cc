@@ -28,7 +28,9 @@
 #include "cluster/shard_region.h"
 #include "cluster/tcp_transport.h"
 #include "cluster/transport.h"
+#include "obs/metrics.h"
 #include "stream/broker.h"
+#include "util/rng.h"
 
 namespace marlin {
 namespace cluster {
@@ -125,6 +127,118 @@ TEST(FrameCodecTest, WireReaderRejectsUnderflow) {
   EXPECT_FALSE(reader.GetU8(&extra));
 }
 
+TEST(FrameCodecTest, FuzzRoundTripsRandomFramesAcrossRandomChunks) {
+  // Property test: any batch of well-formed frames survives encode →
+  // arbitrary re-segmentation → decode, bit for bit. Seeded so a failure
+  // reproduces exactly.
+  Rng rng(0xF8A3E5u);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Frame> in;
+    std::string wire;
+    const int count = 1 + static_cast<int>(rng.UniformInt(8));
+    for (int i = 0; i < count; ++i) {
+      Frame frame;
+      frame.type = static_cast<FrameType>(1 + rng.UniformInt(6));
+      frame.src = static_cast<NodeId>(rng.NextUint64());
+      frame.seq = rng.NextUint64();
+      frame.payload.resize(rng.UniformInt(2'000));
+      for (char& byte : frame.payload) {
+        byte = static_cast<char>(rng.UniformInt(256));
+      }
+      in.push_back(frame);
+      wire += EncodeFrame(frame);
+    }
+    FrameDecoder decoder;
+    std::vector<Frame> out;
+    size_t offset = 0;
+    while (offset < wire.size()) {
+      const size_t chunk = std::min(
+          wire.size() - offset, 1 + rng.UniformInt(700));
+      decoder.Feed(wire.data() + offset, chunk);
+      offset += chunk;
+      Frame frame;
+      while (decoder.Next(&frame)) out.push_back(frame);
+    }
+    ASSERT_TRUE(decoder.error().ok()) << "round " << round;
+    ASSERT_EQ(out.size(), in.size()) << "round " << round;
+    for (size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(out[i].type, in[i].type);
+      EXPECT_EQ(out[i].src, in[i].src);
+      EXPECT_EQ(out[i].seq, in[i].seq);
+      EXPECT_EQ(out[i].payload, in[i].payload);
+    }
+  }
+}
+
+TEST(FrameCodecTest, FuzzCorruptTruncatedInputNeverCrashesAndResetRecovers) {
+  // Hostile-input corpus: truncations at every boundary, single-byte
+  // corruption sweeps, oversized length prefixes, and pure noise. The
+  // decoder must never crash or over-read; errors are sticky; and Reset()
+  // always returns it to a state that decodes a clean frame.
+  Frame valid;
+  valid.type = FrameType::kEnvelope;
+  valid.src = 3;
+  valid.seq = 99;
+  valid.payload = "fuzz-me";
+  const std::string good = EncodeFrame(valid);
+
+  auto expect_recovers = [&good](FrameDecoder* decoder) {
+    decoder->Reset();
+    decoder->Feed(good.data(), good.size());
+    Frame out;
+    ASSERT_TRUE(decoder->Next(&out));
+    EXPECT_EQ(out.payload, "fuzz-me");
+    EXPECT_TRUE(decoder->error().ok());
+  };
+
+  // Every possible truncation: never a frame, never an error — the decoder
+  // just waits for the rest of the bytes.
+  for (size_t len = 0; len < good.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.Feed(good.data(), len);
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out)) << "truncated at " << len;
+    EXPECT_TRUE(decoder.error().ok()) << "truncated at " << len;
+    // The tail arriving later completes the frame.
+    decoder.Feed(good.data() + len, good.size() - len);
+    ASSERT_TRUE(decoder.Next(&out));
+    EXPECT_EQ(out.seq, 99u);
+  }
+
+  // Flip every byte in turn. Corrupting the length prefix or header may or
+  // may not produce a decodable-looking frame, but it must never crash and
+  // any sticky error must be recoverable via Reset().
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    std::string mutated = good;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+    FrameDecoder decoder;
+    decoder.Feed(mutated.data(), mutated.size());
+    Frame out;
+    while (decoder.Next(&out)) {
+    }
+    if (!decoder.error().ok()) {
+      // Errors are sticky: more input cannot un-error the stream.
+      decoder.Feed(good.data(), good.size());
+      EXPECT_FALSE(decoder.Next(&out)) << "byte " << pos;
+      EXPECT_FALSE(decoder.error().ok()) << "byte " << pos;
+    }
+    expect_recovers(&decoder);
+  }
+
+  // Random garbage, including prefixes that imply enormous lengths.
+  Rng rng(0xDEC0DEu);
+  for (int round = 0; round < 200; ++round) {
+    std::string noise(rng.UniformInt(64), '\0');
+    for (char& byte : noise) byte = static_cast<char>(rng.UniformInt(256));
+    FrameDecoder decoder;
+    decoder.Feed(noise.data(), noise.size());
+    Frame out;
+    while (decoder.Next(&out)) {
+    }
+    expect_recovers(&decoder);
+  }
+}
+
 // ---------------------------------------------------------------- ring
 
 TEST(HashRingTest, DeterministicAcrossInstances) {
@@ -189,6 +303,56 @@ TEST(HashRingTest, KeyToShardAlignsWithBrokerPartitioner) {
     const std::string key = "mmsi-" + std::to_string(244060000 + i);
     EXPECT_EQ(Broker::PartitionForKey(key, 64), ring.ShardForKey(key));
   }
+}
+
+TEST(HashRingTest, RebalanceMovesBoundedKeyFractionOnChurn) {
+  // 10K keys against a 3-node ring, then add a node and separately remove
+  // one. Consistent hashing promises (a) only keys involving the changed
+  // node move, and (b) the moved fraction stays near the fair share — not
+  // the wholesale reshuffle a modulo partitioner would cause.
+  constexpr int kKeys = 10'000;
+  constexpr int kShards = 256;
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    keys.push_back("mmsi-" + std::to_string(200'000'000 + 7 * i));
+  }
+
+  HashRing base(kShards, 16);
+  base.SetMembers({1, 2, 3}, 1);
+  HashRing grown(kShards, 16);
+  grown.SetMembers({1, 2, 3, 4}, 2);
+  HashRing shrunk(kShards, 16);
+  shrunk.SetMembers({1, 2}, 2);
+
+  int moved_on_add = 0, moved_on_remove = 0;
+  for (const std::string& key : keys) {
+    // The key→shard map is pure FNV-1a: identical across ring instances and
+    // identical to the broker partitioner, so a rebalance never changes
+    // which partition a key's records live in — only which node reads it.
+    const int shard = base.ShardForKey(key);
+    EXPECT_EQ(shard, grown.ShardForKey(key));
+    EXPECT_EQ(shard, Broker::PartitionForKey(key, kShards));
+
+    const NodeId before = base.OwnerOfShard(shard);
+    const NodeId after_add = grown.OwnerOfShard(shard);
+    if (before != after_add) {
+      EXPECT_EQ(after_add, 4u) << key;  // new node only takes, never shuffles
+      ++moved_on_add;
+    }
+    const NodeId after_remove = shrunk.OwnerOfShard(shard);
+    if (before != after_remove) {
+      EXPECT_EQ(before, 3u) << key;  // only the departed node's keys move
+      ++moved_on_remove;
+    }
+  }
+  // Fair share on add is 1/4 of the keys; on remove, node 3 held ~1/3.
+  // Virtual-node placement is lumpy, so allow 2x the fair share but insist
+  // the move is real and nowhere near a full reshuffle.
+  EXPECT_GT(moved_on_add, 0);
+  EXPECT_LT(moved_on_add, kKeys / 2);
+  EXPECT_GT(moved_on_remove, 0);
+  EXPECT_LT(moved_on_remove, 2 * kKeys / 3);
 }
 
 // ---------------------------------------------------------------- members
@@ -271,6 +435,57 @@ TEST(MembershipTest, EpochsStrictlyMonotonic) {
     last_epoch = event.epoch;
   }
   EXPECT_EQ(membership.epoch(), last_epoch);
+}
+
+TEST(MembershipTest, StaleEpochHeartbeatIsRejected) {
+  // A heartbeat carrying a sender epoch older than the newest one we have
+  // seen is a stale in-flight frame (delayed or duplicated by the network)
+  // and must not refresh the failure detector.
+  MembershipOptions options;
+  options.heartbeat_interval = 100;
+  options.unreachable_after_missed = 4;
+  Membership membership(1, {1, 2}, options);
+  EXPECT_EQ(membership.RecordHeartbeat(2, 1'000, /*sender_epoch=*/7).size(),
+            1u);
+  EXPECT_EQ(membership.StateOf(2), NodeState::kUp);
+  // Fresher timestamp but older epoch: rejected outright.
+  EXPECT_TRUE(membership.RecordHeartbeat(2, 2'000, /*sender_epoch=*/3).empty());
+  // Proof the stale beat did not count as liveness evidence: the detector
+  // still times out from the epoch-7 beat at t=1000, not from t=2000.
+  const auto down = membership.Tick(1'000 + 5 * 100);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].to, NodeState::kUnreachable);
+}
+
+TEST(MembershipTest, NewIncarnationAcceptedAfterUnreachable) {
+  // A node that crashes and restarts begins a fresh incarnation at epoch 1.
+  // While the old incarnation is considered alive, epoch 1 looks stale and
+  // is rejected — but once the detector declares the peer unreachable, the
+  // remembered epoch is forgotten so the restarted node can rejoin.
+  MembershipOptions options;
+  options.heartbeat_interval = 100;
+  options.unreachable_after_missed = 4;
+  Membership membership(1, {1, 2}, options);
+  membership.RecordHeartbeat(2, 1'000, /*sender_epoch=*/9);
+  EXPECT_EQ(membership.StateOf(2), NodeState::kUp);
+
+  // Old incarnation still "alive": its restart's epoch-1 beat is stale.
+  EXPECT_TRUE(membership.RecordHeartbeat(2, 1'050, /*sender_epoch=*/1).empty());
+
+  // The crash is detected...
+  const auto down = membership.Tick(1'000 + 5 * 100);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].to, NodeState::kUnreachable);
+
+  // ...and the new incarnation's low epoch is now welcome again.
+  const auto up = membership.RecordHeartbeat(2, 2'000, /*sender_epoch=*/1);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].from, NodeState::kUnreachable);
+  EXPECT_EQ(up[0].to, NodeState::kUp);
+  // And its epochs advance normally from there.
+  EXPECT_TRUE(membership.RecordHeartbeat(2, 2'100, /*sender_epoch=*/2).empty());
+  EXPECT_TRUE(membership.RecordHeartbeat(2, 2'150, /*sender_epoch=*/1).empty());
+  EXPECT_EQ(membership.StateOf(2), NodeState::kUp);
 }
 
 // ---------------------------------------------------------------- protocol
@@ -775,6 +990,100 @@ TEST(TcpTransportTest, TwoNodeClusterOverTcp) {
 
   n1->Shutdown();
   n2->Shutdown();
+}
+
+TEST(TcpTransportTest, SendTimeoutDropsAreCounted) {
+  // Frames that sit in the outbound queue past send_timeout are dropped by
+  // the sender loop and must be visible in the per-reason drop counter —
+  // silent loss here is exactly what the chaos soak hunts for.
+  obs::MetricsRegistry registry;
+  TcpTransportOptions options;
+  options.metrics = &registry;
+  options.send_timeout = 1'000;          // 1 ms: queued frames age out fast
+  options.reconnect_initial = 5'000;     // 5 ms dial backoff > send_timeout
+  options.reconnect_max = 5'000;
+  auto transport = std::make_shared<TcpTransport>(options);
+  ASSERT_TRUE(transport->Listen().ok());
+  // Nothing listens on port 1, so every dial fails fast and frames rot in
+  // the queue while the sender parks in its reconnect backoff.
+  transport->SetPeers({TcpPeer{2, "127.0.0.1", 1}});
+  ASSERT_TRUE(transport->Start(1, [](const Frame&) {}).ok());
+
+  Frame frame;
+  frame.type = FrameType::kHeartbeat;
+  frame.src = 1;
+  for (int i = 0; i < 3; ++i) {
+    frame.seq = static_cast<uint64_t>(i);
+    EXPECT_TRUE(transport->Send(2, frame));
+  }
+
+  obs::Counter* timeout_drops = registry.GetCounter(
+      "marlin_cluster_tcp_send_drops_total", "Outbound frames dropped by reason",
+      {{"reason", "timeout"}});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // Of the three frames, at most one can be consumed fresh by the first
+  // dial attempt; the rest outlive send_timeout during the backoff park.
+  while (timeout_drops->Value() < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timeout drops never surfaced in metrics";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  transport->Shutdown();
+}
+
+TEST(TcpTransportTest, ShutdownAccountsQueuedFramesAsDrops) {
+  // Send accepted the frames; Shutdown kills the sender before they hit the
+  // wire. That loss must be accounted under reason="shutdown" so operators
+  // can tell a drain-less shutdown from a healthy one.
+  obs::MetricsRegistry registry;
+  TcpTransportOptions options;
+  options.metrics = &registry;
+  options.send_timeout = 60'000'000;        // effectively no timeout
+  options.reconnect_initial = 60'000'000;   // park ~forever after 1st dial
+  options.reconnect_max = 60'000'000;
+  auto transport = std::make_shared<TcpTransport>(options);
+  ASSERT_TRUE(transport->Listen().ok());
+  transport->SetPeers({TcpPeer{2, "127.0.0.1", 1}});
+  ASSERT_TRUE(transport->Start(1, [](const Frame&) {}).ok());
+
+  Frame frame;
+  frame.type = FrameType::kEnvelope;
+  frame.src = 1;
+  frame.payload = "never-sent";
+  frame.seq = 0;
+  EXPECT_TRUE(transport->Send(2, frame));
+
+  // Wait for the sender to consume the first frame (failed dial → io drop)
+  // and park in its hour-long backoff; everything sent now stays queued.
+  obs::Counter* io_drops = registry.GetCounter(
+      "marlin_cluster_tcp_send_drops_total", "Outbound frames dropped by reason",
+      {{"reason", "io"}});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (io_drops->Value() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "first dial never failed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (int i = 1; i <= 4; ++i) {
+    frame.seq = static_cast<uint64_t>(i);
+    EXPECT_TRUE(transport->Send(2, frame));
+  }
+  transport->Shutdown();
+
+  obs::Counter* shutdown_drops = registry.GetCounter(
+      "marlin_cluster_tcp_send_drops_total", "Outbound frames dropped by reason",
+      {{"reason", "shutdown"}});
+  EXPECT_EQ(shutdown_drops->Value(), 4u);
+  // Nothing was ever delivered, so every accepted frame is accounted as
+  // exactly one drop across the reason labels.
+  obs::Counter* timeout_drops = registry.GetCounter(
+      "marlin_cluster_tcp_send_drops_total", "Outbound frames dropped by reason",
+      {{"reason", "timeout"}});
+  EXPECT_EQ(io_drops->Value() + shutdown_drops->Value() +
+                timeout_drops->Value(),
+            5u);
 }
 
 }  // namespace

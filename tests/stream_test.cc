@@ -322,5 +322,54 @@ TEST(ConsumerTest, AssignmentRestrictsPollCommitAndLag) {
   EXPECT_GE(drained, 1);
 }
 
+TEST(ConsumerTest, ReassignedPartitionResumesFromGroupCommit) {
+  // The cluster rebalance flow: a partition leaves this consumer's
+  // assignment, another node consumes and commits it, then the ring moves
+  // it back. The returning partition must resume from the group's committed
+  // offset — the position held while it was away is stale, and resuming
+  // from it would re-deliver everything the other node already processed.
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 2).ok());
+  int salt = 0;
+  while (Broker::PartitionForKey("k" + std::to_string(salt), 2) != 0) ++salt;
+  const std::string key0 = "k" + std::to_string(salt);
+  auto append = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(broker.Append("t", key0, "v", 0).ok());
+    }
+  };
+
+  append(4);
+  Consumer a(&broker, "g", "t");
+  a.SetAssignment({0, 1});
+  EXPECT_EQ(a.Poll(100).size(), 4u);
+  a.Commit();  // group committed offset for p0: 4
+
+  // Rebalance: p0 moves to another node, which advances and commits it.
+  append(3);
+  a.SetAssignment({1});
+  Consumer b(&broker, "g", "t");
+  b.SetAssignment({0});
+  EXPECT_EQ(b.Poll(100).size(), 3u);  // fresh consumer starts at commit 4
+  b.Commit();                         // group committed offset for p0: 7
+
+  // p0 returns to `a`. Its stale local position (4) must be re-seeded from
+  // the committed offset (7): only records appended after b's commit flow.
+  append(2);
+  a.SetAssignment({0, 1});
+  const auto batch = a.Poll(100);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].offset, 7);
+  EXPECT_EQ(batch[1].offset, 8);
+
+  // Counter-case: an empty previous assignment means "held everything", so
+  // narrowing must NOT reseed — the live position survives even though the
+  // group never committed for this consumer's group.
+  Consumer c(&broker, "h", "t");
+  EXPECT_EQ(c.Poll(100).size(), 9u);  // all of p0, no commit
+  c.SetAssignment({0});
+  EXPECT_TRUE(c.Poll(100).empty());  // position kept; nothing re-delivered
+}
+
 }  // namespace
 }  // namespace marlin
