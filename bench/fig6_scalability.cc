@@ -25,6 +25,7 @@
 #include "cluster/cluster_node.h"
 #include "cluster/transport.h"
 #include "core/pipeline.h"
+#include "nn/simd.h"
 #include "util/clock.h"
 #include "vrf/svrf_model.h"
 
@@ -415,11 +416,196 @@ int RunCluster() {
   return 0;
 }
 
+// ------------------------------------------------------------------------
+// NN inference head-to-head: the same single-node vessel workload with the
+// per-message inline S-VRF forward (the seed behaviour) vs the batched
+// inference seam (DESIGN.md §10), each with the SIMD kernels off and on.
+// Reports the saturated (plateau) per-message cost and emits BENCH_nn.json.
+// Scale knobs: MARLIN_F6B_VESSELS (default 3000), MARLIN_F6B_MINUTES
+// (default 30). MARLIN_F6_NN_ONLY=1 runs just this section.
+
+struct NnCaseResult {
+  std::string mode;
+  bool batched = false;
+  bool simd = false;
+  double plateau_us = 0.0;  // saturated cost: top-quartile windowed average
+  double mean_us = 0.0;     // stage_position mean over the whole run
+  double wall_sec = 0.0;
+  int64_t forecasts = 0;
+  double avg_batch = 0.0;  // mean requests per batched forward (batched only)
+};
+
+NnCaseResult RunNnCase(const std::string& mode, bool batched, bool use_simd,
+                       std::shared_ptr<const RouteForecaster> svrf,
+                       const World* world, int vessels, double minutes) {
+  simd::SetEnabledForTesting(use_simd);
+  obs::MetricsRegistry registry;
+  PipelineConfig pipeline_config;
+  pipeline_config.actor_system.num_threads = 2;
+  pipeline_config.batched_inference = batched;
+  pipeline_config.metrics = &registry;
+  MaritimePipeline pipeline(std::move(svrf), pipeline_config);
+  NnCaseResult result;
+  result.mode = mode;
+  result.batched = batched;
+  result.simd = use_simd;
+  if (!pipeline.Start().ok()) return result;
+
+  FleetConfig fleet_config;
+  fleet_config.num_vessels = vessels;
+  fleet_config.seed = 42;
+  fleet_config.step_sec = 20.0;
+  fleet_config.arrival_span_sec = minutes * 60.0 * 0.5;
+  FleetSimulator fleet(world, fleet_config);
+
+  Stopwatch wall;
+  std::vector<AisPosition> batch;
+  const int steps = static_cast<int>(minutes * 60.0 / fleet_config.step_sec);
+  for (int step = 0; step < steps; ++step) {
+    batch.clear();
+    fleet.Step(&batch);
+    for (const AisPosition& report : batch) {
+      (void)pipeline.Ingest(report);
+    }
+    pipeline.AwaitQuiescence();
+  }
+  pipeline.AwaitQuiescence();
+  result.wall_sec = wall.ElapsedMillis() / 1000.0;
+
+  const PipelineStats stats = pipeline.Stats();
+  result.forecasts = stats.forecasts_generated;
+  result.mean_us = stats.mean_processing_nanos / 1000.0;
+  // Saturated cost: average the windowed series over the top quartile of
+  // the actor ramp (same Q4 the Figure-6 shape checks use).
+  const std::vector<LatencyPoint> series = pipeline.LatencySeries();
+  int64_t max_actors = 0;
+  for (const LatencyPoint& point : series) {
+    max_actors = std::max(max_actors, point.actor_count);
+  }
+  double q4_sum = 0.0;
+  int64_t q4_n = 0;
+  for (const LatencyPoint& point : series) {
+    if (point.actor_count > 3 * max_actors / 4) {
+      q4_sum += point.avg_nanos;
+      ++q4_n;
+    }
+  }
+  result.plateau_us = q4_n > 0 ? q4_sum / q4_n / 1000.0 : result.mean_us;
+  if (batched) {
+    result.avg_batch =
+        registry
+            .GetHistogram("marlin_nn_inference_batch_size",
+                          "Requests coalesced per batched NN forward", {})
+            ->Mean();
+  }
+  pipeline.Stop();
+  return result;
+}
+
+int RunNnBatching() {
+  const int vessels =
+      static_cast<int>(bench::EnvInt("MARLIN_F6B_VESSELS", 3000));
+  const double minutes =
+      static_cast<double>(bench::EnvInt("MARLIN_F6B_MINUTES", 30));
+  const bool simd_available = simd::CompiledIn() && simd::CpuSupported();
+
+  std::printf("\n=== Figure 6 extension: batched + vectorized S-VRF "
+              "inference ===\n");
+  std::printf("workload: %d vessels over %.0f min, single node; SIMD "
+              "kernels %s\n",
+              vessels, minutes,
+              simd_available ? "available (avx2-fma)" : "unavailable");
+
+  const World world = World::GlobalWorld(7);
+  SvrfModel::Config model_config;
+  model_config.hidden_dim = 12;
+  model_config.dense_dim = 12;
+  auto svrf = std::make_shared<SvrfModel>(model_config);
+  {
+    bench::SvrfDataset data = bench::BuildSvrfDataset(world, 60, 6.0, 6, 99);
+    Trainer::Options options;
+    options.epochs =
+        static_cast<int>(bench::EnvInt("MARLIN_F6_TRAIN_EPOCHS", 6));
+    options.batch_size = 64;
+    options.learning_rate = 3e-3;
+    svrf->Train(data.train, {}, options);
+  }
+
+  std::vector<NnCaseResult> results;
+  results.push_back(RunNnCase("inline_scalar", /*batched=*/false,
+                              /*use_simd=*/false, svrf, &world, vessels,
+                              minutes));
+  if (simd_available) {
+    results.push_back(RunNnCase("inline_simd", /*batched=*/false,
+                                /*use_simd=*/true, svrf, &world, vessels,
+                                minutes));
+  }
+  results.push_back(RunNnCase("batched_scalar", /*batched=*/true,
+                              /*use_simd=*/false, svrf, &world, vessels,
+                              minutes));
+  if (simd_available) {
+    results.push_back(RunNnCase("batched_simd", /*batched=*/true,
+                                /*use_simd=*/true, svrf, &world, vessels,
+                                minutes));
+  }
+  simd::SetEnabledForTesting(simd_available);
+
+  std::printf("\n| mode           | plateau (us/msg) | mean (us/msg) | "
+              "avg batch | forecasts | wall (s) |\n");
+  std::printf("|----------------|------------------|---------------|-"
+              "----------|-----------|----------|\n");
+  for (const NnCaseResult& r : results) {
+    std::printf("| %-14s | %16.1f | %13.1f | %9.1f | %9lld | %8.2f |\n",
+                r.mode.c_str(), r.plateau_us, r.mean_us, r.avg_batch,
+                static_cast<long long>(r.forecasts), r.wall_sec);
+  }
+  const double before = results.front().plateau_us;
+  const double after = results.back().plateau_us;
+  std::printf("\nsaturated per-message cost: %.1f us -> %.1f us (%.1fx)\n",
+              before, after, after > 0.0 ? before / after : 0.0);
+  std::printf("  target <= 40 us:  %s\n", after <= 40.0 ? "YES" : "NO");
+  std::printf("  stretch <= 20 us: %s\n", after <= 20.0 ? "YES" : "NO");
+
+  FILE* json = std::fopen("BENCH_nn.json", "w");
+  if (json == nullptr) {
+    std::printf("ERROR: cannot write BENCH_nn.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"vessels\": %d,\n  \"minutes\": %.0f,\n"
+               "  \"simd_available\": %s,\n  \"cases\": [\n",
+               vessels, minutes, simd_available ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const NnCaseResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"mode\": \"%s\", \"batched\": %s, \"simd\": %s, "
+                 "\"plateau_us_per_message\": %.1f, "
+                 "\"mean_us_per_message\": %.1f, \"avg_batch_size\": %.1f, "
+                 "\"forecasts\": %lld, \"wall_sec\": %.2f}%s\n",
+                 r.mode.c_str(), r.batched ? "true" : "false",
+                 r.simd ? "true" : "false", r.plateau_us, r.mean_us,
+                 r.avg_batch, static_cast<long long>(r.forecasts), r.wall_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"before_plateau_us\": %.1f,\n"
+               "  \"after_plateau_us\": %.1f\n}\n",
+               before, after);
+  std::fclose(json);
+  std::printf("wrote BENCH_nn.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace marlin
 
 int main() {
+  if (marlin::bench::EnvInt("MARLIN_F6_NN_ONLY", 0) != 0) {
+    return marlin::RunNnBatching();
+  }
   const int single_node = marlin::Run();
   if (single_node != 0) return single_node;
-  return marlin::RunCluster();
+  const int cluster = marlin::RunCluster();
+  if (cluster != 0) return cluster;
+  return marlin::RunNnBatching();
 }

@@ -1,10 +1,12 @@
 #include "core/actors.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/logging.h"
+#include "vrf/inference_batcher.h"
 
 namespace marlin {
 namespace {
@@ -55,6 +57,9 @@ Status VesselActor::Receive(const std::any& message, ActorContext& ctx) {
   if (const auto* position = std::any_cast<PositionMsg>(&message)) {
     return HandlePosition(position->report, position->ingest_cost_nanos, ctx);
   }
+  if (const auto* result = std::any_cast<ForecastResultMsg>(&message)) {
+    return HandleForecastResult(*result, ctx);
+  }
   if (const auto* event = std::any_cast<EventMsg>(&message)) {
     my_events_.push_back(event->event);
     while (my_events_.size() > 64) my_events_.pop_front();
@@ -84,6 +89,7 @@ Status VesselActor::HandlePosition(const AisPosition& report,
   pipeline_->positions_ingested.fetch_add(1, std::memory_order_relaxed);
 
   const bool accepted = history_.Push(report);
+  latest_report_ = report;
 
   // Route the raw observation to the proximity cell actor.
   const CellId cell = HexGrid::LatLngToCell(
@@ -115,57 +121,139 @@ Status VesselActor::HandlePosition(const AisPosition& report,
                       ctx.self());
   }
 
-  // Generate a forecast once a full input window is available.
+  // Generate a forecast once a full input window is available. Preferred
+  // path: submit to the shared inference batcher, which coalesces requests
+  // from many vessel actors into one column-batched network forward and
+  // Tells a ForecastResultMsg back; the fan-out then happens in
+  // HandleForecastResult. Falls back to the inline forecast when batching
+  // is off or the batcher applies backpressure.
+  bool submitted = false;
   if (accepted && history_.Ready()) {
-    obs::ScopedTimer forecast_timer(pipeline_->stage_forecast);
     const SvrfInput input = history_.MakeInput();
-    StatusOr<ForecastTrajectory> forecast =
-        pipeline_->forecaster->Forecast(input);
-    if (forecast.ok()) {
-      forecast->mmsi = mmsi_;
-      latest_forecast_ = std::move(*forecast);
-      has_forecast_ = true;
-      pipeline_->forecasts_generated.fetch_add(1, std::memory_order_relaxed);
-
-      // Collision actor of the anchor's coarse region.
-      const CellId region = HexGrid::LatLngToCell(
-          report.position, pipeline_->config->collision_actor_resolution);
-      if (region != kInvalidCellId) {
-        StatusOr<ActorRef> collision_actor = ctx.system().GetOrSpawn(
-            CollisionActorName(region),
-            [this] { return std::make_unique<CollisionActor>(pipeline_); });
-        if (collision_actor.ok()) {
-          ctx.system().Tell(*collision_actor, TrajectoryMsg{latest_forecast_},
-                            ctx.self());
-        }
+    InferenceBatcher* batcher = pipeline_->batcher;
+    if (batcher != nullptr) {
+      if (!self_ref_.valid()) {
+        StatusOr<ActorRef> self = ctx.system().Find(VesselActorName(mmsi_));
+        if (self.ok()) self_ref_ = *self;
       }
-      // Traffic raster.
-      if (pipeline_->config->enable_vtff && pipeline_->traffic.valid()) {
-        ctx.system().Tell(pipeline_->traffic, TrajectoryMsg{latest_forecast_},
-                          ctx.self());
+      if (self_ref_.valid()) {
+        // The callback runs on whichever thread flushes the batch; Tell is
+        // thread-safe and re-enters this actor through its mailbox, so no
+        // actor state is touched off-thread.
+        ActorSystem* system = &ctx.system();
+        submitted =
+            batcher
+                ->Submit(input,
+                         [system, self = self_ref_](
+                             StatusOr<ForecastTrajectory> result,
+                             int64_t per_item_nanos) {
+                           ForecastResultMsg msg;
+                           msg.ok = result.ok();
+                           if (result.ok()) {
+                             msg.trajectory = std::move(*result);
+                           }
+                           msg.forecast_nanos = per_item_nanos;
+                           system->Tell(self, std::move(msg));
+                         })
+                .ok();
       }
-      // Predicted port arrivals.
-      if (pipeline_->ports.valid()) {
-        ctx.system().Tell(pipeline_->ports, TrajectoryMsg{latest_forecast_},
-                          ctx.self());
+    }
+    if (!submitted) {
+      obs::ScopedTimer forecast_timer(pipeline_->stage_forecast);
+      StatusOr<ForecastTrajectory> forecast =
+          pipeline_->forecaster->Forecast(input);
+      if (forecast.ok()) {
+        forecast->mmsi = mmsi_;
+        latest_forecast_ = std::move(*forecast);
+        has_forecast_ = true;
+        pipeline_->forecasts_generated.fetch_add(1, std::memory_order_relaxed);
+        PublishForecast(latest_forecast_, ctx);
       }
     }
   }
 
-  // Publish state to the writer.
-  VesselStateMsg state;
-  state.latest = report;
-  state.has_forecast = has_forecast_;
-  if (has_forecast_) state.forecast = latest_forecast_;
-  ctx.system().Tell(pipeline_->WriterFor(mmsi_), std::move(state), ctx.self());
+  PublishState(report, ctx);
 
   const int64_t total_nanos = stopwatch.ElapsedNanos() + ingest_cost_nanos;
+  if (submitted) {
+    // Charge this message's cost once, when its forecast lands: stash the
+    // sync share for HandleForecastResult to combine with the batched
+    // share. Bounded defensively; entries only leak if a callback is lost.
+    pending_sync_nanos_.push_back(total_nanos);
+    while (pending_sync_nanos_.size() > 64) pending_sync_nanos_.pop_front();
+  } else {
+    if (pipeline_->stage_position != nullptr) {
+      pipeline_->stage_position->Observe(total_nanos);
+    }
+    pipeline_->latency->Record(static_cast<int64_t>(ctx.system().ActorCount()),
+                               total_nanos);
+  }
+  return Status::Ok();
+}
+
+Status VesselActor::HandleForecastResult(const ForecastResultMsg& result,
+                                         ActorContext& ctx) {
+  Stopwatch stopwatch;
+  int64_t sync_nanos = 0;
+  if (!pending_sync_nanos_.empty()) {
+    sync_nanos = pending_sync_nanos_.front();
+    pending_sync_nanos_.pop_front();
+  }
+  if (pipeline_->stage_forecast != nullptr) {
+    pipeline_->stage_forecast->Observe(result.forecast_nanos);
+  }
+  if (result.ok) {
+    latest_forecast_ = result.trajectory;
+    latest_forecast_.mmsi = mmsi_;
+    has_forecast_ = true;
+    pipeline_->forecasts_generated.fetch_add(1, std::memory_order_relaxed);
+    PublishForecast(latest_forecast_, ctx);
+    // Refresh the writer's view now that the forecast exists.
+    PublishState(latest_report_, ctx);
+  }
+  // Complete the Figure-6 measurement for the originating message: its
+  // synchronous share, its slice of the batched forward, and this fan-out.
+  const int64_t total_nanos =
+      sync_nanos + result.forecast_nanos + stopwatch.ElapsedNanos();
   if (pipeline_->stage_position != nullptr) {
     pipeline_->stage_position->Observe(total_nanos);
   }
   pipeline_->latency->Record(static_cast<int64_t>(ctx.system().ActorCount()),
                              total_nanos);
   return Status::Ok();
+}
+
+void VesselActor::PublishForecast(const ForecastTrajectory& trajectory,
+                                  ActorContext& ctx) {
+  // Collision actor of the anchor's coarse region.
+  const CellId region = HexGrid::LatLngToCell(
+      latest_report_.position, pipeline_->config->collision_actor_resolution);
+  if (region != kInvalidCellId) {
+    StatusOr<ActorRef> collision_actor = ctx.system().GetOrSpawn(
+        CollisionActorName(region),
+        [this] { return std::make_unique<CollisionActor>(pipeline_); });
+    if (collision_actor.ok()) {
+      ctx.system().Tell(*collision_actor, TrajectoryMsg{trajectory},
+                        ctx.self());
+    }
+  }
+  // Traffic raster.
+  if (pipeline_->config->enable_vtff && pipeline_->traffic.valid()) {
+    ctx.system().Tell(pipeline_->traffic, TrajectoryMsg{trajectory},
+                      ctx.self());
+  }
+  // Predicted port arrivals.
+  if (pipeline_->ports.valid()) {
+    ctx.system().Tell(pipeline_->ports, TrajectoryMsg{trajectory}, ctx.self());
+  }
+}
+
+void VesselActor::PublishState(const AisPosition& report, ActorContext& ctx) {
+  VesselStateMsg state;
+  state.latest = report;
+  state.has_forecast = has_forecast_;
+  if (has_forecast_) state.forecast = latest_forecast_;
+  ctx.system().Tell(pipeline_->WriterFor(mmsi_), std::move(state), ctx.self());
 }
 
 void VesselActor::OnRestart(const Status& failure) {

@@ -38,13 +38,29 @@ class VesselActor : public Actor {
  private:
   Status HandlePosition(const AisPosition& report, int64_t ingest_cost_nanos,
                         ActorContext& ctx);
+  /// Completes an asynchronously batched forecast: stores it, fans it out
+  /// to the collision/traffic/ports/writer actors, and records the
+  /// per-message processing cost (stashed sync share + batched share).
+  Status HandleForecastResult(const ForecastResultMsg& result,
+                              ActorContext& ctx);
+  /// Forecast fan-out shared by the inline and batched paths.
+  void PublishForecast(const ForecastTrajectory& trajectory, ActorContext& ctx);
+  /// Writer-state publish shared by both paths.
+  void PublishState(const AisPosition& report, ActorContext& ctx);
 
   Mmsi mmsi_;
   PipelineContext* pipeline_;
   VesselHistory history_;
   bool has_forecast_ = false;
   ForecastTrajectory latest_forecast_;
+  AisPosition latest_report_;
   std::deque<MaritimeEvent> my_events_;  // events affecting this vessel
+  /// Self-handle captured into batcher callbacks (resolved lazily).
+  ActorRef self_ref_;
+  /// Sync-side nanos of positions whose forecast is still in the batcher,
+  /// oldest first; results pop from the front (actor isolation — the deque
+  /// is only touched from this actor's Receive).
+  std::deque<int64_t> pending_sync_nanos_;
 };
 
 /// Per-cell actor for proximity event detection (§3: "a class for proximity

@@ -40,6 +40,18 @@ struct EventMsg {
   MaritimeEvent event;
 };
 
+/// Completed asynchronous forecast, Tell-ed back to the owning vessel actor
+/// by the inference batcher's flushing thread. The actor finishes the
+/// forecast fan-out (collision/traffic/ports/writer) when this lands.
+struct ForecastResultMsg {
+  bool ok = false;
+  ForecastTrajectory trajectory;  // valid when ok
+  /// This request's share of the batched network forward, in nanoseconds
+  /// (batch cost / batch size) — the async path's contribution to the
+  /// Figure-6 per-message processing cost.
+  int64_t forecast_nanos = 0;
+};
+
 /// Vessel state published by vessel actors to the writer.
 struct VesselStateMsg {
   AisPosition latest;

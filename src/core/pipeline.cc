@@ -1,8 +1,11 @@
 #include "core/pipeline.h"
 
+#include <thread>
+
 #include "ais/codec.h"
 #include "core/actors.h"
 #include "util/logging.h"
+#include "vrf/inference_batcher.h"
 
 namespace marlin {
 
@@ -34,6 +37,16 @@ Status MaritimePipeline::Start() {
   context_->broker = &broker_;
   context_->latency = &latency_;
   context_->system = system_.get();
+  if (config_.batched_inference) {
+    InferenceBatcher::Options batcher_options;
+    batcher_options.max_batch = std::max(1, config_.inference_batch_size);
+    batcher_options.flush_deadline_micros = config_.inference_flush_micros;
+    batcher_options.background_flusher = config_.inference_background_flusher;
+    batcher_options.metrics = metrics_;
+    batcher_ =
+        std::make_unique<InferenceBatcher>(forecaster_.get(), batcher_options);
+    context_->batcher = batcher_.get();
+  }
   const std::string stage_name = "marlin_pipeline_stage_nanos";
   const std::string stage_help = "Per-stage pipeline latency in nanoseconds";
   context_->stage_ingest =
@@ -85,6 +98,9 @@ Status MaritimePipeline::Start() {
 void MaritimePipeline::Stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  // Stop the batcher first: its final flush still Tells results into the
+  // live actor system; afterwards no non-actor thread touches the system.
+  if (batcher_ != nullptr) batcher_->Stop();
   system_->Shutdown();
 }
 
@@ -138,7 +154,20 @@ int MaritimePipeline::PumpIngestion(int max_records) {
 }
 
 void MaritimePipeline::AwaitQuiescence() {
-  if (system_ != nullptr) system_->AwaitQuiescence();
+  if (system_ == nullptr) return;
+  // Actors and the batcher feed each other: draining the mailboxes can
+  // enqueue forecast requests, and flushing those requests Tells results
+  // back into the mailboxes. Alternate until both are quiet. Once the
+  // system is quiescent no actor can submit, so a batcher that is also
+  // quiescent ends the loop.
+  for (;;) {
+    system_->AwaitQuiescence();
+    if (batcher_ == nullptr) return;
+    if (batcher_->Flush() == 0 && batcher_->Quiescent()) return;
+    // A concurrent flusher (ticker or submitting thread) still owns a
+    // batch; let it finish delivering before re-checking.
+    std::this_thread::yield();
+  }
 }
 
 StatusOr<ForecastTrajectory> MaritimePipeline::LatestForecast(Mmsi mmsi) {

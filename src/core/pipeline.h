@@ -24,6 +24,8 @@
 
 namespace marlin {
 
+class InferenceBatcher;
+
 /// Pipeline configuration (the knobs named in §3: per-vessel actors N,
 /// cell actors of variable size M, collision actors of variable size K).
 struct PipelineConfig {
@@ -65,6 +67,19 @@ struct PipelineConfig {
   /// (§3: actors "communicate their state back to the respective affected
   /// subset of vessel actors").
   bool notify_vessel_actors = true;
+  /// Batched S-VRF inference (DESIGN.md §10): vessel actors submit forecast
+  /// requests to a shared InferenceBatcher that coalesces them into one
+  /// column-batched network forward, instead of each actor running the
+  /// network inline per message. Results come back as ForecastResultMsg.
+  /// Batching never changes forecast values (columns are independent).
+  bool batched_inference = true;
+  /// Requests coalesced per batched forward.
+  int inference_batch_size = 32;
+  /// Straggler flush deadline for partial batches.
+  int64_t inference_flush_micros = 2000;
+  /// Run the batcher's background deadline ticker. Off = partial batches
+  /// only flush via AwaitQuiescence (deterministic-scheduler tests).
+  bool inference_background_flusher = true;
   /// Registry all pipeline substrates (actor system, broker, store, stage
   /// histograms) report into. Null = process global. Also applied to
   /// `actor_system.metrics` when that is unset.
@@ -92,6 +107,9 @@ struct PipelineContext {
   Broker* broker = nullptr;
   LatencyRecorder* latency = nullptr;
   ActorSystem* system = nullptr;
+  /// Shared inference batcher; null when batched_inference is off. Vessel
+  /// actors Submit here and fall back to an inline Forecast on rejection.
+  InferenceBatcher* batcher = nullptr;
   /// Stage-latency members of marlin_pipeline_stage_nanos{stage=...},
   /// cached at Start() so actors never touch the registry on the hot path.
   obs::Histogram* stage_ingest = nullptr;
@@ -207,6 +225,7 @@ class MaritimePipeline {
   Broker broker_;
   LatencyRecorder latency_;
   std::unique_ptr<ActorSystem> system_;
+  std::unique_ptr<InferenceBatcher> batcher_;
   std::unique_ptr<PipelineContext> context_;
   std::unique_ptr<Consumer> consumer_;
   bool started_ = false;

@@ -1,6 +1,9 @@
 #include "nn/layers.h"
 
 #include <cassert>
+#include <utility>
+
+#include "nn/simd.h"
 
 namespace marlin {
 
@@ -23,13 +26,38 @@ const Matrix& Dense::Forward(const Matrix& input) {
     case Activation::kLinear:
       break;
     case Activation::kTanh:
-      output_.Apply([](double x) { return act::Tanh(x); });
+      // Same dispatched kernel as Infer, so training-forward and inference
+      // outputs are bitwise identical in every build.
+      nnkernels::TanhInPlace(output_.data(), output_.size());
       break;
     case Activation::kRelu:
       output_.Apply([](double x) { return act::Relu(x); });
       break;
   }
   return output_;
+}
+
+void Dense::Infer(const Matrix& input, Matrix* pre, Matrix* out) const {
+  MatMul(weight_.value, input, pre);
+  AddColumnBroadcast(*pre, bias_.value, pre);
+  if (!out->SameShape(*pre)) *out = Matrix(pre->rows(), pre->cols());
+  switch (activation_) {
+    case Activation::kLinear:
+      *out = *pre;
+      break;
+    case Activation::kTanh:
+      *out = *pre;
+      nnkernels::TanhInPlace(out->data(), out->size());
+      break;
+    case Activation::kRelu: {
+      const size_t n = pre->size();
+      for (size_t i = 0; i < n; ++i) {
+        const double v = pre->storage()[i];
+        out->storage()[i] = v > 0.0 ? v : 0.0;
+      }
+      break;
+    }
+  }
 }
 
 const Matrix& Dense::Backward(const Matrix& grad_output) {
@@ -100,27 +128,44 @@ const Matrix& LstmCell::Forward(const std::vector<Matrix>& inputs) {
     c_[t] = Matrix(H, batch_);
     h_[t] = Matrix(H, batch_);
     tanh_c_[t] = Matrix(H, batch_);
-    for (int b = 0; b < batch_; ++b) {
-      for (int j = 0; j < H; ++j) {
-        const double i_g = act::Sigmoid(pre(j, b));
-        const double f_g = act::Sigmoid(pre(H + j, b));
-        const double g_g = act::Tanh(pre(2 * H + j, b));
-        const double o_g = act::Sigmoid(pre(3 * H + j, b));
-        gates_[t](j, b) = i_g;
-        gates_[t](H + j, b) = f_g;
-        gates_[t](2 * H + j, b) = g_g;
-        gates_[t](3 * H + j, b) = o_g;
-        const double c_new = f_g * c_prev(j, b) + i_g * g_g;
-        c_[t](j, b) = c_new;
-        const double tc = act::Tanh(c_new);
-        tanh_c_[t](j, b) = tc;
-        h_[t](j, b) = o_g * tc;
-      }
-    }
+    // Fused gate activations + state update (vectorized when SIMD is on).
+    nnkernels::LstmGates(pre.data(), c_prev.data(), gates_[t].data(),
+                         c_[t].data(), h_[t].data(), tanh_c_[t].data(), H,
+                         batch_);
     h_prev = h_[t];
     c_prev = c_[t];
   }
   return h_[steps_ - 1];
+}
+
+void LstmCell::Infer(const std::vector<const Matrix*>& inputs,
+                     InferenceState* state) const {
+  const int steps = static_cast<int>(inputs.size());
+  assert(steps > 0);
+  const int H = hidden_dim_;
+  const int B = inputs[0]->cols();
+  auto ensure = [](Matrix* m, int rows, int cols) {
+    if (m->rows() != rows || m->cols() != cols) *m = Matrix(rows, cols);
+  };
+  ensure(&state->h, H, B);
+  ensure(&state->c, H, B);
+  ensure(&state->gates, 4 * H, B);
+  ensure(&state->tanh_c, H, B);
+  ensure(&state->c_next, H, B);
+  ensure(&state->h_next, H, B);
+  state->h.Zero();
+  state->c.Zero();
+  for (int t = 0; t < steps; ++t) {
+    assert(inputs[t]->rows() == input_dim_ && inputs[t]->cols() == B);
+    ConcatRows(state->h, *inputs[t], &state->z);
+    MatMul(weight_.value, state->z, &state->pre);
+    AddColumnBroadcast(state->pre, bias_.value, &state->pre);
+    nnkernels::LstmGates(state->pre.data(), state->c.data(),
+                         state->gates.data(), state->c_next.data(),
+                         state->h_next.data(), state->tanh_c.data(), H, B);
+    std::swap(state->h, state->h_next);
+    std::swap(state->c, state->c_next);
+  }
 }
 
 void LstmCell::Backward(const Matrix& grad_last_hidden,
@@ -194,6 +239,21 @@ const Matrix& BiLstm::Forward(const std::vector<Matrix>& inputs) {
   const Matrix& h_bwd = backward_.Forward(reversed_inputs_);
   ConcatRows(h_fwd, h_bwd, &output_);
   return output_;
+}
+
+const Matrix& BiLstm::Infer(const std::vector<Matrix>& inputs,
+                            InferenceState* state) const {
+  const int steps = static_cast<int>(inputs.size());
+  state->ptrs_fwd.resize(steps);
+  state->ptrs_bwd.resize(steps);
+  for (int t = 0; t < steps; ++t) {
+    state->ptrs_fwd[t] = &inputs[t];
+    state->ptrs_bwd[t] = &inputs[steps - 1 - t];
+  }
+  forward_.Infer(state->ptrs_fwd, &state->fwd);
+  backward_.Infer(state->ptrs_bwd, &state->bwd);
+  ConcatRows(state->fwd.h, state->bwd.h, &state->out);
+  return state->out;
 }
 
 void BiLstm::Backward(const Matrix& grad_output,

@@ -59,6 +59,11 @@ class Dense {
   /// dL/dx. Must follow a Forward with the same batch.
   const Matrix& Backward(const Matrix& grad_output);
 
+  /// Inference-only forward into caller-owned buffers: does not touch the
+  /// training caches, so it is const and safe to call concurrently with
+  /// distinct `pre`/`out` scratch. Vectorized activation when SIMD is on.
+  void Infer(const Matrix& input, Matrix* pre, Matrix* out) const;
+
   std::vector<Parameter*> Params() { return {&weight_, &bias_}; }
   const Matrix& output() const { return output_; }
   int in_dim() const { return weight_.value.cols(); }
@@ -95,6 +100,22 @@ class LstmCell {
 
   std::vector<Parameter*> Params() { return {&weight_, &bias_}; }
 
+  /// Reusable scratch for the inference-only sequence pass: only the
+  /// current h/c survive a step (no BPTT history), and every buffer is
+  /// reused across calls, so a warm pass performs zero allocations.
+  struct InferenceState {
+    Matrix h, c;                       // current states (H×B)
+    Matrix z, pre, gates, tanh_c;      // per-step scratch
+    Matrix c_next, h_next;
+  };
+
+  /// Runs the sequence through the cell without touching the training
+  /// caches; const, thread-safe with distinct `state`. `inputs` are
+  /// pointers so a caller can present the sequence reversed without
+  /// copying. On return `state->h` holds h_T (H×B).
+  void Infer(const std::vector<const Matrix*>& inputs,
+             InferenceState* state) const;
+
   int hidden_dim() const { return hidden_dim_; }
   int input_dim() const { return input_dim_; }
   /// Hidden states per step from the last Forward (h_1..h_T).
@@ -128,6 +149,19 @@ class BiLstm {
 
   /// Backward from dL/d(concat output); fills grad_inputs per step.
   void Backward(const Matrix& grad_output, std::vector<Matrix>* grad_inputs);
+
+  /// Scratch for the inference-only pass over both directions.
+  struct InferenceState {
+    LstmCell::InferenceState fwd, bwd;
+    std::vector<const Matrix*> ptrs_fwd, ptrs_bwd;
+    Matrix out;  // 2H×B
+  };
+
+  /// Inference-only forward: const, allocation-free when warm, safe to call
+  /// concurrently with distinct `state`. Returns [h_fwd_T; h_bwd_T] (2H×B),
+  /// stored in state->out.
+  const Matrix& Infer(const std::vector<Matrix>& inputs,
+                      InferenceState* state) const;
 
   std::vector<Parameter*> Params();
 

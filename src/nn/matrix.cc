@@ -1,5 +1,7 @@
 #include "nn/matrix.h"
 
+#include "nn/simd.h"
+
 namespace marlin {
 
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -7,6 +9,12 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
   const int m = a.rows(), k = a.cols(), n = b.cols();
   if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
   out->Zero();
+#ifdef MARLIN_SIMD
+  if (simd::Enabled()) {
+    simd::MatMulAvx2(a.data(), b.data(), out->data(), m, k, n);
+    return;
+  }
+#endif
   // i-k-j loop order for cache-friendly row-major access.
   for (int i = 0; i < m; ++i) {
     const double* arow = a.data() + static_cast<size_t>(i) * k;
@@ -25,6 +33,12 @@ void MatMulTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
   const int k = a.rows(), m = a.cols(), n = b.cols();
   if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
   out->Zero();
+#ifdef MARLIN_SIMD
+  if (simd::Enabled()) {
+    simd::MatMulTransposeAAvx2(a.data(), b.data(), out->data(), m, k, n);
+    return;
+  }
+#endif
   for (int kk = 0; kk < k; ++kk) {
     const double* arow = a.data() + static_cast<size_t>(kk) * m;
     const double* brow = b.data() + static_cast<size_t>(kk) * n;
@@ -41,6 +55,12 @@ void MatMulTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.cols());
   const int m = a.rows(), k = a.cols(), n = b.rows();
   if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+#ifdef MARLIN_SIMD
+  if (simd::Enabled()) {
+    simd::MatMulTransposeBAvx2(a.data(), b.data(), out->data(), m, k, n);
+    return;
+  }
+#endif
   for (int i = 0; i < m; ++i) {
     const double* arow = a.data() + static_cast<size_t>(i) * k;
     double* orow = out->data() + static_cast<size_t>(i) * n;

@@ -70,23 +70,42 @@ void SequenceRegressor::Backward(const Matrix& grad_output) {
   bilstm_.Backward(grad_features, &grad_inputs_);
 }
 
+void SequenceRegressor::InferenceWorkspace::PackShape(int steps, int dim,
+                                                      int batch) {
+  if (static_cast<int>(inputs.size()) != steps) inputs.resize(steps);
+  for (int t = 0; t < steps; ++t) {
+    if (inputs[t].rows() != dim || inputs[t].cols() != batch) {
+      inputs[t] = Matrix(dim, batch);
+    }
+  }
+}
+
+const Matrix& SequenceRegressor::PredictBatch(const std::vector<Matrix>& inputs,
+                                              InferenceWorkspace* ws) const {
+  const Matrix& features = bilstm_.Infer(inputs, &ws->bilstm);
+  dense_.Infer(features, &ws->dense_pre, &ws->dense_out);
+  head_.Infer(ws->dense_out, &ws->head_pre, &ws->head_out);
+  return ws->head_out;
+}
+
 std::vector<double> SequenceRegressor::Predict(
-    const std::vector<std::vector<double>>& steps) {
+    const std::vector<std::vector<double>>& steps) const {
   // Single-sample inference is the forecast-serving hot path; batched
   // training goes through Forward/TrainBatch and is not timed here.
   static obs::Histogram* const inference_nanos =
       obs::MetricsRegistry::Global().GetHistogram(
           "marlin_nn_inference_nanos",
-          "SequenceRegressor::Predict latency in nanoseconds");
+          "SequenceRegressor inference latency in nanoseconds per sample");
   obs::ScopedTimer timer(inference_nanos);
-  std::vector<Matrix> inputs(steps.size());
-  for (size_t t = 0; t < steps.size(); ++t) {
-    inputs[t] = Matrix(config_.input_dim, 1);
+  thread_local InferenceWorkspace ws;
+  const int steps_n = static_cast<int>(steps.size());
+  ws.PackShape(steps_n, config_.input_dim, /*batch=*/1);
+  for (int t = 0; t < steps_n; ++t) {
     for (int d = 0; d < config_.input_dim; ++d) {
-      inputs[t](d, 0) = steps[t][static_cast<size_t>(d)];
+      ws.inputs[t](d, 0) = steps[static_cast<size_t>(t)][static_cast<size_t>(d)];
     }
   }
-  const Matrix& out = Forward(inputs);
+  const Matrix& out = PredictBatch(ws.inputs, &ws);
   std::vector<double> result(static_cast<size_t>(config_.output_dim));
   for (int i = 0; i < config_.output_dim; ++i) result[i] = out(i, 0);
   return result;

@@ -72,8 +72,33 @@ class SequenceRegressor {
   /// Backward from dL/d(output). Accumulates parameter gradients.
   void Backward(const Matrix& grad_output);
 
-  /// Convenience single-sample prediction.
-  std::vector<double> Predict(const std::vector<std::vector<double>>& steps);
+  /// Reusable scratch for PredictBatch. One workspace per calling thread;
+  /// after the first call at a given (T, B) shape, inference performs no
+  /// heap allocations.
+  struct InferenceWorkspace {
+    BiLstm::InferenceState bilstm;
+    Matrix dense_pre, dense_out, head_pre, head_out;
+    /// Column-batched input staging (inputs[t]: D×B); callers may pack
+    /// samples directly into these buffers before PredictBatch.
+    std::vector<Matrix> inputs;
+
+    /// Resizes `inputs` to T matrices of D×B, reusing storage.
+    void PackShape(int steps, int dim, int batch);
+  };
+
+  /// Batched inference over a column-batched sequence (inputs[t]: D×B).
+  /// Returns the O×B output, owned by `ws`. Const and thread-safe with
+  /// distinct workspaces: training caches are untouched, so many threads
+  /// can serve one mounted model concurrently. Per-column results are
+  /// bitwise independent of B (a sample predicts identically at any batch
+  /// position, including the ragged final batch).
+  const Matrix& PredictBatch(const std::vector<Matrix>& inputs,
+                             InferenceWorkspace* ws) const;
+
+  /// Convenience single-sample prediction (B=1 PredictBatch over a
+  /// thread-local workspace).
+  std::vector<double> Predict(
+      const std::vector<std::vector<double>>& steps) const;
 
   /// All trainable parameters.
   std::vector<Parameter*> Params();

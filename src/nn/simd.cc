@@ -1,0 +1,113 @@
+#include "nn/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+namespace marlin {
+namespace simd {
+namespace {
+
+bool DetectCpu() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    if (!CompiledIn() || !DetectCpu()) return false;
+    const char* disable = std::getenv("MARLIN_SIMD_DISABLE");
+    return disable == nullptr || disable[0] == '\0' || disable[0] == '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool CompiledIn() {
+#ifdef MARLIN_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupported() {
+  static const bool supported = DetectCpu();
+  return supported;
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabledForTesting(bool enabled) {
+  EnabledFlag().store(enabled && CompiledIn() && CpuSupported(),
+                      std::memory_order_relaxed);
+}
+
+const char* ActiveIsa() { return Enabled() ? "avx2-fma" : "scalar"; }
+
+}  // namespace simd
+
+namespace nnkernels {
+
+void LstmGatesScalar(const double* pre, const double* c_prev, double* gates,
+                     double* c, double* h, double* tanh_c, int hidden,
+                     int batch) {
+  const int H = hidden, B = batch;
+  for (int j = 0; j < H; ++j) {
+    const double* pre_i = pre + static_cast<size_t>(j) * B;
+    const double* pre_f = pre + static_cast<size_t>(H + j) * B;
+    const double* pre_g = pre + static_cast<size_t>(2 * H + j) * B;
+    const double* pre_o = pre + static_cast<size_t>(3 * H + j) * B;
+    double* g_i = gates + static_cast<size_t>(j) * B;
+    double* g_f = gates + static_cast<size_t>(H + j) * B;
+    double* g_g = gates + static_cast<size_t>(2 * H + j) * B;
+    double* g_o = gates + static_cast<size_t>(3 * H + j) * B;
+    const double* cp = c_prev + static_cast<size_t>(j) * B;
+    double* cr = c + static_cast<size_t>(j) * B;
+    double* hr = h + static_cast<size_t>(j) * B;
+    double* tr = tanh_c + static_cast<size_t>(j) * B;
+    for (int b = 0; b < B; ++b) {
+      const double i_g = 1.0 / (1.0 + std::exp(-pre_i[b]));
+      const double f_g = 1.0 / (1.0 + std::exp(-pre_f[b]));
+      const double g_gt = std::tanh(pre_g[b]);
+      const double o_g = 1.0 / (1.0 + std::exp(-pre_o[b]));
+      g_i[b] = i_g;
+      g_f[b] = f_g;
+      g_g[b] = g_gt;
+      g_o[b] = o_g;
+      const double c_new = f_g * cp[b] + i_g * g_gt;
+      cr[b] = c_new;
+      const double tc = std::tanh(c_new);
+      tr[b] = tc;
+      hr[b] = o_g * tc;
+    }
+  }
+}
+
+void LstmGates(const double* pre, const double* c_prev, double* gates,
+               double* c, double* h, double* tanh_c, int hidden, int batch) {
+#ifdef MARLIN_SIMD
+  if (simd::Enabled()) {
+    simd::LstmGatesAvx2(pre, c_prev, gates, c, h, tanh_c, hidden, batch);
+    return;
+  }
+#endif
+  LstmGatesScalar(pre, c_prev, gates, c, h, tanh_c, hidden, batch);
+}
+
+void TanhInPlace(double* x, size_t n) {
+#ifdef MARLIN_SIMD
+  if (simd::Enabled()) {
+    simd::TanhInPlaceAvx2(x, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+}  // namespace nnkernels
+}  // namespace marlin

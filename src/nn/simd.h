@@ -1,0 +1,82 @@
+#ifndef MARLIN_NN_SIMD_H_
+#define MARLIN_NN_SIMD_H_
+
+#include <cstddef>
+
+namespace marlin {
+namespace simd {
+
+/// Runtime dispatch for the vectorized NN kernels. The AVX2/FMA kernels are
+/// compiled only under -DMARLIN_SIMD=ON (in a translation unit built with
+/// -mavx2 -mfma); whether they actually run is decided once at startup from
+/// CPUID, and can be overridden per-process for parity testing.
+///
+/// Numerical contract (see DESIGN.md §10):
+///  - MatMul / MatMulTransposeA: bitwise identical to the scalar path (the
+///    per-element accumulation order is preserved; mul+add, no FMA
+///    contraction).
+///  - MatMulTransposeB: the k-loop dot product is computed with 4 partial
+///    accumulators + horizontal sum, so results may differ from scalar by a
+///    few ulps.
+///  - LstmGates / TanhInPlace: sigmoid/tanh use a Cephes-style vector exp;
+///    elementwise |simd - scalar| <= 1e-12 + 1e-12 * |scalar|.
+
+/// True when the build carries the AVX2 kernels (-DMARLIN_SIMD=ON).
+bool CompiledIn();
+
+/// True when the running CPU supports AVX2 and FMA.
+bool CpuSupported();
+
+/// True when vector kernels will actually be used: compiled in, CPU
+/// support, not disabled via MARLIN_SIMD_DISABLE=1 or SetEnabledForTesting.
+bool Enabled();
+
+/// Forces the scalar path (false) or re-enables dispatch (true). Testing
+/// hook for in-process scalar-vs-SIMD parity checks; not thread-safe
+/// against concurrent kernel calls.
+void SetEnabledForTesting(bool enabled);
+
+/// "avx2-fma" when Enabled(), else "scalar".
+const char* ActiveIsa();
+
+#ifdef MARLIN_SIMD
+/// out(m×n) += a(m×k) * b(k×n); `out` must be pre-zeroed (row-major).
+void MatMulAvx2(const double* a, const double* b, double* out, int m, int k,
+                int n);
+/// out(m×n) += a(k×m)^T * b(k×n); `out` must be pre-zeroed.
+void MatMulTransposeAAvx2(const double* a, const double* b, double* out,
+                          int m, int k, int n);
+/// out(m×n) = a(m×k) * b(n×k)^T.
+void MatMulTransposeBAvx2(const double* a, const double* b, double* out,
+                          int m, int k, int n);
+/// Fused LSTM gate activations + state update, gate order i,f,g,o:
+///   gates = [sigmoid; sigmoid; tanh; sigmoid](pre)   (4H×B)
+///   c     = f ∘ c_prev + i ∘ g                        (H×B)
+///   tanh_c= tanh(c), h = o ∘ tanh_c                   (H×B)
+void LstmGatesAvx2(const double* pre, const double* c_prev, double* gates,
+                   double* c, double* h, double* tanh_c, int hidden, int batch);
+/// x[i] = tanh(x[i]).
+void TanhInPlaceAvx2(double* x, size_t n);
+#endif  // MARLIN_SIMD
+
+}  // namespace simd
+
+namespace nnkernels {
+
+/// Scalar reference for the fused LSTM gate kernel (identical arithmetic to
+/// the historical per-element loops in LstmCell::Forward).
+void LstmGatesScalar(const double* pre, const double* c_prev, double* gates,
+                     double* c, double* h, double* tanh_c, int hidden,
+                     int batch);
+
+/// Dispatching fused LSTM gate kernel (AVX2 when simd::Enabled()).
+void LstmGates(const double* pre, const double* c_prev, double* gates,
+               double* c, double* h, double* tanh_c, int hidden, int batch);
+
+/// Dispatching in-place tanh over a contiguous buffer.
+void TanhInPlace(double* x, size_t n);
+
+}  // namespace nnkernels
+}  // namespace marlin
+
+#endif  // MARLIN_NN_SIMD_H_

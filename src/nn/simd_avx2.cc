@@ -1,0 +1,277 @@
+// AVX2/FMA kernels for the NN hot paths. Compiled only under
+// -DMARLIN_SIMD=ON, with -mavx2 -mfma -ffp-contract=off: contraction stays
+// off so the mul+add sequences in MatMulAvx2 / MatMulTransposeAAvx2 are NOT
+// fused into FMAs — those two kernels promise bitwise identity with the
+// scalar path (same per-element accumulation order, same rounding per
+// step). FMA is used only where the numerical contract is a documented
+// tolerance (dot products in MatMulTransposeBAvx2, the vector exp).
+
+#include "nn/simd.h"
+
+#ifdef MARLIN_SIMD
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace marlin {
+namespace simd {
+namespace {
+
+/// Cephes-style vector exp: rational approximation after range reduction
+/// x = n*ln2 + r. Relative error ~1-2 ulp over the clamped input range;
+/// inputs are clamped to ±708 (exp saturates to ~3e307 / ~3e-308 instead of
+/// inf / 0, which is inside every caller's tolerance).
+inline __m256d ExpPd(__m256d x) {
+  const __m256d kMax = _mm256_set1_pd(708.0);
+  const __m256d kMin = _mm256_set1_pd(-708.0);
+  x = _mm256_min_pd(kMax, _mm256_max_pd(kMin, x));
+
+  const __m256d kLog2e = _mm256_set1_pd(1.4426950408889634073599);
+  __m256d px = _mm256_floor_pd(
+      _mm256_fmadd_pd(x, kLog2e, _mm256_set1_pd(0.5)));
+  const __m128i n32 = _mm256_cvttpd_epi32(px);  // px is integral
+
+  const __m256d kC1 = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d kC2 = _mm256_set1_pd(1.42860682030941723212e-6);
+  x = _mm256_fnmadd_pd(px, kC1, x);
+  x = _mm256_fnmadd_pd(px, kC2, x);
+
+  const __m256d xx = _mm256_mul_pd(x, x);
+  __m256d p = _mm256_set1_pd(1.26177193074810590878e-4);
+  p = _mm256_fmadd_pd(p, xx, _mm256_set1_pd(3.02994407707441961300e-2));
+  p = _mm256_fmadd_pd(p, xx, _mm256_set1_pd(9.99999999999999999910e-1));
+  p = _mm256_mul_pd(p, x);
+
+  __m256d q = _mm256_set1_pd(3.00198505138664455042e-6);
+  q = _mm256_fmadd_pd(q, xx, _mm256_set1_pd(2.52448340349684104192e-3));
+  q = _mm256_fmadd_pd(q, xx, _mm256_set1_pd(2.27265548208155028766e-1));
+  q = _mm256_fmadd_pd(q, xx, _mm256_set1_pd(2.00000000000000000005e0));
+
+  const __m256d e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+  const __m256d r =
+      _mm256_fmadd_pd(e, _mm256_set1_pd(2.0), _mm256_set1_pd(1.0));
+
+  // ldexp(r, n): build 2^n from exponent bits. |n| <= 1022 after clamping.
+  __m256i n64 = _mm256_cvtepi32_epi64(n32);
+  n64 = _mm256_add_epi64(n64, _mm256_set1_epi64x(1023));
+  n64 = _mm256_slli_epi64(n64, 52);
+  return _mm256_mul_pd(r, _mm256_castsi256_pd(n64));
+}
+
+inline __m256d SigmoidPd(__m256d x) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d e = ExpPd(_mm256_sub_pd(_mm256_setzero_pd(), x));
+  return _mm256_div_pd(one, _mm256_add_pd(one, e));
+}
+
+inline __m256d TanhPd(__m256d x) {
+  // tanh(x) = (exp(2x) - 1) / (exp(2x) + 1); saturates correctly at the
+  // exp clamp and stays within the documented tolerance near zero.
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d e2x = ExpPd(_mm256_add_pd(x, x));
+  return _mm256_div_pd(_mm256_sub_pd(e2x, one), _mm256_add_pd(e2x, one));
+}
+
+inline double HorizontalSum(__m256d v) {
+  // (v0+v2) + (v1+v3): fixed reduction order, documented as differing from
+  // the scalar left-to-right sum by reassociation.
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+}
+
+}  // namespace
+
+void MatMulAvx2(const double* a, const double* b, double* out, int m, int k,
+                int n) {
+  // j-tiled i-k-j: each out element accumulates over k in the scalar order,
+  // so results are bitwise identical to the scalar kernel.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a + static_cast<size_t>(i) * k;
+    double* orow = out + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d acc0 = _mm256_loadu_pd(orow + j);
+      __m256d acc1 = _mm256_loadu_pd(orow + j + 4);
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        if (av == 0.0) continue;
+        const __m256d vav = _mm256_set1_pd(av);
+        const double* brow = b + static_cast<size_t>(kk) * n;
+        acc0 = _mm256_add_pd(acc0,
+                             _mm256_mul_pd(vav, _mm256_loadu_pd(brow + j)));
+        acc1 = _mm256_add_pd(
+            acc1, _mm256_mul_pd(vav, _mm256_loadu_pd(brow + j + 4)));
+      }
+      _mm256_storeu_pd(orow + j, acc0);
+      _mm256_storeu_pd(orow + j + 4, acc1);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_loadu_pd(orow + j);
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        if (av == 0.0) continue;
+        const double* brow = b + static_cast<size_t>(kk) * n;
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_set1_pd(av), _mm256_loadu_pd(brow + j)));
+      }
+      _mm256_storeu_pd(orow + j, acc);
+    }
+    for (; j < n; ++j) {
+      double acc = orow[j];
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        if (av == 0.0) continue;
+        acc += av * b[static_cast<size_t>(kk) * n + j];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+void MatMulTransposeAAvx2(const double* a, const double* b, double* out,
+                          int m, int k, int n) {
+  // out(i,j) += sum_kk a(kk,i) * b(kk,j), k ascending per element — bitwise
+  // identical to the scalar kernel.
+  for (int i = 0; i < m; ++i) {
+    double* orow = out + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_loadu_pd(orow + j);
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = a[static_cast<size_t>(kk) * m + i];
+        if (av == 0.0) continue;
+        const double* brow = b + static_cast<size_t>(kk) * n;
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_set1_pd(av), _mm256_loadu_pd(brow + j)));
+      }
+      _mm256_storeu_pd(orow + j, acc);
+    }
+    for (; j < n; ++j) {
+      double acc = orow[j];
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = a[static_cast<size_t>(kk) * m + i];
+        if (av == 0.0) continue;
+        acc += av * b[static_cast<size_t>(kk) * n + j];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+void MatMulTransposeBAvx2(const double* a, const double* b, double* out,
+                          int m, int k, int n) {
+  // Dot products over k with a 4-wide FMA accumulator + horizontal sum:
+  // differs from the scalar sum by reassociation (documented tolerance).
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a + static_cast<size_t>(i) * k;
+    double* orow = out + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* brow = b + static_cast<size_t>(j) * k;
+      __m256d acc = _mm256_setzero_pd();
+      int kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc = _mm256_fmadd_pd(_mm256_loadu_pd(arow + kk),
+                              _mm256_loadu_pd(brow + kk), acc);
+      }
+      double sum = HorizontalSum(acc);
+      for (; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      orow[j] = sum;
+    }
+  }
+}
+
+namespace {
+
+/// Applies the fused gate update to 4 batch lanes starting at column b of
+/// row j (pointers pre-offset to the row starts).
+inline void GateLanes(const double* pre_i, const double* pre_f,
+                      const double* pre_g, const double* pre_o,
+                      const double* cp, double* g_i, double* g_f, double* g_g,
+                      double* g_o, double* cr, double* hr, double* tr) {
+  const __m256d i_g = SigmoidPd(_mm256_loadu_pd(pre_i));
+  const __m256d f_g = SigmoidPd(_mm256_loadu_pd(pre_f));
+  const __m256d g_gt = TanhPd(_mm256_loadu_pd(pre_g));
+  const __m256d o_g = SigmoidPd(_mm256_loadu_pd(pre_o));
+  _mm256_storeu_pd(g_i, i_g);
+  _mm256_storeu_pd(g_f, f_g);
+  _mm256_storeu_pd(g_g, g_gt);
+  _mm256_storeu_pd(g_o, o_g);
+  const __m256d c_new = _mm256_add_pd(_mm256_mul_pd(f_g, _mm256_loadu_pd(cp)),
+                                      _mm256_mul_pd(i_g, g_gt));
+  _mm256_storeu_pd(cr, c_new);
+  const __m256d tc = TanhPd(c_new);
+  _mm256_storeu_pd(tr, tc);
+  _mm256_storeu_pd(hr, _mm256_mul_pd(o_g, tc));
+}
+
+}  // namespace
+
+void LstmGatesAvx2(const double* pre, const double* c_prev, double* gates,
+                   double* c, double* h, double* tanh_c, int hidden,
+                   int batch) {
+  const int H = hidden, B = batch;
+  for (int j = 0; j < H; ++j) {
+    const double* pre_i = pre + static_cast<size_t>(j) * B;
+    const double* pre_f = pre + static_cast<size_t>(H + j) * B;
+    const double* pre_g = pre + static_cast<size_t>(2 * H + j) * B;
+    const double* pre_o = pre + static_cast<size_t>(3 * H + j) * B;
+    double* g_i = gates + static_cast<size_t>(j) * B;
+    double* g_f = gates + static_cast<size_t>(H + j) * B;
+    double* g_g = gates + static_cast<size_t>(2 * H + j) * B;
+    double* g_o = gates + static_cast<size_t>(3 * H + j) * B;
+    const double* cp = c_prev + static_cast<size_t>(j) * B;
+    double* cr = c + static_cast<size_t>(j) * B;
+    double* hr = h + static_cast<size_t>(j) * B;
+    double* tr = tanh_c + static_cast<size_t>(j) * B;
+    int b = 0;
+    for (; b + 4 <= B; b += 4) {
+      GateLanes(pre_i + b, pre_f + b, pre_g + b, pre_o + b, cp + b, g_i + b,
+                g_f + b, g_g + b, g_o + b, cr + b, hr + b, tr + b);
+    }
+    if (b < B) {
+      // Ragged tail: run the same vector kernel on a zero-padded stage so
+      // every batch column sees identical arithmetic regardless of its
+      // position — PredictBatch results are batch-size invariant.
+      const int rem = B - b;
+      double sp_i[4] = {0}, sp_f[4] = {0}, sp_g[4] = {0}, sp_o[4] = {0};
+      double scp[4] = {0}, sgi[4], sgf[4], sgg[4], sgo[4], scr[4], shr[4],
+             str[4];
+      std::memcpy(sp_i, pre_i + b, rem * sizeof(double));
+      std::memcpy(sp_f, pre_f + b, rem * sizeof(double));
+      std::memcpy(sp_g, pre_g + b, rem * sizeof(double));
+      std::memcpy(sp_o, pre_o + b, rem * sizeof(double));
+      std::memcpy(scp, cp + b, rem * sizeof(double));
+      GateLanes(sp_i, sp_f, sp_g, sp_o, scp, sgi, sgf, sgg, sgo, scr, shr,
+                str);
+      std::memcpy(g_i + b, sgi, rem * sizeof(double));
+      std::memcpy(g_f + b, sgf, rem * sizeof(double));
+      std::memcpy(g_g + b, sgg, rem * sizeof(double));
+      std::memcpy(g_o + b, sgo, rem * sizeof(double));
+      std::memcpy(cr + b, scr, rem * sizeof(double));
+      std::memcpy(hr + b, shr, rem * sizeof(double));
+      std::memcpy(tr + b, str, rem * sizeof(double));
+    }
+  }
+}
+
+void TanhInPlaceAvx2(double* x, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, TanhPd(_mm256_loadu_pd(x + i)));
+  }
+  if (i < n) {
+    double stage[4] = {0};
+    std::memcpy(stage, x + i, (n - i) * sizeof(double));
+    __m256d v = TanhPd(_mm256_loadu_pd(stage));
+    _mm256_storeu_pd(stage, v);
+    std::memcpy(x + i, stage, (n - i) * sizeof(double));
+  }
+}
+
+}  // namespace simd
+}  // namespace marlin
+
+#endif  // MARLIN_SIMD

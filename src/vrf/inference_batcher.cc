@@ -1,0 +1,166 @@
+#include "vrf/inference_batcher.h"
+
+#include <chrono>
+#include <utility>
+
+namespace marlin {
+
+InferenceBatcher::InferenceBatcher(const RouteForecaster* forecaster,
+                                   const Options& options)
+    : forecaster_(forecaster), options_(options) {
+  obs::MetricsRegistry* registry =
+      obs::MetricsRegistry::OrGlobal(options_.metrics);
+  // Batch sizes are small integers; give the histogram fine buckets so the
+  // coalescing behaviour (1 vs 8 vs 32) is visible, not smeared.
+  obs::Histogram::Options size_buckets;
+  size_buckets.lowest = 1.0;
+  size_buckets.growth = 2.0;
+  size_buckets.buckets = 10;
+  batch_size_hist_ = registry->GetHistogram(
+      "marlin_nn_inference_batch_size",
+      "Requests coalesced per batched NN forward", {}, size_buckets);
+  per_item_nanos_hist_ = registry->GetHistogram(
+      "marlin_nn_inference_nanos",
+      "SequenceRegressor inference latency in nanoseconds per sample",
+      {{"mode", "batched"}});
+  if (options_.background_flusher) {
+    // See the ticker_ member note.
+    ticker_ = std::thread([this] {  // chk-lint: allow(no-raw-thread)
+      TickerLoop();
+    });
+  }
+}
+
+InferenceBatcher::~InferenceBatcher() { Stop(); }
+
+Status InferenceBatcher::Submit(const SvrfInput& input, Callback callback) {
+  std::vector<Request> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::FailedPrecondition("inference batcher stopped");
+    }
+    if (static_cast<int>(pending_.size()) >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("inference batch queue full");
+    }
+    pending_.push_back(Request{input, std::move(callback)});
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<int>(pending_.size()) < options_.max_batch) {
+      return Status::Ok();
+    }
+    // This submit completed a batch: take it and run it on this thread
+    // (leader/follower — no wake-up latency, no idle flusher thread).
+    batch.swap(pending_);
+    in_flight_.fetch_add(static_cast<int>(batch.size()),
+                         std::memory_order_relaxed);
+  }
+  RunBatch(&batch, /*size_flush=*/true);
+  return Status::Ok();
+}
+
+int InferenceBatcher::Flush() {
+  int flushed = 0;
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) break;
+      if (static_cast<int>(pending_.size()) <= options_.max_batch) {
+        batch.swap(pending_);
+      } else {
+        batch.assign(std::make_move_iterator(pending_.begin()),
+                     std::make_move_iterator(pending_.begin() +
+                                             options_.max_batch));
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + options_.max_batch);
+      }
+      in_flight_.fetch_add(static_cast<int>(batch.size()),
+                           std::memory_order_relaxed);
+    }
+    flushed += static_cast<int>(batch.size());
+    RunBatch(&batch, /*size_flush=*/false);
+  }
+  return flushed;
+}
+
+void InferenceBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      // Already stopped; the first Stop flushed and joined.
+      return;
+    }
+    stopped_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  Flush();
+}
+
+bool InferenceBatcher::Quiescent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.empty() && in_flight_.load(std::memory_order_acquire) == 0;
+}
+
+InferenceBatcher::Stats InferenceBatcher::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.size_flushes = size_flushes_.load(std::memory_order_relaxed);
+  s.deadline_flushes = deadline_flushes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InferenceBatcher::RunBatch(std::vector<Request>* batch, bool size_flush) {
+  if (batch->empty()) return;
+  const int n = static_cast<int>(batch->size());
+  std::vector<SvrfInput> inputs;
+  inputs.reserve(batch->size());
+  for (const Request& r : *batch) inputs.push_back(r.input);
+
+  std::vector<StatusOr<ForecastTrajectory>> results;
+  const auto start = std::chrono::steady_clock::now();
+  forecaster_->ForecastBatch(inputs, &results);
+  const int64_t total_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  (size_flush ? size_flushes_ : deadline_flushes_)
+      .fetch_add(1, std::memory_order_relaxed);
+  batch_size_hist_->Observe(n);
+  const int64_t per_item_nanos = total_nanos / n;
+  per_item_nanos_hist_->Observe(per_item_nanos);
+
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<size_t>(i) < results.size()) {
+      (*batch)[static_cast<size_t>(i)].callback(
+          std::move(results[static_cast<size_t>(i)]), per_item_nanos);
+    } else {
+      // A forecaster that under-fills `results` violates the contract;
+      // surface it per-item rather than dropping the callback.
+      (*batch)[static_cast<size_t>(i)].callback(
+          Status::Internal("forecaster returned short batch"), per_item_nanos);
+    }
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void InferenceBatcher::TickerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopped_) {
+    ticker_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.flush_deadline_micros));
+    if (stopped_) break;
+    if (pending_.empty()) continue;
+    lock.unlock();
+    Flush();
+    lock.lock();
+  }
+}
+
+}  // namespace marlin

@@ -1,0 +1,141 @@
+#ifndef MARLIN_VRF_INFERENCE_BATCHER_H_
+#define MARLIN_VRF_INFERENCE_BATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "vrf/route_forecaster.h"
+
+namespace marlin {
+
+/// Coalesces forecast requests from many vessel actors into column-batched
+/// RouteForecaster::ForecastBatch calls, amortising the per-inference
+/// network overhead that dominates the per-message cost at saturation
+/// (the Figure 6 plateau).
+///
+/// Flush policy: a batch runs as soon as `max_batch` requests are pending —
+/// on the thread whose Submit completed the batch (leader/follower, no
+/// hand-off latency) — and a background ticker flushes stragglers that have
+/// waited about `flush_deadline_micros` (worst case one extra tick).
+/// Callbacks are invoked on whichever thread runs the flush, so they must
+/// be thread-safe; actor callers satisfy this by Tell-ing the result back
+/// to themselves.
+///
+/// Determinism: with `background_flusher=false` nothing runs until Submit
+/// fills a batch or the caller invokes Flush(), which makes the batcher
+/// schedulable under the chk deterministic scheduler. Batching itself never
+/// changes results — forecast columns are arithmetically independent, so a
+/// batched forecast is bitwise identical to the single-input call.
+class InferenceBatcher {
+ public:
+  struct Options {
+    /// Requests per batch; a full batch flushes inline on the submitter.
+    int max_batch = 32;
+    /// Pending-queue cap; Submit returns ResourceExhausted beyond it and
+    /// the caller falls back to a synchronous forecast (backpressure
+    /// instead of unbounded buffering).
+    int max_queue = 4096;
+    /// Age at which the ticker flushes a partial batch.
+    int64_t flush_deadline_micros = 2000;
+    /// Start the deadline ticker thread. Turn off in deterministic tests
+    /// and drive Flush() manually.
+    bool background_flusher = true;
+    /// Metrics sink; null = process-global registry.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Receives the result plus this request's share of the batched forward
+  /// cost (batch wall nanos / batch size), for callers that account
+  /// per-message processing time.
+  using Callback =
+      std::function<void(StatusOr<ForecastTrajectory>, int64_t per_item_nanos)>;
+
+  /// `forecaster` must outlive the batcher.
+  InferenceBatcher(const RouteForecaster* forecaster, const Options& options);
+  ~InferenceBatcher();
+
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  /// Enqueues one request; `callback` fires exactly once with the result
+  /// (from a flushing thread). Fails with ResourceExhausted when the queue
+  /// is full and with FailedPrecondition after Stop(); on failure the
+  /// callback is NOT invoked and the caller owns the fallback.
+  Status Submit(const SvrfInput& input, Callback callback);
+
+  /// Drains every pending request on the calling thread (possibly several
+  /// batches). Returns the number of requests flushed.
+  int Flush();
+
+  /// Stops the ticker and flushes the remainder. Idempotent; implied by the
+  /// destructor. After Stop, Submit fails.
+  void Stop();
+
+  /// True when no requests are pending AND no taken batch is still running
+  /// its callbacks. Once the producers have stopped submitting, Quiescent()
+  /// means every callback has fired.
+  bool Quiescent() const;
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t batches = 0;
+    uint64_t size_flushes = 0;      // batches flushed because they filled
+    uint64_t deadline_flushes = 0;  // batches flushed by tick or Flush()
+  };
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Request {
+    SvrfInput input;
+    Callback callback;
+  };
+
+  /// Runs one batch through the forecaster and fires its callbacks. Called
+  /// without `mu_` held.
+  void RunBatch(std::vector<Request>* batch, bool size_flush);
+
+  void TickerLoop();
+
+  const RouteForecaster* forecaster_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<Request> pending_;  // guarded by mu_
+  bool stopped_ = false;          // guarded by mu_
+  /// Requests removed from pending_ whose callbacks have not fired yet.
+  /// Incremented under mu_ when a batch is taken (so there is no window
+  /// where a request is in neither count), decremented after its callback.
+  std::atomic<int> in_flight_{0};
+  std::condition_variable ticker_cv_;
+  /// Deadline ticker. A raw thread rather than a Dispatcher task because it
+  /// must fire while the actor system is busy (that is its whole job) and
+  /// it is disabled under the deterministic scheduler
+  /// (background_flusher=false).
+  std::thread ticker_;  // chk-lint: allow(no-raw-thread)
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> size_flushes_{0};
+  std::atomic<uint64_t> deadline_flushes_{0};
+
+  // Cached metric handles (stable pointers; see MetricsRegistry docs).
+  obs::Histogram* batch_size_hist_;
+  obs::Histogram* per_item_nanos_hist_;
+
+  // Scratch reused across RunBatch calls on the flushing thread would race;
+  // kept per-call (vectors are cheap next to the network forward).
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VRF_INFERENCE_BATCHER_H_

@@ -40,6 +40,19 @@ class RouteForecaster {
   /// fixed-size input window.
   virtual StatusOr<ForecastTrajectory> Forecast(const SvrfInput& input) const = 0;
 
+  /// Forecasts many windows in one call. `results` is resized to
+  /// `inputs.size()`; element i carries the forecast (or per-item error) for
+  /// inputs[i]. The default implementation loops over Forecast; models with
+  /// a genuinely batched network pass (S-VRF) override it so the whole batch
+  /// shares one column-batched forward.
+  virtual void ForecastBatch(const std::vector<SvrfInput>& inputs,
+                             std::vector<StatusOr<ForecastTrajectory>>* results)
+      const {
+    results->clear();
+    results->reserve(inputs.size());
+    for (const SvrfInput& input : inputs) results->push_back(Forecast(input));
+  }
+
   /// Human-readable model name (for reports and benches).
   virtual std::string_view name() const = 0;
 };

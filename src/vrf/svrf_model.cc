@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <unordered_set>
 
 #include "geo/geodesy.h"
 #include "util/file.h"
@@ -21,6 +22,10 @@ FeatureScaler FeatureScaler::Fit(const std::vector<SvrfSample>& samples) {
       ++n;
     }
   }
+  // Samples with empty displacement windows contribute nothing; if the whole
+  // dataset is such, dividing by n==0 would seed every scale with NaN
+  // (std::max(1e-6, NaN) keeps NaN) and silently poison all later encodes.
+  if (n == 0) return scaler;
   const double denom = static_cast<double>(n);
   scaler.dlat_scale = std::max(1e-6, 2.0 * std::sqrt(sum_lat / denom));
   scaler.dlon_scale = std::max(1e-6, 2.0 * std::sqrt(sum_lon / denom));
@@ -29,16 +34,58 @@ FeatureScaler FeatureScaler::Fit(const std::vector<SvrfSample>& samples) {
 }
 
 namespace {
-/// Monotonic weight-version source shared by all SvrfModel instances, so a
-/// thread replica keyed by (owner pointer, version) can never alias a
-/// different model that reused the same address.
+/// Monotonic weight-version source shared by all SvrfModel instances.
 std::atomic<uint64_t> g_svrf_version{1};
+
+/// Process-unique model identity source. Thread replicas key on these ids —
+/// never on the model's address, which the allocator can hand to a new
+/// model the moment the old one dies.
+std::atomic<uint64_t> g_svrf_next_id{1};
+
+/// Registry of live model ids; the destructor removes its id so every
+/// thread can evict replicas of dead models on its next cache miss.
+std::mutex g_live_models_mu;
+std::unordered_set<uint64_t>& LiveModelIds() {
+  // Leaked on purpose: thread_local replica caches may outlive static
+  // destruction order.
+  static auto* ids =
+      new std::unordered_set<uint64_t>();  // chk-lint: allow(naked-new)
+  return *ids;
+}
+
+bool ModelIsLive(uint64_t id) {
+  std::lock_guard<std::mutex> lock(g_live_models_mu);
+  return LiveModelIds().count(id) > 0;
+}
+
+/// One thread's cached copy of a model's network.
+struct ThreadReplica {
+  uint64_t model_id = 0;
+  uint64_t version = 0;
+  std::unique_ptr<SequenceRegressor> net;
+};
+
+std::vector<ThreadReplica>& ReplicasForThisThread() {
+  thread_local std::vector<ThreadReplica> replicas;
+  return replicas;
+}
+
+bool SameNetConfig(const SequenceRegressor::Config& a,
+                   const SequenceRegressor::Config& b) {
+  return a.input_dim == b.input_dim && a.hidden_dim == b.hidden_dim &&
+         a.dense_dim == b.dense_dim && a.output_dim == b.output_dim;
+}
 }  // namespace
 
 SvrfModel::SvrfModel() : SvrfModel(Config()) {}
 
 SvrfModel::SvrfModel(const Config& config) : config_(config) {
   version_.store(g_svrf_version.fetch_add(1), std::memory_order_release);
+  model_id_ = g_svrf_next_id.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_live_models_mu);
+    LiveModelIds().insert(model_id_);
+  }
   SequenceRegressor::Config net_config;
   net_config.input_dim = config.use_velocity_features ? 5 : 3;
   net_config.hidden_dim = config.hidden_dim;
@@ -48,27 +95,37 @@ SvrfModel::SvrfModel(const Config& config) : config_(config) {
   net_ = std::make_unique<SequenceRegressor>(net_config);
 }
 
+SvrfModel::~SvrfModel() {
+  std::lock_guard<std::mutex> lock(g_live_models_mu);
+  LiveModelIds().erase(model_id_);
+}
+
+size_t SvrfModel::ThreadLocalReplicaCountForTesting() {
+  return ReplicasForThisThread().size();
+}
+
+void SvrfModel::EncodeStep(const Displacement& d, double* out) const {
+  // Raw scaled displacements plus implied velocity channels: dividing by
+  // the (irregular) interval normalises away the sampling irregularity
+  // the raw stream carries, which is the feature the recurrent layers
+  // would otherwise have to learn from scratch.
+  out[0] = d.dlat_deg / scaler_.dlat_scale;
+  out[1] = d.dlon_deg / scaler_.dlon_scale;
+  out[2] = d.dt_sec / scaler_.dt_scale;
+  if (config_.use_velocity_features) {
+    const double dt = d.dt_sec > 1.0 ? d.dt_sec : 1.0;
+    out[3] = (d.dlat_deg / dt) * scaler_.dt_scale / scaler_.dlat_scale;
+    out[4] = (d.dlon_deg / dt) * scaler_.dt_scale / scaler_.dlon_scale;
+  }
+}
+
 std::vector<std::vector<double>> SvrfModel::EncodeInput(
     const SvrfInput& input) const {
+  const size_t dim = config_.use_velocity_features ? 5 : 3;
   std::vector<std::vector<double>> steps(kSvrfInputLength);
   for (int t = 0; t < kSvrfInputLength; ++t) {
-    const Displacement& d = input.displacements[t];
-    // Raw scaled displacements plus implied velocity channels: dividing by
-    // the (irregular) interval normalises away the sampling irregularity
-    // the raw stream carries, which is the feature the recurrent layers
-    // would otherwise have to learn from scratch.
-    const double dt = d.dt_sec > 1.0 ? d.dt_sec : 1.0;
-    if (config_.use_velocity_features) {
-      steps[t] = {d.dlat_deg / scaler_.dlat_scale,
-                  d.dlon_deg / scaler_.dlon_scale,
-                  d.dt_sec / scaler_.dt_scale,
-                  (d.dlat_deg / dt) * scaler_.dt_scale / scaler_.dlat_scale,
-                  (d.dlon_deg / dt) * scaler_.dt_scale / scaler_.dlon_scale};
-    } else {
-      steps[t] = {d.dlat_deg / scaler_.dlat_scale,
-                  d.dlon_deg / scaler_.dlon_scale,
-                  d.dt_sec / scaler_.dt_scale};
-    }
+    steps[t].resize(dim);
+    EncodeStep(input.displacements[t], steps[t].data());
   }
   return steps;
 }
@@ -84,47 +141,96 @@ SeqSample SvrfModel::EncodeSample(const SvrfSample& sample) const {
   return out;
 }
 
-StatusOr<ForecastTrajectory> SvrfModel::Forecast(const SvrfInput& input) const {
-  if (!std::isfinite(input.anchor.lat_deg) ||
-      !std::isfinite(input.anchor.lon_deg)) {
-    return Status::InvalidArgument("non-finite anchor position");
-  }
-  const std::vector<double> raw = ThreadLocalNet()->Predict(EncodeInput(input));
+template <typename ValueAt>
+ForecastTrajectory SvrfModel::UnrollTrajectory(const SvrfInput& input,
+                                               ValueAt&& value_at) const {
   ForecastTrajectory trajectory;
   trajectory.points.reserve(kSvrfOutputSteps + 1);
   trajectory.points.push_back(ForecastPoint{input.anchor, input.anchor_time});
   LatLng current = input.anchor;
   for (int step = 0; step < kSvrfOutputSteps; ++step) {
     current.lat_deg = ClampLatitude(
-        current.lat_deg + raw[2 * step] * scaler_.dlat_scale);
+        current.lat_deg + value_at(2 * step) * scaler_.dlat_scale);
     current.lon_deg = WrapLongitude(
-        current.lon_deg + raw[2 * step + 1] * scaler_.dlon_scale);
+        current.lon_deg + value_at(2 * step + 1) * scaler_.dlon_scale);
     trajectory.points.push_back(ForecastPoint{
         current, input.anchor_time + (step + 1) * kSvrfStepMicros});
   }
   return trajectory;
 }
 
+StatusOr<ForecastTrajectory> SvrfModel::Forecast(const SvrfInput& input) const {
+  if (!std::isfinite(input.anchor.lat_deg) ||
+      !std::isfinite(input.anchor.lon_deg)) {
+    return Status::InvalidArgument("non-finite anchor position");
+  }
+  const std::vector<double> raw = ThreadLocalNet()->Predict(EncodeInput(input));
+  return UnrollTrajectory(input, [&raw](int i) { return raw[i]; });
+}
+
+void SvrfModel::ForecastBatch(
+    const std::vector<SvrfInput>& inputs,
+    std::vector<StatusOr<ForecastTrajectory>>* results) const {
+  results->clear();
+  if (inputs.empty()) return;
+  const int batch = static_cast<int>(inputs.size());
+  SequenceRegressor* net = ThreadLocalNet();
+  thread_local SequenceRegressor::InferenceWorkspace ws;
+  const int dim = net->config().input_dim;
+  ws.PackShape(kSvrfInputLength, dim, batch);
+  double features[5];
+  for (int b = 0; b < batch; ++b) {
+    for (int t = 0; t < kSvrfInputLength; ++t) {
+      EncodeStep(inputs[static_cast<size_t>(b)].displacements[t], features);
+      for (int d = 0; d < dim; ++d) ws.inputs[t](d, b) = features[d];
+    }
+  }
+  // One column-batched forward for the whole batch. Columns never mix
+  // arithmetically, so an invalid input only ever poisons its own column.
+  const Matrix& out = net->PredictBatch(ws.inputs, &ws);
+  results->reserve(inputs.size());
+  for (int b = 0; b < batch; ++b) {
+    const SvrfInput& input = inputs[static_cast<size_t>(b)];
+    if (!std::isfinite(input.anchor.lat_deg) ||
+        !std::isfinite(input.anchor.lon_deg)) {
+      results->push_back(
+          Status::InvalidArgument("non-finite anchor position"));
+      continue;
+    }
+    results->push_back(
+        UnrollTrajectory(input, [&out, b](int i) { return out(i, b); }));
+  }
+}
+
 SequenceRegressor* SvrfModel::ThreadLocalNet() const {
-  struct Replica {
-    const SvrfModel* owner = nullptr;
-    uint64_t version = 0;
-    std::unique_ptr<SequenceRegressor> net;
-  };
-  thread_local std::vector<Replica> replicas;
+  std::vector<ThreadReplica>& replicas = ReplicasForThisThread();
   const uint64_t current = version_.load(std::memory_order_acquire);
-  for (Replica& replica : replicas) {
-    if (replica.owner == this) {
+  for (ThreadReplica& replica : replicas) {
+    if (replica.model_id == model_id_) {
       if (replica.version != current) {
         std::lock_guard<std::mutex> lock(mu_);
-        *replica.net = *net_;
+        // Defensive: a weight refresh must never smuggle in a shape change.
+        // Ids are unique per instance and a model's dimensions are fixed at
+        // construction, so a mismatch means the replica is unusable — drop
+        // and rebuild instead of copy-assigning across shapes.
+        if (SameNetConfig(replica.net->config(), net_->config())) {
+          *replica.net = *net_;
+        } else {
+          replica.net = std::make_unique<SequenceRegressor>(*net_);
+        }
         replica.version = current;
       }
       return replica.net.get();
     }
   }
-  Replica replica;
-  replica.owner = this;
+  // Miss: first evict replicas of models that no longer exist, so a thread
+  // that outlives many short-lived models (training sweeps, tests) holds at
+  // most one replica per *live* model instead of growing without bound.
+  std::erase_if(replicas, [](const ThreadReplica& r) {
+    return !ModelIsLive(r.model_id);
+  });
+  ThreadReplica replica;
+  replica.model_id = model_id_;
   replica.version = current;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -46,6 +46,10 @@ class SvrfModel : public RouteForecaster {
 
   SvrfModel();
   explicit SvrfModel(const Config& config);
+  ~SvrfModel() override;
+
+  SvrfModel(const SvrfModel&) = delete;
+  SvrfModel& operator=(const SvrfModel&) = delete;
 
   /// Converts one preprocessed input window into model feature space.
   std::vector<std::vector<double>> EncodeInput(const SvrfInput& input) const;
@@ -54,6 +58,15 @@ class SvrfModel : public RouteForecaster {
   SeqSample EncodeSample(const SvrfSample& sample) const;
 
   StatusOr<ForecastTrajectory> Forecast(const SvrfInput& input) const override;
+
+  /// Batched forecast: encodes all windows into one column-batched tensor
+  /// and runs a single PredictBatch forward on this thread's replica.
+  /// Columns are arithmetically independent, so each result is bitwise
+  /// identical to the corresponding single-input Forecast; invalid inputs
+  /// (non-finite anchor) get a per-item error without poisoning the batch.
+  void ForecastBatch(const std::vector<SvrfInput>& inputs,
+                     std::vector<StatusOr<ForecastTrajectory>>* results)
+      const override;
 
   std::string_view name() const override { return "S-VRF"; }
 
@@ -75,18 +88,39 @@ class SvrfModel : public RouteForecaster {
   const FeatureScaler& scaler() const { return scaler_; }
   void set_scaler(const FeatureScaler& scaler) { scaler_ = scaler; }
 
+  /// Number of replicas the calling thread currently caches across all live
+  /// SvrfModel instances. Test-only observability for the replica-eviction
+  /// regression (a thread that cycles through short-lived models must not
+  /// accumulate replicas without bound).
+  static size_t ThreadLocalReplicaCountForTesting();
+
  private:
   /// Returns this thread's replica of the network, refreshed from the
   /// master when the weights version changed. The master instance is
   /// mounted once (§3); replicas only copy weights, so concurrent vessel
-  /// actors infer without serialising on a lock.
+  /// actors infer without serialising on a lock. Replicas are keyed by a
+  /// process-unique model id (never by address, which reuse can alias) and
+  /// entries of destroyed models are pruned on the next miss.
   SequenceRegressor* ThreadLocalNet() const;
+
+  /// Writes the encoded features of one displacement into out[0..D).
+  void EncodeStep(const Displacement& d, double* out) const;
+
+  /// Unrolls the scaled network output for one sample back into a
+  /// trajectory; value_at(i) is the i-th raw output for that sample.
+  template <typename ValueAt>
+  ForecastTrajectory UnrollTrajectory(const SvrfInput& input,
+                                      ValueAt&& value_at) const;
 
   Config config_;
   FeatureScaler scaler_;
   mutable std::mutex mu_;  // guards master net_ during clone/train
   std::unique_ptr<SequenceRegressor> net_;
   std::atomic<uint64_t> version_{1};
+  /// Process-unique identity of this model instance (registered in a global
+  /// live-model set; the destructor unregisters it so thread replicas of
+  /// dead models can be evicted).
+  uint64_t model_id_ = 0;
 };
 
 }  // namespace marlin

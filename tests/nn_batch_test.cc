@@ -1,0 +1,441 @@
+// Batched-inference and SIMD-kernel tests (DESIGN.md §10): exact-output
+// regression of PredictBatch against Predict across seeds, shapes and batch
+// positions; scalar-vs-SIMD kernel parity at the documented tolerances; and
+// the deterministic two-phase learning-rate training trajectory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/model.h"
+#include "nn/simd.h"
+#include "util/rng.h"
+
+namespace marlin {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.storage()[i] = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> RandomSteps(int steps, int dim, Rng* rng) {
+  std::vector<std::vector<double>> out(static_cast<size_t>(steps));
+  for (auto& step : out) {
+    step.resize(static_cast<size_t>(dim));
+    for (double& v : step) v = rng->Uniform(-1.5, 1.5);
+  }
+  return out;
+}
+
+/// Runs `fn` once with SIMD dispatch active and once forced scalar,
+/// returning whether the comparison ran (false = SIMD unavailable).
+template <typename Fn>
+bool WithAndWithoutSimd(Fn&& fn) {
+  if (!simd::Enabled()) return false;
+  fn(/*use_simd=*/true);
+  simd::SetEnabledForTesting(false);
+  fn(/*use_simd=*/false);
+  simd::SetEnabledForTesting(true);
+  return true;
+}
+
+// ------------------------------------------------------- kernel parity
+
+TEST(SimdKernelTest, DispatchStateIsConsistent) {
+  if (simd::Enabled()) {
+    EXPECT_TRUE(simd::CompiledIn());
+    EXPECT_TRUE(simd::CpuSupported());
+    EXPECT_STREQ(simd::ActiveIsa(), "avx2-fma");
+  } else {
+    EXPECT_STREQ(simd::ActiveIsa(), "scalar");
+  }
+  // The testing override must flip Enabled() when the build carries SIMD.
+  if (simd::CompiledIn() && simd::CpuSupported()) {
+    simd::SetEnabledForTesting(false);
+    EXPECT_FALSE(simd::Enabled());
+    simd::SetEnabledForTesting(true);
+    EXPECT_TRUE(simd::Enabled());
+  }
+}
+
+TEST(SimdKernelTest, MatMulBitwiseMatchesScalar) {
+  if (!simd::Enabled()) GTEST_SKIP() << "SIMD not available in this build";
+  Rng rng(101);
+  // Shapes straddling the 8/4/1-lane tiling boundaries.
+  const int shapes[][3] = {{1, 1, 1},   {3, 5, 7},   {8, 8, 8},  {13, 17, 9},
+                           {32, 64, 1}, {5, 40, 33}, {64, 10, 12}};
+  for (const auto& s : shapes) {
+    const Matrix a = RandomMatrix(s[0], s[1], &rng);
+    const Matrix b = RandomMatrix(s[1], s[2], &rng);
+    Matrix simd_out, scalar_out;
+    MatMul(a, b, &simd_out);
+    simd::SetEnabledForTesting(false);
+    MatMul(a, b, &scalar_out);
+    simd::SetEnabledForTesting(true);
+    ASSERT_TRUE(simd_out.SameShape(scalar_out));
+    for (size_t i = 0; i < simd_out.size(); ++i) {
+      // Bitwise: identical accumulation order, no FMA contraction.
+      ASSERT_EQ(simd_out.storage()[i], scalar_out.storage()[i])
+          << "m=" << s[0] << " k=" << s[1] << " n=" << s[2] << " elem " << i;
+    }
+  }
+}
+
+TEST(SimdKernelTest, MatMulTransposeABitwiseMatchesScalar) {
+  if (!simd::Enabled()) GTEST_SKIP() << "SIMD not available in this build";
+  Rng rng(202);
+  const int shapes[][3] = {{2, 3, 4}, {16, 8, 16}, {7, 21, 5}, {40, 6, 11}};
+  for (const auto& s : shapes) {
+    // MatMulTransposeA(a, b): a is k×m, b is k×n, out is m×n.
+    const Matrix a = RandomMatrix(s[1], s[0], &rng);
+    const Matrix b = RandomMatrix(s[1], s[2], &rng);
+    Matrix simd_out, scalar_out;
+    MatMulTransposeA(a, b, &simd_out);
+    simd::SetEnabledForTesting(false);
+    MatMulTransposeA(a, b, &scalar_out);
+    simd::SetEnabledForTesting(true);
+    for (size_t i = 0; i < simd_out.size(); ++i) {
+      ASSERT_EQ(simd_out.storage()[i], scalar_out.storage()[i]);
+    }
+  }
+}
+
+TEST(SimdKernelTest, MatMulTransposeBWithinUlpTolerance) {
+  if (!simd::Enabled()) GTEST_SKIP() << "SIMD not available in this build";
+  Rng rng(303);
+  const int shapes[][3] = {{4, 9, 4}, {12, 33, 7}, {6, 128, 3}};
+  for (const auto& s : shapes) {
+    // MatMulTransposeB(a, b): a is m×k, b is n×k, out is m×n.
+    const Matrix a = RandomMatrix(s[0], s[1], &rng);
+    const Matrix b = RandomMatrix(s[2], s[1], &rng);
+    Matrix simd_out, scalar_out;
+    MatMulTransposeB(a, b, &simd_out);
+    simd::SetEnabledForTesting(false);
+    MatMulTransposeB(a, b, &scalar_out);
+    simd::SetEnabledForTesting(true);
+    for (size_t i = 0; i < simd_out.size(); ++i) {
+      // Documented tolerance: 4-way accumulators + FMA reassociate the sum.
+      const double expect = scalar_out.storage()[i];
+      ASSERT_NEAR(simd_out.storage()[i], expect,
+                  1e-12 + 1e-12 * std::fabs(expect));
+    }
+  }
+}
+
+TEST(SimdKernelTest, LstmGatesWithinElementwiseTolerance) {
+  if (!simd::Enabled()) GTEST_SKIP() << "SIMD not available in this build";
+  Rng rng(404);
+  for (const int batch : {1, 2, 3, 4, 5, 8, 17}) {
+    const int hidden = 13;
+    const Matrix pre = RandomMatrix(4 * hidden, batch, &rng);
+    const Matrix c_prev = RandomMatrix(hidden, batch, &rng);
+    Matrix gates_v(4 * hidden, batch), c_v(hidden, batch), h_v(hidden, batch),
+        tc_v(hidden, batch);
+    Matrix gates_s(4 * hidden, batch), c_s(hidden, batch), h_s(hidden, batch),
+        tc_s(hidden, batch);
+    nnkernels::LstmGates(pre.data(), c_prev.data(), gates_v.data(), c_v.data(),
+                         h_v.data(), tc_v.data(), hidden, batch);
+    nnkernels::LstmGatesScalar(pre.data(), c_prev.data(), gates_s.data(),
+                               c_s.data(), h_s.data(), tc_s.data(), hidden,
+                               batch);
+    auto check = [&](const Matrix& v, const Matrix& s, const char* what) {
+      for (size_t i = 0; i < v.size(); ++i) {
+        const double expect = s.storage()[i];
+        ASSERT_NEAR(v.storage()[i], expect, 1e-12 + 1e-12 * std::fabs(expect))
+            << what << " elem " << i << " batch " << batch;
+      }
+    };
+    check(gates_v, gates_s, "gates");
+    check(c_v, c_s, "c");
+    check(h_v, h_s, "h");
+    check(tc_v, tc_s, "tanh_c");
+  }
+}
+
+TEST(SimdKernelTest, TanhInPlaceWithinToleranceIncludingExtremes) {
+  if (!simd::Enabled()) GTEST_SKIP() << "SIMD not available in this build";
+  std::vector<double> values = {-1000.0, -710.0, -20.0, -1.0, -1e-9, 0.0,
+                                1e-9,    0.5,    3.0,   25.0, 710.0, 1000.0};
+  Rng rng(505);
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Uniform(-8.0, 8.0));
+  std::vector<double> simd_vals = values;
+  nnkernels::TanhInPlace(simd_vals.data(), simd_vals.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double expect = std::tanh(values[i]);
+    ASSERT_NEAR(simd_vals[i], expect, 1e-12 + 1e-12 * std::fabs(expect))
+        << "tanh(" << values[i] << ")";
+  }
+}
+
+// -------------------------------------------- batched-vs-single inference
+
+TEST(PredictBatchTest, SingleSampleMatchesPredictBitwise) {
+  SequenceRegressor::Config config;
+  config.input_dim = 5;
+  config.hidden_dim = 16;
+  config.dense_dim = 12;
+  config.output_dim = 12;
+  SequenceRegressor model(config);
+  Rng rng(11);
+  const auto steps = RandomSteps(20, config.input_dim, &rng);
+
+  const std::vector<double> via_predict = model.Predict(steps);
+
+  SequenceRegressor::InferenceWorkspace ws;
+  ws.PackShape(20, config.input_dim, 1);
+  for (int t = 0; t < 20; ++t) {
+    for (int d = 0; d < config.input_dim; ++d) {
+      ws.inputs[t](d, 0) = steps[t][static_cast<size_t>(d)];
+    }
+  }
+  const Matrix& out = model.PredictBatch(ws.inputs, &ws);
+  ASSERT_EQ(out.rows(), config.output_dim);
+  ASSERT_EQ(out.cols(), 1);
+  for (int i = 0; i < config.output_dim; ++i) {
+    EXPECT_EQ(out(i, 0), via_predict[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(PredictBatchTest, EveryColumnMatchesSinglePredictAcrossSeedsAndShapes) {
+  // The batched forward must be bitwise position-invariant: each sample
+  // predicts identically whether alone, in a full batch, or in the ragged
+  // final batch — in SIMD and scalar builds alike.
+  struct Shape {
+    int input_dim, hidden_dim, dense_dim, output_dim, steps, batch;
+  };
+  const Shape shapes[] = {
+      {3, 8, 8, 12, 20, 1},   // B=1 through the batched path
+      {5, 16, 12, 12, 20, 4}, // exact SIMD lane multiple
+      {5, 16, 12, 12, 20, 7}, // ragged tail (7 = 4 + 3)
+      {3, 12, 8, 6, 9, 13},   // ragged, short sequence
+  };
+  for (uint64_t seed : {7u, 99u, 1234u}) {
+    for (const Shape& shape : shapes) {
+      SequenceRegressor::Config config;
+      config.input_dim = shape.input_dim;
+      config.hidden_dim = shape.hidden_dim;
+      config.dense_dim = shape.dense_dim;
+      config.output_dim = shape.output_dim;
+      config.seed = seed;
+      SequenceRegressor model(config);
+      Rng rng(seed * 31 + 1);
+
+      std::vector<std::vector<std::vector<double>>> samples;
+      for (int b = 0; b < shape.batch; ++b) {
+        samples.push_back(RandomSteps(shape.steps, shape.input_dim, &rng));
+      }
+      SequenceRegressor::InferenceWorkspace ws;
+      ws.PackShape(shape.steps, shape.input_dim, shape.batch);
+      for (int b = 0; b < shape.batch; ++b) {
+        for (int t = 0; t < shape.steps; ++t) {
+          for (int d = 0; d < shape.input_dim; ++d) {
+            ws.inputs[t](d, b) =
+                samples[static_cast<size_t>(b)][static_cast<size_t>(t)]
+                       [static_cast<size_t>(d)];
+          }
+        }
+      }
+      const Matrix& out = model.PredictBatch(ws.inputs, &ws);
+      for (int b = 0; b < shape.batch; ++b) {
+        const std::vector<double> single =
+            model.Predict(samples[static_cast<size_t>(b)]);
+        for (int i = 0; i < shape.output_dim; ++i) {
+          ASSERT_EQ(out(i, b), single[static_cast<size_t>(i)])
+              << "seed " << seed << " batch " << shape.batch << " col " << b
+              << " out " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(PredictBatchTest, MatchesTrainingForwardOnSameBatch) {
+  SequenceRegressor::Config config;
+  config.input_dim = 4;
+  config.hidden_dim = 10;
+  config.dense_dim = 8;
+  config.output_dim = 6;
+  SequenceRegressor model(config);
+  Rng rng(21);
+  std::vector<Matrix> inputs(15);
+  for (auto& m : inputs) m = RandomMatrix(config.input_dim, 9, &rng);
+
+  const Matrix train_out = model.Forward(inputs);  // copy (mutates caches)
+  SequenceRegressor::InferenceWorkspace ws;
+  const Matrix& infer_out = model.PredictBatch(inputs, &ws);
+  ASSERT_TRUE(train_out.SameShape(infer_out));
+  for (size_t i = 0; i < train_out.size(); ++i) {
+    EXPECT_EQ(train_out.storage()[i], infer_out.storage()[i]);
+  }
+}
+
+TEST(PredictBatchTest, WorkspaceSurvivesShapeChanges) {
+  SequenceRegressor::Config config;
+  SequenceRegressor model(config);
+  Rng rng(31);
+  SequenceRegressor::InferenceWorkspace ws;
+  for (const int batch : {4, 1, 32, 3, 32}) {
+    ws.PackShape(20, config.input_dim, batch);
+    for (int t = 0; t < 20; ++t) {
+      for (int b = 0; b < batch; ++b) {
+        for (int d = 0; d < config.input_dim; ++d) {
+          ws.inputs[t](d, b) = rng.Uniform(-1.0, 1.0);
+        }
+      }
+    }
+    const Matrix& out = model.PredictBatch(ws.inputs, &ws);
+    ASSERT_EQ(out.cols(), batch);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(out.storage()[i]));
+    }
+  }
+}
+
+TEST(PredictBatchTest, SimdAndScalarPredictBatchAgreeWithinTolerance) {
+  // Cross-build contract: the same batch through the full network in SIMD
+  // vs scalar mode stays within the composed kernel tolerances.
+  SequenceRegressor::Config config;
+  config.input_dim = 5;
+  config.hidden_dim = 24;
+  config.dense_dim = 16;
+  SequenceRegressor model(config);
+  Rng rng(41);
+  std::vector<Matrix> inputs(20);
+  for (auto& m : inputs) m = RandomMatrix(config.input_dim, 6, &rng);
+
+  Matrix outputs[2];
+  const bool ran = WithAndWithoutSimd([&](bool use_simd) {
+    SequenceRegressor::InferenceWorkspace ws;
+    outputs[use_simd ? 0 : 1] = model.PredictBatch(inputs, &ws);
+  });
+  if (!ran) GTEST_SKIP() << "SIMD not available in this build";
+  ASSERT_TRUE(outputs[0].SameShape(outputs[1]));
+  for (size_t i = 0; i < outputs[0].size(); ++i) {
+    const double expect = outputs[1].storage()[i];
+    // The LSTM recurrence composes per-kernel errors over 20 steps; give
+    // two orders of magnitude headroom over the single-kernel bound.
+    ASSERT_NEAR(outputs[0].storage()[i], expect,
+                1e-10 + 1e-10 * std::fabs(expect));
+  }
+}
+
+// --------------------------------------------- two-phase learning rate
+
+/// Deterministic toy dataset: target = sum of inputs over time, per output.
+std::vector<SeqSample> ToyDataset(int count, int steps, int dim, int out_dim,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SeqSample> data;
+  for (int i = 0; i < count; ++i) {
+    SeqSample sample;
+    sample.steps = RandomSteps(steps, dim, &rng);
+    sample.target.assign(static_cast<size_t>(out_dim), 0.0);
+    double sum = 0.0;
+    for (const auto& step : sample.steps) {
+      for (double v : step) sum += v;
+    }
+    for (int o = 0; o < out_dim; ++o) {
+      sample.target[static_cast<size_t>(o)] =
+          0.05 * sum * (o % 2 == 0 ? 1.0 : -1.0);
+    }
+    data.push_back(std::move(sample));
+  }
+  return data;
+}
+
+/// One deterministic training run with a mid-training LR drop; returns the
+/// per-step losses.
+std::vector<double> TwoPhaseRun() {
+  SequenceRegressor::Config config;
+  config.input_dim = 3;
+  config.hidden_dim = 8;
+  config.dense_dim = 8;
+  config.output_dim = 4;
+  config.seed = 77;
+  SequenceRegressor model(config);
+  const auto data = ToyDataset(64, 8, config.input_dim, config.output_dim, 5);
+
+  AdamOptimizer::Options adam;
+  adam.learning_rate = 1e-2;
+  adam.l1_lambda = 1e-4;   // exercises the L1 + clip interaction
+  adam.clip_norm = 1.0;    // small enough that early steps clip
+  AdamOptimizer optimizer(adam);
+  const std::vector<Parameter*> params = model.Params();
+
+  std::vector<Matrix> inputs;
+  Matrix targets;
+  std::vector<int> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  std::vector<double> losses;
+  for (int step = 0; step < 40; ++step) {
+    if (step == 20) optimizer.set_learning_rate(1e-3);  // phase 2
+    // Full-batch steps keep the trajectory independent of shuffling.
+    const int begin = 0, end = static_cast<int>(data.size());
+    inputs.assign(8, Matrix());
+    targets = Matrix();
+    // Pack manually (same layout the Trainer uses).
+    const int batch = end - begin;
+    for (int t = 0; t < 8; ++t) {
+      inputs[static_cast<size_t>(t)] = Matrix(config.input_dim, batch);
+    }
+    targets = Matrix(config.output_dim, batch);
+    for (int b = 0; b < batch; ++b) {
+      const SeqSample& sample = data[static_cast<size_t>(order
+          [static_cast<size_t>(begin + b)])];
+      for (int t = 0; t < 8; ++t) {
+        for (int d = 0; d < config.input_dim; ++d) {
+          inputs[static_cast<size_t>(t)](d, b) =
+              sample.steps[static_cast<size_t>(t)][static_cast<size_t>(d)];
+        }
+      }
+      for (int o = 0; o < config.output_dim; ++o) {
+        targets(o, b) = sample.target[static_cast<size_t>(o)];
+      }
+    }
+    losses.push_back(model.TrainBatch(inputs, targets, adam.l1_lambda));
+    optimizer.Step(params);
+  }
+  return losses;
+}
+
+TEST(AdamTwoPhaseLrTest, MidTrainingLrChangeKeepsTrajectoryDeterministic) {
+  const std::vector<double> run1 = TwoPhaseRun();
+  const std::vector<double> run2 = TwoPhaseRun();
+  ASSERT_EQ(run1.size(), run2.size());
+  // Bitwise-identical trajectories: set_learning_rate must not introduce
+  // any hidden state beyond the LR scalar itself.
+  for (size_t i = 0; i < run1.size(); ++i) {
+    ASSERT_EQ(run1[i], run2[i]) << "step " << i;
+  }
+}
+
+TEST(AdamTwoPhaseLrTest, LrDropDoesNotDestabiliseClipNormL1Interaction) {
+  const std::vector<double> losses = TwoPhaseRun();
+  ASSERT_EQ(losses.size(), 40u);
+  // Phase 1 learns.
+  EXPECT_LT(losses[19], losses[0]);
+  // The step right after the LR drop must not blow up: Adam's moments are
+  // preserved, only the scalar step size changes.
+  EXPECT_LT(losses[20], losses[0]);
+  EXPECT_LT(losses[20], 4.0 * losses[19] + 1e-9);
+  // Phase 2 continues to improve (or at least holds) at the smaller LR.
+  EXPECT_LE(losses[39], losses[20] * 1.05);
+  // And every loss stays finite through clipping + L1 + the LR change.
+  for (double loss : losses) ASSERT_TRUE(std::isfinite(loss));
+}
+
+TEST(AdamTwoPhaseLrTest, SetLearningRateIsObservable) {
+  AdamOptimizer optimizer(AdamOptimizer::Options{});
+  optimizer.set_learning_rate(0.5);
+  EXPECT_EQ(optimizer.options().learning_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace marlin
