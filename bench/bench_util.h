@@ -10,7 +10,7 @@
 #include "ais/preprocess.h"
 #include "ais/types.h"
 #include "sim/fleet.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "util/rng.h"
 
 namespace marlin {

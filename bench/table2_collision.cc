@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "events/collision_eval.h"
+#include "sim/collision_eval.h"
 #include "sim/proximity_dataset.h"
 #include "vrf/linear_model.h"
 #include "vrf/svrf_model.h"

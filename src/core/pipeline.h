@@ -14,7 +14,7 @@
 #include "events/proximity.h"
 #include "events/switch_off.h"
 #include "events/traffic_flow.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "core/static_registry.h"
 #include "kvstore/kvstore.h"
 #include "stream/broker.h"

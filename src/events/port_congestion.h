@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "events/event_types.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "vrf/route_forecaster.h"
 
 namespace marlin {

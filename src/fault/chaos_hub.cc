@@ -190,7 +190,10 @@ Status ChaosTransport::Start(cluster::NodeId self, FrameHandler handler) {
   return Status::Ok();
 }
 
-bool ChaosTransport::Send(cluster::NodeId to, const cluster::Frame& frame) {
+// ChaosTransport *is* the injection mechanism: drops/delays/duplicates come
+// from the FaultPlan via the hub, so an additional MARLIN_FAULT_POINT here
+// would double-inject.
+bool ChaosTransport::Send(cluster::NodeId to, const cluster::Frame& frame) {  // chk-lint: allow(fault-point)
   cluster::NodeId self;
   {
     std::lock_guard<std::mutex> lock(mu_);

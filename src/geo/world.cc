@@ -1,4 +1,4 @@
-#include "sim/world.h"
+#include "geo/world.h"
 
 #include <algorithm>
 #include <cmath>

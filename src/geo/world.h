@@ -1,5 +1,5 @@
-#ifndef MARLIN_SIM_WORLD_H_
-#define MARLIN_SIM_WORLD_H_
+#ifndef MARLIN_GEO_WORLD_H_
+#define MARLIN_GEO_WORLD_H_
 
 #include <string>
 #include <vector>
@@ -65,4 +65,4 @@ class World {
 
 }  // namespace marlin
 
-#endif  // MARLIN_SIM_WORLD_H_
+#endif  // MARLIN_GEO_WORLD_H_

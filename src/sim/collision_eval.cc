@@ -1,4 +1,4 @@
-#include "events/collision_eval.h"
+#include "sim/collision_eval.h"
 
 #include "ais/preprocess.h"
 

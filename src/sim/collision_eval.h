@@ -1,5 +1,5 @@
-#ifndef MARLIN_EVENTS_COLLISION_EVAL_H_
-#define MARLIN_EVENTS_COLLISION_EVAL_H_
+#ifndef MARLIN_SIM_COLLISION_EVAL_H_
+#define MARLIN_SIM_COLLISION_EVAL_H_
 
 #include <string>
 
@@ -47,4 +47,4 @@ CollisionEvalResult EvaluateCollisionForecasting(
 
 }  // namespace marlin
 
-#endif  // MARLIN_EVENTS_COLLISION_EVAL_H_
+#endif  // MARLIN_SIM_COLLISION_EVAL_H_

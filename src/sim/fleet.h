@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "sim/vessel.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "util/clock.h"
 
 namespace marlin {

@@ -4,7 +4,7 @@
 #include <optional>
 
 #include "ais/types.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "util/rng.h"
 
 namespace marlin {

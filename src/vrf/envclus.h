@@ -9,7 +9,7 @@
 
 #include "ais/types.h"
 #include "hexgrid/hexgrid.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "util/status.h"
 
 namespace marlin {

@@ -1,0 +1,20 @@
+#include "cluster/leaky_transport.h"
+
+#define MARLIN_FAULT_POINT(name) (void)(name)
+
+namespace fixture {
+
+// PLANTED [fault-point]: the same point name registered twice means both
+// sites share one RNG stream and one kill-switch — they were meant to be
+// independently steerable.
+bool ForwardEnvelope() {
+  MARLIN_FAULT_POINT("cluster.forward");
+  return true;
+}
+
+bool ForwardGossip() {
+  MARLIN_FAULT_POINT("cluster.forward");
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+#ifndef FIXTURE_BAD_CLUSTER_LEAKY_TRANSPORT_H_
+#define FIXTURE_BAD_CLUSTER_LEAKY_TRANSPORT_H_
+
+#include <cstdint>
+
+namespace fixture {
+
+using NodeId = uint32_t;
+struct Frame {
+  int type = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual bool Send(NodeId to, const Frame& frame) = 0;
+};
+
+class LeakyTransport : public Transport {
+ public:
+  // PLANTED [fault-point]: a wire send path with no MARLIN_FAULT_POINT, so
+  // chaos soaks can never drop/delay/duplicate this edge.
+  bool Send(NodeId to, const Frame& frame) override {
+    last_to_ = to;
+    last_type_ = frame.type;
+    return true;
+  }
+
+ private:
+  NodeId last_to_ = 0;
+  int last_type_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_CLUSTER_LEAKY_TRANSPORT_H_

@@ -1,0 +1,31 @@
+#ifndef FIXTURE_BAD_CORE_MESSAGES_H_
+#define FIXTURE_BAD_CORE_MESSAGES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Model {
+  std::vector<double> weights;
+};
+
+// PLANTED [message-hygiene]: raw pointer member in a mailbox message.
+struct ScoreRequest {
+  const Model* model = nullptr;
+  std::string track_id;
+};
+
+// PLANTED [message-hygiene]: move-only member makes the message non-copyable.
+struct LoadedModel {
+  std::unique_ptr<Model> model;
+};
+
+struct CleanTick {
+  long sequence = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_CORE_MESSAGES_H_

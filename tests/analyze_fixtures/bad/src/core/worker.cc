@@ -1,0 +1,11 @@
+#include "core/worker.h"
+
+namespace fixture {
+
+// PLANTED [actor-blocking]: condition-variable wait in a lifecycle callback.
+void StallActor::OnStop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return drained_; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+#ifndef FIXTURE_BAD_CORE_WORKER_H_
+#define FIXTURE_BAD_CORE_WORKER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void Receive(int msg) = 0;
+  virtual void OnStart() {}
+  virtual void OnStop() {}
+};
+
+class StallActor : public Actor {
+ public:
+  // PLANTED [actor-blocking]: sleeping inside a message handler stalls the
+  // scheduler thread for every other actor on it.
+  void Receive(int msg) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(msg));
+  }
+
+  void OnStop() override;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool drained_ = false;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_CORE_WORKER_H_

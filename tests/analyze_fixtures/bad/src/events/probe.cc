@@ -1,0 +1,9 @@
+namespace fixture {
+
+// PLANTED [no-raw-socket]: direct socket(2) outside cluster/ and middleware/.
+int OpenProbe() {
+  int fd = ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  return fd;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_BAD_GEO_SHAPE_H_
+#define FIXTURE_BAD_GEO_SHAPE_H_
+
+// PLANTED [layering]: half of a geo <-> hexgrid include cycle (same layer,
+// still forbidden).
+#include "hexgrid/grid.h"
+
+namespace fixture {
+
+struct Shape {
+  double area = 0.0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_GEO_SHAPE_H_

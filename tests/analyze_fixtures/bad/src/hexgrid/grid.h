@@ -1,0 +1,15 @@
+#ifndef FIXTURE_BAD_HEXGRID_GRID_H_
+#define FIXTURE_BAD_HEXGRID_GRID_H_
+
+// PLANTED [layering]: the other half of the geo <-> hexgrid cycle.
+#include "geo/shape.h"
+
+namespace fixture {
+
+struct Grid {
+  int resolution = 6;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_HEXGRID_GRID_H_

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_BAD_NN_NET_H_
+#define FIXTURE_BAD_NN_NET_H_
+
+// PLANTED [layering]: nn (layer 2) reaching up into the pipeline layer.
+#include "core/actors.h"
+#include "util/status.h"
+
+namespace fixture {
+
+struct Net {
+  int layers = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_NN_NET_H_

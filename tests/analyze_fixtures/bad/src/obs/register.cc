@@ -1,0 +1,16 @@
+namespace fixture {
+
+struct Registry {
+  int* GetCounter(const char* name, const char* help) { return nullptr; }
+  int* GetGauge(const char* name, const char* help) { return nullptr; }
+};
+
+void RegisterMetrics(Registry& reg) {
+  // PLANTED [metric-name]: missing marlin_ prefix and CamelCase.
+  reg.GetCounter("BadFramesTotal", "frames rejected");
+  reg.GetCounter("marlin_frames_total", "frames seen");
+  // PLANTED [metric-name]: same name re-registered as a different kind.
+  reg.GetGauge("marlin_frames_total", "frames seen (gauge)");
+}
+
+}  // namespace fixture

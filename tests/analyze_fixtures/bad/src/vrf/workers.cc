@@ -1,0 +1,21 @@
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+struct Model {
+  std::vector<double> weights;
+};
+
+void Train(Model* model) { model->weights.push_back(1.0); }
+
+void SpawnTrainer() {
+  // PLANTED [naked-new]: raw owning allocation outside a smart pointer.
+  Model* scratch = new Model();
+  // PLANTED [no-raw-thread]: unmanaged thread outside the blessed substrate
+  // files; nothing joins it on shutdown.
+  std::thread trainer(Train, scratch);
+  trainer.detach();
+}
+
+}  // namespace fixture

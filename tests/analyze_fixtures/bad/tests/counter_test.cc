@@ -1,0 +1,11 @@
+namespace fixture {
+
+// PLANTED [no-plain-counter]: non-atomic static counter mutated from test
+// callbacks that may run on pool threads.
+static int g_hits = 0;
+
+void OnFrame() { ++g_hits; }
+
+int Hits() { return g_hits; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#include "cluster/wire_transport.h"
+
+namespace fixture {
+
+// Distinct point names: each site gets its own RNG stream and kill switch.
+bool ForwardEnvelope() {
+  MARLIN_FAULT_POINT("fixture.cluster.forward_envelope");
+  return true;
+}
+
+bool ForwardGossip() {
+  MARLIN_FAULT_POINT("fixture.cluster.forward_gossip");
+  return true;
+}
+
+}  // namespace fixture

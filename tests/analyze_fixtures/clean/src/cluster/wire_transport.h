@@ -1,0 +1,38 @@
+#ifndef FIXTURE_CLEAN_CLUSTER_WIRE_TRANSPORT_H_
+#define FIXTURE_CLEAN_CLUSTER_WIRE_TRANSPORT_H_
+
+#include <cstdint>
+
+#define MARLIN_FAULT_POINT(name) (void)(name)
+
+namespace fixture {
+
+using NodeId = uint32_t;
+struct Frame {
+  int type = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual bool Send(NodeId to, const Frame& frame) = 0;
+};
+
+class WireTransport : public Transport {
+ public:
+  // Every wire send path carries a uniquely named fault point.
+  bool Send(NodeId to, const Frame& frame) override {
+    MARLIN_FAULT_POINT("fixture.wire.send");
+    last_to_ = to;
+    last_type_ = frame.type;
+    return true;
+  }
+
+ private:
+  NodeId last_to_ = 0;
+  int last_type_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_CLUSTER_WIRE_TRANSPORT_H_

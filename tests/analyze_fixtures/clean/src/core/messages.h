@@ -1,0 +1,30 @@
+#ifndef FIXTURE_CLEAN_CORE_MESSAGES_H_
+#define FIXTURE_CLEAN_CORE_MESSAGES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Model {
+  std::vector<double> weights;
+};
+
+// Messages carry values (or shared_ptr for heavyweight immutable payloads).
+struct ScoreRequest {
+  std::shared_ptr<const Model> model;
+  std::string track_id;
+};
+
+struct LoadedModel {
+  std::shared_ptr<const Model> model;
+};
+
+struct CleanTick {
+  long sequence = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_CORE_MESSAGES_H_

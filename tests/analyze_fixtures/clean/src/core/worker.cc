@@ -1,0 +1,11 @@
+#include "core/worker.h"
+
+namespace fixture {
+
+void TallyActor::OnStop() {
+  // Flush is a plain store; shutdown blocking belongs to the runtime, not
+  // actor callbacks.
+  total_ = 0;
+}
+
+}  // namespace fixture

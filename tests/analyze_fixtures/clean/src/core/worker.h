@@ -1,0 +1,31 @@
+#ifndef FIXTURE_CLEAN_CORE_WORKER_H_
+#define FIXTURE_CLEAN_CORE_WORKER_H_
+
+namespace fixture {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void Receive(int msg) = 0;
+  virtual void OnStart() {}
+  virtual void OnStop() {}
+};
+
+class TallyActor : public Actor {
+ public:
+  // Non-blocking handler: does its work and returns to the scheduler.
+  // The words sleep_for and cv.wait(lock) in this comment must not trip
+  // the analyzer — rules run on tokens, not raw text.
+  void Receive(int msg) override { total_ += msg; }
+
+  void OnStop() override;
+
+  long total() const { return total_; }
+
+ private:
+  long total_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_CORE_WORKER_H_

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_CLEAN_GEO_SHAPE_H_
+#define FIXTURE_CLEAN_GEO_SHAPE_H_
+
+#include "util/status.h"
+
+namespace fixture {
+
+struct Shape {
+  double area = 0.0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_GEO_SHAPE_H_

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_CLEAN_HEXGRID_GRID_H_
+#define FIXTURE_CLEAN_HEXGRID_GRID_H_
+
+// Same-layer include without a reverse edge: allowed (no cycle).
+#include "geo/shape.h"
+
+namespace fixture {
+
+struct Grid {
+  Shape cell;
+  int resolution = 6;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_HEXGRID_GRID_H_

@@ -1,0 +1,17 @@
+#ifndef FIXTURE_CLEAN_NN_NET_H_
+#define FIXTURE_CLEAN_NN_NET_H_
+
+// Downward include: nn (layer 2) -> geo (layer 1) is allowed.
+#include "geo/shape.h"
+#include "util/status.h"
+
+namespace fixture {
+
+struct Net {
+  Shape input_region;
+  int layers = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_NN_NET_H_

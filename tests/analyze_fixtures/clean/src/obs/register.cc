@@ -1,0 +1,15 @@
+namespace fixture {
+
+struct Registry {
+  int* GetCounter(const char* name, const char* help) { return nullptr; }
+  int* GetGauge(const char* name, const char* help) { return nullptr; }
+};
+
+void RegisterMetrics(Registry& reg) {
+  // Well-formed names: marlin_ prefix, lower snake_case, one kind per name.
+  reg.GetCounter("marlin_frames_rejected_total", "frames rejected");
+  reg.GetCounter("marlin_frames_total", "frames seen");
+  reg.GetGauge("marlin_frames_inflight", "frames in flight");
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// chk/chk.h is a cross-cutting hook header (compile-gated no-op seam): the
+// layering rule must not treat this as a stream -> chk upward edge.
+#include "chk/chk.h"
+#include "geo/shape.h"
+
+namespace fixture {
+
+double IngestArea(const Shape& shape) { return shape.area; }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+namespace fixture {
+
+struct Clock {
+  long now = 0;
+};
+
+Clock& GlobalClock() {
+  // Intentionally leaked process-lifetime singleton: destruction order with
+  // other statics is undefined, so we never destroy it.
+  static Clock* clock = new Clock();  // chk-lint: allow(naked-new)
+  return *clock;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+#ifndef FIXTURE_CLEAN_UTIL_STATUS_H_
+#define FIXTURE_CLEAN_UTIL_STATUS_H_
+
+namespace fixture {
+
+struct Status {
+  bool ok = true;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_UTIL_STATUS_H_

@@ -1,0 +1,23 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Model {
+  std::vector<double> weights;
+};
+
+// Decoys for the lexer: rule trigger text inside comments and string
+// literals must be invisible to the analyzer.
+//   std::thread worker(Train);  <- comment, not code
+//   Model* leak = new Model();  <- comment, not code
+const char* kDocSnippet =
+    "std::thread t; auto* p = new Model(); ::socket(2, 1, 0);";
+
+std::unique_ptr<Model> MakeModel() {
+  // Owning allocations go through make_unique.
+  return std::make_unique<Model>();
+}
+
+}  // namespace fixture

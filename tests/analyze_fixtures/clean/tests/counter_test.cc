@@ -1,0 +1,15 @@
+#include <atomic>
+
+namespace fixture {
+
+// Atomic counter: safe to bump from pool threads in test callbacks.
+static std::atomic<int> g_hits{0};
+
+// Constants are fine — only mutable plain integers are flagged.
+static const int kLimit = 64;
+
+void OnFrame() { ++g_hits; }
+
+int Hits() { return g_hits.load() < kLimit ? g_hits.load() : kLimit; }
+
+}  // namespace fixture

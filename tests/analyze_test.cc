@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analyzer.h"
+
+// Drives marlin-analyze (tools/analyze) over the planted fixture corpus in
+// tests/analyze_fixtures/ and over the real tree. MARLIN_SOURCE_DIR is
+// injected by tests/CMakeLists.txt.
+
+namespace marlin {
+namespace analyze {
+namespace {
+
+std::string FixtureRoot(const std::string& which) {
+  return std::string(MARLIN_SOURCE_DIR) + "/tests/analyze_fixtures/" + which;
+}
+
+AnalyzeResult RunOn(const std::string& root) {
+  AnalyzeOptions options;
+  options.root = root;
+  options.paths = {"src", "tests"};
+  return RunAnalysis(options);
+}
+
+std::map<std::string, int> CountByRule(const AnalyzeResult& result) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : result.findings) ++counts[f.rule];
+  return counts;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(AnalyzeFixturesTest, BadTreeTripsEveryRule) {
+  const AnalyzeResult result = RunOn(FixtureRoot("bad"));
+  ASSERT_TRUE(result.ok) << result.error;
+  const std::map<std::string, int> counts = CountByRule(result);
+
+  // Every shipped rule must detect its planted violation (100% detection).
+  const std::set<std::string> expected = {
+      "layering",       "actor-blocking",   "fault-point",
+      "message-hygiene", "metric-name",     "no-raw-thread",
+      "naked-new",      "no-plain-counter", "no-raw-socket"};
+  for (const std::string& rule : expected) {
+    EXPECT_TRUE(counts.count(rule)) << "rule '" << rule
+                                    << "' missed its planted violation";
+  }
+  // And nothing beyond the shipped rule set fires.
+  for (const auto& [rule, n] : counts) {
+    EXPECT_TRUE(expected.count(rule)) << "unexpected rule id '" << rule << "'";
+    EXPECT_GT(n, 0);
+  }
+
+  // Pin the planted counts where the fixture is precise about them.
+  EXPECT_EQ(counts.at("layering"), 2);         // upward include + module cycle
+  EXPECT_EQ(counts.at("actor-blocking"), 2);   // sleep_for + cv.wait
+  EXPECT_EQ(counts.at("fault-point"), 2);      // missing point + duplicate name
+  EXPECT_EQ(counts.at("message-hygiene"), 2);  // raw pointer + unique_ptr
+  EXPECT_EQ(counts.at("metric-name"), 2);      // malformed name + kind clash
+  EXPECT_EQ(counts.at("no-raw-thread"), 1);
+  EXPECT_EQ(counts.at("naked-new"), 1);
+  EXPECT_EQ(counts.at("no-plain-counter"), 1);
+  EXPECT_EQ(counts.at("no-raw-socket"), 1);
+  EXPECT_EQ(result.suppressed, 0);
+  EXPECT_EQ(result.baselined, 0);
+}
+
+TEST(AnalyzeFixturesTest, BadTreeFindingsAnchorAtPlantedSites) {
+  const AnalyzeResult result = RunOn(FixtureRoot("bad"));
+  ASSERT_TRUE(result.ok) << result.error;
+
+  auto has = [&](const std::string& rule, const std::string& file) {
+    for (const Finding& f : result.findings)
+      if (f.rule == rule && f.file == file) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("layering", "src/nn/net.h"));
+  EXPECT_TRUE(has("actor-blocking", "src/core/worker.h"));
+  EXPECT_TRUE(has("actor-blocking", "src/core/worker.cc"));
+  EXPECT_TRUE(has("fault-point", "src/cluster/leaky_transport.h"));
+  EXPECT_TRUE(has("fault-point", "src/cluster/dup_points.cc"));
+  EXPECT_TRUE(has("message-hygiene", "src/core/messages.h"));
+  EXPECT_TRUE(has("metric-name", "src/obs/register.cc"));
+  EXPECT_TRUE(has("no-raw-thread", "src/vrf/workers.cc"));
+  EXPECT_TRUE(has("naked-new", "src/vrf/workers.cc"));
+  EXPECT_TRUE(has("no-plain-counter", "tests/counter_test.cc"));
+  EXPECT_TRUE(has("no-raw-socket", "src/events/probe.cc"));
+}
+
+TEST(AnalyzeFixturesTest, CleanTreeHasZeroFindings) {
+  const AnalyzeResult result = RunOn(FixtureRoot("clean"));
+  ASSERT_TRUE(result.ok) << result.error;
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << "unexpected finding: " << f.file << ":" << f.line
+                  << " [" << f.rule << "] " << f.message;
+  }
+  // The clean tree carries one documented allow(naked-new) singleton.
+  EXPECT_GE(result.suppressed, 1);
+  EXPECT_GT(result.files_scanned, 0);
+}
+
+TEST(AnalyzeFixturesTest, BaselineSwallowsAcceptedFindings) {
+  const std::string baseline = ::testing::TempDir() + "/analyze_baseline.txt";
+
+  const AnalyzeResult plain = RunOn(FixtureRoot("bad"));
+  ASSERT_TRUE(plain.ok) << plain.error;
+  const int total = static_cast<int>(plain.findings.size());
+  ASSERT_GT(total, 0);
+
+  AnalyzeOptions write_opts;
+  write_opts.root = FixtureRoot("bad");
+  write_opts.baseline_path = baseline;
+  write_opts.write_baseline = true;
+  const AnalyzeResult wrote = RunAnalysis(write_opts);
+  ASSERT_TRUE(wrote.ok) << wrote.error;
+  // Write mode records the findings instead of reporting them.
+  EXPECT_TRUE(wrote.findings.empty());
+
+  AnalyzeOptions read_opts;
+  read_opts.root = FixtureRoot("bad");
+  read_opts.baseline_path = baseline;
+  const AnalyzeResult reran = RunAnalysis(read_opts);
+  ASSERT_TRUE(reran.ok) << reran.error;
+  EXPECT_TRUE(reran.findings.empty())
+      << reran.findings.size() << " findings escaped the baseline";
+  EXPECT_EQ(reran.baselined, total);
+}
+
+TEST(AnalyzeFixturesTest, SarifOutputListsFindings) {
+  const std::string sarif = ::testing::TempDir() + "/analyze_out.sarif";
+
+  AnalyzeOptions options;
+  options.root = FixtureRoot("bad");
+  options.sarif_path = sarif;
+  const AnalyzeResult result = RunAnalysis(options);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  const std::string json = ReadAll(sarif);
+  EXPECT_NE(json.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ruleId\""), std::string::npos);
+  EXPECT_NE(json.find("layering"), std::string::npos);
+  EXPECT_NE(json.find("src/nn/net.h"), std::string::npos);
+}
+
+TEST(AnalyzeRealTreeTest, SourceTreeIsCleanAndFast) {
+  AnalyzeOptions options;
+  options.root = MARLIN_SOURCE_DIR;
+  options.paths = {"src", "tests"};
+  options.baseline_path = "tools/analyze/baseline.txt";
+  const AnalyzeResult result = RunAnalysis(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << "real-tree finding: " << f.file << ":" << f.line << " ["
+                  << f.rule << "] " << f.message
+                  << " (fix it or suppress with a reviewed chk-lint allow)";
+  }
+  EXPECT_GT(result.files_scanned, 100);  // sanity: the walk saw the tree
+  EXPECT_LT(result.seconds, 5.0);        // ISSUE acceptance bound
+}
+
+TEST(AnalyzeEngineTest, ListedRulesMatchShippedSet) {
+  std::set<std::string> names;
+  for (const auto& rule : BuiltinRules()) {
+    EXPECT_TRUE(names.insert(rule->Name()).second)
+        << "duplicate rule id " << rule->Name();
+    EXPECT_FALSE(rule->Description().empty());
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace marlin

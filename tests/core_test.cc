@@ -7,7 +7,7 @@
 #include "geo/geodesy.h"
 #include "sim/fleet.h"
 #include "sim/proximity_dataset.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "vrf/linear_model.h"
 
 namespace marlin {

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "events/collision.h"
-#include "events/collision_eval.h"
+#include "sim/collision_eval.h"
 #include "events/proximity.h"
 #include "events/switch_off.h"
 #include "events/traffic_flow.h"

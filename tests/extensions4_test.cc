@@ -5,7 +5,7 @@
 #include "ais/stream_io.h"
 #include "events/collision_avoidance.h"
 #include "sim/fleet.h"
-#include "sim/world.h"
+#include "geo/world.h"
 
 namespace marlin {
 namespace {

@@ -9,7 +9,7 @@
 #include "sim/proximity_dataset.h"
 #include "sim/vessel.h"
 #include "sim/weather.h"
-#include "sim/world.h"
+#include "geo/world.h"
 
 namespace marlin {
 namespace {

@@ -7,7 +7,7 @@
 #include "sim/fleet.h"
 #include "sim/proximity_dataset.h"
 #include "sim/vessel.h"
-#include "sim/world.h"
+#include "geo/world.h"
 
 namespace marlin {
 namespace {

@@ -4,7 +4,7 @@
 
 #include "core/pipeline.h"
 #include "sim/fleet.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "vrf/linear_model.h"
 
 namespace marlin {

@@ -16,7 +16,7 @@
 #include "core/pipeline.h"
 #include "geo/geodesy.h"
 #include "obs/metrics.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "util/clock.h"
 #include "vrf/inference_batcher.h"
 #include "vrf/svrf_model.h"

@@ -5,7 +5,7 @@
 
 #include "ais/preprocess.h"
 #include "sim/fleet.h"
-#include "sim/world.h"
+#include "geo/world.h"
 #include "vrf/envclus.h"
 #include "vrf/linear_model.h"
 #include "vrf/metrics.h"

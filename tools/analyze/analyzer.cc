@@ -1,0 +1,119 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "baseline.h"
+#include "sarif.h"
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+const SourceFile* FileByRel(const Project& project, const std::string& rel) {
+  for (const SourceFile& file : project.files()) {
+    if (file.rel == rel) return &file;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Finding> RunRules(const Project& project, int* suppressed) {
+  std::vector<Finding> findings;
+  for (const std::unique_ptr<Rule>& rule : BuiltinRules()) {
+    rule->Run(project, &findings);
+  }
+  // Per-line `// chk-lint: allow(<rule>)` suppressions.
+  std::vector<Finding> kept;
+  for (Finding& finding : findings) {
+    const SourceFile* file = FileByRel(project, finding.file);
+    if (file != nullptr && file->LineAllows(finding.line, finding.rule)) {
+      if (suppressed != nullptr) ++*suppressed;
+      continue;
+    }
+    kept.push_back(std::move(finding));
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.file == b.file && a.line == b.line &&
+                                  a.rule == b.rule && a.message == b.message;
+                         }),
+             kept.end());
+  return kept;
+}
+
+AnalyzeResult RunAnalysis(const AnalyzeOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  AnalyzeResult result;
+
+  Project project(ProjectConfig(), options.root);
+  std::string error;
+  if (!project.Load(options.paths, &error)) {
+    result.error = error;
+    return result;
+  }
+  result.files_scanned = static_cast<int>(project.files().size());
+
+  std::vector<Finding> findings = RunRules(project, &result.suppressed);
+
+  // Attach content fingerprints for the baseline.
+  std::vector<std::pair<Finding, std::string>> keyed;
+  keyed.reserve(findings.size());
+  for (Finding& finding : findings) {
+    const SourceFile* file = FileByRel(project, finding.file);
+    const std::string& line_text =
+        file != nullptr ? file->LineText(finding.line) : finding.message;
+    std::string key = Baseline::Key(finding, line_text);
+    keyed.emplace_back(std::move(finding), std::move(key));
+  }
+
+  std::string baseline_path = options.baseline_path;
+  if (!baseline_path.empty() &&
+      !std::filesystem::path(baseline_path).is_absolute()) {
+    baseline_path =
+        (std::filesystem::path(options.root) / baseline_path).string();
+  }
+
+  if (options.write_baseline) {
+    if (baseline_path.empty()) {
+      result.error = "--write-baseline requires --baseline=<path>";
+      return result;
+    }
+    if (!Baseline::Write(baseline_path, keyed, &result.error)) return result;
+  }
+
+  Baseline baseline;
+  if (!baseline_path.empty()) baseline.Load(baseline_path);
+  for (auto& [finding, key] : keyed) {
+    if (!options.write_baseline && baseline.Contains(key)) {
+      ++result.baselined;
+      continue;
+    }
+    result.findings.push_back(finding);
+  }
+  if (options.write_baseline) result.findings.clear();
+
+  if (!options.sarif_path.empty()) {
+    std::ofstream out(options.sarif_path, std::ios::trunc);
+    if (!out) {
+      result.error = "cannot write SARIF report: " + options.sarif_path;
+      return result;
+    }
+    out << RenderSarif(BuiltinRules(), result.findings);
+  }
+
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace analyze
+}  // namespace marlin

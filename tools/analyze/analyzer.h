@@ -1,0 +1,45 @@
+#ifndef MARLIN_TOOLS_ANALYZE_ANALYZER_H_
+#define MARLIN_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "rule.h"
+
+namespace marlin {
+namespace analyze {
+
+struct AnalyzeOptions {
+  std::string root = ".";
+  /// Repo-relative paths to scan (files or directories).
+  std::vector<std::string> paths = {"src", "tests"};
+  /// Baseline file (repo-relative or absolute); "" disables the baseline.
+  std::string baseline_path;
+  /// Rewrite the baseline from the current findings instead of reporting.
+  bool write_baseline = false;
+  /// SARIF output path; "" disables.
+  std::string sarif_path;
+};
+
+struct AnalyzeResult {
+  bool ok = false;          // analysis ran (not: zero findings)
+  std::string error;        // set when !ok
+  std::vector<Finding> findings;   // new findings (post suppression+baseline)
+  int suppressed = 0;       // dropped by chk-lint allow comments
+  int baselined = 0;        // dropped by the baseline file
+  int files_scanned = 0;
+  double seconds = 0.0;
+};
+
+/// Loads the project, runs every builtin rule, applies suppressions and the
+/// baseline, optionally writes SARIF / rewrites the baseline.
+AnalyzeResult RunAnalysis(const AnalyzeOptions& options);
+
+/// Runs the builtin rules over an already-loaded project and applies
+/// per-line suppressions (no baseline, no I/O). Test seam.
+std::vector<Finding> RunRules(const Project& project, int* suppressed);
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_ANALYZER_H_

@@ -1,0 +1,72 @@
+#include "baseline.h"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+std::string Fnv1aHex(const std::string& data) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  std::ostringstream out;
+  out << std::hex << hash;
+  return out.str();
+}
+
+std::string StripWhitespace(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Baseline::Key(const Finding& finding, const std::string& line_text) {
+  return Fnv1aHex(finding.rule + "|" + finding.file + "|" +
+                  StripWhitespace(line_text));
+}
+
+void Baseline::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t last_tab = line.rfind('\t');
+    if (last_tab == std::string::npos) continue;
+    keys_.insert(line.substr(last_tab + 1));
+  }
+}
+
+bool Baseline::Write(
+    const std::string& path,
+    const std::vector<std::pair<Finding, std::string>>& entries,
+    std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    *error = "cannot write baseline: " + path;
+    return false;
+  }
+  out << "# marlin-analyze accepted-findings baseline.\n"
+      << "# rule<TAB>file<TAB>fingerprint — regenerate with "
+         "--write-baseline;\n"
+      << "# entries are content-keyed, so line-number churn does not "
+         "invalidate them.\n";
+  for (const auto& [finding, key] : entries) {
+    out << finding.rule << '\t' << finding.file << '\t' << key << '\n';
+  }
+  return true;
+}
+
+}  // namespace analyze
+}  // namespace marlin

@@ -1,0 +1,44 @@
+#ifndef MARLIN_TOOLS_ANALYZE_BASELINE_H_
+#define MARLIN_TOOLS_ANALYZE_BASELINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rule.h"
+
+namespace marlin {
+namespace analyze {
+
+/// The checked-in accepted-findings file. Each entry is
+/// `rule<TAB>file<TAB>fnv1a(rule|file|normalized-line-text)` — keyed on
+/// content, not line numbers, so unrelated edits don't churn it. The
+/// workflow: new findings fail CI; a finding that is consciously accepted is
+/// appended with --write-baseline and reviewed like any other diff; fixing
+/// the code later leaves a stale entry that --write-baseline prunes.
+class Baseline {
+ public:
+  /// Fingerprint of one finding (uses the current text of finding.line in
+  /// `line_text`, whitespace-stripped).
+  static std::string Key(const Finding& finding, const std::string& line_text);
+
+  /// Loads entries from `path`. Missing file = empty baseline (not an
+  /// error); malformed lines are ignored.
+  void Load(const std::string& path);
+
+  bool Contains(const std::string& key) const { return keys_.count(key) > 0; }
+  size_t size() const { return keys_.size(); }
+
+  /// Writes `findings` (with their fingerprints) as the new baseline.
+  static bool Write(const std::string& path,
+                    const std::vector<std::pair<Finding, std::string>>& entries,
+                    std::string* error);
+
+ private:
+  std::set<std::string> keys_;
+};
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_BASELINE_H_

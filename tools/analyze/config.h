@@ -1,0 +1,50 @@
+#ifndef MARLIN_TOOLS_ANALYZE_CONFIG_H_
+#define MARLIN_TOOLS_ANALYZE_CONFIG_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace marlin {
+namespace analyze {
+
+/// The project contracts marlin-analyze enforces, declared in one place.
+/// DESIGN.md §11 documents every field; changing the architecture means
+/// changing this struct and the document together.
+struct Config {
+  /// Module layering, lowest layer first. A file in src/<m>/ may include
+  /// headers of modules in the same or any lower layer; including a higher
+  /// layer (or an undeclared module) is a `layering` finding. Module-level
+  /// include cycles are findings regardless of layer assignment.
+  std::vector<std::vector<std::string>> layers;
+
+  /// Cross-cutting hook headers, includable from any module and excluded
+  /// from the layering graph. These are the compile-gated instrumentation
+  /// seams (chk invariants, fault points): no-ops unless the corresponding
+  /// CMake option arms them, so they deliberately cross layers downward.
+  std::set<std::string> crosscut_headers;
+
+  /// Files (repo-relative) allowed to create raw std::thread/jthread/async —
+  /// the execution substrates everything else reaches through the
+  /// Dispatcher seam.
+  std::set<std::string> raw_thread_files;
+
+  /// Modules allowed to call ::socket() — the two networking substrates.
+  std::set<std::string> raw_socket_modules;
+
+  /// The actor-message contract file: every struct defined here must be a
+  /// copyable value type (no raw owning pointers, references, or
+  /// non-copyable members).
+  std::string messages_header;
+
+  /// Layer index of `module`, or -1 when undeclared.
+  int LayerOf(const std::string& module) const;
+};
+
+/// The checked-in project configuration.
+const Config& ProjectConfig();
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_CONFIG_H_

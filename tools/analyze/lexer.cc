@@ -1,0 +1,299 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+const std::string kEmpty;
+
+/// Records every `chk-lint: allow(rule[,rule...])` occurrence in a comment.
+void ScanCommentForAllows(const std::string& comment, int line,
+                          SourceFile* out) {
+  static const std::string kTag = "chk-lint:";
+  size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    pos += kTag.size();
+    while (pos < comment.size() && comment[pos] == ' ') ++pos;
+    static const std::string kAllow = "allow(";
+    if (comment.compare(pos, kAllow.size(), kAllow) != 0) continue;
+    pos += kAllow.size();
+    const size_t close = comment.find(')', pos);
+    if (close == std::string::npos) return;
+    std::string list = comment.substr(pos, close - pos);
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      std::string rule = list.substr(start, comma - start);
+      // Trim spaces.
+      while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
+      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+      if (!rule.empty()) out->allows[line].insert(rule);
+      start = comma + 1;
+    }
+    pos = close;
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& src, SourceFile* out) : src_(src), out_(out) {}
+
+  void Run() {
+    SplitLines();
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        continue;
+      }
+      if (at_line_start_ && c == '#') {
+        Preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && Peek(1) == '"') {
+        RawString();
+        continue;
+      }
+      if (c == '"') {
+        StringLiteral();
+        continue;
+      }
+      if (c == '\'') {
+        CharLiteral();
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        Identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        Number();
+        continue;
+      }
+      Punct();
+    }
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokKind kind, std::string text) {
+    out_->tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  void SplitLines() {
+    std::string current;
+    for (const char c : src_) {
+      if (c == '\n') {
+        out_->lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) out_->lines.push_back(current);
+  }
+
+  void LineComment() {
+    const size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    ScanCommentForAllows(src_.substr(start, pos_ - start), line_, out_);
+  }
+
+  void BlockComment() {
+    const int start_line = line_;
+    const size_t start = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size() && !(src_[pos_] == '*' && Peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ < src_.size() ? pos_ + 2 : src_.size();
+    // Allows inside a block comment attach to the line the comment starts on.
+    ScanCommentForAllows(src_.substr(start, pos_ - start), start_line, out_);
+  }
+
+  /// Consumes a whole preprocessor directive (with \-continuations),
+  /// recording #include targets. Directive bodies are not tokenized: macro
+  /// definitions must not feed the pattern rules.
+  void Preprocessor() {
+    std::string directive;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        directive.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;  // newline handled by main loop
+      // Comments inside directives end or hide the rest of the line.
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        directive.push_back(' ');
+        continue;
+      }
+      directive.push_back(c);
+      ++pos_;
+    }
+    ParseDirective(directive);
+  }
+
+  void ParseDirective(const std::string& directive) {
+    size_t i = 1;  // skip '#'
+    while (i < directive.size() && std::isspace(static_cast<unsigned char>(directive[i]))) ++i;
+    static const std::string kInclude = "include";
+    if (directive.compare(i, kInclude.size(), kInclude) != 0) return;
+    i += kInclude.size();
+    while (i < directive.size() && std::isspace(static_cast<unsigned char>(directive[i]))) ++i;
+    if (i >= directive.size()) return;
+    const char open = directive[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;  // computed include — not analyzable
+    const size_t end = directive.find(close, i + 1);
+    if (end == std::string::npos) return;
+    IncludeDirective inc;
+    inc.target = directive.substr(i + 1, end - i - 1);
+    inc.line = line_;
+    inc.angled = open == '<';
+    out_->includes.push_back(inc);
+  }
+
+  void RawString() {
+    // R"delim( ... )delim"
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim.push_back(src_[pos_++]);
+    ++pos_;  // (
+    const std::string closer = ")" + delim + "\"";
+    const int start_line = line_;
+    std::string value;
+    while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      value.push_back(src_[pos_++]);
+    }
+    pos_ += closer.size();
+    out_->tokens.push_back(Token{TokKind::kString, std::move(value), start_line});
+  }
+
+  void StringLiteral() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        value.push_back(src_[pos_]);
+        value.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // unterminated; keep line count sane
+      value.push_back(src_[pos_++]);
+    }
+    ++pos_;  // closing quote
+    Emit(TokKind::kString, std::move(value));
+  }
+
+  void CharLiteral() {
+    const size_t start = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    ++pos_;
+    Emit(TokKind::kChar, src_.substr(start, pos_ - start));
+  }
+
+  void Identifier() {
+    const size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string text = src_.substr(start, pos_ - start);
+    // String-literal prefixes (u8"...", L"...") — treat as the literal.
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      StringLiteral();
+      return;
+    }
+    Emit(TokKind::kIdent, std::move(text));
+  }
+
+  void Number() {
+    const size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e-3, 0x1p+2
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, src_.substr(start, pos_ - start));
+  }
+
+  void Punct() {
+    if (src_[pos_] == ':' && Peek(1) == ':') {
+      Emit(TokKind::kPunct, "::");
+      pos_ += 2;
+      return;
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[pos_]));
+    ++pos_;
+  }
+
+  const std::string& src_;
+  SourceFile* out_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+const std::string& SourceFile::LineText(int line) const {
+  if (line < 1 || line > static_cast<int>(lines.size())) return kEmpty;
+  return lines[line - 1];
+}
+
+void LexSource(const std::string& content, SourceFile* out) {
+  Lexer lexer(content, out);
+  lexer.Run();
+}
+
+}  // namespace analyze
+}  // namespace marlin

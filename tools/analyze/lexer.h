@@ -1,0 +1,54 @@
+#ifndef MARLIN_TOOLS_ANALYZE_LEXER_H_
+#define MARLIN_TOOLS_ANALYZE_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace marlin {
+namespace analyze {
+
+/// One `#include` directive.
+struct IncludeDirective {
+  std::string target;  // path between the quotes/brackets
+  int line = 0;
+  bool angled = false;  // <...> (system) vs "..." (project)
+};
+
+/// A lexed translation unit (or header) plus the side-band facts rules need:
+/// project includes, per-line `// chk-lint: allow(<rule>)` suppressions, and
+/// the raw line text (for baseline fingerprints and messages).
+struct SourceFile {
+  std::string path;  // as opened (absolute or root-relative)
+  std::string rel;   // repo-relative, forward slashes: "src/core/pipeline.h"
+  std::string module;  // "<m>" when rel is "src/<m>/...", else empty
+  bool in_tests = false;  // rel starts with "tests/"
+  bool is_header = false;
+
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// line -> rule names suppressed on that line via `chk-lint: allow(rule)`.
+  std::map<int, std::set<std::string>> allows;
+  std::vector<std::string> lines;  // raw source lines, lines[0] is line 1
+
+  bool LineAllows(int line, const std::string& rule) const {
+    auto it = allows.find(line);
+    return it != allows.end() && it->second.count(rule) > 0;
+  }
+  /// Raw text of a 1-based line ("" when out of range).
+  const std::string& LineText(int line) const;
+};
+
+/// Lexes `content` into `out`. Strips // and /* */ comments (recording
+/// chk-lint allows), strips preprocessor directives (recording #includes,
+/// honouring backslash continuations), and understands raw strings so that
+/// code inside R"(...)" never produces phantom tokens.
+void LexSource(const std::string& content, SourceFile* out);
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_LEXER_H_

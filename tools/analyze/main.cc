@@ -1,0 +1,99 @@
+// marlin-analyze — the project-contract static analyzer (DESIGN.md §11).
+//
+// Usage:
+//   marlin-analyze [--root=DIR] [--baseline=FILE] [--write-baseline]
+//                  [--sarif=FILE] [--list-rules] [paths...]
+//
+// Scans `paths` (default: src tests) under --root (default: cwd) with every
+// builtin rule. Exit code 0 = clean (after `// chk-lint: allow(...)`
+// suppressions and the baseline), 1 = findings, 2 = usage or I/O error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: marlin-analyze [--root=DIR] [--baseline=FILE] "
+      "[--write-baseline]\n"
+      "                      [--sarif=FILE] [--list-rules] [paths...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using marlin::analyze::AnalyzeOptions;
+  using marlin::analyze::AnalyzeResult;
+  using marlin::analyze::Finding;
+
+  AnalyzeOptions options;
+  options.baseline_path = "tools/analyze/baseline.txt";
+  std::vector<std::string> paths;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const std::string& flag) {
+      return arg.substr(flag.size());
+    };
+    if (arg.rfind("--root=", 0) == 0) {
+      options.root = value("--root=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      options.baseline_path = value("--baseline=");
+    } else if (arg == "--no-baseline") {
+      options.baseline_path.clear();
+    } else if (arg == "--write-baseline") {
+      options.write_baseline = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      options.sarif_path = value("--sarif=");
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "marlin-analyze: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!paths.empty()) options.paths = paths;
+
+  if (list_rules) {
+    for (const auto& rule : marlin::analyze::BuiltinRules()) {
+      std::printf("%-18s %s\n", rule->Name().c_str(),
+                  rule->Description().c_str());
+    }
+    return 0;
+  }
+
+  const AnalyzeResult result = marlin::analyze::RunAnalysis(options);
+  if (!result.ok) {
+    std::fprintf(stderr, "marlin-analyze: %s\n", result.error.c_str());
+    return 2;
+  }
+  if (options.write_baseline) {
+    std::printf("marlin-analyze: baseline rewritten (%d files scanned)\n",
+                result.files_scanned);
+    return 0;
+  }
+
+  for (const Finding& finding : result.findings) {
+    std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
+                finding.rule.c_str(), finding.message.c_str());
+  }
+  std::printf(
+      "marlin-analyze: %zu finding%s (%d suppressed, %d baselined) across %d "
+      "files in %.2fs\n",
+      result.findings.size(), result.findings.size() == 1 ? "" : "s",
+      result.suppressed, result.baselined, result.files_scanned,
+      result.seconds);
+  return result.findings.empty() ? 0 : 1;
+}

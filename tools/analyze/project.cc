@@ -1,0 +1,239 @@
+#include "project.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace marlin {
+namespace analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool SkippedDir(const std::string& name) {
+  return name == ".git" || name == "analyze_fixtures" ||
+         name.rfind("build", 0) == 0;
+}
+
+bool AnalyzableFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+/// True for tokens that may appear between `class X :` and `{` without being
+/// part of a base-class name.
+bool IsBaseListNoise(const Token& token) {
+  return token.IsIdent("public") || token.IsIdent("protected") ||
+         token.IsIdent("private") || token.IsIdent("virtual");
+}
+
+}  // namespace
+
+size_t Project::MatchBrace(const std::vector<Token>& tokens, size_t open_brace) {
+  int depth = 0;
+  for (size_t i = open_brace; i < tokens.size(); ++i) {
+    if (tokens[i].IsPunct("{")) ++depth;
+    if (tokens[i].IsPunct("}")) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+void Project::Classify(SourceFile* file) const {
+  std::replace(file->rel.begin(), file->rel.end(), '\\', '/');
+  file->is_header = file->rel.size() >= 2 &&
+                    file->rel.compare(file->rel.size() - 2, 2, ".h") == 0;
+  file->in_tests = file->rel.rfind("tests/", 0) == 0;
+  if (file->rel.rfind("src/", 0) == 0) {
+    const size_t slash = file->rel.find('/', 4);
+    if (slash != std::string::npos) {
+      file->module = file->rel.substr(4, slash - 4);
+    }
+  }
+}
+
+bool Project::Load(const std::vector<std::string>& paths, std::string* error) {
+  std::vector<fs::path> found;
+  for (const std::string& path : paths) {
+    const fs::path abs = fs::path(root_) / path;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+      found.push_back(abs);
+      continue;
+    }
+    if (!fs::is_directory(abs, ec)) {
+      *error = "path not found: " + abs.string();
+      return false;
+    }
+    fs::recursive_directory_iterator it(abs, ec), end;
+    if (ec) {
+      *error = "cannot walk " + abs.string() + ": " + ec.message();
+      return false;
+    }
+    for (; it != end; ++it) {
+      if (it->is_directory() && SkippedDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && AnalyzableFile(it->path())) {
+        found.push_back(it->path());
+      }
+    }
+  }
+  std::sort(found.begin(), found.end());
+  for (const fs::path& path : found) {
+    std::ifstream in(path);
+    if (!in) {
+      *error = "cannot read " + path.string();
+      return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root_, ec);
+    AddSource(ec ? path.string() : rel.generic_string(), content.str());
+  }
+  return true;
+}
+
+void Project::AddSource(const std::string& rel, const std::string& content) {
+  SourceFile file;
+  file.path = (fs::path(root_) / rel).string();
+  file.rel = rel;
+  Classify(&file);
+  LexSource(content, &file);
+  files_.push_back(std::move(file));
+}
+
+std::set<std::string> Project::ClassesDerivedFrom(const std::string& base) const {
+  // (class name -> direct base name idents), src/ only.
+  std::multimap<std::string, std::string> bases;
+  for (const SourceFile& file : files_) {
+    if (file.module.empty()) continue;
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!(toks[i].IsIdent("class") || toks[i].IsIdent("struct"))) continue;
+      if (i > 0 && toks[i - 1].IsIdent("enum")) continue;
+      // Class head: identifiers / "::" up to ':', '{', ';' or 'final'.
+      size_t j = i + 1;
+      std::string name;
+      while (j < toks.size() &&
+             (toks[j].kind == TokKind::kIdent || toks[j].IsPunct("::"))) {
+        if (toks[j].IsIdent("final")) break;
+        if (toks[j].kind == TokKind::kIdent) name = toks[j].text;
+        ++j;
+      }
+      if (name.empty() || j >= toks.size()) continue;
+      if (toks[j].IsIdent("final")) ++j;
+      if (j >= toks.size() || !toks[j].IsPunct(":")) continue;
+      // Base list: idents up to '{' (or ';' for stray matches).
+      for (size_t k = j + 1; k < toks.size(); ++k) {
+        if (toks[k].IsPunct("{") || toks[k].IsPunct(";")) break;
+        if (toks[k].kind == TokKind::kIdent && !IsBaseListNoise(toks[k])) {
+          bases.emplace(name, toks[k].text);
+        }
+      }
+    }
+  }
+  std::set<std::string> derived;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [name, base_name] : bases) {
+      if (derived.count(name)) continue;
+      if (base_name == base || derived.count(base_name)) {
+        derived.insert(name);
+        grew = true;
+      }
+    }
+  }
+  return derived;
+}
+
+std::vector<MethodBody> Project::FindMethodBodies(
+    const std::set<std::string>& classes, const std::string& method) const {
+  std::vector<MethodBody> bodies;
+  for (const SourceFile& file : files_) {
+    if (file.module.empty()) continue;
+    const std::vector<Token>& toks = file.tokens;
+
+    // Out-of-line: Class :: Method (
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !classes.count(toks[i].text)) continue;
+      if (!toks[i + 1].IsPunct("::") || !toks[i + 2].IsIdent(method.c_str()) ||
+          !toks[i + 3].IsPunct("(")) {
+        continue;
+      }
+      const size_t body = FindBodyAfterSignature(toks, i + 3);
+      if (body == 0) continue;
+      bodies.push_back(MethodBody{&file, toks[i].text, method,
+                                  toks[i + 2].line, body,
+                                  MatchBrace(toks, body)});
+    }
+
+    // Inline: Method ( ... ) ... { directly inside `class Name ... {`.
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!(toks[i].IsIdent("class") || toks[i].IsIdent("struct"))) continue;
+      size_t j = i + 1;
+      std::string name;
+      while (j < toks.size() &&
+             (toks[j].kind == TokKind::kIdent || toks[j].IsPunct("::"))) {
+        if (toks[j].IsIdent("final")) break;
+        if (toks[j].kind == TokKind::kIdent) name = toks[j].text;
+        ++j;
+      }
+      if (name.empty() || !classes.count(name)) continue;
+      // Find the class's opening brace (skip the base list).
+      while (j < toks.size() && !toks[j].IsPunct("{") && !toks[j].IsPunct(";")) ++j;
+      if (j >= toks.size() || toks[j].IsPunct(";")) continue;
+      const size_t class_end = MatchBrace(toks, j);
+      int depth = 0;
+      for (size_t k = j; k < class_end; ++k) {
+        if (toks[k].IsPunct("{")) ++depth;
+        if (toks[k].IsPunct("}")) --depth;
+        if (depth != 1) continue;
+        if (toks[k].IsIdent(method.c_str()) && k + 1 < class_end &&
+            toks[k + 1].IsPunct("(")) {
+          const size_t body = FindBodyAfterSignature(toks, k + 1);
+          if (body == 0 || body >= class_end) continue;
+          bodies.push_back(MethodBody{&file, name, method, toks[k].line, body,
+                                      MatchBrace(toks, body)});
+          k = MatchBrace(toks, body) - 1;
+        }
+      }
+    }
+  }
+  return bodies;
+}
+
+/// After the '(' that opens a signature's parameter list, finds the '{' that
+/// opens the definition body; 0 when the signature is only a declaration.
+size_t Project::FindBodyAfterSignature(const std::vector<Token>& toks,
+                                       size_t open_paren) {
+  int parens = 0;
+  size_t i = open_paren;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].IsPunct("(")) ++parens;
+    if (toks[i].IsPunct(")")) {
+      if (--parens == 0) break;
+    }
+  }
+  for (++i; i < toks.size(); ++i) {
+    if (toks[i].IsPunct("{")) return i;
+    if (toks[i].IsPunct(";") || toks[i].IsPunct("=")) return 0;
+    if (toks[i].IsPunct("(")) {  // noexcept(...) and friends
+      int depth = 0;
+      for (; i < toks.size(); ++i) {
+        if (toks[i].IsPunct("(")) ++depth;
+        if (toks[i].IsPunct(")") && --depth == 0) break;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace analyze
+}  // namespace marlin

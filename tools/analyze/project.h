@@ -1,0 +1,76 @@
+#ifndef MARLIN_TOOLS_ANALYZE_PROJECT_H_
+#define MARLIN_TOOLS_ANALYZE_PROJECT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "lexer.h"
+
+namespace marlin {
+namespace analyze {
+
+/// One method definition (with a body) found by structural scanning.
+struct MethodBody {
+  const SourceFile* file = nullptr;
+  std::string class_name;
+  std::string method_name;
+  int def_line = 0;     // line of the method name in the definition
+  size_t body_begin = 0;  // token index of the '{'
+  size_t body_end = 0;    // token index just past the matching '}'
+};
+
+/// Everything the rules run against: the lexed file set plus shared
+/// structural scans (class hierarchies, method bodies).
+class Project {
+ public:
+  Project(const Config& config, std::string root)
+      : config_(config), root_(std::move(root)) {}
+
+  const Config& config() const { return config_; }
+  const std::string& root() const { return root_; }
+
+  /// Loads every *.h/*.cc under `paths` (repo-relative). Directories named
+  /// "build*", ".git" or "analyze_fixtures" are skipped — fixture trees
+  /// carry planted violations and must only be analyzed when explicitly
+  /// rooted there. Returns false (with `error` set) on I/O failure.
+  bool Load(const std::vector<std::string>& paths, std::string* error);
+
+  /// Adds one already-read file (tests use this to assemble projects
+  /// in-memory).
+  void AddSource(const std::string& rel, const std::string& content);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+
+  /// Names of classes that (transitively) derive from `base` anywhere in
+  /// src/. Direct bases are matched by the last identifier of the base
+  /// specifier, so `public cluster::Transport` matches base "Transport".
+  std::set<std::string> ClassesDerivedFrom(const std::string& base) const;
+
+  /// Every definition-with-body of `method` on any class in `classes`,
+  /// inline (inside the class braces) or out-of-line (Class::Method).
+  std::vector<MethodBody> FindMethodBodies(
+      const std::set<std::string>& classes, const std::string& method) const;
+
+  /// Token index just past the brace partner of tokens[open_brace].
+  static size_t MatchBrace(const std::vector<Token>& tokens, size_t open_brace);
+
+  /// Given the '(' opening a signature's parameter list, returns the token
+  /// index of the '{' opening the definition body, or 0 for declarations.
+  static size_t FindBodyAfterSignature(const std::vector<Token>& tokens,
+                                       size_t open_paren);
+
+ private:
+  void Classify(SourceFile* file) const;
+
+  const Config& config_;
+  std::string root_;
+  std::vector<SourceFile> files_;
+};
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_PROJECT_H_

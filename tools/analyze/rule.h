@@ -1,0 +1,48 @@
+#ifndef MARLIN_TOOLS_ANALYZE_RULE_H_
+#define MARLIN_TOOLS_ANALYZE_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "project.h"
+
+namespace marlin {
+namespace analyze {
+
+/// One violation. `rule` is the stable rule id (also the suppression token
+/// for `// chk-lint: allow(<rule>)` and the SARIF ruleId).
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative
+  int line = 0;
+  std::string message;
+
+  bool operator<(const Finding& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return message < other.message;
+  }
+};
+
+/// A pluggable check. Rules are pure functions of the Project: they emit
+/// every violation they see; suppression (allow comments) and the baseline
+/// are applied uniformly by the engine afterwards.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable id, kebab-case (e.g. "actor-blocking").
+  virtual std::string Name() const = 0;
+  /// One-line description for --list-rules and the SARIF rule metadata.
+  virtual std::string Description() const = 0;
+  virtual void Run(const Project& project, std::vector<Finding>* findings) const = 0;
+};
+
+/// The full shipped rule set.
+std::vector<std::unique_ptr<Rule>> BuiltinRules();
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_RULE_H_

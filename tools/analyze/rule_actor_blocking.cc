@@ -1,0 +1,91 @@
+#include <set>
+
+#include "rule.h"
+#include "rules.h"
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+/// Actor callbacks (Receive / OnStart / OnStop / OnRestart) run on dispatcher
+/// threads; one blocked callback stalls a whole dispatcher lane and, under
+/// the deterministic scheduler, deadlocks the exploration. This rule flags
+/// blocking primitives inside the bodies of those callbacks on any class
+/// derived from Actor in src/:
+///   - std::this_thread::sleep_for / sleep_until
+///   - condition-variable / future style waits: .wait( / .wait_for( /
+///     .wait_until(
+///   - thread joins: .join(
+///   - raw socket calls: ::socket / ::connect / ::send / ::recv / ::accept
+/// Asynchrony belongs on the Dispatcher seam (timers, Tell, the inference
+/// batcher's completion messages), never inline in a callback.
+class ActorBlockingRule : public Rule {
+ public:
+  std::string Name() const override { return "actor-blocking"; }
+  std::string Description() const override {
+    return "no blocking calls (sleep/wait/join/raw sockets) inside actor "
+           "Receive/OnStart/OnStop/OnRestart bodies";
+  }
+
+  void Run(const Project& project, std::vector<Finding>* findings) const override {
+    const std::set<std::string> actors = project.ClassesDerivedFrom("Actor");
+    if (actors.empty()) return;
+    static const char* kCallbacks[] = {"Receive", "OnStart", "OnStop",
+                                       "OnRestart"};
+    for (const char* callback : kCallbacks) {
+      for (const MethodBody& body :
+           project.FindMethodBodies(actors, callback)) {
+        CheckBody(body, findings);
+      }
+    }
+  }
+
+ private:
+  void CheckBody(const MethodBody& body, std::vector<Finding>* findings) const {
+    static const std::set<std::string> kSleeps = {"sleep_for", "sleep_until"};
+    static const std::set<std::string> kWaits = {"wait", "wait_for",
+                                                 "wait_until", "join"};
+    static const std::set<std::string> kSocketOps = {
+        "socket", "connect", "send", "recv", "accept", "sendto", "recvfrom"};
+    const std::vector<Token>& toks = body.file->tokens;
+    for (size_t i = body.body_begin; i < body.body_end; ++i) {
+      const Token& tok = toks[i];
+      if (tok.kind != TokKind::kIdent) continue;
+      const bool called = i + 1 < toks.size() && toks[i + 1].IsPunct("(");
+      std::string what;
+      if (kSleeps.count(tok.text)) {
+        what = tok.text;
+      } else if (called && kWaits.count(tok.text) && i > 0 &&
+                 (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct(">"))) {
+        // member call: cv.wait(...), future->wait_for(...), thread.join()
+        what = "." + tok.text + "()";
+      } else if (called && kSocketOps.count(tok.text) && i > 0 &&
+                 toks[i - 1].IsPunct("::")) {
+        what = "::" + tok.text + "()";
+      } else {
+        continue;
+      }
+      Emit(body, tok.line, what, findings);
+    }
+  }
+
+  void Emit(const MethodBody& body, int line, const std::string& what,
+            std::vector<Finding>* findings) const {
+    findings->push_back(
+        {Name(), body.file->rel, line,
+         "blocking call " + what + " inside " + body.class_name +
+             "::" + body.method_name +
+             " — actor callbacks must not block; use the Dispatcher seam "
+             "(timers, Tell-backs) instead"});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeActorBlockingRule() {
+  return std::make_unique<ActorBlockingRule>();
+}
+
+}  // namespace analyze
+}  // namespace marlin

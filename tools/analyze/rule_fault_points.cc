@@ -1,0 +1,92 @@
+#include <map>
+#include <set>
+
+#include "rule.h"
+#include "rules.h"
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+/// The chaos layer can only exercise what the transports expose: every
+/// Transport::Send override in src/ must carry a MARLIN_FAULT_POINT (or an
+/// explicit `// chk-lint: allow(fault-point)` on the definition line for
+/// pure decorators and the chaos transport itself), and fault-point names
+/// must be globally unique — FaultInjector derives each point's RNG stream
+/// from its name, so two sites sharing a name would silently share (and
+/// skew) one stream.
+class FaultPointRule : public Rule {
+ public:
+  std::string Name() const override { return "fault-point"; }
+  std::string Description() const override {
+    return "every Transport::Send override carries a MARLIN_FAULT_POINT and "
+           "point names are globally unique";
+  }
+
+  void Run(const Project& project, std::vector<Finding>* findings) const override {
+    CheckSendCoverage(project, findings);
+    CheckNameUniqueness(project, findings);
+  }
+
+ private:
+  void CheckSendCoverage(const Project& project,
+                         std::vector<Finding>* findings) const {
+    const std::set<std::string> transports =
+        project.ClassesDerivedFrom("Transport");
+    for (const MethodBody& body :
+         project.FindMethodBodies(transports, "Send")) {
+      const std::vector<Token>& toks = body.file->tokens;
+      bool covered = false;
+      for (size_t i = body.body_begin; i < body.body_end; ++i) {
+        if (toks[i].IsIdent("MARLIN_FAULT_POINT")) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        findings->push_back(
+            {Name(), body.file->rel, body.def_line,
+             body.class_name +
+                 "::Send has no MARLIN_FAULT_POINT — every transport send "
+                 "path must be injectable (suppress with chk-lint allow for "
+                 "pure decorators)"});
+      }
+    }
+  }
+
+  void CheckNameUniqueness(const Project& project,
+                           std::vector<Finding>* findings) const {
+    // name -> "file:line" of first sight.
+    std::map<std::string, std::string> seen;
+    for (const SourceFile& file : project.files()) {
+      if (file.module.empty()) continue;
+      const std::vector<Token>& toks = file.tokens;
+      for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!toks[i].IsIdent("MARLIN_FAULT_POINT")) continue;
+        if (!toks[i + 1].IsPunct("(")) continue;
+        if (toks[i + 2].kind != TokKind::kString) continue;  // dynamic name
+        const std::string& name = toks[i + 2].text;
+        const std::string here =
+            file.rel + ":" + std::to_string(toks[i + 2].line);
+        auto [it, inserted] = seen.emplace(name, here);
+        if (!inserted) {
+          findings->push_back(
+              {Name(), file.rel, toks[i + 2].line,
+               "duplicate fault point name \"" + name + "\" (first used at " +
+                   it->second +
+                   ") — names seed per-point RNG streams and must be unique"});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeFaultPointRule() {
+  return std::make_unique<FaultPointRule>();
+}
+
+}  // namespace analyze
+}  // namespace marlin

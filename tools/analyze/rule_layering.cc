@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rule.h"
+#include "rules.h"
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+/// Enforces the declared module layering DAG over direct project includes:
+///  - a file in src/<m>/ may only include modules whose layer is <= m's;
+///  - every included module must be declared in the config;
+///  - the module-level include graph must be acyclic (cycles are flagged
+///    even between modules of the same layer).
+/// Cross-cutting hook headers (Config::crosscut_headers) never form edges.
+class LayeringRule : public Rule {
+ public:
+  std::string Name() const override { return "layering"; }
+  std::string Description() const override {
+    return "module includes must follow the declared layering DAG "
+           "(no upward or cyclic dependencies)";
+  }
+
+  void Run(const Project& project, std::vector<Finding>* findings) const override {
+    const Config& config = project.config();
+    // module -> (target module -> first include site), for cycle reporting.
+    std::map<std::string, std::map<std::string, Finding>> edges;
+
+    for (const SourceFile& file : project.files()) {
+      if (file.module.empty()) continue;  // layering governs src/ only
+      const int layer = config.LayerOf(file.module);
+      if (layer < 0) {
+        findings->push_back(
+            {Name(), file.rel, 1,
+             "module '" + file.module +
+                 "' is not declared in the layering DAG (tools/analyze/"
+                 "config.cc); add it to a layer"});
+        continue;
+      }
+      for (const IncludeDirective& inc : file.includes) {
+        if (inc.angled) continue;
+        if (config.crosscut_headers.count(inc.target)) continue;
+        const size_t slash = inc.target.find('/');
+        if (slash == std::string::npos) continue;  // not a module path
+        const std::string target = inc.target.substr(0, slash);
+        if (target == file.module) continue;
+        const int target_layer = config.LayerOf(target);
+        if (target_layer < 0) {
+          // Unknown directory: only flag when it exists as a module include
+          // shape (src-rooted include of an undeclared module).
+          findings->push_back(
+              {Name(), file.rel, inc.line,
+               "include \"" + inc.target + "\" targets module '" + target +
+                   "' which is not declared in the layering DAG"});
+          continue;
+        }
+        if (target_layer > layer) {
+          findings->push_back(
+              {Name(), file.rel, inc.line,
+               "module '" + file.module + "' (layer " + std::to_string(layer) +
+                   ") may not include \"" + inc.target + "\" — module '" +
+                   target + "' is layer " + std::to_string(target_layer) +
+                   ", above it"});
+        }
+        edges[file.module].emplace(
+            target, Finding{Name(), file.rel, inc.line, ""});
+      }
+    }
+
+    ReportCycles(edges, findings);
+  }
+
+ private:
+  /// DFS cycle detection over the module graph; one finding per cycle,
+  /// anchored at the include site that closes it.
+  static void ReportCycles(
+      const std::map<std::string, std::map<std::string, Finding>>& edges,
+      std::vector<Finding>* findings) {
+    std::set<std::string> done;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+
+    // Iterative DFS with an explicit visit function.
+    struct Frame {
+      std::string node;
+      std::map<std::string, Finding>::const_iterator next, end;
+    };
+    static const std::map<std::string, Finding> kNoEdges;
+
+    for (const auto& [start, unused] : edges) {
+      (void)unused;
+      if (done.count(start)) continue;
+      std::vector<Frame> frames;
+      auto edges_of = [&](const std::string& n)
+          -> const std::map<std::string, Finding>& {
+        auto it = edges.find(n);
+        return it == edges.end() ? kNoEdges : it->second;
+      };
+      frames.push_back({start, edges_of(start).begin(), edges_of(start).end()});
+      stack.push_back(start);
+      on_stack.insert(start);
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        if (frame.next == frame.end) {
+          done.insert(frame.node);
+          on_stack.erase(frame.node);
+          stack.pop_back();
+          frames.pop_back();
+          continue;
+        }
+        const std::string target = frame.next->first;
+        const Finding& site = frame.next->second;
+        ++frame.next;
+        if (on_stack.count(target)) {
+          // Close the cycle: stack from `target` onward, back to target.
+          std::string path;
+          auto it = std::find(stack.begin(), stack.end(), target);
+          for (; it != stack.end(); ++it) path += *it + " -> ";
+          path += target;
+          findings->push_back({
+              "layering", site.file, site.line,
+              "module include cycle: " + path +
+                  " (cycles are forbidden regardless of layers)"});
+          continue;
+        }
+        if (done.count(target)) continue;
+        frames.push_back(
+            {target, edges_of(target).begin(), edges_of(target).end()});
+        stack.push_back(target);
+        on_stack.insert(target);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeLayeringRule() {
+  return std::make_unique<LayeringRule>();
+}
+
+}  // namespace analyze
+}  // namespace marlin

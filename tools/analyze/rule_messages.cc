@@ -1,0 +1,83 @@
+#include <set>
+
+#include "rule.h"
+#include "rules.h"
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+/// Actor messages travel by value in std::any envelopes, may be duplicated
+/// by the fault layer and serialised by the cluster layer — so every struct
+/// in the messages header must be a self-contained copyable value type. The
+/// contract is deliberately strict: anywhere inside a message struct
+/// definition, raw pointers (`*`), references (`&`) and known non-copyable
+/// member types are forbidden. Shared payloads belong in value containers
+/// (vector/string), not behind pointers.
+class MessageHygieneRule : public Rule {
+ public:
+  std::string Name() const override { return "message-hygiene"; }
+  std::string Description() const override {
+    return "message structs must be copyable value types: no raw pointers, "
+           "references or non-copyable members";
+  }
+
+  void Run(const Project& project, std::vector<Finding>* findings) const override {
+    for (const SourceFile& file : project.files()) {
+      if (file.rel != project.config().messages_header) continue;
+      CheckFile(file, findings);
+    }
+  }
+
+ private:
+  void CheckFile(const SourceFile& file, std::vector<Finding>* findings) const {
+    static const std::set<std::string> kNonCopyable = {
+        "unique_ptr",          "mutex",   "shared_mutex", "atomic",
+        "condition_variable",  "thread",  "jthread",      "future",
+        "promise",             "stop_source"};
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!toks[i].IsIdent("struct") && !toks[i].IsIdent("class")) continue;
+      if (i > 0 && toks[i - 1].IsIdent("enum")) continue;
+      if (toks[i + 1].kind != TokKind::kIdent) continue;
+      const std::string& name = toks[i + 1].text;
+      // Find the body (skip base list if any); forward declarations have
+      // ';' before '{'.
+      size_t j = i + 2;
+      while (j < toks.size() && !toks[j].IsPunct("{") && !toks[j].IsPunct(";")) ++j;
+      if (j >= toks.size() || toks[j].IsPunct(";")) continue;
+      const size_t end = Project::MatchBrace(file.tokens, j);
+      for (size_t k = j + 1; k + 1 < end; ++k) {
+        const Token& tok = toks[k];
+        if (tok.IsPunct("*")) {
+          Emit(file, tok.line, name, "raw pointer ('*')", findings);
+        } else if (tok.IsPunct("&")) {
+          Emit(file, tok.line, name, "reference ('&')", findings);
+        } else if (tok.kind == TokKind::kIdent && kNonCopyable.count(tok.text)) {
+          Emit(file, tok.line, name, "non-copyable type std::" + tok.text,
+               findings);
+        }
+      }
+      i = end - 1;
+    }
+  }
+
+  void Emit(const SourceFile& file, int line, const std::string& struct_name,
+            const std::string& what, std::vector<Finding>* findings) const {
+    findings->push_back(
+        {Name(), file.rel, line,
+         "message struct " + struct_name + " uses " + what +
+             " — messages must be copyable value types (they are duplicated "
+             "by the fault layer and serialised by the cluster layer)"});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeMessageHygieneRule() {
+  return std::make_unique<MessageHygieneRule>();
+}
+
+}  // namespace analyze
+}  // namespace marlin

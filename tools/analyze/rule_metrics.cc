@@ -1,0 +1,99 @@
+#include <cctype>
+#include <map>
+
+#include "rule.h"
+#include "rules.h"
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+/// Metric naming contract (DESIGN.md §6): every family registered through
+/// MetricsRegistry::GetCounter/GetGauge/GetHistogram with a literal name
+/// must be `marlin_` + lower_snake_case, and one family name must always be
+/// registered as one metric kind — MetricsRegistry aborts at runtime on a
+/// kind clash, this rule catches it before a test has to execute the path.
+class MetricNameRule : public Rule {
+ public:
+  std::string Name() const override { return "metric-name"; }
+  std::string Description() const override {
+    return "metric names are marlin_* snake_case and each name registers as "
+           "exactly one metric kind";
+  }
+
+  void Run(const Project& project, std::vector<Finding>* findings) const override {
+    // name -> (kind, first "file:line")
+    std::map<std::string, std::pair<std::string, std::string>> kinds;
+    for (const SourceFile& file : project.files()) {
+      if (file.module.empty()) continue;
+      const std::vector<Token>& toks = file.tokens;
+      for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        std::string kind;
+        if (toks[i].IsIdent("GetCounter")) kind = "counter";
+        else if (toks[i].IsIdent("GetGauge")) kind = "gauge";
+        else if (toks[i].IsIdent("GetHistogram")) kind = "histogram";
+        else continue;
+        if (!toks[i + 1].IsPunct("(")) continue;
+        if (toks[i + 2].kind != TokKind::kString) continue;  // computed name
+        // Adjacent literal concatenation.
+        std::string name = toks[i + 2].text;
+        size_t j = i + 3;
+        while (j < toks.size() && toks[j].kind == TokKind::kString) {
+          name += toks[j++].text;
+        }
+        const int line = toks[i + 2].line;
+
+        if (!WellFormed(name)) {
+          findings->push_back(
+              {Name(), file.rel, line,
+               "metric name \"" + name +
+                   "\" violates the naming contract: must match "
+                   "marlin_[a-z0-9_]+ (lower snake_case, no leading/trailing "
+                   "or doubled underscores)"});
+        }
+        const std::string here = file.rel + ":" + std::to_string(line);
+        auto [it, inserted] = kinds.emplace(name, std::make_pair(kind, here));
+        if (!inserted && it->second.first != kind) {
+          findings->push_back(
+              {Name(), file.rel, line,
+               "metric \"" + name + "\" registered as " + kind +
+                   " but previously as " + it->second.first + " (at " +
+                   it->second.second +
+                   ") — MetricsRegistry aborts on kind clashes"});
+        }
+      }
+    }
+  }
+
+ private:
+  static bool WellFormed(const std::string& name) {
+    static const std::string kPrefix = "marlin_";
+    if (name.rfind(kPrefix, 0) != 0) return false;
+    const std::string rest = name.substr(kPrefix.size());
+    if (rest.empty() || rest.front() == '_' || rest.back() == '_') return false;
+    bool prev_underscore = false;
+    for (const char c : rest) {
+      if (c == '_') {
+        if (prev_underscore) return false;
+        prev_underscore = true;
+        continue;
+      }
+      prev_underscore = false;
+      if (!std::islower(static_cast<unsigned char>(c)) &&
+          !std::isdigit(static_cast<unsigned char>(c))) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeMetricNameRule() {
+  return std::make_unique<MetricNameRule>();
+}
+
+}  // namespace analyze
+}  // namespace marlin

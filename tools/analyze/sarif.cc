@@ -1,0 +1,73 @@
+#include "sarif.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace marlin {
+namespace analyze {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderSarif(const std::vector<std::unique_ptr<Rule>>& rules,
+                        const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"marlin-analyze\",\n"
+      << "      \"informationUri\": "
+         "\"https://example.invalid/marlin/tools/analyze\",\n"
+      << "      \"rules\": [\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << "        {\"id\": \"" << JsonEscape(rules[i]->Name())
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(rules[i]->Description()) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }},\n"
+      << "    \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "      {\"ruleId\": \"" << JsonEscape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << JsonEscape(f.message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line
+        << "}}}]}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n"
+      << "  }]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace analyze
+}  // namespace marlin

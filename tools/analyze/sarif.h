@@ -1,0 +1,21 @@
+#ifndef MARLIN_TOOLS_ANALYZE_SARIF_H_
+#define MARLIN_TOOLS_ANALYZE_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "rule.h"
+
+namespace marlin {
+namespace analyze {
+
+/// Renders findings as a SARIF 2.1.0 document (one run, one result per
+/// finding) so CI can upload the report as an artifact and code-scanning
+/// UIs can ingest it.
+std::string RenderSarif(const std::vector<std::unique_ptr<Rule>>& rules,
+                        const std::vector<Finding>& findings);
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_SARIF_H_

@@ -1,0 +1,35 @@
+#ifndef MARLIN_TOOLS_ANALYZE_TOKEN_H_
+#define MARLIN_TOOLS_ANALYZE_TOKEN_H_
+
+#include <string>
+
+namespace marlin {
+namespace analyze {
+
+/// Token kinds produced by the lexer. The analyzer works on a flat token
+/// stream — no preprocessor expansion, no real parse — so the kinds are the
+/// minimum needed to write robust pattern rules: identifiers, literals and
+/// punctuation, with comments and preprocessor directives stripped (includes
+/// and suppression comments are recorded on the SourceFile instead).
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (integer/float, any base, with suffixes)
+  kString,  // string literal, text holds the *contents* (no quotes)
+  kChar,    // character literal
+  kPunct,   // punctuation; "::" is one token, everything else single-char
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+
+  bool Is(TokKind k, const char* t) const { return kind == k && text == t; }
+  bool IsIdent(const char* t) const { return Is(TokKind::kIdent, t); }
+  bool IsPunct(const char* t) const { return Is(TokKind::kPunct, t); }
+};
+
+}  // namespace analyze
+}  // namespace marlin
+
+#endif  // MARLIN_TOOLS_ANALYZE_TOKEN_H_

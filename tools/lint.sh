@@ -1,93 +1,25 @@
 #!/usr/bin/env bash
-# Marlin project lint: enforces concurrency-hygiene rules that clang-tidy
-# has no checks for. Run from anywhere; exits non-zero on any violation.
+# Thin wrapper around marlin-analyze (tools/analyze), which owns every lint
+# rule that used to live here as grep/awk:
 #
-# Rules:
-#   1. no-raw-thread   — `std::thread` / `std::jthread` / `std::async` may
-#                        only appear in the execution substrate (ThreadPool,
-#                        the ActorSystem timer, the HTTP accept loop). All
-#                        other code must go through the Dispatcher seam so
-#                        the deterministic scheduler can control it.
-#                        (`std::thread::id` / `std::this_thread` are fine.)
-#   2. no-naked-new    — no `new`/`delete` expressions in src/; use
-#                        make_unique/make_shared. Intentional leaky
-#                        singletons carry `// chk-lint: allow(naked-new)`.
-#   3. no-plain-counter — tests may not use non-atomic static integer
-#                        counters (a classic hidden data race under the
-#                        multi-threaded dispatcher); use std::atomic.
-#   4. no-raw-socket   — `::socket(` may only appear in the two networking
-#                        substrates (src/cluster transport, src/middleware
-#                        HTTP server). Everything else must go through the
-#                        Transport / HttpServer seams so tests can swap in
-#                        in-process fakes.
+#   no-raw-thread, naked-new, no-plain-counter, no-raw-socket   (legacy set)
+#   layering, actor-blocking, fault-point, message-hygiene, metric-name
 #
-# Suppress a finding on one line with `// chk-lint: allow(<rule>)`.
+# Suppress a finding on one line with `// chk-lint: allow(<rule>)`; accepted
+# historical findings live in tools/analyze/baseline.txt. See DESIGN.md §11
+# and `marlin-analyze --list-rules`.
+#
+# Usage: tools/lint.sh [extra marlin-analyze args]
+# Reuses build/ when configured; otherwise configures a minimal build of the
+# analyzer alone into build/.
 
-set -u
+set -eu
 cd "$(dirname "$0")/.."
 
-fail=0
-
-report() {
-  local rule="$1" found="$2"
-  if [ -n "$found" ]; then
-    echo "lint[$rule]:"
-    printf '%s\n' "$found" | sed 's/^/  /'
-    fail=1
-  fi
-}
-
-# --- Rule 1: no raw threads outside the execution substrate ----------------
-found=$(grep -rln --include='*.cc' --include='*.h' 'std::\(thread\|jthread\|async\)' src | while read -r f; do
-  case "$f" in
-    src/util/thread_pool.cc|src/util/thread_pool.h) continue ;;
-    src/actor/actor_system.cc|src/actor/actor_system.h) continue ;;
-    src/middleware/http_server.cc|src/middleware/http_server.h) continue ;;
-    src/cluster/tcp_transport.cc|src/cluster/tcp_transport.h) continue ;;
-  esac
-  awk -v file="$f" '
-    /chk-lint:[ ]*allow\(no-raw-thread\)/ { next }
-    {
-      line = $0
-      sub(/\/\/.*$/, "", line)
-      gsub(/std::thread::/, "", line)   # std::thread::id is not a thread
-      if (line ~ /std::(thread|jthread|async)[^:]/ ||
-          line ~ /std::(thread|jthread|async)$/) {
-        printf "%s:%d: %s\n", file, FNR, $0
-      }
-    }' "$f"
-done)
-report no-raw-thread "$found"
-
-# --- Rule 2: no naked new/delete in src/ -----------------------------------
-found=$(grep -rl --include='*.cc' --include='*.h' . src | while read -r f; do
-  awk -v file="$f" '
-    /chk-lint:[ ]*allow\(naked-new\)/ { next }
-    {
-      line = $0
-      sub(/\/\/.*$/, "", line)
-      if (line ~ /(^|[^_[:alnum:]])new[[:space:]]+[A-Za-z_:<]/ ||
-          line ~ /(^|[^_[:alnum:]])delete[[:space:]]+[A-Za-z_:<*(]/) {
-        printf "%s:%d: %s\n", file, FNR, $0
-      }
-    }' "$f"
-done)
-report no-naked-new "$found"
-
-# --- Rule 3: no non-atomic static counters in tests ------------------------
-found=$(grep -rn --include='*.cc' \
-    -E '^[[:space:]]*static[[:space:]]+(int|long|short|unsigned|size_t|ssize_t|int32_t|uint32_t|int64_t|uint64_t)[[:space:]&*]' \
-    tests | grep -v -e 'atomic' -e 'constexpr' -e 'const ' -e 'chk-lint:[ ]*allow(no-plain-counter)' || true)
-report no-plain-counter "$found"
-
-# --- Rule 4: no raw sockets outside the networking substrates --------------
-found=$(grep -rn --include='*.cc' --include='*.h' '::socket(' src \
-    | grep -v -e '^src/cluster/' -e '^src/middleware/' \
-              -e 'chk-lint:[ ]*allow(no-raw-socket)' || true)
-report no-raw-socket "$found"
-
-if [ "$fail" -ne 0 ]; then
-  echo "lint: FAILED"
-  exit 1
+BUILD_DIR=${BUILD_DIR:-build}
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
-echo "lint: OK"
+cmake --build "$BUILD_DIR" --target marlin-analyze -j >/dev/null
+
+exec "$BUILD_DIR/tools/analyze/marlin-analyze" --root=. "$@" src tests
