@@ -9,8 +9,12 @@
 //   ./bench/chaos_soak --seeds=200     # longer sweep
 //   ./bench/chaos_soak --seed=17       # replay one seed, run twice, and
 //                                      # verify the trace/state hashes match
+//   ./bench/chaos_soak --crash-process # kill -9 the durable pipeline
+//                                      # mid-soak and recover (unix only);
+//                                      # --crash-seeds=N sets the sweep size
 //
-// Scale knobs: MARLIN_CHAOS_SEEDS mirrors --seeds for CI environments.
+// Scale knobs: MARLIN_CHAOS_SEEDS mirrors --seeds and MARLIN_CRASH_SEEDS
+// mirrors --crash-seeds for CI environments.
 
 #include <cstdio>
 #include <cstdlib>
@@ -101,10 +105,47 @@ int Sweep(uint64_t num_seeds) {
   return 1;
 }
 
+int CrashSweep(uint64_t num_seeds) {
+#if defined(__unix__)
+  std::printf("process-crash sweep: %llu seeds — durable pipeline SIGKILLed "
+              "mid-chaos, restarted from segments+snapshot, invariants "
+              "checked across the crash\n",
+              static_cast<unsigned long long>(num_seeds));
+  std::printf("%-6s %-11s %s\n", "seed", "crash-tick", "result");
+  std::vector<uint64_t> failing;
+  for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+    const CrashRecoveryResult r = RunCrashRecovery(seed);
+    std::printf("%-6llu %-11d %s\n", static_cast<unsigned long long>(seed),
+                r.crash_tick, r.ok ? "OK" : r.failure.c_str());
+    if (!r.ok) failing.push_back(seed);
+  }
+  if (failing.empty()) {
+    std::printf("all %llu crash-recovery seeds passed every invariant\n",
+                static_cast<unsigned long long>(num_seeds));
+    return 0;
+  }
+  std::printf("%zu FAILING crash seed(s):", failing.size());
+  for (const uint64_t seed : failing) {
+    std::printf(" %llu", static_cast<unsigned long long>(seed));
+  }
+  std::printf("\n");
+  return 1;
+#else
+  (void)num_seeds;
+  std::printf("process-crash sweep requires a unix host (fork/kill)\n");
+  return 0;
+#endif
+}
+
 int Main(int argc, char** argv) {
   uint64_t num_seeds = 50;
+  uint64_t crash_seeds = 10;
+  bool crash_mode = false;
   if (const char* env = std::getenv("MARLIN_CHAOS_SEEDS")) {
     num_seeds = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("MARLIN_CRASH_SEEDS")) {
+    crash_seeds = std::strtoull(env, nullptr, 10);
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -113,6 +154,14 @@ int Main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
       num_seeds = std::strtoull(argv[i] + 8, nullptr, 10);
     }
+    if (std::strcmp(argv[i], "--crash-process") == 0) crash_mode = true;
+    if (std::strncmp(argv[i], "--crash-seeds=", 14) == 0) {
+      crash_seeds = std::strtoull(argv[i] + 14, nullptr, 10);
+    }
+  }
+  if (crash_mode) {
+    if (crash_seeds == 0) crash_seeds = 10;
+    return CrashSweep(crash_seeds);
   }
   if (num_seeds == 0) num_seeds = 50;
   return Sweep(num_seeds);

@@ -38,6 +38,10 @@ const char* FrameTypeName(FrameType type) {
       return "handoff-begin";
     case FrameType::kHandoffAck:
       return "handoff-ack";
+    case FrameType::kReplicate:
+      return "replicate";
+    case FrameType::kReplicateAck:
+      return "replicate-ack";
   }
   return "unknown";
 }

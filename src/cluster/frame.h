@@ -33,6 +33,12 @@ enum class FrameType : uint8_t {
   kHandoffBegin = 5,
   /// "I agree I own shard S; send me its buffered envelopes."
   kHandoffAck = 6,
+  /// A batch of log records streamed from a partition leader to a
+  /// follower (storage replication; handled by cluster::LogReplicator).
+  kReplicate = 7,
+  /// Follower's acknowledged log end for one partition; the leader folds
+  /// acks into the quorum-committed offset.
+  kReplicateAck = 8,
 };
 
 const char* FrameTypeName(FrameType type);

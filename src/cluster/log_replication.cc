@@ -1,0 +1,233 @@
+#include "cluster/log_replication.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "chk/chk.h"
+
+namespace marlin {
+namespace cluster {
+
+LogReplicator::LogReplicator(ClusterNode* node, Options options)
+    : node_(node), options_(std::move(options)) {
+  MARLIN_CHK_INVARIANT(options_.num_partitions >= 1,
+                       "LogReplicator needs at least one partition");
+  MARLIN_CHK_INVARIANT(static_cast<bool>(options_.log_for_partition),
+                       "LogReplicator needs a log_for_partition mapping");
+  partitions_.reserve(options_.num_partitions);
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    partitions_.push_back(std::make_unique<storage::ReplicatedPartition>(p));
+  }
+  obs::MetricsRegistry* registry =
+      obs::MetricsRegistry::OrGlobal(options_.metrics);
+  const obs::Labels labels = {{"topic", options_.topic}};
+  replicated_records_ = registry->GetCounter(
+      "marlin_storage_replicated_records_total",
+      "Records appended to local logs from replicate frames", labels);
+  acks_received_ = registry->GetCounter(
+      "marlin_storage_replication_acks_total",
+      "Replicate-ack frames folded into commit progress", labels);
+  lag_gauge_ = registry->GetGauge(
+      "marlin_storage_replication_lag",
+      "Records the slowest follower trails the leader by, summed over "
+      "partitions led by this node",
+      labels);
+  node_->RegisterFrameHandler(
+      FrameType::kReplicate,
+      [this](const Frame& frame) { OnReplicate(frame); });
+  node_->RegisterFrameHandler(
+      FrameType::kReplicateAck,
+      [this](const Frame& frame) { OnReplicateAck(frame); });
+  node_->AddTickListener([this](TimeMicros now) { OnTick(now); });
+  RefreshRoles();
+}
+
+void LogReplicator::RefreshRoles() {
+  const HashRing ring = node_->ring();
+  const uint64_t epoch = ring.epoch();
+  const std::vector<NodeId> up = node_->membership().UpNodes();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& partition : partitions_) {
+    const NodeId owner = ring.OwnerOfShard(partition->partition());
+    if (owner == node_->self()) {
+      std::vector<uint32_t> followers;
+      for (const NodeId peer : up) {
+        if (peer != node_->self()) followers.push_back(peer);
+      }
+      if (partition->BecomeLeader(epoch, std::move(followers))) {
+        partition->SetLocalEnd(log(partition->partition())->end_offset());
+      }
+    } else if (owner != kNoNode) {
+      partition->BecomeFollower(epoch, owner);
+    }
+  }
+}
+
+StatusOr<int64_t> LogReplicator::Append(int partition, TimeMicros timestamp,
+                                        std::string key, std::string value) {
+  if (partition < 0 || partition >= options_.num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!partitions_[partition]->is_leader()) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(node_->self()) +
+          " is not the leader of partition " + std::to_string(partition));
+    }
+  }
+  auto offset = log(partition)->Append(timestamp, std::move(key),
+                                       std::move(value));
+  if (!offset.ok()) return offset.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_[partition]->SetLocalEnd(log(partition)->end_offset());
+  return offset;
+}
+
+int64_t LogReplicator::committed(int partition) const {
+  if (partition < 0 || partition >= options_.num_partitions) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_[partition]->committed();
+}
+
+bool LogReplicator::is_leader(int partition) const {
+  if (partition < 0 || partition >= options_.num_partitions) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_[partition]->is_leader();
+}
+
+int64_t LogReplicator::TotalReplicationLag() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& partition : partitions_) {
+    total += partition->ReplicationLag();
+  }
+  return total;
+}
+
+void LogReplicator::OnTick(TimeMicros now) {
+  (void)now;  // retransmission is state-driven, not timer-driven
+  RefreshRoles();
+  // Collect the work under the lock, then send with it released —
+  // synchronous in-process delivery can re-enter OnReplicateAck.
+  struct Shipment {
+    int partition;
+    uint64_t epoch;
+    uint32_t follower;
+    int64_t from;
+  };
+  std::vector<Shipment> shipments;
+  int64_t total_lag = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& partition : partitions_) {
+      if (!partition->is_leader()) continue;
+      total_lag += partition->ReplicationLag();
+      for (const auto& [follower, from] : partition->PendingReplication()) {
+        shipments.push_back(Shipment{partition->partition(),
+                                     partition->epoch(), follower, from});
+      }
+    }
+  }
+  lag_gauge_->Set(total_lag);
+  for (const Shipment& shipment : shipments) {
+    auto batch = log(shipment.partition)
+                     ->Read(shipment.from, options_.max_batch);
+    if (!batch.ok() || batch->empty()) continue;
+    WireWriter writer;
+    writer.PutString16(options_.topic);
+    writer.PutU32(static_cast<uint32_t>(shipment.partition));
+    writer.PutU64(shipment.epoch);
+    writer.PutU64(static_cast<uint64_t>((*batch)[0].offset));
+    writer.PutU32(static_cast<uint32_t>(batch->size()));
+    for (const storage::LogRecord& record : *batch) {
+      writer.PutU64(static_cast<uint64_t>(record.timestamp));
+      writer.PutString16(record.key);
+      writer.PutString32(record.value);
+    }
+    Frame frame;
+    frame.type = FrameType::kReplicate;
+    frame.src = node_->self();
+    frame.payload = writer.Take();
+    node_->wire()->Send(shipment.follower, frame);
+  }
+}
+
+void LogReplicator::OnReplicate(const Frame& frame) {
+  WireReader reader(frame.payload);
+  std::string topic;
+  uint32_t partition = 0;
+  uint64_t epoch = 0;
+  uint64_t from = 0;
+  uint32_t count = 0;
+  if (!reader.GetString16(&topic) || !reader.GetU32(&partition) ||
+      !reader.GetU64(&epoch) || !reader.GetU64(&from) ||
+      !reader.GetU32(&count)) {
+    return;
+  }
+  if (topic != options_.topic ||
+      partition >= static_cast<uint32_t>(options_.num_partitions)) {
+    return;
+  }
+  int64_t acked_end = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    storage::ReplicatedPartition& state = *partitions_[partition];
+    if (!state.AcceptReplicate(frame.src, epoch)) return;
+    storage::PartitionLog* target = log(static_cast<int>(partition));
+    int64_t appended = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      storage::LogRecord record;
+      uint64_t timestamp = 0;
+      if (!reader.GetU64(&timestamp) || !reader.GetString16(&record.key) ||
+          !reader.GetString32(&record.value)) {
+        break;  // malformed tail; ack whatever was appended so far
+      }
+      record.timestamp = static_cast<TimeMicros>(timestamp);
+      record.offset = static_cast<int64_t>(from) + i;
+      const int64_t end = target->end_offset();
+      if (record.offset < end) continue;  // duplicate resend; already have it
+      if (record.offset > end) break;     // gap: leader will resend from end
+      if (!target->AppendRecord(record).ok()) break;
+      ++appended;
+    }
+    if (appended > 0) replicated_records_->Increment(appended);
+    acked_end = target->end_offset();
+  }
+  // Always ack the current end (even with nothing appended): a leader
+  // resending from a stale offset learns the real progress and advances.
+  WireWriter writer;
+  writer.PutString16(options_.topic);
+  writer.PutU32(partition);
+  writer.PutU64(epoch);
+  writer.PutU64(static_cast<uint64_t>(acked_end));
+  Frame ack;
+  ack.type = FrameType::kReplicateAck;
+  ack.src = node_->self();
+  ack.payload = writer.Take();
+  node_->wire()->Send(frame.src, ack);
+}
+
+void LogReplicator::OnReplicateAck(const Frame& frame) {
+  WireReader reader(frame.payload);
+  std::string topic;
+  uint32_t partition = 0;
+  uint64_t epoch = 0;
+  uint64_t acked_end = 0;
+  if (!reader.GetString16(&topic) || !reader.GetU32(&partition) ||
+      !reader.GetU64(&epoch) || !reader.GetU64(&acked_end)) {
+    return;
+  }
+  if (topic != options_.topic ||
+      partition >= static_cast<uint32_t>(options_.num_partitions)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partitions_[partition]->OnAck(frame.src, epoch,
+                                    static_cast<int64_t>(acked_end))) {
+    acks_received_->Increment();
+  }
+}
+
+}  // namespace cluster
+}  // namespace marlin

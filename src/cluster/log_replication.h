@@ -1,0 +1,111 @@
+#ifndef MARLIN_CLUSTER_LOG_REPLICATION_H_
+#define MARLIN_CLUSTER_LOG_REPLICATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_node.h"
+#include "obs/metrics.h"
+#include "storage/partition_log.h"
+#include "storage/replicated_partition.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace marlin {
+namespace cluster {
+
+/// Per-partition leader/follower log replication over the cluster wire —
+/// the piece that turns one node's durable PartitionLogs into a quorum-
+/// replicated log that survives losing a minority of nodes.
+///
+/// Roles come from infrastructure that already exists: the partition's
+/// leader is the hash-ring owner of the same-numbered shard, and the epoch
+/// guarding every frame is the membership epoch — so leadership moves
+/// exactly when shard ownership moves, with no separate election protocol.
+/// The quorum/commit arithmetic lives in storage::ReplicatedPartition (pure,
+/// transport-free); this class moves the frames:
+///
+///   - On every cluster tick the leader ships each lagging follower a batch
+///     of records from that follower's acked end (kReplicate).
+///   - Followers append epoch-guarded batches to their local PartitionLog
+///     and reply with their new log end (kReplicateAck).
+///   - The leader folds acks into the quorum-committed offset.
+///
+/// Ticks both drive retransmission (an unacked batch is simply re-sent from
+/// the stale acked end next tick) and bound the replication lag window.
+///
+/// Plugs into ClusterNode through RegisterFrameHandler/AddTickListener;
+/// construct after the node, before Start() (the registration caveat on
+/// those seams). Thread-safe; the internal mutex is never held across a
+/// transport Send, so synchronous in-process delivery cannot deadlock.
+class LogReplicator {
+ public:
+  struct Options {
+    /// Topic name carried in replicate frames; a receiver replicating a
+    /// different topic ignores the frame.
+    std::string topic = "ais";
+    /// Partition count; must equal the peers' and (for shard-aligned
+    /// leadership) the node's num_shards.
+    int num_partitions = 1;
+    /// Records per kReplicate frame.
+    int max_batch = 64;
+    /// Maps a partition to its durable log (unowned, must outlive the
+    /// replicator). Required.
+    std::function<storage::PartitionLog*(int)> log_for_partition;
+    /// Registry for marlin_storage_replication_* metrics (null = process
+    /// global).
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  LogReplicator(ClusterNode* node, Options options);
+
+  LogReplicator(const LogReplicator&) = delete;
+  LogReplicator& operator=(const LogReplicator&) = delete;
+
+  /// Leader-side append: writes to the local durable log and exposes the
+  /// new end to the replication state machine. FailedPrecondition when this
+  /// node is not the partition's current leader.
+  StatusOr<int64_t> Append(int partition, TimeMicros timestamp,
+                           std::string key, std::string value);
+
+  /// Quorum-committed offset of a partition (0 for out-of-range).
+  int64_t committed(int partition) const;
+
+  bool is_leader(int partition) const;
+
+  /// Sum over led partitions of (local end - slowest acked end).
+  int64_t TotalReplicationLag() const;
+
+  /// Re-derives every partition's role from the current ring owner and
+  /// membership epoch. Runs automatically at construction and on every
+  /// tick; public so deterministic tests can force it between steps.
+  void RefreshRoles();
+
+ private:
+  /// Tick listener: refresh roles, then ship pending tails to followers.
+  void OnTick(TimeMicros now);
+  void OnReplicate(const Frame& frame);
+  void OnReplicateAck(const Frame& frame);
+  storage::PartitionLog* log(int partition) const {
+    return options_.log_for_partition(partition);
+  }
+
+  ClusterNode* node_;
+  const Options options_;
+
+  mutable std::mutex mu_;  // guards partitions_; never held across Send
+  std::vector<std::unique_ptr<storage::ReplicatedPartition>> partitions_;
+
+  obs::Counter* replicated_records_ = nullptr;
+  obs::Counter* acks_received_ = nullptr;
+  obs::Gauge* lag_gauge_ = nullptr;
+};
+
+}  // namespace cluster
+}  // namespace marlin
+
+#endif  // MARLIN_CLUSTER_LOG_REPLICATION_H_

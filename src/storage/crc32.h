@@ -1,0 +1,20 @@
+#ifndef MARLIN_STORAGE_CRC32_H_
+#define MARLIN_STORAGE_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace marlin {
+namespace storage {
+
+/// CRC-32C (Castagnoli polynomial, reflected 0x82F63B78) over `data`,
+/// continuing from `seed` (pass the previous return value to checksum a
+/// logical blob in pieces). The same polynomial Kafka and iSCSI use for
+/// on-disk record framing; chosen over FNV because a checksum, not a hash,
+/// is what detects torn writes and bit rot.
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
+}  // namespace storage
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_CRC32_H_

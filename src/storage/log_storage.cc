@@ -1,0 +1,164 @@
+#include "storage/log_storage.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "storage/snapshot.h"
+
+namespace marlin {
+namespace storage {
+namespace {
+
+constexpr const char* kOffsetsFile = "offsets.snap";
+
+std::string PartitionDir(const std::string& root, const std::string& topic,
+                         int partition) {
+  return root + "/" + topic + "/p" + std::to_string(partition);
+}
+
+std::string EncodeOffsets(const OffsetsMap& offsets) {
+  std::string blob;
+  PutU32(&blob, static_cast<uint32_t>(offsets.size()));
+  for (const auto& [group, topics] : offsets) {
+    PutBytes(&blob, group);
+    PutU32(&blob, static_cast<uint32_t>(topics.size()));
+    for (const auto& [topic, partitions] : topics) {
+      PutBytes(&blob, topic);
+      PutU32(&blob, static_cast<uint32_t>(partitions.size()));
+      for (const int64_t offset : partitions) {
+        PutU64(&blob, static_cast<uint64_t>(offset));
+      }
+    }
+  }
+  return blob;
+}
+
+bool DecodeOffsets(const std::string& blob, OffsetsMap* out) {
+  ByteReader reader(blob);
+  uint32_t num_groups = 0;
+  if (!reader.GetU32(&num_groups)) return false;
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    std::string group;
+    uint32_t num_topics = 0;
+    if (!reader.GetBytes(&group) || !reader.GetU32(&num_topics)) return false;
+    for (uint32_t t = 0; t < num_topics; ++t) {
+      std::string topic;
+      uint32_t num_partitions = 0;
+      if (!reader.GetBytes(&topic) || !reader.GetU32(&num_partitions)) {
+        return false;
+      }
+      std::vector<int64_t> partitions;
+      partitions.reserve(num_partitions);
+      for (uint32_t p = 0; p < num_partitions; ++p) {
+        uint64_t offset = 0;
+        if (!reader.GetU64(&offset)) return false;
+        partitions.push_back(static_cast<int64_t>(offset));
+      }
+      (*out)[group][topic] = std::move(partitions);
+    }
+  }
+  return reader.remaining() == 0;
+}
+
+}  // namespace
+
+DurableLogStorage::DurableLogStorage(std::string root, Options options,
+                                     obs::MetricsRegistry* metrics)
+    : root_(std::move(root)),
+      options_(std::move(options)),
+      metrics_(obs::MetricsRegistry::OrGlobal(metrics)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  // Best-effort offset recovery: the snapshot write is atomic, so a failed
+  // load means no commits were ever persisted (or the disk corrupted the
+  // file, which recovers as "re-consume from 0" — safe under at-least-once
+  // delivery with idempotent applies).
+  StatusOr<std::string> blob = LoadSnapshot(root_ + "/" + kOffsetsFile);
+  if (blob.ok()) {
+    OffsetsMap decoded;
+    if (DecodeOffsets(*blob, &decoded)) {
+      offsets_ = decoded;
+      recovered_ = std::move(decoded);
+    }
+  }
+}
+
+StatusOr<std::vector<LogRecord>> DurableLogStorage::OpenPartition(
+    const std::string& topic, int partition) {
+  PartitionLog::Options log_options = options_.log;
+  log_options.metrics = metrics_;
+  log_options.labels = {{"topic", topic}};
+  StatusOr<std::unique_ptr<PartitionLog>> opened =
+      PartitionLog::Open(PartitionDir(root_, topic, partition), log_options);
+  if (!opened.ok()) return opened.status();
+  PartitionLog* log = opened->get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    logs_[{topic, partition}] = std::move(*opened);
+  }
+  std::vector<LogRecord> records;
+  int64_t from = log->start_offset();
+  const int64_t end = log->end_offset();
+  while (from < end) {
+    StatusOr<std::vector<LogRecord>> batch = log->Read(from, 1024);
+    if (!batch.ok()) return batch.status();
+    if (batch->empty()) break;
+    from = batch->back().offset + 1;
+    for (LogRecord& record : *batch) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status DurableLogStorage::Append(const std::string& topic, int partition,
+                                 const LogRecord& record) {
+  PartitionLog* log = partition_log(topic, partition);
+  if (log == nullptr) {
+    return Status::FailedPrecondition("partition " + topic + "/" +
+                                      std::to_string(partition) +
+                                      " was never opened");
+  }
+  return log->AppendRecord(record);
+}
+
+Status DurableLogStorage::CommitOffset(const std::string& group,
+                                       const std::string& topic, int partition,
+                                       int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t>& partitions = offsets_[group][topic];
+  if (partitions.size() <= static_cast<size_t>(partition)) {
+    partitions.resize(static_cast<size_t>(partition) + 1, 0);
+  }
+  if (partitions[static_cast<size_t>(partition)] == offset) {
+    return Status::Ok();  // drain-phase re-commit; skip the snapshot rewrite
+  }
+  partitions[static_cast<size_t>(partition)] = offset;
+  return PersistOffsetsLocked();
+}
+
+Status DurableLogStorage::PersistOffsetsLocked() {
+  return SaveSnapshot(root_ + "/" + kOffsetsFile, EncodeOffsets(offsets_));
+}
+
+Status DurableLogStorage::Flush() {
+  std::vector<PartitionLog*> logs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, log] : logs_) logs.push_back(log.get());
+  }
+  for (PartitionLog* log : logs) {
+    Status status = log->Flush();
+    if (!status.ok()) return status;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return PersistOffsetsLocked();
+}
+
+PartitionLog* DurableLogStorage::partition_log(const std::string& topic,
+                                               int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = logs_.find({topic, partition});
+  return it == logs_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace storage
+}  // namespace marlin

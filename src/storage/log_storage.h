@@ -1,0 +1,114 @@
+#ifndef MARLIN_STORAGE_LOG_STORAGE_H_
+#define MARLIN_STORAGE_LOG_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/partition_log.h"
+#include "storage/record_io.h"
+#include "util/status.h"
+
+namespace marlin {
+namespace storage {
+
+/// Committed consumer offsets: group -> topic -> partition -> next offset.
+/// Shape-identical to the broker's in-memory offset table so recovery is a
+/// straight assignment.
+using OffsetsMap = std::unordered_map<
+    std::string, std::unordered_map<std::string, std::vector<int64_t>>>;
+
+/// The broker's pluggable durability seam. The default broker keeps its
+/// logs purely in memory (storage == nullptr); a durable broker writes
+/// every append and offset commit through one of these and re-reads both on
+/// restart. Implementations must be thread-safe — the broker calls Append
+/// under its per-partition lock but OpenPartition/CommitOffset under its
+/// topology lock.
+class LogStorage {
+ public:
+  virtual ~LogStorage() = default;
+
+  /// Opens (creating or recovering) the backing log of one partition and
+  /// returns every recovered record, in offset order. Called once per
+  /// partition at topic creation.
+  virtual StatusOr<std::vector<LogRecord>> OpenPartition(
+      const std::string& topic, int partition) = 0;
+
+  /// Persists one appended record. `record.offset` is the offset the
+  /// in-memory log just assigned; storage must refuse a mismatch with its
+  /// own end (the two logs diverging is corruption, not a race, because
+  /// the caller holds the partition lock).
+  virtual Status Append(const std::string& topic, int partition,
+                        const LogRecord& record) = 0;
+
+  /// Persists a committed consumer offset.
+  virtual Status CommitOffset(const std::string& group,
+                              const std::string& topic, int partition,
+                              int64_t offset) = 0;
+
+  /// The offsets recovered at construction, for seeding the broker.
+  virtual const OffsetsMap& RecoveredOffsets() const = 0;
+
+  /// fsyncs everything outstanding (all partitions + offsets).
+  virtual Status Flush() = 0;
+};
+
+/// Filesystem-backed LogStorage:
+///
+///   <root>/<topic>/p<partition>/<base>.seg...   partition segment logs
+///   <root>/offsets.snap                         committed-offset snapshot
+///
+/// Offsets are persisted as an atomic CRC'd snapshot rewritten on every
+/// commit that changes a value (drain-phase re-commits of the same offset
+/// are skipped). Construction is infallible by design — the crash-recovery
+/// path constructs one mid-restart — with best-effort offset recovery: a
+/// torn offsets snapshot (killed mid-rename has no window, but a corrupt
+/// disk does) recovers as "no commits", which at-least-once consumers with
+/// idempotent applies absorb by re-consuming.
+class DurableLogStorage : public LogStorage {
+ public:
+  struct Options {
+    /// Per-partition log tuning; `labels` is overridden per topic.
+    PartitionLog::Options log;
+  };
+
+  explicit DurableLogStorage(std::string root, Options options = {},
+                             obs::MetricsRegistry* metrics = nullptr);
+
+  StatusOr<std::vector<LogRecord>> OpenPartition(const std::string& topic,
+                                                 int partition) override;
+  Status Append(const std::string& topic, int partition,
+                const LogRecord& record) override;
+  Status CommitOffset(const std::string& group, const std::string& topic,
+                      int partition, int64_t offset) override;
+  const OffsetsMap& RecoveredOffsets() const override { return recovered_; }
+  Status Flush() override;
+
+  /// Direct handle to one partition's log (compaction, tests). Null when
+  /// the partition was never opened.
+  PartitionLog* partition_log(const std::string& topic, int partition) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  Status PersistOffsetsLocked();
+
+  const std::string root_;
+  const Options options_;
+  obs::MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;  // guards logs_ topology + offsets_, not appends
+  std::map<std::pair<std::string, int>, std::unique_ptr<PartitionLog>> logs_;
+  OffsetsMap offsets_;
+  OffsetsMap recovered_;
+};
+
+}  // namespace storage
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_LOG_STORAGE_H_

@@ -1,0 +1,110 @@
+#include "storage/record_io.h"
+
+#include <cstring>
+
+#include "storage/crc32.h"
+
+namespace marlin {
+namespace storage {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutBytes(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool ByteReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  *v = value;
+  return true;
+}
+
+bool ByteReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  *v = value;
+  return true;
+}
+
+bool ByteReader::GetBytes(std::string* s) {
+  uint32_t len = 0;
+  const size_t mark = pos_;
+  if (!GetU32(&len)) return false;
+  if (remaining() < len) {
+    pos_ = mark;
+    return false;
+  }
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+void EncodeRecord(const LogRecord& record, std::string* out) {
+  std::string payload;
+  payload.reserve(24 + record.key.size() + record.value.size());
+  PutU64(&payload, static_cast<uint64_t>(record.offset));
+  PutU64(&payload, static_cast<uint64_t>(record.timestamp));
+  PutBytes(&payload, record.key);
+  PutBytes(&payload, record.value);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload));
+  out->append(payload);
+}
+
+bool RecordScanner::Next(LogRecord* out) {
+  if (done_) return false;
+  ByteReader header(data_.substr(pos_));
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  if (!header.GetU32(&len) || !header.GetU32(&crc) || len > kMaxRecordBytes ||
+      header.remaining() < len) {
+    done_ = true;  // clean end or torn tail; either way the prefix stands
+    return false;
+  }
+  const std::string_view payload = data_.substr(pos_ + 8, len);
+  if (Crc32c(payload) != crc) {
+    done_ = true;  // bit rot or a torn mid-frame write
+    return false;
+  }
+  ByteReader reader(payload);
+  uint64_t offset = 0;
+  uint64_t timestamp = 0;
+  LogRecord record;
+  if (!reader.GetU64(&offset) || !reader.GetU64(&timestamp) ||
+      !reader.GetBytes(&record.key) || !reader.GetBytes(&record.value) ||
+      reader.remaining() != 0) {
+    done_ = true;  // CRC-valid but structurally bogus: treat as corrupt tail
+    return false;
+  }
+  record.offset = static_cast<int64_t>(offset);
+  record.timestamp = static_cast<TimeMicros>(timestamp);
+  pos_ += 8 + len;
+  valid_bytes_ = pos_;
+  *out = std::move(record);
+  return true;
+}
+
+}  // namespace storage
+}  // namespace marlin

@@ -1,0 +1,104 @@
+#ifndef MARLIN_STORAGE_RECORD_IO_H_
+#define MARLIN_STORAGE_RECORD_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/clock.h"
+
+namespace marlin {
+namespace storage {
+
+/// One durable log record. Mirrors the broker's Record minus the partition
+/// (a PartitionLog *is* one partition): the offset assigned at append time,
+/// the producer timestamp, and the opaque key/value bytes.
+struct LogRecord {
+  int64_t offset = -1;
+  TimeMicros timestamp = 0;
+  std::string key;
+  std::string value;
+
+  bool operator==(const LogRecord& other) const {
+    return offset == other.offset && timestamp == other.timestamp &&
+           key == other.key && value == other.value;
+  }
+};
+
+/// Records larger than this are refused at append time and treated as
+/// corruption at scan time — same bound as the cluster frame codec, so a
+/// desynced or bit-rotted length field never drives a gigabyte allocation.
+constexpr uint32_t kMaxRecordBytes = 16u << 20;
+
+// -- Little-endian wire helpers ------------------------------------------
+//
+// storage sits below src/cluster in the layering DAG, so it carries its own
+// minimal byte codec instead of borrowing cluster::WireWriter. Integers are
+// little-endian; strings are u32-length-prefixed.
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutBytes(std::string* out, std::string_view s);  // u32 len + bytes
+
+/// Cursor over a wire blob; every getter returns false on underflow and
+/// leaves the output untouched, so malformed input is rejected, never read
+/// out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetBytes(std::string* s);
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// -- Record framing ------------------------------------------------------
+//
+// On disk a record is CRC-framed:
+//
+//   [u32 len][u32 crc32c(payload)][payload: len bytes]
+//   payload = [u64 offset][u64 timestamp][u32 key_len][key][u32 val_len][value]
+//
+// `len` counts payload bytes only; all integers little-endian. A scan stops
+// at the first frame whose length is implausible, whose CRC mismatches, or
+// that runs past the end of the data — all three look identical to a torn
+// tail and are truncated by recovery.
+
+/// Appends the framed encoding of `record` to `out`.
+void EncodeRecord(const LogRecord& record, std::string* out);
+
+/// Sequential decoder over one segment's bytes. Never throws and never
+/// reads out of bounds regardless of input — the property the corruption
+/// corpus in tests/storage_test.cc pins down.
+class RecordScanner {
+ public:
+  explicit RecordScanner(std::string_view data) : data_(data) {}
+
+  /// Decodes the next record. Returns false at the end of the valid prefix
+  /// (clean end, torn tail, or corrupt frame — see clean_end()).
+  bool Next(LogRecord* out);
+
+  /// Bytes consumed by fully valid records; recovery truncates the file to
+  /// this length.
+  size_t valid_bytes() const { return valid_bytes_; }
+
+  /// True when the scan consumed every byte (no torn/corrupt tail).
+  bool clean_end() const { return done_ && valid_bytes_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  size_t valid_bytes_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace storage
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_RECORD_IO_H_

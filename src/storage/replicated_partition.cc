@@ -1,0 +1,106 @@
+#include "storage/replicated_partition.h"
+
+#include <algorithm>
+
+#include "chk/chk.h"
+
+namespace marlin {
+namespace storage {
+
+bool ReplicatedPartition::BecomeLeader(uint64_t epoch,
+                                       std::vector<uint32_t> followers) {
+  if (epoch < epoch_) return false;
+  // Same-epoch transition is idempotent; a new epoch resets follower
+  // progress (a rejoining follower re-announces its end with its first
+  // ack — assuming its old progress would over-advance the commit point).
+  if (epoch > epoch_ || !is_leader_) acked_.clear();
+  epoch_ = epoch;
+  is_leader_ = true;
+  leader_ = 0;
+  for (const uint32_t follower : followers) {
+    acked_.emplace(follower, 0);  // keep existing progress on refresh
+  }
+  // Followers that left the replica set stop counting toward quorum.
+  for (auto it = acked_.begin(); it != acked_.end();) {
+    const bool still_replica =
+        std::find(followers.begin(), followers.end(), it->first) !=
+        followers.end();
+    it = still_replica ? std::next(it) : acked_.erase(it);
+  }
+  RecomputeCommitted();
+  return true;
+}
+
+bool ReplicatedPartition::BecomeFollower(uint64_t epoch, uint32_t leader) {
+  if (epoch < epoch_) return false;
+  epoch_ = epoch;
+  is_leader_ = false;
+  leader_ = leader;
+  acked_.clear();
+  return true;
+}
+
+void ReplicatedPartition::SetLocalEnd(int64_t end) {
+  if (end > local_end_) local_end_ = end;
+  if (is_leader_) RecomputeCommitted();
+}
+
+std::vector<std::pair<uint32_t, int64_t>>
+ReplicatedPartition::PendingReplication() const {
+  std::vector<std::pair<uint32_t, int64_t>> pending;
+  if (!is_leader_) return pending;
+  for (const auto& [follower, acked_end] : acked_) {
+    if (acked_end < local_end_) pending.emplace_back(follower, acked_end);
+  }
+  return pending;
+}
+
+bool ReplicatedPartition::OnAck(uint32_t follower, uint64_t epoch,
+                                int64_t acked_end) {
+  if (!is_leader_ || epoch != epoch_) return false;  // stale or misrouted
+  auto it = acked_.find(follower);
+  if (it == acked_.end()) return false;  // not in this epoch's replica set
+  if (acked_end > it->second) {
+    it->second = std::min(acked_end, local_end_);
+    RecomputeCommitted();
+  }
+  return true;
+}
+
+bool ReplicatedPartition::AcceptReplicate(uint32_t from, uint64_t epoch) const {
+  // Accept only the current epoch's leader. A higher epoch means this node
+  // missed the election; the caller refreshes roles from the ring first,
+  // so by the time frames arrive the epochs agree.
+  return !is_leader_ && epoch == epoch_ && from == leader_;
+}
+
+int64_t ReplicatedPartition::ReplicationLag() const {
+  if (!is_leader_ || acked_.empty()) return 0;
+  int64_t min_acked = local_end_;
+  for (const auto& [follower, acked_end] : acked_) {
+    min_acked = std::min(min_acked, acked_end);
+  }
+  return local_end_ - min_acked;
+}
+
+void ReplicatedPartition::RecomputeCommitted() {
+  if (!is_leader_) return;
+  // k-th highest end across {local} ∪ acked, k = majority of the replica
+  // set: the highest offset a quorum provably has.
+  std::vector<int64_t> ends;
+  ends.reserve(acked_.size() + 1);
+  ends.push_back(local_end_);
+  for (const auto& [follower, acked_end] : acked_) ends.push_back(acked_end);
+  const size_t quorum = ends.size() / 2 + 1;
+  std::sort(ends.begin(), ends.end(), std::greater<int64_t>());
+  const int64_t quorum_end = ends[quorum - 1];
+  if (quorum_end > committed_) committed_ = quorum_end;
+  // Follower acks are clamped to the local end, so the commit point can
+  // never run ahead of the leader's own log — the property that makes
+  // "promote any quorum member" a safe failover rule.
+  MARLIN_CHK_INVARIANT(committed_ <= local_end_,
+                       "committed offset ran ahead of the leader's log");
+}
+
+}  // namespace storage
+}  // namespace marlin

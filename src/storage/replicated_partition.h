@@ -1,0 +1,87 @@
+#ifndef MARLIN_STORAGE_REPLICATED_PARTITION_H_
+#define MARLIN_STORAGE_REPLICATED_PARTITION_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace marlin {
+namespace storage {
+
+/// Pure (transport-free) per-partition replication state machine; the
+/// cluster layer's LogReplicator drives one per partition and moves the
+/// actual record frames.
+///
+/// Model: single leader per epoch, chosen externally (the hash-ring owner
+/// at the current membership epoch). The leader appends to its local log,
+/// ships the tail to each follower from that follower's acked end, and
+/// advances the committed offset to the highest offset a *quorum* of
+/// replicas (leader included) has — the Kafka ISR/Raft-commit rule that
+/// makes a committed record survive any minority of crashes. Followers
+/// accept records only from the current epoch's leader; a superseded
+/// leader's frames (delayed in flight across a failover) are rejected by
+/// the epoch guard.
+///
+/// Failover: when the ring re-elects, every node calls BecomeLeader /
+/// BecomeFollower with the new (higher) membership epoch. The new leader
+/// starts from its own log end — which contains every committed record,
+/// because commitment required a quorum and the new leader is in every
+/// quorum's intersection under majority quorums — so the committed offset
+/// never regresses (Commit() enforces monotonicity as a hard invariant).
+///
+/// Not thread-safe; the owning LogReplicator serializes access.
+class ReplicatedPartition {
+ public:
+  explicit ReplicatedPartition(int partition) : partition_(partition) {}
+
+  /// Role transitions. Stale epochs (below the current one) are ignored and
+  /// return false. Re-electing the same leader at a higher epoch just
+  /// refreshes the follower set.
+  bool BecomeLeader(uint64_t epoch, std::vector<uint32_t> followers);
+  bool BecomeFollower(uint64_t epoch, uint32_t leader);
+
+  bool is_leader() const { return is_leader_; }
+  uint64_t epoch() const { return epoch_; }
+  uint32_t leader() const { return leader_; }
+  int partition() const { return partition_; }
+
+  /// Leader bookkeeping: the local log grew to `end`.
+  void SetLocalEnd(int64_t end);
+  int64_t local_end() const { return local_end_; }
+
+  /// Followers whose acked end trails the local end, with the offset to
+  /// resume shipping from: (follower, from_offset). Leader only.
+  std::vector<std::pair<uint32_t, int64_t>> PendingReplication() const;
+
+  /// Epoch-guarded follower ack. Returns true when the progress was
+  /// accepted (current epoch, known follower) — acked ends never regress.
+  bool OnAck(uint32_t follower, uint64_t epoch, int64_t acked_end);
+
+  /// Follower-side guard for an incoming replicate frame.
+  bool AcceptReplicate(uint32_t from, uint64_t epoch) const;
+
+  /// Quorum-committed offset: every record below it is on a majority of
+  /// replicas. Monotone across role changes and failovers.
+  int64_t committed() const { return committed_; }
+
+  /// Records the leader has that the slowest follower lacks (0 on
+  /// followers) — the replication-lag gauge's input.
+  int64_t ReplicationLag() const;
+
+ private:
+  void RecomputeCommitted();
+
+  const int partition_;
+  uint64_t epoch_ = 0;
+  bool is_leader_ = false;
+  uint32_t leader_ = 0;
+  int64_t local_end_ = 0;
+  int64_t committed_ = 0;
+  std::map<uint32_t, int64_t> acked_;  // follower -> acked log end
+};
+
+}  // namespace storage
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_REPLICATED_PARTITION_H_

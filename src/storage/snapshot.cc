@@ -1,0 +1,99 @@
+#include "storage/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "storage/crc32.h"
+#include "storage/record_io.h"
+#include "util/file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace marlin {
+namespace storage {
+namespace {
+
+constexpr char kMagic[] = "MRLSNAP1";
+constexpr size_t kMagicLen = 8;
+
+#if defined(__unix__) || defined(__APPLE__)
+/// fsyncs the directory containing `path` so the rename itself is durable.
+void SyncParentDir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+#endif
+
+}  // namespace
+
+Status SaveSnapshot(const std::string& path, const std::string& blob) {
+  std::string contents;
+  contents.reserve(kMagicLen + 8 + blob.size());
+  contents.append(kMagic, kMagicLen);
+  PutU32(&contents, Crc32c(blob));
+  PutBytes(&contents, blob);
+
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Internal("create snapshot temp '" + tmp +
+                            "': " + std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(contents.data(), 1, contents.size(), out) == contents.size();
+  const bool flushed = std::fflush(out) == 0;
+  const bool synced = ::fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (!wrote || !flushed || !synced) {
+    std::remove(tmp.c_str());
+    return Status::Internal("write snapshot temp '" + tmp +
+                            "': " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename snapshot into '" + path +
+                            "': " + std::strerror(errno));
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+#else
+  return WriteFileAtomic(path, contents);
+#endif
+}
+
+StatusOr<std::string> LoadSnapshot(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("no snapshot at '" + path + "'");
+  }
+  StatusOr<std::string> contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  if (contents->size() < kMagicLen ||
+      contents->compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return Status::Internal("snapshot '" + path + "' has bad magic");
+  }
+  ByteReader reader(std::string_view(*contents).substr(kMagicLen));
+  uint32_t crc = 0;
+  std::string blob;
+  if (!reader.GetU32(&crc) || !reader.GetBytes(&blob) ||
+      reader.remaining() != 0) {
+    return Status::Internal("snapshot '" + path + "' is truncated");
+  }
+  if (Crc32c(blob) != crc) {
+    return Status::Internal("snapshot '" + path + "' failed CRC validation");
+  }
+  return blob;
+}
+
+}  // namespace storage
+}  // namespace marlin

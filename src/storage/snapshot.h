@@ -1,0 +1,29 @@
+#ifndef MARLIN_STORAGE_SNAPSHOT_H_
+#define MARLIN_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace marlin {
+namespace storage {
+
+/// Atomic, CRC-guarded snapshot files.
+///
+/// On disk: `"MRLSNAP1"` magic, then [u32 crc32c(blob)][u32 len][blob].
+/// SaveSnapshot writes a temporary sibling, fsyncs it, and renames it over
+/// `path` — so a crash at any instant leaves either the previous snapshot
+/// or the new one, never a torn hybrid; LoadSnapshot verifies magic and CRC
+/// and reports anything else as corruption (callers fall back to replaying
+/// more log, never to trusting half a snapshot).
+
+Status SaveSnapshot(const std::string& path, const std::string& blob);
+
+/// NotFound when no snapshot exists; DataLoss-style Internal error when the
+/// file exists but fails validation.
+StatusOr<std::string> LoadSnapshot(const std::string& path);
+
+}  // namespace storage
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,19 @@
+#ifndef MARLIN_STORAGE_STORAGE_H_
+#define MARLIN_STORAGE_STORAGE_H_
+
+/// Umbrella header for the durability subsystem (DESIGN.md §12): CRC-framed
+/// record segments with sparse offset indexes (record_io, log_segment),
+/// rolling/compacting partition logs (partition_log), atomic CRC'd
+/// snapshots (snapshot), the broker's pluggable durability seam
+/// (log_storage), and the per-partition quorum-replication state machine
+/// the cluster layer drives (replicated_partition).
+
+#include "storage/crc32.h"
+#include "storage/log_segment.h"
+#include "storage/log_storage.h"
+#include "storage/partition_log.h"
+#include "storage/record_io.h"
+#include "storage/replicated_partition.h"
+#include "storage/snapshot.h"
+
+#endif  // MARLIN_STORAGE_STORAGE_H_

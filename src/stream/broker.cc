@@ -26,6 +26,32 @@ Status Broker::CreateTopic(const std::string& topic, int num_partitions) {
   for (int i = 0; i < num_partitions; ++i) {
     state.partitions.push_back(std::make_unique<Partition>());
   }
+  if (storage_ != nullptr) {
+    // Durable mode: open (or recover) every partition's backing log and
+    // replay the recovered records into the in-memory log, preserving the
+    // offsets they were appended with.
+    for (int p = 0; p < num_partitions; ++p) {
+      StatusOr<std::vector<storage::LogRecord>> recovered =
+          storage_->OpenPartition(topic, p);
+      if (!recovered.ok()) return recovered.status();
+      Partition* partition = state.partitions[static_cast<size_t>(p)].get();
+      for (storage::LogRecord& durable : *recovered) {
+        Record record;
+        record.key = std::move(durable.key);
+        record.value = std::move(durable.value);
+        record.partition = p;
+        record.offset = durable.offset;
+        record.timestamp = durable.timestamp;
+        if (record.offset !=
+            static_cast<int64_t>(partition->log.size())) {
+          return Status::Internal(
+              "recovered log for " + topic + "/" + std::to_string(p) +
+              " is not dense at offset " + std::to_string(record.offset));
+        }
+        partition->log.push_back(std::move(record));
+      }
+    }
+  }
   state.append_counter = metrics_->GetCounter(
       "marlin_broker_append_records_total", "Records appended per topic",
       {{"topic", topic}});
@@ -78,6 +104,18 @@ StatusOr<Record> Broker::Append(const std::string& topic, std::string key,
         partition->log.empty() ||
             partition->log.back().offset == record.offset - 1,
         "partition log offsets must be dense and monotonic");
+    if (storage_ != nullptr) {
+      // Write-through under the partition lock so the durable order equals
+      // the in-memory order; a storage failure rejects the append entirely
+      // (the producer retries), keeping the two logs identical.
+      storage::LogRecord durable;
+      durable.offset = record.offset;
+      durable.timestamp = record.timestamp;
+      durable.key = record.key;
+      durable.value = record.value;
+      Status status = storage_->Append(topic, partition_index, durable);
+      if (!status.ok()) return status;
+    }
     partition->log.push_back(record);
   }
   append_counter->Increment();
@@ -165,6 +203,17 @@ void Broker::CommitOffset(const std::string& group, const std::string& topic,
       "committed offset regressed or negative for topic '" + topic + "'");
 #endif
   per_topic[partition] = offset;
+  if (storage_ != nullptr) {
+    // Offset persistence is best-effort at commit time: a failed write
+    // surfaces on the next restart as a smaller committed offset, which
+    // at-least-once consumption re-covers.
+    (void)storage_->CommitOffset(group, topic, partition, offset);
+  }
+}
+
+Status Broker::Flush() {
+  if (storage_ == nullptr) return Status::Ok();
+  return storage_->Flush();
 }
 
 int64_t Broker::TopicSize(const std::string& topic) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "storage/log_storage.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -32,12 +33,24 @@ struct Record {
 /// ordered log. Producers append by key (hash-partitioned); consumer groups
 /// track committed offsets per partition and poll records in order. All
 /// operations are thread-safe.
+///
+/// Durability is a seam, not a mode switch: pass a storage::LogStorage and
+/// every append and offset commit is written through to it, while
+/// CreateTopic recovers whatever the storage already holds — so a broker
+/// restarted over the same directory resumes with its partitions and
+/// committed offsets intact. With the default null storage the broker is
+/// the original pure in-memory stand-in.
 class Broker {
  public:
   /// `metrics` is the registry append/poll/lag metrics report into (null =
-  /// process global).
-  explicit Broker(obs::MetricsRegistry* metrics = nullptr)
-      : metrics_(obs::MetricsRegistry::OrGlobal(metrics)) {}
+  /// process global). `storage` (optional, unowned, must outlive the
+  /// broker) makes the broker durable; committed offsets persisted by a
+  /// previous incarnation are recovered here, record logs on CreateTopic.
+  explicit Broker(obs::MetricsRegistry* metrics = nullptr,
+                  storage::LogStorage* storage = nullptr)
+      : metrics_(obs::MetricsRegistry::OrGlobal(metrics)), storage_(storage) {
+    if (storage_ != nullptr) offsets_ = storage_->RecoveredOffsets();
+  }
 
   /// The registry this broker (and its consumers) report into.
   obs::MetricsRegistry* metrics_registry() const { return metrics_; }
@@ -83,6 +96,13 @@ class Broker {
   /// Total records across all partitions of a topic.
   int64_t TopicSize(const std::string& topic) const;
 
+  /// fsyncs outstanding appends and offset commits to the storage seam.
+  /// No-op (Ok) for the in-memory broker.
+  Status Flush();
+
+  /// True when a LogStorage seam is attached.
+  bool durable() const { return storage_ != nullptr; }
+
  private:
   struct Partition {
     mutable std::mutex mu;
@@ -96,6 +116,7 @@ class Broker {
   const TopicState* FindTopic(const std::string& topic) const;
 
   obs::MetricsRegistry* metrics_;
+  storage::LogStorage* storage_;  // null = in-memory only
   mutable std::mutex mu_;  // guards topology & offsets, not partition logs
   std::unordered_map<std::string, TopicState> topics_;
   // group -> topic -> partition -> committed offset

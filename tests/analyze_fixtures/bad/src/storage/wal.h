@@ -1,0 +1,18 @@
+#ifndef FIXTURE_BAD_STORAGE_WAL_H_
+#define FIXTURE_BAD_STORAGE_WAL_H_
+
+// PLANTED [layering]: storage (layer 1) reaching up into the cluster layer
+// — the dependency the real tree inverts by giving storage its own byte
+// codec instead of borrowing cluster::WireWriter.
+#include "cluster/frame.h"
+#include "util/status.h"
+
+namespace fixture {
+
+struct Wal {
+  long end_offset = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_STORAGE_WAL_H_

@@ -1,0 +1,15 @@
+#ifndef FIXTURE_CLEAN_STORAGE_WAL_H_
+#define FIXTURE_CLEAN_STORAGE_WAL_H_
+
+// Downward include: storage (layer 1) -> util (layer 0) is allowed.
+#include "util/status.h"
+
+namespace fixture {
+
+struct Wal {
+  long end_offset = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_STORAGE_WAL_H_

@@ -17,11 +17,19 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "actor/actor.h"
 #include "chk/deterministic_scheduler.h"
@@ -29,9 +37,11 @@
 #include "chk/violation.h"
 #include "cluster/cluster_node.h"
 #include "fault/fault.h"
+#include "kvstore/durable_kvstore.h"
 #include "kvstore/kvstore.h"
 #include "obs/metrics.h"
 #include "sim/fleet.h"
+#include "storage/log_storage.h"
 #include "stream/broker.h"
 
 namespace marlin {
@@ -61,6 +71,19 @@ struct ChaosOptions {
   int drain_cap = 300;
   /// Speed-over-ground threshold for the derived "overspeed" event.
   double overspeed_knots = 10.0;
+  /// Root directory for durable storage (broker segment logs + kvstore
+  /// WAL/snapshot). Empty = the original pure in-memory pipeline.
+  std::string storage_dir;
+  /// Chaos tick at which the whole process SIGKILLs itself — a real crash:
+  /// no flush, no destructors, torn tails and all. -1 = never. Only
+  /// meaningful with a storage_dir (an in-memory run leaves nothing to
+  /// recover) on a unix host; drive it through RunCrashRecovery.
+  int crash_at_tick = -1;
+  /// Restart over a previous run's storage_dir: the broker and kvstore
+  /// recover what the crashed incarnation persisted, the seed phase
+  /// verifies the recovered prefix against the deterministic fleet stream
+  /// and appends only the missing tail.
+  bool resume = false;
 };
 
 struct ChaosRunResult {
@@ -81,6 +104,10 @@ struct ChaosRunResult {
   uint64_t frames_duplicated = 0;
   uint64_t partitions_injected = 0;
   std::string plan;
+  /// Durable mode only: broker records recovered from segments at seed time
+  /// (resume runs) and kvstore WAL records replayed past the last snapshot.
+  int64_t recovered_records = 0;
+  int64_t kv_replayed_records = 0;
 };
 
 /// One kvstore cell an AIS record writes. The field is "<partition>:<offset>"
@@ -109,11 +136,17 @@ inline std::vector<KvWrite> WritesFor(const std::string& entity, int partition,
   return out;
 }
 
-/// Sharded entity actor: applies each routed record to the shared kvstore.
+/// Sharded entity actor: applies each routed record to the shared kvstore —
+/// through the durable wrapper when the harness runs in durable mode (so
+/// every write is journaled and survives the crash tick).
 class VesselActor : public Actor {
  public:
-  VesselActor(std::string entity, KvStore* kv, double overspeed_knots)
-      : entity_(std::move(entity)), kv_(kv), overspeed_knots_(overspeed_knots) {}
+  VesselActor(std::string entity, KvStore* kv, DurableKvStore* durable,
+              double overspeed_knots)
+      : entity_(std::move(entity)),
+        kv_(kv),
+        durable_(durable),
+        overspeed_knots_(overspeed_knots) {}
 
   Status Receive(const std::any& message, ActorContext& ctx) override {
     (void)ctx;
@@ -136,7 +169,9 @@ class VesselActor : public Actor {
     const std::string value = payload.substr(colon2 + 1);
     for (const KvWrite& w :
          WritesFor(entity_, partition, offset, value, overspeed_knots_)) {
-      Status status = kv_->HSet(w.key, w.field, w.value);
+      Status status = durable_ != nullptr
+                          ? durable_->HSet(w.key, w.field, w.value)
+                          : kv_->HSet(w.key, w.field, w.value);
       if (!status.ok()) return status;
     }
     return Status::Ok();
@@ -145,6 +180,7 @@ class VesselActor : public Actor {
  private:
   const std::string entity_;
   KvStore* kv_;
+  DurableKvStore* durable_;  // null = in-memory harness
   const double overspeed_knots_;
 };
 
@@ -157,10 +193,28 @@ class ChaosCluster {
         plan_(fault::FaultPlan::FromSeed(seed)),
         injector_(plan_),
         hub_(&injector_),
+        log_storage_(options.storage_dir.empty()
+                         ? nullptr
+                         : std::make_unique<storage::DurableLogStorage>(
+                               options.storage_dir + "/broker",
+                               storage::DurableLogStorage::Options(),
+                               &registry_)),
         kv_(nullptr, options.num_shards, &registry_),
-        broker_(&registry_) {
+        broker_(&registry_, log_storage_.get()) {
     if (options_.num_nodes <= 0) {
       options_.num_nodes = 2 + static_cast<int>(seed % 3);
+    }
+    if (!options_.storage_dir.empty()) {
+      DurableKvStore::Options kv_options;
+      kv_options.num_shards = options_.num_shards;
+      kv_options.metrics = &registry_;
+      auto durable = DurableKvStore::Open(options_.storage_dir + "/kv",
+                                          kv_options);
+      if (!durable.ok()) {
+        init_error_ = "durable kv open: " + durable.status().message();
+      } else {
+        durable_kv_ = std::move(*durable);
+      }
     }
     for (int i = 0; i < options_.num_nodes; ++i) {
       roster_.push_back(static_cast<cluster::NodeId>(i + 1));
@@ -173,6 +227,14 @@ class ChaosCluster {
     result.seed = seed_;
     result.num_nodes = options_.num_nodes;
     result.plan = plan_.Describe();
+    if (!init_error_.empty()) {
+      result.ok = false;
+      result.failure = init_error_;
+      return result;
+    }
+    if (durable_kv_ != nullptr) {
+      result.kv_replayed_records = durable_kv_->replayed_records();
+    }
 
     SeedTopic(&result);
     BootNodes();
@@ -230,6 +292,30 @@ class ChaosCluster {
       Fail(result, "create topic: " + status.message());
       return;
     }
+    // Resume runs: CreateTopic just recovered whatever the crashed
+    // incarnation fsynced. The fleet regenerates deterministically from the
+    // seed, so the recovered logs must be an exact prefix of the
+    // regenerated stream — verify the overlap record by record (a
+    // divergence means storage recovery corrupted data) and append only
+    // the missing tail.
+    const size_t shards = static_cast<size_t>(options_.num_shards);
+    std::vector<int64_t> recovered_end(shards, 0);
+    std::vector<std::vector<Record>> recovered(shards);
+    if (options_.resume) {
+      for (int p = 0; p < options_.num_shards; ++p) {
+        recovered_end[p] = *broker_.EndOffset(kTopic, p);
+        result->recovered_records += recovered_end[p];
+        if (recovered_end[p] == 0) continue;
+        auto have = broker_.Read(kTopic, p, 0,
+                                 static_cast<int>(recovered_end[p]));
+        if (!have.ok()) {
+          Fail(result, "recovered read: " + have.status().message());
+          return;
+        }
+        recovered[p] = std::move(*have);
+      }
+    }
+    std::vector<int64_t> next(shards, 0);
     World& world = SharedWorld();
     FleetConfig fleet_config;
     fleet_config.num_vessels = options_.num_vessels;
@@ -237,18 +323,43 @@ class ChaosCluster {
     fleet_config.seed = seed_;
     FleetSimulator fleet(&world, fleet_config);
     for (const AisPosition& position : fleet.Run(options_.sim_duration_sec)) {
+      const std::string key = std::to_string(position.mmsi);
       char value[32];
       std::snprintf(value, sizeof(value), "sog=%.1f", position.sog_knots);
+      const int p = Broker::PartitionForKey(key, options_.num_shards);
+      const int64_t offset = next[static_cast<size_t>(p)]++;
+      if (offset < recovered_end[static_cast<size_t>(p)]) {
+        const Record& have =
+            recovered[static_cast<size_t>(p)][static_cast<size_t>(offset)];
+        if (have.key != key || have.value != value) {
+          Fail(result, "recovered log diverges from the deterministic "
+                       "stream at partition " +
+                           std::to_string(p) + " offset " +
+                           std::to_string(offset));
+          return;
+        }
+        records_.push_back(have);
+        continue;
+      }
       StatusOr<Record> appended =
-          broker_.Append(kTopic, std::to_string(position.mmsi), value,
-                         position.timestamp);
+          broker_.Append(kTopic, key, value, position.timestamp);
       if (!appended.ok()) {
         Fail(result, "append: " + appended.status().message());
         return;
       }
       records_.push_back(*appended);
     }
-    if (records_.empty()) Fail(result, "fleet produced no records");
+    if (records_.empty()) {
+      Fail(result, "fleet produced no records");
+      return;
+    }
+    // Durable mode: the seed set must survive the crash tick, so fsync it
+    // now — mid-run appends are only batch-synced, which is exactly the
+    // torn-tail exposure the recovery path is built for.
+    if (broker_.durable()) {
+      Status flushed = broker_.Flush();
+      if (!flushed.ok()) Fail(result, "seed flush: " + flushed.message());
+    }
   }
 
   void BootNodes() {
@@ -285,9 +396,11 @@ class ChaosCluster {
     cluster::ShardRegionOptions region_options;
     region_options.name = "vessel";
     KvStore* kv = &kv_;
+    DurableKvStore* durable = durable_kv_.get();
     const double overspeed = options_.overspeed_knots;
-    region_options.factory = [kv, overspeed](const std::string& entity) {
-      return std::make_unique<VesselActor>(entity, kv, overspeed);
+    region_options.factory = [kv, durable,
+                              overspeed](const std::string& entity) {
+      return std::make_unique<VesselActor>(entity, kv, durable, overspeed);
     };
     node.region = *node.node->CreateRegion(std::move(region_options));
     node.consumer = std::make_unique<Consumer>(&broker_, kGroup, kTopic);
@@ -376,6 +489,24 @@ class ChaosCluster {
       for (HarnessNode& node : nodes_) {
         if (node.alive()) node.node->system().AwaitQuiescence();
       }
+      // Durable mode: periodic checkpoints mid-chaos, so a later crash
+      // recovers from snapshot + short WAL tail instead of a full replay
+      // (and so the crash lands between a checkpoint and its next one).
+      if (durable_kv_ != nullptr && tick % 8 == 7) {
+        Status checkpoint = durable_kv_->Checkpoint();
+        if (!checkpoint.ok()) {
+          Fail(result, "kv checkpoint: " + checkpoint.message());
+          return;
+        }
+      }
+#if defined(__unix__)
+      if (tick == options_.crash_at_tick) {
+        // A real crash: no flush, no destructors. Whatever the OS has not
+        // yet been handed stays lost; recovery must absorb the torn tails
+        // this leaves in the storage dir.
+        ::kill(::getpid(), SIGKILL);
+      }
+#endif
       now_ = now;
     }
   }
@@ -510,14 +641,14 @@ class ChaosCluster {
       return;
     }
     // The tentpole invariant: kvstore contents equal the fault-free run.
-    std::vector<std::string> keys = kv_.ScanPrefix("");
+    std::vector<std::string> keys = kv_view().ScanPrefix("");
     if (keys.size() != reference.size()) {
       Fail(result, "kvstore key count " + std::to_string(keys.size()) +
                        " != reference " + std::to_string(reference.size()));
       return;
     }
     for (const auto& [key, fields] : reference) {
-      if (kv_.HGetAll(key) != fields) {
+      if (kv_view().HGetAll(key) != fields) {
         Fail(result, "kvstore diverged from fault-free run at key " + key);
         return;
       }
@@ -539,14 +670,20 @@ class ChaosCluster {
 
   uint64_t StateHash() const {
     chk::Fingerprint fp;
-    for (const std::string& key : kv_.ScanPrefix("")) {
+    for (const std::string& key : kv_view().ScanPrefix("")) {
       fp.MixBytes(key);
-      for (const auto& [field, value] : kv_.HGetAll(key)) {
+      for (const auto& [field, value] : kv_view().HGetAll(key)) {
         fp.MixBytes(field);
         fp.MixBytes(value);
       }
     }
     return fp.Value();
+  }
+
+  /// The store the pipeline actually wrote into: the durable wrapper's
+  /// inner store in durable mode, the plain shared store otherwise.
+  const KvStore& kv_view() const {
+    return durable_kv_ != nullptr ? durable_kv_->store() : kv_;
   }
 
   /// World construction is expensive relative to a chaos run; all runs in
@@ -562,6 +699,13 @@ class ChaosCluster {
   fault::FaultInjector injector_;
   fault::ChaosHub hub_;
   obs::MetricsRegistry registry_;  // kv + broker metrics (not per-node)
+  /// Durable mode (storage_dir set): the broker's segment-log seam and the
+  /// journaled kvstore. Both null in the original in-memory harness.
+  /// Declared before kv_/broker_ — the broker recovers through the seam in
+  /// its constructor.
+  std::unique_ptr<storage::DurableLogStorage> log_storage_;
+  std::unique_ptr<DurableKvStore> durable_kv_;
+  std::string init_error_;
   KvStore kv_;
   Broker broker_;
   std::vector<cluster::NodeId> roster_;
@@ -592,6 +736,107 @@ inline std::string ReproCommand(uint64_t seed) {
          " ./tests/chaos_test  (or ./bench/chaos_soak --seed=" +
          std::to_string(seed) + ")";
 }
+
+#if defined(__unix__)
+
+struct CrashRecoveryResult {
+  bool ok = true;
+  std::string failure;
+  /// Chaos tick at which the first incarnation SIGKILLed itself.
+  int crash_tick = 0;
+};
+
+/// The process-crash soak: runs the durable chaos pipeline in a forked
+/// child that kill -9's itself mid-chaos (a real crash — no flush, no
+/// destructors), then restarts a second child over the same storage
+/// directory. The resume run must recover the broker segments and kvstore
+/// snapshot+WAL, verify the recovered prefix, rejoin, and converge to the
+/// byte-identical fault-free reference — every invariant of a normal chaos
+/// run, asserted *across* a hard process death.
+///
+/// Fork (not exec) keeps the run deterministic and self-contained; the
+/// children do nothing but RunChaos + _exit, so no parent thread state is
+/// relied on. The temp storage directory is always cleaned up.
+inline CrashRecoveryResult RunCrashRecovery(uint64_t seed,
+                                            const ChaosOptions& base = {}) {
+  namespace fs = std::filesystem;
+  CrashRecoveryResult out;
+  // Past the first ticks (so there is undrained in-flight state to lose)
+  // and spread across the checkpoint cadence (so some crashes land right
+  // before a checkpoint, some right after).
+  out.crash_tick = 4 + static_cast<int>(seed % 24);
+
+  std::string dir_template =
+      (fs::temp_directory_path() / "marlin_crash_XXXXXX").string();
+  std::vector<char> path(dir_template.begin(), dir_template.end());
+  path.push_back('\0');
+  if (::mkdtemp(path.data()) == nullptr) {
+    out.ok = false;
+    out.failure = "mkdtemp failed for the crash-soak storage dir";
+    return out;
+  }
+  const std::string dir(path.data());
+  const std::string failure_file = dir + "/resume_failure.txt";
+
+  // Incarnation 1: runs until the harness SIGKILLs it mid-chaos. Surviving
+  // to exit means the crash never fired — that is a failure too.
+  pid_t child = ::fork();
+  if (child == 0) {
+    ChaosOptions options = base;
+    options.storage_dir = dir;
+    options.crash_at_tick = out.crash_tick;
+    (void)RunChaos(seed, options);
+    ::_exit(42);
+  }
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    out.ok = false;
+    out.failure = "crash child was not SIGKILLed mid-run (wait status " +
+                  std::to_string(status) + ")";
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return out;
+  }
+
+  // Incarnation 2: restart over the same directory and run the full cycle
+  // to its invariants.
+  child = ::fork();
+  if (child == 0) {
+    ChaosOptions options = base;
+    options.storage_dir = dir;
+    options.resume = true;
+    ChaosRunResult result = RunChaos(seed, options);
+    if (!result.ok) {
+      std::FILE* f = std::fopen(failure_file.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(result.failure.c_str(), f);
+        std::fclose(f);
+      }
+      ::_exit(1);
+    }
+    ::_exit(0);
+  }
+  ::waitpid(child, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    out.ok = false;
+    out.failure = "resume run failed";
+    std::FILE* f = std::fopen(failure_file.c_str(), "r");
+    if (f != nullptr) {
+      char buffer[512];
+      const size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+      buffer[n] = '\0';
+      out.failure += ": ";
+      out.failure += buffer;
+      std::fclose(f);
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return out;
+}
+
+#endif  // defined(__unix__)
 
 }  // namespace chaos
 }  // namespace marlin

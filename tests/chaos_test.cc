@@ -97,6 +97,48 @@ TEST(ChaosSoakTest, FourNodeClusterSurvivesHeavyWeather) {
   ExpectOk(result);
 }
 
+#if defined(__unix__)
+
+// The durable pipeline is SIGKILLed mid-chaos (fork + self kill -9 — a real
+// process death, not a simulated one), restarted over the same storage
+// directory, and must recover, rejoin, and converge to the fault-free
+// reference. A short sweep here; bench/chaos_soak --crash-process runs the
+// wide one.
+TEST(ChaosCrashRecoveryTest, ProcessKillMidSoakRecoversAndConverges) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const CrashRecoveryResult result = RunCrashRecovery(seed);
+    EXPECT_TRUE(result.ok)
+        << "crash-recovery failed for seed " << seed << " (crash tick "
+        << result.crash_tick << "): " << result.failure;
+    if (!result.ok) break;
+  }
+}
+
+// Durable mode without any crash must behave exactly like the in-memory
+// harness — the seam itself must not perturb the pipeline.
+TEST(ChaosCrashRecoveryTest, DurableModeMatchesInMemoryStateHash) {
+  namespace fs = std::filesystem;
+  const uint64_t seed = 5;
+  const ChaosRunResult memory_run = RunChaos(seed);
+  ExpectOk(memory_run);
+  std::string dir_template =
+      (fs::temp_directory_path() / "marlin_chaos_durable_XXXXXX").string();
+  std::vector<char> path(dir_template.begin(), dir_template.end());
+  path.push_back('\0');
+  ASSERT_NE(::mkdtemp(path.data()), nullptr);
+  const std::string dir(path.data());
+  ChaosOptions options;
+  options.storage_dir = dir;
+  const ChaosRunResult durable_run = RunChaos(seed, options);
+  ExpectOk(durable_run);
+  EXPECT_EQ(memory_run.state_hash, durable_run.state_hash)
+      << "durable seam changed the pipeline's converged state";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+#endif  // defined(__unix__)
+
 }  // namespace
 }  // namespace chaos
 }  // namespace marlin

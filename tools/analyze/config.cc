@@ -25,7 +25,7 @@ const Config& ProjectConfig() {
     // World types into geo, nothing in src/ depends on sim).
     config->layers = {
         {"util"},
-        {"geo", "hexgrid", "obs", "ais"},
+        {"geo", "hexgrid", "obs", "ais", "storage"},
         {"stream", "kvstore", "nn"},
         {"vrf", "events"},
         {"actor", "core"},
