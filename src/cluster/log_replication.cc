@@ -45,16 +45,24 @@ LogReplicator::LogReplicator(ClusterNode* node, Options options)
 void LogReplicator::RefreshRoles() {
   const HashRing ring = node_->ring();
   const uint64_t epoch = ring.epoch();
-  const std::vector<NodeId> up = node_->membership().UpNodes();
+  // The replica set is the full static roster (minus permanently removed
+  // members), NOT the currently-up nodes: quorum must stay a majority of
+  // the *cluster*. Deriving it from the up-set would let an isolated
+  // minority — in the extreme, a single node whose view is {self} — shrink
+  // the quorum to itself and "commit" records the other side never saw.
+  // Down followers simply never ack, which is exactly what holds the
+  // commit point back.
+  std::vector<uint32_t> replicas;
+  for (const MemberInfo& member : node_->membership().Members()) {
+    if (member.id == node_->self()) continue;
+    if (member.state == NodeState::kRemoved) continue;
+    replicas.push_back(member.id);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& partition : partitions_) {
     const NodeId owner = ring.OwnerOfShard(partition->partition());
     if (owner == node_->self()) {
-      std::vector<uint32_t> followers;
-      for (const NodeId peer : up) {
-        if (peer != node_->self()) followers.push_back(peer);
-      }
-      if (partition->BecomeLeader(epoch, std::move(followers))) {
+      if (partition->BecomeLeader(epoch, replicas)) {
         partition->SetLocalEnd(log(partition->partition())->end_offset());
       }
     } else if (owner != kNoNode) {
@@ -134,6 +142,15 @@ void LogReplicator::OnTick(TimeMicros now) {
     auto batch = log(shipment.partition)
                      ->Read(shipment.from, options_.max_batch);
     if (!batch.ok() || batch->empty()) continue;
+    // Record what this frame covers *before* it can be acked (the
+    // in-process transport delivers synchronously): acks are only credited
+    // up to offsets actually shipped this epoch, so a rejoined follower's
+    // divergent suffix can never vouch for a quorum commit.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      partitions_[static_cast<size_t>(shipment.partition)]->MarkShipped(
+          shipment.follower, shipment.epoch, batch->back().offset + 1);
+    }
     WireWriter writer;
     writer.PutString16(options_.topic);
     writer.PutU32(static_cast<uint32_t>(shipment.partition));
@@ -181,21 +198,44 @@ void LogReplicator::OnReplicate(const Frame& frame) {
       uint64_t timestamp = 0;
       if (!reader.GetU64(&timestamp) || !reader.GetString16(&record.key) ||
           !reader.GetString32(&record.value)) {
-        break;  // malformed tail; ack whatever was appended so far
+        break;  // malformed tail; ack whatever was verified so far
       }
       record.timestamp = static_cast<TimeMicros>(timestamp);
       record.offset = static_cast<int64_t>(from) + i;
+      if (record.offset < state.verified_end()) continue;  // known to match
+      if (record.offset < target->start_offset()) {
+        // Compacted away locally — only quorum-committed (hence identical)
+        // records are ever compacted, so the overlap needs no comparison.
+        state.AdvanceVerified(record.offset + 1);
+        continue;
+      }
       const int64_t end = target->end_offset();
-      if (record.offset < end) continue;  // duplicate resend; already have it
-      if (record.offset > end) break;     // gap: leader will resend from end
+      if (record.offset > end) break;  // gap: leader will resend from end
+      if (record.offset < end) {
+        // Unverified overlap with the local log. If this node was deposed
+        // as leader it may hold a *divergent* uncommitted suffix at these
+        // offsets; blindly skipping them would let later acks vouch for
+        // bytes that differ from the leader's. Compare, and truncate the
+        // local suffix at the first mismatch.
+        auto local = target->Read(record.offset, 1);
+        if (!local.ok() || local->empty()) break;
+        if (local->front() == record) {
+          state.AdvanceVerified(record.offset + 1);
+          continue;
+        }
+        if (!target->TruncateSuffix(record.offset).ok()) break;
+      }
       if (!target->AppendRecord(record).ok()) break;
       ++appended;
+      state.AdvanceVerified(record.offset + 1);
     }
     if (appended > 0) replicated_records_->Increment(appended);
-    acked_end = target->end_offset();
+    // Ack only the verified prefix, never the raw log end: offsets past it
+    // may hold a divergent suffix the leader has not confirmed. The leader
+    // resumes shipping from the acked end, so verification advances one
+    // batch per round-trip until the logs provably agree.
+    acked_end = std::min(state.verified_end(), target->end_offset());
   }
-  // Always ack the current end (even with nothing appended): a leader
-  // resending from a stale offset learns the real progress and advances.
   WireWriter writer;
   writer.PutString16(options_.topic);
   writer.PutU32(partition);

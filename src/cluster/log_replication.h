@@ -26,14 +26,24 @@ namespace cluster {
 /// leader is the hash-ring owner of the same-numbered shard, and the epoch
 /// guarding every frame is the membership epoch — so leadership moves
 /// exactly when shard ownership moves, with no separate election protocol.
-/// The quorum/commit arithmetic lives in storage::ReplicatedPartition (pure,
-/// transport-free); this class moves the frames:
+/// The replica set handed to the state machine is the full static roster,
+/// so the commit quorum is a majority of the cluster even when the local
+/// view of "up" has shrunk — an isolated minority can append but never
+/// commit. The quorum/commit arithmetic lives in
+/// storage::ReplicatedPartition (pure, transport-free); this class moves
+/// the frames:
 ///
 ///   - On every cluster tick the leader ships each lagging follower a batch
-///     of records from that follower's acked end (kReplicate).
-///   - Followers append epoch-guarded batches to their local PartitionLog
-///     and reply with their new log end (kReplicateAck).
-///   - The leader folds acks into the quorum-committed offset.
+///     of records from that follower's acked end (kReplicate), recording
+///     what it shipped (the ceiling for ack credit).
+///   - Followers append epoch-guarded batches to their local PartitionLog.
+///     Where a batch overlaps records they already hold, they compare
+///     byte-for-byte — a mismatch is a divergent uncommitted suffix left
+///     over from a deposed leadership, and is truncated in favour of the
+///     leader's version — and reply with their *verified* log end
+///     (kReplicateAck).
+///   - The leader folds acks into the quorum-committed offset, crediting
+///     each follower no further than what it shipped to it this epoch.
 ///
 /// Ticks both drive retransmission (an unacked batch is simply re-sent from
 /// the stale acked end next tick) and bound the replication lag window.

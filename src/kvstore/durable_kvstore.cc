@@ -52,6 +52,9 @@ DurableKvStore::DurableKvStore(std::string dir, const Options& options,
   replayed_records_ = registry->GetCounter(
       "marlin_storage_kv_wal_replayed_records_total",
       "WAL records replayed during DurableKvStore recovery");
+  journal_failures_ = registry->GetCounter(
+      "marlin_storage_kv_wal_journal_failures_total",
+      "Mutations dropped because the WAL append failed");
 }
 
 Status DurableKvStore::Recover() {
@@ -140,17 +143,27 @@ Status DurableKvStore::Apply(const storage::LogRecord& record) {
 
 Status DurableKvStore::Journal(const std::string& key, std::string op_blob) {
   auto offset = wal_->Append(Now(), key, std::move(op_blob));
-  if (!offset.ok()) return offset.status();
+  if (!offset.ok()) {
+    journal_failures_->Increment();
+    return offset.status();
+  }
   wal_records_->Increment();
   return Status::Ok();
 }
 
-void DurableKvStore::Set(const std::string& key, std::string value) {
+// Each mutator journals and applies under the key's stripe lock: a key's
+// WAL order must equal its apply order, or recovery could replay writes in
+// an order no reader ever observed.
+
+Status DurableKvStore::Set(const std::string& key, std::string value) {
   std::shared_lock<std::shared_mutex> lock(checkpoint_mu_);
   std::string op(1, kOpSet);
   storage::PutBytes(&op, value);
-  if (!Journal(key, std::move(op)).ok()) return;
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  Status journaled = Journal(key, std::move(op));
+  if (!journaled.ok()) return journaled;
   kv_.Set(key, std::move(value));
+  return Status::Ok();
 }
 
 Status DurableKvStore::HSet(const std::string& key, const std::string& field,
@@ -159,6 +172,7 @@ Status DurableKvStore::HSet(const std::string& key, const std::string& field,
   std::string op(1, kOpHSet);
   storage::PutBytes(&op, field);
   storage::PutBytes(&op, value);
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   Status journaled = Journal(key, std::move(op));
   if (!journaled.ok()) return journaled;
   return kv_.HSet(key, field, std::move(value));
@@ -166,6 +180,7 @@ Status DurableKvStore::HSet(const std::string& key, const std::string& field,
 
 bool DurableKvStore::Del(const std::string& key) {
   std::shared_lock<std::shared_mutex> lock(checkpoint_mu_);
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   if (!Journal(key, std::string(1, kOpDel)).ok()) return false;
   return kv_.Del(key);
 }
@@ -174,6 +189,7 @@ bool DurableKvStore::Expire(const std::string& key, TimeMicros ttl) {
   std::shared_lock<std::shared_mutex> lock(checkpoint_mu_);
   std::string op(1, kOpExpire);
   storage::PutU64(&op, static_cast<uint64_t>(Now() + ttl));
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   if (!Journal(key, std::move(op)).ok()) return false;
   return kv_.Expire(key, ttl);
 }

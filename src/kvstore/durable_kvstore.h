@@ -1,7 +1,10 @@
 #ifndef MARLIN_KVSTORE_DURABLE_KVSTORE_H_
 #define MARLIN_KVSTORE_DURABLE_KVSTORE_H_
 
+#include <array>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 
@@ -21,7 +24,10 @@ namespace marlin {
 ///
 /// Every mutator journals its operation to the WAL *before* applying it to
 /// the in-memory store (write-ahead: an op is recoverable once it is
-/// observable). Checkpoint() snapshots the full store together with the WAL
+/// observable), and journal+apply run under a per-key lock stripe so the
+/// WAL order of a key's ops equals their apply order — replay therefore
+/// reconstructs exactly the state readers observed, never a re-shuffled
+/// one. Checkpoint() snapshots the full store together with the WAL
 /// offset it covers and compacts the journal prefix below it, so Open()
 /// recovery is snapshot + *tail* replay — the replayed record count is
 /// bounded by the mutations since the last checkpoint, not the store's
@@ -55,11 +61,17 @@ class DurableKvStore {
     return Open(dir, Options());
   }
 
-  // -- Journaled mutators (KvStore signatures) --------------------------
+  // -- Journaled mutators (KvStore signatures, lifted to Status where the
+  // -- inner store returns void so a journal failure is visible) ---------
 
-  void Set(const std::string& key, std::string value);
+  /// Applies only when the op journaled; the returned Status is the WAL
+  /// append's.
+  Status Set(const std::string& key, std::string value);
   Status HSet(const std::string& key, const std::string& field,
               std::string value);
+  /// false covers both "key absent" and "journal failed" — the
+  /// marlin_storage_kv_wal_journal_failures_total counter disambiguates
+  /// in aggregate.
   bool Del(const std::string& key);
   bool Expire(const std::string& key, TimeMicros ttl);
 
@@ -90,6 +102,9 @@ class DurableKvStore {
   Status Apply(const storage::LogRecord& record);
   Status Journal(const std::string& key, std::string op_blob);
   TimeMicros Now() const { return clock_->Now(); }
+  std::mutex& KeyMutex(const std::string& key) {
+    return key_mu_[std::hash<std::string>{}(key) % key_mu_.size()];
+  }
 
   const std::string dir_;
   const Options options_;
@@ -103,10 +118,17 @@ class DurableKvStore {
   /// store serializes per shard); Checkpoint holds exclusive so its
   /// (wal offset, dump) pair is a consistent cut.
   mutable std::shared_mutex checkpoint_mu_;
+  /// Journal-then-apply must be atomic *per key*: without it, two writers
+  /// to one key can land in the WAL in one order and in the store in the
+  /// other, and replay would recover a state nobody ever read. Striped so
+  /// unrelated keys still mutate concurrently. Acquired under
+  /// checkpoint_mu_ (shared), never the other way around.
+  std::array<std::mutex, 64> key_mu_;
 
   obs::Counter* checkpoints_ = nullptr;
   obs::Counter* wal_records_ = nullptr;
   obs::Counter* replayed_records_ = nullptr;
+  obs::Counter* journal_failures_ = nullptr;
 };
 
 }  // namespace marlin

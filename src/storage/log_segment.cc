@@ -31,7 +31,7 @@ StatusOr<std::unique_ptr<LogSegment>> LogSegment::Create(
 
 StatusOr<std::unique_ptr<LogSegment>> LogSegment::Open(
     const std::string& path, int64_t base_offset, const Options& options,
-    RecoveryStats* stats) {
+    RecoveryStats* stats, bool writable) {
   StatusOr<std::string> data = ReadFile(path);
   if (!data.ok()) return data.status();
 
@@ -58,18 +58,12 @@ StatusOr<std::unique_ptr<LogSegment>> LogSegment::Open(
     stats->records = segment->next_offset_ - segment->base_offset_;
     stats->truncated_bytes = data->size() - segment->bytes_;
   }
-  if (segment->bytes_ < data->size()) {
+  if (writable) {
     // Torn or corrupt tail (a kill -9 mid-write): truncate to the last
     // valid CRC record so the next append continues a clean stream.
-    std::error_code ec;
-    std::filesystem::resize_file(path, segment->bytes_, ec);
-    if (ec) {
-      return Status::Internal("truncate segment '" + path +
-                              "': " + ec.message());
-    }
+    Status prepared = segment->PrepareForAppend();
+    if (!prepared.ok()) return prepared;
   }
-  segment->file_ = std::fopen(path.c_str(), "ab");
-  if (segment->file_ == nullptr) return IoError("reopen segment", path);
   return segment;
 }
 
@@ -96,16 +90,96 @@ Status LogSegment::Append(const LogRecord& record) {
   }
   std::string frame;
   EncodeRecord(record, &frame);
-  if (index_.empty() || bytes_ - last_indexed_pos_ >= options_.index_interval_bytes) {
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    // A partial frame may now sit at the tail; appending more through this
+    // handle would interleave with it. Seal the segment — the next Open()
+    // truncates the torn bytes.
+    Status status = IoError("append to segment", path_);
+    Close();
+    return status;
+  }
+  // Index only once the bytes are in the stream: an entry pointing at a
+  // file position holding no record would misdirect every later read.
+  if (index_.empty() ||
+      bytes_ - last_indexed_pos_ >= options_.index_interval_bytes) {
     index_.push_back({record.offset, bytes_});
     last_indexed_pos_ = bytes_;
-  }
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return IoError("append to segment", path_);
   }
   bytes_ += frame.size();
   ++next_offset_;
   return Status::Ok();
+}
+
+Status LogSegment::PrepareForAppend() {
+  if (file_ != nullptr) return Status::Ok();
+  std::error_code ec;
+  const uintmax_t file_bytes = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    return Status::Internal("stat segment '" + path_ + "': " + ec.message());
+  }
+  if (file_bytes > bytes_) {
+    std::filesystem::resize_file(path_, bytes_, ec);
+    if (ec) {
+      return Status::Internal("truncate segment '" + path_ +
+                              "': " + ec.message());
+    }
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) return IoError("reopen segment", path_);
+  return Status::Ok();
+}
+
+Status LogSegment::TruncateTo(int64_t offset) {
+  if (offset < base_offset_ || offset > next_offset_) {
+    return Status::InvalidArgument(
+        "truncate offset " + std::to_string(offset) + " outside segment [" +
+        std::to_string(base_offset_) + ", " + std::to_string(next_offset_) +
+        "]");
+  }
+  if (offset == next_offset_) return PrepareForAppend();
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return IoError("flush segment", path_);
+  }
+  // Locate the cut: seek near it via the sparse index, then walk frames.
+  uint64_t pos = 0;
+  for (const IndexEntry& entry : index_) {
+    if (entry.offset > offset) break;
+    pos = entry.file_pos;
+  }
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) return IoError("open segment for read", path_);
+  std::string buffer;
+  buffer.resize(static_cast<size_t>(bytes_ - pos));
+  size_t got = 0;
+  if (std::fseek(in, static_cast<long>(pos), SEEK_SET) == 0) {
+    got = std::fread(buffer.data(), 1, buffer.size(), in);
+  }
+  std::fclose(in);
+  buffer.resize(got);
+  RecordScanner scanner(buffer);
+  LogRecord record;
+  size_t keep = 0;
+  while (scanner.Next(&record)) {
+    if (record.offset >= offset) break;
+    keep = scanner.valid_bytes();
+  }
+  const uint64_t cut = pos + keep;
+  // The write handle keeps its own stdio position at the old end (Create
+  // opens "wb", which is positional, not O_APPEND) — writing through it
+  // after the resize would leave a zero-filled hole at the cut. Drop it and
+  // reopen in append mode so the next write lands exactly at the new end.
+  Close();
+  std::error_code ec;
+  std::filesystem::resize_file(path_, cut, ec);
+  if (ec) {
+    return Status::Internal("truncate segment '" + path_ +
+                            "': " + ec.message());
+  }
+  bytes_ = cut;
+  next_offset_ = offset;
+  while (!index_.empty() && index_.back().offset >= offset) index_.pop_back();
+  last_indexed_pos_ = index_.empty() ? 0 : index_.back().file_pos;
+  return PrepareForAppend();
 }
 
 Status LogSegment::Flush(bool sync) {

@@ -49,20 +49,37 @@ class LogSegment {
                                                       int64_t base_offset,
                                                       const Options& options);
 
-  /// Opens an existing segment: scans every frame, truncates the file to
-  /// the last valid CRC record, rebuilds the sparse index, and positions
-  /// the writer at the end. The records must be dense from `base_offset`.
+  /// Opens an existing segment: scans every frame, rebuilds the sparse
+  /// index, and derives the valid record range. The records must be dense
+  /// from `base_offset`. When `writable`, also truncates the file to the
+  /// last valid CRC record and positions the writer at the end; when not
+  /// (a sealed mid-log segment), the file is left untouched — any corrupt
+  /// tail stays on disk for inspection and reads simply stop before it.
   static StatusOr<std::unique_ptr<LogSegment>> Open(const std::string& path,
                                                     int64_t base_offset,
                                                     const Options& options,
-                                                    RecoveryStats* stats);
+                                                    RecoveryStats* stats,
+                                                    bool writable = true);
 
   ~LogSegment();
   LogSegment(const LogSegment&) = delete;
   LogSegment& operator=(const LogSegment&) = delete;
 
-  /// Appends one record; `record.offset` must equal end_offset().
+  /// Appends one record; `record.offset` must equal end_offset(). A short
+  /// write seals the segment (further appends fail; the partial frame is
+  /// truncated by the next Open()).
   Status Append(const LogRecord& record);
+
+  /// Makes a sealed segment the append target again: truncates the file to
+  /// the valid record bytes (dropping any ignored corrupt tail) and opens
+  /// the write handle. No-op when already writable.
+  Status PrepareForAppend();
+
+  /// Drops every record at or past `offset` (the replication reconcile
+  /// path: a divergent uncommitted suffix is cut before re-appending the
+  /// leader's version). `offset` must lie in [base_offset, end_offset].
+  /// Leaves the segment writable.
+  Status TruncateTo(int64_t offset);
 
   /// Drains the stdio buffer to the OS; when `sync` also fsyncs to media.
   Status Flush(bool sync);

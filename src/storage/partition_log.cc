@@ -62,6 +62,10 @@ PartitionLog::PartitionLog(std::string dir, const Options& options)
   metrics_.truncated_bytes = registry->GetCounter(
       "marlin_storage_truncated_bytes_total",
       "Torn-tail bytes truncated during recovery", options_.labels);
+  metrics_.quarantined = registry->GetCounter(
+      "marlin_storage_quarantined_segments_total",
+      "Corrupt-suffix segments renamed aside during recovery",
+      options_.labels);
 }
 
 StatusOr<std::unique_ptr<PartitionLog>> PartitionLog::Open(
@@ -95,16 +99,40 @@ Status PartitionLog::RecoverLocked() {
   LogSegment::Options segment_options;
   segment_options.index_interval_bytes = options_.index_interval_bytes;
   int64_t expected_base = bases.empty() ? 0 : bases.front();
-  for (const int64_t base : bases) {
+  for (size_t i = 0; i < bases.size(); ++i) {
+    const int64_t base = bases[i];
     if (base != expected_base) {
-      return Status::Internal(
-          "log dir '" + dir_ + "' has an offset gap: segment " +
-          std::to_string(base) + " follows end " +
-          std::to_string(expected_base));
+      // A sealed segment lost records to corruption (or a file vanished):
+      // the offset stream has a hole, so nothing past it can be served.
+      if (!options_.quarantine_corrupt_suffix) {
+        return Status::Internal(
+            "log dir '" + dir_ + "' has an offset gap: segment " +
+            std::to_string(base) + " follows end " +
+            std::to_string(expected_base) +
+            " — a sealed segment is corrupt or missing; inspect the files, "
+            "or set Options::quarantine_corrupt_suffix to move the "
+            "unreadable suffix aside and recover the prefix");
+      }
+      size_t quarantined = 0;
+      for (size_t j = i; j < bases.size(); ++j) {
+        const std::string path = SegmentPath(dir_, bases[j]);
+        std::filesystem::rename(path, path + ".quarantined", ec);
+        if (ec) {
+          return Status::Internal("quarantine segment '" + path +
+                                  "': " + ec.message());
+        }
+        ++quarantined;
+      }
+      quarantined_segments_ = quarantined;
+      metrics_.quarantined->Increment(quarantined);
+      break;
     }
     LogSegment::RecoveryStats stats;
+    // Only the final segment takes appends; sealed ones open read-only so
+    // a corrupt region's bytes stay on disk untouched for inspection.
     StatusOr<std::unique_ptr<LogSegment>> segment = LogSegment::Open(
-        SegmentPath(dir_, base), base, segment_options, &stats);
+        SegmentPath(dir_, base), base, segment_options, &stats,
+        /*writable=*/i + 1 == bases.size());
     if (!segment.ok()) return segment.status();
     recovered_records_ += stats.records;
     truncated_bytes_ += stats.truncated_bytes;
@@ -123,8 +151,11 @@ Status PartitionLog::RecoverLocked() {
     if (!segment.ok()) return segment.status();
     metrics_.segments_created->Increment();
     segments_.emplace(0, std::move(*segment));
+    return Status::Ok();
   }
-  return Status::Ok();
+  // Quarantining may have left a sealed segment as the tail: truncate its
+  // ignored corrupt bytes and reopen it as the append target.
+  return ActiveLocked()->PrepareForAppend();
 }
 
 Status PartitionLog::RollLocked() {
@@ -228,6 +259,33 @@ Status PartitionLog::Flush() {
   metrics_.fsyncs->Increment();
   unsynced_bytes_ = 0;
   return Status::Ok();
+}
+
+Status PartitionLog::TruncateSuffix(int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (segments_.empty()) return Status::Ok();
+  if (offset >= segments_.rbegin()->second->end_offset()) return Status::Ok();
+  if (offset < segments_.begin()->first) {
+    return Status::InvalidArgument(
+        "truncate offset " + std::to_string(offset) + " below start offset " +
+        std::to_string(segments_.begin()->first));
+  }
+  // Whole segments at or past the cut are deleted outright...
+  while (segments_.size() > 1 && segments_.rbegin()->first >= offset) {
+    auto last = std::prev(segments_.end());
+    last->second->Close();
+    std::error_code ec;
+    std::filesystem::remove(last->second->path(), ec);
+    if (ec) {
+      return Status::Internal("remove segment '" + last->second->path() +
+                              "': " + ec.message());
+    }
+    segments_.erase(last);
+  }
+  // ...then the cut lands inside (or at the end of) the remaining tail
+  // segment, which TruncateTo leaves open for appends.
+  unsynced_bytes_ = 0;  // the truncated bytes can no longer need syncing
+  return ActiveLocked()->TruncateTo(offset);
 }
 
 size_t PartitionLog::CompactPrefix(int64_t horizon) {

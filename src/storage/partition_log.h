@@ -28,7 +28,12 @@ namespace storage {
 ///     pending (plus on every explicit Flush), kAlways fsyncs every append.
 ///   - Open() recovers: segments are scanned oldest-first, a torn tail in
 ///     the last segment is truncated to the last valid CRC record, and the
-///     sparse per-segment offset indexes are rebuilt.
+///     sparse per-segment offset indexes are rebuilt. Corruption in a
+///     *sealed* (non-final) segment leaves an offset gap before the next
+///     segment; by default Open() fails with an error naming the gap (the
+///     bytes stay on disk for inspection), or, with
+///     `quarantine_corrupt_suffix`, the unreadable suffix segments are
+///     renamed aside (`*.seg.quarantined`) and the valid prefix recovers.
 ///   - CompactPrefix(horizon) is the log-compaction seam: whole segments
 ///     strictly below the horizon (snapshot covers them) are deleted.
 ///     Compaction is cooperative — callers invoke it from their own
@@ -50,6 +55,12 @@ class PartitionLog {
     /// Labels for this log's series (conventionally {{"topic", ...}}; keep
     /// cardinality at topic granularity, never per-partition).
     obs::Labels labels;
+    /// Mid-log corruption policy. Off (default): Open() fails with an error
+    /// advising operator action, losing nothing. On: segments past the
+    /// corruption-induced offset gap are renamed `*.seg.quarantined` and
+    /// the valid prefix recovers — explicit data loss in exchange for a
+    /// usable partition (replication backfills the suffix).
+    bool quarantine_corrupt_suffix = false;
   };
 
   /// Opens (creating if needed) the log rooted at directory `dir`.
@@ -82,6 +93,13 @@ class PartitionLog {
   /// Returns the number of segments removed.
   size_t CompactPrefix(int64_t horizon);
 
+  /// Drops every record at or past `offset`, deleting whole segments above
+  /// the cut and truncating within the one containing it. The replication
+  /// reconcile path: a follower cuts a divergent uncommitted suffix before
+  /// re-appending the leader's version. `offset` must be at or above
+  /// start_offset(); at or past end_offset() it is a no-op.
+  Status TruncateSuffix(int64_t offset);
+
   /// Oldest retained offset (advances under compaction).
   int64_t start_offset() const;
   /// Next offset to be assigned.
@@ -90,6 +108,8 @@ class PartitionLog {
   /// Torn-tail bytes truncated and records recovered by Open().
   uint64_t recovered_truncated_bytes() const { return truncated_bytes_; }
   int64_t recovered_records() const { return recovered_records_; }
+  /// Corrupt-suffix segments renamed aside by Open() (quarantine mode).
+  size_t quarantined_segments() const { return quarantined_segments_; }
   const std::string& dir() const { return dir_; }
 
  private:
@@ -106,6 +126,7 @@ class PartitionLog {
   uint64_t unsynced_bytes_ = 0;
   uint64_t truncated_bytes_ = 0;
   int64_t recovered_records_ = 0;
+  size_t quarantined_segments_ = 0;
 
   struct Metrics {
     obs::Counter* appended = nullptr;
@@ -115,6 +136,7 @@ class PartitionLog {
     obs::Counter* segments_compacted = nullptr;
     obs::Counter* recovered = nullptr;
     obs::Counter* truncated_bytes = nullptr;
+    obs::Counter* quarantined = nullptr;
   };
   Metrics metrics_;
 };

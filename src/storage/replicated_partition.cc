@@ -11,21 +11,32 @@ bool ReplicatedPartition::BecomeLeader(uint64_t epoch,
                                        std::vector<uint32_t> followers) {
   if (epoch < epoch_) return false;
   // Same-epoch transition is idempotent; a new epoch resets follower
-  // progress (a rejoining follower re-announces its end with its first
-  // ack — assuming its old progress would over-advance the commit point).
-  if (epoch > epoch_ || !is_leader_) acked_.clear();
+  // progress — a rejoining follower (possibly holding a divergent
+  // uncommitted suffix) must re-earn credit through this epoch's
+  // replicate/ack round-trips.
+  if (epoch > epoch_ || !is_leader_) {
+    acked_.clear();
+    shipped_.clear();
+  }
   epoch_ = epoch;
   is_leader_ = true;
   leader_ = 0;
+  verified_end_ = 0;  // follower-side state; meaningless while leading
   for (const uint32_t follower : followers) {
     acked_.emplace(follower, 0);  // keep existing progress on refresh
+    shipped_.emplace(follower, 0);
   }
   // Followers that left the replica set stop counting toward quorum.
   for (auto it = acked_.begin(); it != acked_.end();) {
     const bool still_replica =
         std::find(followers.begin(), followers.end(), it->first) !=
         followers.end();
-    it = still_replica ? std::next(it) : acked_.erase(it);
+    if (still_replica) {
+      ++it;
+    } else {
+      shipped_.erase(it->first);
+      it = acked_.erase(it);
+    }
   }
   RecomputeCommitted();
   return true;
@@ -33,10 +44,16 @@ bool ReplicatedPartition::BecomeLeader(uint64_t epoch,
 
 bool ReplicatedPartition::BecomeFollower(uint64_t epoch, uint32_t leader) {
   if (epoch < epoch_) return false;
+  // A new epoch (or a demotion) may have installed a leader whose log
+  // diverges from ours above the committed point; the proven-equal prefix
+  // must be re-established from scratch. A same-epoch follower refresh
+  // keeps it — the leader did not change.
+  if (epoch > epoch_ || is_leader_) verified_end_ = 0;
   epoch_ = epoch;
   is_leader_ = false;
   leader_ = leader;
   acked_.clear();
+  shipped_.clear();
   return true;
 }
 
@@ -55,13 +72,30 @@ ReplicatedPartition::PendingReplication() const {
   return pending;
 }
 
+void ReplicatedPartition::MarkShipped(uint32_t follower, uint64_t epoch,
+                                      int64_t shipped_end) {
+  if (!is_leader_ || epoch != epoch_) return;  // role moved since the read
+  auto it = shipped_.find(follower);
+  if (it == shipped_.end()) return;  // left the replica set
+  it->second = std::max(it->second, std::min(shipped_end, local_end_));
+}
+
 bool ReplicatedPartition::OnAck(uint32_t follower, uint64_t epoch,
                                 int64_t acked_end) {
   if (!is_leader_ || epoch != epoch_) return false;  // stale or misrouted
   auto it = acked_.find(follower);
   if (it == acked_.end()) return false;  // not in this epoch's replica set
-  if (acked_end > it->second) {
-    it->second = std::min(acked_end, local_end_);
+  // Credit only offsets this leader shipped to this follower this epoch
+  // (Raft match-index rule). A rejoined replica with a divergent
+  // uncommitted suffix acks its own log end; counting that toward quorum
+  // would "commit" offsets where it holds different bytes. Clamping to the
+  // shipped mark forces the overlap through replicate round-trips, which
+  // the follower verifies (and truncates on mismatch) before acking.
+  auto shipped = shipped_.find(follower);
+  const int64_t ceiling = shipped == shipped_.end() ? 0 : shipped->second;
+  const int64_t credited = std::min(acked_end, ceiling);
+  if (credited > it->second) {
+    it->second = credited;
     RecomputeCommitted();
   }
   return true;
@@ -95,9 +129,10 @@ void ReplicatedPartition::RecomputeCommitted() {
   std::sort(ends.begin(), ends.end(), std::greater<int64_t>());
   const int64_t quorum_end = ends[quorum - 1];
   if (quorum_end > committed_) committed_ = quorum_end;
-  // Follower acks are clamped to the local end, so the commit point can
-  // never run ahead of the leader's own log — the property that makes
-  // "promote any quorum member" a safe failover rule.
+  // Follower credit is clamped to the shipped mark, which is itself clamped
+  // to the local end, so the commit point can never run ahead of the
+  // leader's own log — the property that makes "promote any quorum member"
+  // a safe failover rule.
   MARLIN_CHK_INVARIANT(committed_ <= local_end_,
                        "committed offset ran ahead of the leader's log");
 }

@@ -30,6 +30,21 @@ namespace storage {
 /// quorum's intersection under majority quorums — so the committed offset
 /// never regresses (Commit() enforces monotonicity as a hard invariant).
 ///
+/// Divergence safety: a deposed leader can rejoin holding an *uncommitted*
+/// suffix that differs from the new leader's log at the same offsets. Two
+/// guards keep such a replica from vouching for bytes it does not hold:
+///
+///   - Leader side, Raft match-index style: an ack is credited only up to
+///     the highest offset the leader actually shipped to that follower this
+///     epoch (MarkShipped). A rejoiner acking its own divergent end earns
+///     no quorum credit until the overlap has gone through replicate/ack
+///     round-trips.
+///   - Follower side: `verified_end` tracks the prefix proven byte-equal to
+///     the current epoch's leader. It resets on epoch change; the transport
+///     layer re-verifies the overlap record-by-record as the leader ships
+///     it, truncating the local suffix at the first mismatch, and acks only
+///     the verified prefix.
+///
 /// Not thread-safe; the owning LogReplicator serializes access.
 class ReplicatedPartition {
  public:
@@ -54,12 +69,25 @@ class ReplicatedPartition {
   /// resume shipping from: (follower, from_offset). Leader only.
   std::vector<std::pair<uint32_t, int64_t>> PendingReplication() const;
 
+  /// Records that a replicate batch covering offsets up to `shipped_end`
+  /// went out to `follower` this epoch. Acks are credited only below this
+  /// mark — call it before the frame is handed to the transport.
+  void MarkShipped(uint32_t follower, uint64_t epoch, int64_t shipped_end);
+
   /// Epoch-guarded follower ack. Returns true when the progress was
-  /// accepted (current epoch, known follower) — acked ends never regress.
+  /// accepted (current epoch, known follower) — acked ends never regress,
+  /// and credit never exceeds what MarkShipped recorded for the follower.
   bool OnAck(uint32_t follower, uint64_t epoch, int64_t acked_end);
 
   /// Follower-side guard for an incoming replicate frame.
   bool AcceptReplicate(uint32_t from, uint64_t epoch) const;
+
+  /// Follower-side: prefix of the local log proven byte-equal to the
+  /// current epoch's leader. Resets to 0 on epoch change or demotion.
+  int64_t verified_end() const { return verified_end_; }
+  void AdvanceVerified(int64_t end) {
+    if (end > verified_end_) verified_end_ = end;
+  }
 
   /// Quorum-committed offset: every record below it is on a majority of
   /// replicas. Monotone across role changes and failovers.
@@ -78,7 +106,9 @@ class ReplicatedPartition {
   uint32_t leader_ = 0;
   int64_t local_end_ = 0;
   int64_t committed_ = 0;
-  std::map<uint32_t, int64_t> acked_;  // follower -> acked log end
+  int64_t verified_end_ = 0;           // follower: prefix matching the leader
+  std::map<uint32_t, int64_t> acked_;  // follower -> credited acked end
+  std::map<uint32_t, int64_t> shipped_;  // follower -> end shipped this epoch
 };
 
 }  // namespace storage

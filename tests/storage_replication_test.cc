@@ -263,6 +263,97 @@ TEST(LogReplicationTest, LeaderFailoverKeepsCommitMonotoneAndAcceptsWrites) {
   fs::remove_all(root);
 }
 
+TEST(LogReplicationTest, HealedSplitBrainTruncatesDivergentSuffixes) {
+  chk::ScopedViolationRecorder violations;
+  const std::string root = TestDir("splitbrain");
+  InProcessHub hub;
+  ReplicaNode n1(1, {1, 2, 3}, &hub, root);
+  ReplicaNode n2(2, {1, 2, 3}, &hub, root);
+  ReplicaNode n3(3, {1, 2, 3}, &hub, root);
+  const std::vector<ReplicaNode*> nodes = {&n1, &n2, &n3};
+
+  TimeMicros now = kT0;
+  TickAll(nodes, now);
+  TickAll(nodes, now += kBeat);
+  TickAll(nodes, now += kBeat);
+  ASSERT_EQ(n1.node->membership().UpNodes(), (std::vector<NodeId>{1, 2, 3}));
+
+  constexpr int kPartition = 0;
+  ReplicaNode* leader = LeaderOf(nodes, kPartition);
+  ASSERT_NE(leader, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(leader->replicator
+                    ->Append(kPartition, 1000 + i, "k" + std::to_string(i),
+                             "v" + std::to_string(i))
+                    .ok());
+  }
+  TickAll(nodes, now += kBeat);
+  TickAll(nodes, now += kBeat);
+  ASSERT_EQ(leader->replicator->committed(kPartition), 5);
+
+  // Full three-way partition: every node ends up alone, marks its peers
+  // unreachable, and — owning every shard in its own ring — crowns itself
+  // leader of the partition.
+  hub.SetLinkUp(1, 2, false);
+  hub.SetLinkUp(1, 3, false);
+  hub.SetLinkUp(2, 3, false);
+  for (int k = 0; k < 8; ++k) TickAll(nodes, now += kBeat);
+  for (ReplicaNode* n : nodes) {
+    ASSERT_TRUE(n->replicator->is_leader(kPartition))
+        << "isolated node " << n->node->self() << " does not lead";
+    // Each isolated node appends its own (mutually divergent) suffix...
+    for (int i = 0; i < 3; ++i) {
+      auto offset = n->replicator->Append(
+          kPartition, 3000 + i, "div" + std::to_string(i),
+          "from-node" + std::to_string(n->node->self()));
+      ASSERT_TRUE(offset.ok());
+      EXPECT_EQ(*offset, 5 + i);
+    }
+  }
+  TickAll(nodes, now += kBeat);
+  for (ReplicaNode* n : nodes) {
+    // ...but with the quorum anchored to the full roster, no isolated
+    // minority can commit what the other side never saw. (Followers that
+    // never led report the stale commit point they last learned, which may
+    // trail 5; the invariant is that nobody commits into a divergent
+    // suffix.)
+    EXPECT_LE(n->replicator->committed(kPartition), 5)
+        << "node " << n->node->self() << " committed alone";
+  }
+
+  // Heal. Roles re-derive from the converged ring; the two deposed leaders
+  // hold divergent uncommitted suffixes at offsets [5, 8) that must be
+  // truncated and replaced by the new leader's version.
+  hub.SetLinkUp(1, 2, true);
+  hub.SetLinkUp(1, 3, true);
+  hub.SetLinkUp(2, 3, true);
+  for (int k = 0; k < 12; ++k) TickAll(nodes, now += kBeat);
+
+  leader = LeaderOf(nodes, kPartition);
+  ASSERT_NE(leader, nullptr) << "no leader after heal";
+  EXPECT_EQ(leader->replicator->committed(kPartition), 8);
+  auto want = leader->logs[kPartition]->Read(0, 100);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(want->size(), 8u);
+  EXPECT_EQ((*want)[5].value,
+            "from-node" + std::to_string(leader->node->self()));
+  for (ReplicaNode* n : nodes) {
+    EXPECT_EQ(n->logs[kPartition]->end_offset(), 8)
+        << "node " << n->node->self() << " did not converge";
+    auto got = n->logs[kPartition]->Read(0, 100);
+    ASSERT_TRUE(got.ok());
+    // Byte-identical logs: the divergent suffixes are gone everywhere,
+    // including below the healed leader's committed offset.
+    EXPECT_EQ(*got, *want) << "node " << n->node->self() << " diverges";
+  }
+
+  EXPECT_EQ(violations.count(), 0);
+  n3.node->Shutdown();
+  n2.node->Shutdown();
+  n1.node->Shutdown();
+  fs::remove_all(root);
+}
+
 }  // namespace
 }  // namespace cluster
 }  // namespace marlin

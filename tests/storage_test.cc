@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -320,6 +321,167 @@ TEST(PartitionLogTest, RollsSegmentsAndCompactsPrefix) {
   fs::remove_all(dir);
 }
 
+TEST(PartitionLogTest, TruncateSuffixCutsAcrossSegmentsAndResumesAppends) {
+  const std::string dir = TestDir("truncsuffix");
+  PartitionLog::Options options;
+  options.sync = PartitionLog::SyncMode::kNone;
+  options.segment_bytes = 512;  // force rolls every handful of records
+  auto log = PartitionLog::Open(dir, options);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*log)->Append(i, "key" + std::to_string(i),
+                               std::string(40, 'x'))
+                    .ok());
+  }
+  ASSERT_GT((*log)->segment_count(), 3u);
+  // Cut inside a later segment: the records above it vanish, appends resume
+  // at the cut.
+  ASSERT_TRUE((*log)->TruncateSuffix(120).ok());
+  EXPECT_EQ((*log)->end_offset(), 120);
+  auto tail = (*log)->Read(115, 100);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 5u);
+  EXPECT_EQ(tail->back().key, "key119");
+  auto offset = (*log)->Append(999, "replacement", "r");
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 120);
+  // Cut below every later segment's base: whole segments are deleted and a
+  // sealed one becomes the append target again.
+  ASSERT_TRUE((*log)->TruncateSuffix(50).ok());
+  EXPECT_EQ((*log)->end_offset(), 50);
+  offset = (*log)->Append(1000, "after-cut", "r");
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 50);
+  // Truncating below the retained range is refused; at/past the end is a
+  // no-op.
+  EXPECT_FALSE((*log)->TruncateSuffix(-1).ok());
+  EXPECT_TRUE((*log)->TruncateSuffix(51).ok());
+  EXPECT_EQ((*log)->end_offset(), 51);
+  // The truncated log recovers to exactly the retained records.
+  log->reset();
+  auto reopened = PartitionLog::Open(dir, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->end_offset(), 51);
+  auto records = (*reopened)->Read(0, 1000);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 51u);
+  EXPECT_EQ(records->back().key, "after-cut");
+  fs::remove_all(dir);
+}
+
+TEST(PartitionLogTest, TruncateWithinFreshActiveSegmentLeavesNoHole) {
+  // Regression: a segment created this process holds a positional ("wb")
+  // write handle. Truncating it and appending through the stale handle used
+  // to leave a zero-filled hole at the cut — the in-memory end advanced but
+  // the CRC scan (and recovery) stopped at the hole. The post-truncate
+  // records must be readable in the SAME process, without a reopen.
+  const std::string dir = TestDir("truncfresh");
+  PartitionLog::Options options;
+  options.sync = PartitionLog::SyncMode::kNone;
+  auto log = PartitionLog::Open(dir, options);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        (*log)->Append(i, "k" + std::to_string(i), "old" + std::to_string(i))
+            .ok());
+  }
+  ASSERT_TRUE((*log)->TruncateSuffix(5).ok());
+  for (int i = 5; i < 8; ++i) {
+    auto offset =
+        (*log)->Append(100 + i, "k" + std::to_string(i), "new" + std::to_string(i));
+    ASSERT_TRUE(offset.ok());
+    EXPECT_EQ(*offset, i);
+  }
+  auto records = (*log)->Read(0, 100);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 8u);
+  EXPECT_EQ((*records)[4].value, "old4");
+  EXPECT_EQ((*records)[5].value, "new5");
+  EXPECT_EQ((*records)[7].value, "new7");
+  // And recovery sees the same stream.
+  log->reset();
+  auto reopened = PartitionLog::Open(dir, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->end_offset(), 8);
+  auto recovered = (*reopened)->Read(0, 100);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->size(), 8u);
+  EXPECT_EQ((*recovered)[5].value, "new5");
+  fs::remove_all(dir);
+}
+
+TEST(PartitionLogTest, MidLogCorruptionFailsClosedOrQuarantinesExplicitly) {
+  const std::string dir = TestDir("midlogcorrupt");
+  PartitionLog::Options options;
+  options.sync = PartitionLog::SyncMode::kNone;
+  options.segment_bytes = 512;
+  {
+    auto log = PartitionLog::Open(dir, options);
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*log)->Append(i, "key" + std::to_string(i),
+                                 std::string(40, 'x'))
+                      .ok());
+    }
+    ASSERT_GT((*log)->segment_count(), 3u);
+  }
+  // Flip one byte in the middle of a *sealed* (non-final) segment.
+  std::vector<std::string> segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seg") {
+      segments.push_back(entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GT(segments.size(), 3u);
+  const std::string victim = segments[1];
+  {
+    std::FILE* f = std::fopen(victim.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long mid = static_cast<long>(fs::file_size(victim) / 2);
+    ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+    const int byte = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+    std::fputc(byte ^ 0x01, f);
+    std::fclose(f);
+  }
+  // Default: recovery refuses the gapped log with actionable advice rather
+  // than bricking silently or dropping data implicitly.
+  auto failed = PartitionLog::Open(dir, options);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("offset gap"), std::string::npos);
+  EXPECT_NE(failed.status().message().find("quarantine_corrupt_suffix"),
+            std::string::npos);
+  // Opting in: the unreadable suffix is renamed aside, the prefix recovers,
+  // and the log accepts appends again.
+  options.quarantine_corrupt_suffix = true;
+  auto recovered = PartitionLog::Open(dir, options);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_GE((*recovered)->quarantined_segments(), 2u);
+  const int64_t end = (*recovered)->end_offset();
+  EXPECT_GT(end, 0);
+  EXPECT_LT(end, 200);
+  auto records = (*recovered)->Read(0, 1000);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(static_cast<int64_t>(records->size()), end);
+  auto offset = (*recovered)->Append(7, "resumed", "r");
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, end);
+  size_t quarantined_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".quarantined") ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, (*recovered)->quarantined_segments());
+  // A second recovery (quarantine flag off again) is clean: the quarantined
+  // files are ignored and the retained range round-trips.
+  recovered->reset();
+  options.quarantine_corrupt_suffix = false;
+  auto reopened = PartitionLog::Open(dir, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->end_offset(), end + 1);
+  fs::remove_all(dir);
+}
+
 TEST(PartitionLogTest, FsyncLatencyHistogramRecordsUnderAlwaysSync) {
   const std::string dir = TestDir("fsyncmetrics");
   obs::MetricsRegistry registry;
@@ -564,12 +726,57 @@ TEST(DurableKvStoreTest, TornWalTailRecoversThePrefix) {
   fs::remove_all(dir);
 }
 
+TEST(DurableKvStoreTest, ConcurrentWritersToOneKeyRecoverTheObservedValue) {
+  // Journal and apply are atomic per key: whatever value readers observed
+  // last before shutdown is the value recovery replays — the WAL can never
+  // hold a different interleaving than the store did.
+  const std::string dir = TestDir("kvconcurrent");
+  DurableKvStore::Options options;
+  options.wal.sync = PartitionLog::SyncMode::kNone;
+  std::string observed;
+  {
+    auto kv = DurableKvStore::Open(dir, options);
+    ASSERT_TRUE(kv.ok());
+    constexpr int kThreads = 4;
+    constexpr int kWrites = 250;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&kv, t] {
+        for (int i = 0; i < kWrites; ++i) {
+          EXPECT_TRUE(
+              (*kv)->Set("hot", std::to_string(t) + ":" + std::to_string(i))
+                  .ok());
+          EXPECT_TRUE((*kv)
+                          ->Set("t" + std::to_string(t),
+                                std::to_string(i))
+                          .ok());
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+    auto value = (*kv)->store().Get("hot");
+    ASSERT_TRUE(value.ok());
+    observed = *value;
+  }
+  auto kv = DurableKvStore::Open(dir, options);
+  ASSERT_TRUE(kv.ok());
+  auto recovered = (*kv)->store().Get("hot");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, observed);
+  auto solo = (*kv)->store().Get("t0");
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(*solo, "249");
+  fs::remove_all(dir);
+}
+
 // -- ReplicatedPartition state machine ------------------------------------
 
 TEST(ReplicatedPartitionTest, QuorumCommitArithmetic) {
   ReplicatedPartition partition(0);
   ASSERT_TRUE(partition.BecomeLeader(1, {2, 3}));
   partition.SetLocalEnd(10);
+  partition.MarkShipped(2, 1, 10);
+  partition.MarkShipped(3, 1, 10);
   EXPECT_EQ(partition.committed(), 0);  // no acks: quorum of 3 is 2
   EXPECT_EQ(partition.ReplicationLag(), 10);
   EXPECT_TRUE(partition.OnAck(2, 1, 4));
@@ -579,17 +786,47 @@ TEST(ReplicatedPartitionTest, QuorumCommitArithmetic) {
   EXPECT_TRUE(partition.OnAck(2, 1, 10));
   EXPECT_EQ(partition.committed(), 10);
   EXPECT_EQ(partition.ReplicationLag(), 3);  // slowest (3) at 7
-  // Acks never regress and are clamped to the local end.
+  // Acks never regress and are clamped to the shipped end.
   EXPECT_TRUE(partition.OnAck(3, 1, 2));
   EXPECT_EQ(partition.committed(), 10);
   EXPECT_TRUE(partition.OnAck(3, 1, 99));
   EXPECT_EQ(partition.ReplicationLag(), 0);
 }
 
+TEST(ReplicatedPartitionTest, AckIsCreditedOnlyUpToTheShippedEnd) {
+  // A rejoined replica may hold a divergent uncommitted suffix and ack its
+  // own log end; without the shipped ceiling that ack would "commit"
+  // offsets where it stores different bytes.
+  ReplicatedPartition partition(0);
+  ASSERT_TRUE(partition.BecomeLeader(7, {2}));
+  partition.SetLocalEnd(10);
+  // Nothing shipped yet: the ack is accepted but earns zero credit.
+  EXPECT_TRUE(partition.OnAck(2, 7, 10));
+  EXPECT_EQ(partition.committed(), 0);
+  // Credit follows replicate round-trips, never the follower's claim.
+  partition.MarkShipped(2, 7, 4);
+  EXPECT_TRUE(partition.OnAck(2, 7, 10));
+  EXPECT_EQ(partition.committed(), 4);
+  partition.MarkShipped(2, 7, 10);
+  EXPECT_TRUE(partition.OnAck(2, 7, 10));
+  EXPECT_EQ(partition.committed(), 10);
+  // Shipped marks are epoch-scoped and clamped to the leader's own log.
+  partition.MarkShipped(2, 6, 99);
+  partition.MarkShipped(2, 7, 99);
+  EXPECT_TRUE(partition.OnAck(2, 7, 99));
+  EXPECT_EQ(partition.committed(), 10);
+  // A new epoch resets shipped progress: the old credit is inert.
+  ASSERT_TRUE(partition.BecomeLeader(8, {2}));
+  partition.SetLocalEnd(12);
+  EXPECT_TRUE(partition.OnAck(2, 8, 12));
+  EXPECT_EQ(partition.committed(), 10);  // monotone carry, no new credit
+}
+
 TEST(ReplicatedPartitionTest, EpochGuardsRejectStaleActors) {
   ReplicatedPartition partition(3);
   ASSERT_TRUE(partition.BecomeLeader(5, {2}));
   partition.SetLocalEnd(6);
+  partition.MarkShipped(2, 5, 6);
   EXPECT_FALSE(partition.BecomeLeader(4, {2, 3}));  // stale election
   EXPECT_FALSE(partition.OnAck(2, 4, 6));           // stale ack
   EXPECT_EQ(partition.committed(), 0);
@@ -610,6 +847,7 @@ TEST(ReplicatedPartitionTest, FailoverKeepsCommitMonotone) {
   ReplicatedPartition a(0);
   ASSERT_TRUE(a.BecomeLeader(1, {2}));
   a.SetLocalEnd(8);
+  a.MarkShipped(2, 1, 8);
   EXPECT_TRUE(a.OnAck(2, 1, 8));
   EXPECT_EQ(a.committed(), 8);
   // A loses leadership, then is re-elected at a higher epoch with a fresh
@@ -620,6 +858,7 @@ TEST(ReplicatedPartitionTest, FailoverKeepsCommitMonotone) {
   a.SetLocalEnd(8);
   EXPECT_EQ(a.committed(), 8);
   a.SetLocalEnd(12);
+  a.MarkShipped(3, 3, 12);
   EXPECT_TRUE(a.OnAck(3, 3, 12));
   EXPECT_EQ(a.committed(), 12);
 }
