@@ -46,12 +46,10 @@ SweepRow RunOnce(const std::vector<AisPosition>& messages, int cell_resolution,
   config.collision_actor_resolution = collision_resolution;
   MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(), config);
   if (!pipeline.Start().ok()) return row;
-  Stopwatch watch;
-  for (const AisPosition& report : messages) {
-    (void)pipeline.Ingest(report);
-  }
-  pipeline.AwaitQuiescence();
-  row.wall_sec = watch.ElapsedMillis() / 1000.0;
+  row.wall_sec = bench::ReplayMessages(
+      messages,
+      [&](const AisPosition& report) { (void)pipeline.Ingest(report); },
+      [&] { pipeline.AwaitQuiescence(); });
   row.throughput_msg_s =
       static_cast<double>(messages.size()) / std::max(1e-9, row.wall_sec);
   const PipelineStats stats = pipeline.Stats();

@@ -51,17 +51,16 @@ SweepResult RunSweep(const std::map<Mmsi, std::vector<AisPosition>>& tracks,
   std::vector<SvrfSample> train(all.begin(), all.begin() + static_cast<long>(split));
   std::vector<SvrfSample> test(all.begin() + static_cast<long>(split), all.end());
 
+  bench::SvrfTrainSpec spec;
+  spec.hidden_dim = 16;
+  spec.epochs = epochs;
   SvrfModel::Config config;
-  config.hidden_dim = 16;
-  config.dense_dim = 16;
+  config.hidden_dim = spec.hidden_dim;
+  config.dense_dim = spec.hidden_dim;
   config.use_velocity_features = velocity_features;
   SvrfModel model(config);
-  Trainer::Options options;
-  options.epochs = epochs;
-  options.batch_size = 64;
-  options.learning_rate = 3e-3;
   Stopwatch watch;
-  model.Train(train, {}, options);
+  bench::TrainSvrf(&model, train, {}, spec);
   result.train_sec = watch.ElapsedMillis() / 1000.0;
   result.mean_ade_m = EvaluateForecaster(model, test).mean_ade_m;
   return result;

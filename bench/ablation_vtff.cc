@@ -87,18 +87,12 @@ int Run() {
   const TimeMicros t0 = fleet_config.start_time;
 
   // Train the S-VRF on an independent stream.
-  SvrfModel::Config model_config;
-  model_config.hidden_dim = 16;
-  model_config.dense_dim = 16;
-  SvrfModel svrf(model_config);
-  {
-    bench::SvrfDataset data = bench::BuildSvrfDataset(world, 80, 8.0, 4, 777);
-    Trainer::Options options;
-    options.epochs = 10;
-    options.batch_size = 64;
-    options.learning_rate = 3e-3;
-    svrf.Train(data.train, {}, options);
-  }
+  bench::SvrfTrainSpec train_spec;
+  train_spec.hidden_dim = 16;
+  train_spec.epochs = 10;
+  auto svrf_model = bench::TrainCompactSvrf(
+      bench::BuildSvrfDataset(world, 80, 8.0, 4, 777), train_spec);
+  SvrfModel& svrf = *svrf_model;
   LinearKinematicModel linear;
 
   double mae_direct[kSvrfOutputSteps] = {};

@@ -4,14 +4,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ais/preprocess.h"
 #include "ais/types.h"
+#include "sim/des/components.h"
+#include "sim/des/scheduler.h"
 #include "sim/fleet.h"
 #include "geo/world.h"
+#include "util/clock.h"
 #include "util/rng.h"
+#include "vrf/svrf_model.h"
 
 namespace marlin {
 namespace bench {
@@ -60,6 +66,134 @@ inline SvrfDataset BuildSvrfDataset(const World& world, int vessels,
   dataset.test.assign(all.begin() + static_cast<long>(three_quarters),
                       all.end());
   return dataset;
+}
+
+/// Shared S-VRF training warmup for the pipeline benches (fig6, the
+/// ablations): a compact BiLSTM trained briefly with the common optimizer
+/// settings. One copy of the hidden/epochs/lr block instead of one per
+/// bench.
+struct SvrfTrainSpec {
+  int hidden_dim = 12;
+  int epochs = 6;
+  int batch_size = 64;
+  double learning_rate = 3e-3;
+  double l1_lambda = 0.0;
+};
+
+inline double TrainSvrf(SvrfModel* model,
+                        const std::vector<SvrfSample>& train,
+                        const std::vector<SvrfSample>& validation,
+                        const SvrfTrainSpec& spec) {
+  Trainer::Options options;
+  options.epochs = spec.epochs;
+  options.batch_size = spec.batch_size;
+  options.learning_rate = spec.learning_rate;
+  options.l1_lambda = spec.l1_lambda;
+  return model->Train(train, validation, options);
+}
+
+inline std::shared_ptr<SvrfModel> TrainCompactSvrf(const SvrfDataset& data,
+                                                   const SvrfTrainSpec& spec) {
+  SvrfModel::Config config;
+  config.hidden_dim = spec.hidden_dim;
+  config.dense_dim = spec.hidden_dim;
+  auto model = std::make_shared<SvrfModel>(config);
+  TrainSvrf(model.get(), data.train, {}, spec);
+  return model;
+}
+
+/// The shared bench run loop (DESIGN.md §13). Every pipeline bench used to
+/// carry its own copy of
+///
+///   for (step) { fleet.Step(&batch); ingest each; AwaitQuiescence(); }
+///
+/// This helper is that loop, in two interchangeable drivers:
+///
+///  - wall mode (`virtual_time = false`): the literal legacy loop — the
+///    driver thread calls Step() directly;
+///  - virtual mode (`virtual_time = true`): a des::EventScheduler owns the
+///    timeline and a FleetStepper posts each step as an event. The fleet's
+///    RNG consumption is identical, so both drivers produce the exact same
+///    message stream — `fig6 --verify` asserts that — but the virtual
+///    driver composes with every other event source (chaos beats, weather
+///    sampling, skew retunes) on one deterministic, trace-hashed timeline.
+///
+/// `ingest` is called per report, `quiesce` after each step's batch (the
+/// backlog bound) and once more at the end. Templated so benches that never
+/// touch the pipeline don't link it.
+struct ReplayOptions {
+  double duration_sec = 0.0;
+  double step_sec = 20.0;
+  bool virtual_time = false;
+  /// Scheduler seed for virtual runs (event order + trace hash).
+  uint64_t seed = 42;
+};
+
+struct ReplayResult {
+  int64_t steps = 0;
+  int64_t messages = 0;
+  double wall_sec = 0.0;
+  /// Virtual runs only: the scheduler's event-order FNV trace hash and
+  /// dispatch count (0 in wall mode).
+  uint64_t trace_hash = 0;
+  int64_t events_dispatched = 0;
+};
+
+template <typename IngestFn, typename QuiesceFn>
+ReplayResult ReplayFleet(FleetSimulator* fleet, const ReplayOptions& options,
+                         IngestFn&& ingest, QuiesceFn&& quiesce) {
+  ReplayResult result;
+  Stopwatch wall;
+  if (options.virtual_time) {
+    des::EventSchedulerConfig scheduler_config;
+    scheduler_config.seed = options.seed;
+    scheduler_config.start_time = fleet->now();
+    des::EventScheduler scheduler(scheduler_config);
+    const TimeMicros end =
+        fleet->now() +
+        static_cast<TimeMicros>(options.duration_sec * kMicrosPerSecond);
+    des::FleetStepper stepper(
+        fleet, options.step_sec, end, &scheduler,
+        [&](std::vector<AisPosition>* batch, TimeMicros /*now*/) {
+          for (const AisPosition& report : *batch) {
+            ingest(report);
+            ++result.messages;
+          }
+          quiesce();
+        });
+    scheduler.RunUntil(end);
+    result.steps = stepper.steps();
+    result.trace_hash = scheduler.TraceHash();
+    result.events_dispatched = scheduler.dispatched();
+  } else {
+    const int steps =
+        static_cast<int>(options.duration_sec / options.step_sec);
+    std::vector<AisPosition> batch;
+    for (int step = 0; step < steps; ++step) {
+      batch.clear();
+      fleet->Step(&batch);
+      for (const AisPosition& report : batch) {
+        ingest(report);
+        ++result.messages;
+      }
+      quiesce();
+    }
+    result.steps = steps;
+  }
+  quiesce();
+  result.wall_sec = wall.ElapsedMillis() / 1000.0;
+  return result;
+}
+
+/// Replays a pre-generated message vector through `ingest` + one final
+/// `quiesce` (the ablation sweeps' inner loop). Returns wall seconds.
+template <typename IngestFn, typename QuiesceFn>
+double ReplayMessages(const std::vector<AisPosition>& messages,
+                      IngestFn&& ingest, QuiesceFn&& quiesce) {
+  Stopwatch wall;
+  for (const AisPosition& report : messages) ingest(report);
+  quiesce();
+  return wall.ElapsedMillis() / 1000.0;
 }
 
 }  // namespace bench

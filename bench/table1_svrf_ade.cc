@@ -56,18 +56,17 @@ int Run() {
     return 1;
   }
 
+  bench::SvrfTrainSpec spec;
+  spec.hidden_dim = hidden;
+  spec.epochs = epochs;
+  spec.l1_lambda = 1e-6;
   SvrfModel::Config model_config;
-  model_config.hidden_dim = hidden;
-  model_config.dense_dim = hidden;
+  model_config.hidden_dim = spec.hidden_dim;
+  model_config.dense_dim = spec.hidden_dim;
   SvrfModel svrf(model_config);
-  Trainer::Options train_options;
-  train_options.epochs = epochs;
-  train_options.batch_size = 64;
-  train_options.learning_rate = 3e-3;
-  train_options.l1_lambda = 1e-6;
   Stopwatch train_watch;
   const double loss =
-      svrf.Train(dataset.train, dataset.validation, train_options);
+      bench::TrainSvrf(&svrf, dataset.train, dataset.validation, spec);
   std::printf("training: %d epochs, final loss %.5f (%.1f s)\n", epochs, loss,
               train_watch.ElapsedMillis() / 1000.0);
 

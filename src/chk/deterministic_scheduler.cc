@@ -42,18 +42,19 @@ ScheduleTrace DeterministicScheduler::Trace() const {
 
 uint64_t DeterministicScheduler::TraceHash() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Fingerprint fp;
-  for (const SchedDecision& d : trace_) {
-    fp.MixU64(d.chosen);
-    fp.MixU64(d.ready);
-    fp.MixBytes(d.label);
-  }
-  return fp.Value();
+  return trace_fp_.Value();
 }
 
 size_t DeterministicScheduler::StepCount() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return trace_.size();
+  return steps_;
+}
+
+void DeterministicScheduler::DisableTraceRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_trace_ = false;
+  trace_.clear();
+  trace_.shrink_to_fit();
 }
 
 void DeterministicScheduler::DrainLoop() {
@@ -82,7 +83,13 @@ void DeterministicScheduler::DrainLoop() {
       } else {
         pick = static_cast<uint32_t>(rng_.UniformInt(ready));
       }
-      trace_.push_back(SchedDecision{pick, ready, ready_[pick].label});
+      trace_fp_.MixU64(pick);
+      trace_fp_.MixU64(ready);
+      trace_fp_.MixBytes(ready_[pick].label);
+      ++steps_;
+      if (record_trace_) {
+        trace_.push_back(SchedDecision{pick, ready, ready_[pick].label});
+      }
       task = std::move(ready_[pick]);
       ready_.erase(ready_.begin() + pick);
     }

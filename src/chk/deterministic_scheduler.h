@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "actor/dispatcher.h"
+#include "chk/fingerprint.h"
 #include "util/rng.h"
 
 namespace marlin {
@@ -64,14 +65,24 @@ class DeterministicScheduler : public Dispatcher {
   uint64_t seed() const { return seed_; }
 
   /// The schedule executed so far (copy; safe to keep after destruction).
+  /// Empty when recording is off.
   ScheduleTrace Trace() const;
 
   /// Order-sensitive FNV-1a fingerprint of the schedule — two runs made
-  /// the same decisions iff their hashes match.
+  /// the same decisions iff their hashes match. Maintained incrementally,
+  /// so it stays available with recording off.
   uint64_t TraceHash() const;
 
   /// Decisions taken so far.
   size_t StepCount() const;
+
+  /// Stops storing per-decision SchedDecision entries (each carries the
+  /// chosen task's label string). Long runs — millions of mailbox drains,
+  /// e.g. `fig6 --verify`'s full-pipeline replays — only need the
+  /// fingerprint; the stored schedule is for replay debugging at test
+  /// scale. Call before the first Quiesce(); already-recorded decisions
+  /// are dropped.
+  void DisableTraceRecording();
 
  private:
   // Runs queued tasks on the calling thread until none remain. The
@@ -84,6 +95,9 @@ class DeterministicScheduler : public Dispatcher {
   mutable std::mutex mu_;
   std::vector<DispatchTask> ready_;
   ScheduleTrace trace_;
+  Fingerprint trace_fp_;
+  size_t steps_ = 0;
+  bool record_trace_ = true;
   ScheduleTrace replay_;
   size_t replay_pos_ = 0;
   bool shutdown_ = false;

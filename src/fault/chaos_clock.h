@@ -1,32 +1,45 @@
 #ifndef MARLIN_FAULT_CHAOS_CLOCK_H_
 #define MARLIN_FAULT_CHAOS_CLOCK_H_
 
+#include <atomic>
+
 #include "util/clock.h"
 
 namespace marlin {
 namespace fault {
 
-/// A clock that reports its base clock's time plus a fixed skew. Each
-/// cluster node in a chaos run reads protocol time through its own
-/// ChaosClock (skew drawn via `FaultInjector::ClockSkewFor`), so heartbeat
+/// A clock that reports its base clock's time plus a skew. Each cluster
+/// node in a chaos run reads protocol time through its own ChaosClock
+/// (initial skew drawn via `FaultInjector::ClockSkewFor`), so heartbeat
 /// timestamps and failure-detector thresholds experience the bounded
 /// inter-node disagreement real deployments have.
 ///
-/// Skew is fixed, not drifting: membership evidence ordering only cares
-/// about offsets between sender clocks, and a constant offset already
-/// exercises the stale-evidence / reordering paths without making test
-/// assertions time-dependent.
+/// Skew is piecewise-constant, not drifting: it only changes when a
+/// virtual-time skew event (sim/des) calls SetSkew — the chaos harness
+/// posts those during the fault window and freezes skew for the
+/// heal/convergence phases, so membership-evidence ordering is exercised
+/// without making convergence assertions time-dependent. SetSkew/Now are
+/// atomic: the event loop retunes skew while node threads read protocol
+/// time.
 class ChaosClock : public Clock {
  public:
   ChaosClock(Clock* base, TimeMicros skew) : base_(base), skew_(skew) {}
 
-  TimeMicros Now() const override { return base_->Now() + skew_; }
+  TimeMicros Now() const override {
+    return base_->Now() + skew_.load(std::memory_order_acquire);
+  }
 
-  TimeMicros skew() const { return skew_; }
+  TimeMicros skew() const { return skew_.load(std::memory_order_acquire); }
+
+  /// Retunes the skew (virtual-time clock-skew events). The new value
+  /// applies to the next Now() read.
+  void SetSkew(TimeMicros skew) {
+    skew_.store(skew, std::memory_order_release);
+  }
 
  private:
   Clock* base_;  // not owned
-  TimeMicros skew_;
+  std::atomic<TimeMicros> skew_;
 };
 
 }  // namespace fault

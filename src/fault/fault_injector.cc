@@ -88,6 +88,23 @@ TimeMicros FaultInjector::ClockSkewFor(uint32_t node) const {
       rng.UniformInt(-plan_.max_clock_skew, plan_.max_clock_skew));
 }
 
+TimeMicros FaultInjector::ClockSkewAt(uint32_t node, uint32_t step) const {
+  if (step == 0) return ClockSkewFor(node);
+  if (plan_.max_clock_skew <= 0) return 0;
+  // Step draws come from the per-node boot stream advanced `step` times, so
+  // the schedule is a pure function of (seed, node, step): retune events
+  // may fire in any global order across nodes without perturbing each
+  // other.
+  Rng rng(plan_.seed ^ chk::Fnv1a("clock-skew") ^
+          (0x9E3779B97F4A7C15ULL * (node + 1)));
+  TimeMicros skew = 0;
+  for (uint32_t i = 0; i <= step; ++i) {
+    skew = static_cast<TimeMicros>(
+        rng.UniformInt(-plan_.max_clock_skew, plan_.max_clock_skew));
+  }
+  return skew;
+}
+
 uint64_t FaultInjector::TraceHash() const {
   std::lock_guard<std::mutex> lock(mu_);
   chk::Fingerprint fp;

@@ -61,6 +61,14 @@ class FaultInjector {
   /// not part of the decision trace.
   TimeMicros ClockSkewFor(uint32_t node) const;
 
+  /// Per-node skew *schedule* for virtual-time chaos: the skew a node's
+  /// ChaosClock is retuned to by its `step`-th skew event (step 0 ==
+  /// ClockSkewFor — the boot value). Also a pure function of
+  /// (seed, node, step) and also outside the decision trace, so the event
+  /// loop can post retunes at any virtual cadence without reshuffling the
+  /// frame-fault streams.
+  TimeMicros ClockSkewAt(uint32_t node, uint32_t step) const;
+
   /// FNV-1a fingerprint of the decision trace (point, kind, outcome).
   uint64_t TraceHash() const;
   size_t DecisionCount() const;

@@ -1,0 +1,73 @@
+#include "sim/des/components.h"
+
+namespace marlin {
+namespace des {
+
+FleetStepper::FleetStepper(FleetSimulator* fleet, double step_sec,
+                           TimeMicros end_time, EventScheduler* scheduler,
+                           BatchSink sink)
+    : fleet_(fleet),
+      step_micros_(static_cast<TimeMicros>(step_sec * kMicrosPerSecond)),
+      end_time_(end_time),
+      sink_(std::move(sink)) {
+  handler_id_ = scheduler->RegisterHandler("fleet-stepper", this);
+  scheduler->PostAt(fleet_->now() + step_micros_, handler_id_);
+}
+
+void FleetStepper::OnEvent(EventScheduler* scheduler, const Event& event) {
+  batch_.clear();
+  fleet_->Step(&batch_);
+  ++steps_;
+  sink_(&batch_, event.at);
+  const TimeMicros next = event.at + step_micros_;
+  if (end_time_ == 0 || next <= end_time_) {
+    scheduler->PostAt(next, handler_id_);
+  }
+}
+
+WeatherSampler::WeatherSampler(const WeatherField* field,
+                               std::vector<CellId> cells, TimeMicros period,
+                               TimeMicros end_time, EventScheduler* scheduler,
+                               SampleSink sink)
+    : field_(field),
+      cells_(std::move(cells)),
+      period_(period),
+      end_time_(end_time),
+      sink_(std::move(sink)) {
+  handler_id_ = scheduler->RegisterHandler("weather-sampler", this);
+  scheduler->PostIn(period_, handler_id_);
+}
+
+void WeatherSampler::OnEvent(EventScheduler* scheduler, const Event& event) {
+  for (CellId cell : cells_) {
+    sink_(cell, field_->AtCell(cell, event.at), event.at);
+    ++samples_;
+  }
+  const TimeMicros next = event.at + period_;
+  if (end_time_ == 0 || next <= end_time_) {
+    scheduler->PostAt(next, handler_id_);
+  }
+}
+
+ProximityReplay::ProximityReplay(const ProximityDataset& dataset,
+                                 EventScheduler* scheduler, ReportSink sink)
+    : sink_(std::move(sink)) {
+  handler_id_ = scheduler->RegisterHandler("proximity-replay", this);
+  for (const ProximityScenario& scenario : dataset.scenarios) {
+    for (const AisPosition& report : scenario.track_a) reports_.push_back(report);
+    for (const AisPosition& report : scenario.track_b) reports_.push_back(report);
+  }
+  for (size_t i = 0; i < reports_.size(); ++i) {
+    scheduler->PostAt(reports_[i].timestamp, handler_id_,
+                      static_cast<uint64_t>(i));
+  }
+}
+
+void ProximityReplay::OnEvent(EventScheduler* /*scheduler*/,
+                              const Event& event) {
+  sink_(reports_[static_cast<size_t>(event.arg)]);
+  ++delivered_;
+}
+
+}  // namespace des
+}  // namespace marlin

@@ -1,0 +1,106 @@
+#ifndef MARLIN_SIM_DES_COMPONENTS_H_
+#define MARLIN_SIM_DES_COMPONENTS_H_
+
+#include <functional>
+#include <vector>
+
+#include "ais/types.h"
+#include "hexgrid/hexgrid.h"
+#include "sim/des/scheduler.h"
+#include "sim/fleet.h"
+#include "sim/proximity_dataset.h"
+#include "sim/weather.h"
+#include "util/clock.h"
+
+namespace marlin {
+namespace des {
+
+/// Drives an existing FleetSimulator from the event queue: each event calls
+/// one `Step()` and re-posts the next one. The fleet's RNG consumption is
+/// untouched, so a virtual-time run produces the byte-identical message
+/// stream of the legacy `for (step) fleet.Step()` loop — the property the
+/// `fig6 --virtual` acceptance check verifies. Inverted control is the
+/// point: the fleet no longer owns the run loop, so brokers, chaos beats,
+/// and weather sampling interleave with it on one global timeline.
+class FleetStepper : public EventHandler {
+ public:
+  /// Called after each step with the step's messages (time-ordered within
+  /// the step) and the new stream time.
+  using BatchSink =
+      std::function<void(std::vector<AisPosition>* batch, TimeMicros now)>;
+
+  /// Posts the first step at the fleet's `now + step_sec`; steps re-post
+  /// themselves until `end_time` (0 = keep stepping as long as the
+  /// scheduler runs). `fleet` must outlive the stepper.
+  FleetStepper(FleetSimulator* fleet, double step_sec, TimeMicros end_time,
+               EventScheduler* scheduler, BatchSink sink);
+
+  void OnEvent(EventScheduler* scheduler, const Event& event) override;
+
+  int64_t steps() const { return steps_; }
+
+ private:
+  FleetSimulator* fleet_;
+  const TimeMicros step_micros_;
+  const TimeMicros end_time_;
+  BatchSink sink_;
+  uint32_t handler_id_ = 0;
+  int64_t steps_ = 0;
+  std::vector<AisPosition> batch_;
+};
+
+/// Periodic weather sampling as posted events: every `period` of virtual
+/// time, samples the WeatherField at a fixed set of grid cells and delivers
+/// the observations. The DES port of `sim/weather` — the field itself stays
+/// a pure function of (position, time); what becomes an event is *when* the
+/// enrichment layer observes it.
+class WeatherSampler : public EventHandler {
+ public:
+  using SampleSink = std::function<void(CellId cell, const WeatherSample&,
+                                        TimeMicros now)>;
+
+  WeatherSampler(const WeatherField* field, std::vector<CellId> cells,
+                 TimeMicros period, TimeMicros end_time,
+                 EventScheduler* scheduler, SampleSink sink);
+
+  void OnEvent(EventScheduler* scheduler, const Event& event) override;
+
+  int64_t samples() const { return samples_; }
+
+ private:
+  const WeatherField* field_;
+  const std::vector<CellId> cells_;
+  const TimeMicros period_;
+  const TimeMicros end_time_;
+  SampleSink sink_;
+  uint32_t handler_id_ = 0;
+  int64_t samples_ = 0;
+};
+
+/// Replays a proximity dataset's AIS reports as posted events, one event
+/// per report at its own timestamp. The queue performs the global
+/// time-ordered merge across all scenario tracks that the batch generator
+/// leaves to its consumers — the DES port of `sim/proximity_dataset`.
+class ProximityReplay : public EventHandler {
+ public:
+  using ReportSink = std::function<void(const AisPosition&)>;
+
+  ProximityReplay(const ProximityDataset& dataset, EventScheduler* scheduler,
+                  ReportSink sink);
+
+  void OnEvent(EventScheduler* scheduler, const Event& event) override;
+
+  int64_t delivered() const { return delivered_; }
+  int64_t total() const { return static_cast<int64_t>(reports_.size()); }
+
+ private:
+  std::vector<AisPosition> reports_;
+  ReportSink sink_;
+  uint32_t handler_id_ = 0;
+  int64_t delivered_ = 0;
+};
+
+}  // namespace des
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_DES_COMPONENTS_H_

@@ -51,21 +51,71 @@ class SimulatedClock : public Clock {
   std::atomic<TimeMicros> now_;
 };
 
-/// Monotonic nanosecond stopwatch for latency measurements.
+/// Monotonic nanosecond source — the seam that lets latency instrumentation
+/// (Stopwatch, and through it LatencyRecorder feeds) run on either host
+/// steady time or virtual stream time. Null means "host steady clock".
+class NanoClock {
+ public:
+  virtual ~NanoClock() = default;
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// Virtual-time clock owned by a discrete-event loop (sim/des). Reads are
+/// lock-free; AdvanceTo never moves time backwards even when racing
+/// advancers, so components observing it mid-dispatch always see a
+/// monotonic timeline. Implements both the micros Clock seam (pipeline,
+/// broker, kvstore TTLs) and the nanos seam (Stopwatch injection), so one
+/// instance can be the sole time source of a virtual-time run.
+class VirtualClock : public Clock, public NanoClock {
+ public:
+  explicit VirtualClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros Now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  int64_t NowNanos() const override { return Now() * 1000; }
+
+  /// Advances to `t` if `t` is ahead of the current reading; a stale or
+  /// concurrent advance to an earlier time is a no-op.
+  void AdvanceTo(TimeMicros t) {
+    TimeMicros current = now_.load(std::memory_order_relaxed);
+    while (t > current &&
+           !now_.compare_exchange_weak(current, t,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<TimeMicros> now_;
+};
+
+/// Monotonic nanosecond stopwatch for latency measurements. By default it
+/// reads the host steady clock; constructed with a NanoClock it measures
+/// that source instead (virtual-time runs inject the event loop's
+/// VirtualClock so latency stats are stream-time, not host-time).
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  Stopwatch() : start_nanos_(SteadyNanos()) {}
+  explicit Stopwatch(const NanoClock* source)
+      : source_(source), start_nanos_(NowNanos()) {}
+  void Restart() { start_nanos_ = NowNanos(); }
   /// Elapsed time since construction/restart, in nanoseconds.
-  int64_t ElapsedNanos() const {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
-  }
+  int64_t ElapsedNanos() const { return NowNanos() - start_nanos_; }
   double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  static int64_t SteadyNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  int64_t NowNanos() const {
+    return source_ != nullptr ? source_->NowNanos() : SteadyNanos();
+  }
+
+  const NanoClock* source_ = nullptr;
+  int64_t start_nanos_ = 0;
 };
 
 }  // namespace marlin

@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace fixture {
+
+int64_t StampMessage() {
+  // PLANTED [raw-clock]: reading the wall clock directly instead of taking a
+  // Clock* — this code can never run on the virtual timeline.
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

@@ -48,8 +48,9 @@ TEST(AnalyzeFixturesTest, BadTreeTripsEveryRule) {
   // Every shipped rule must detect its planted violation (100% detection).
   const std::set<std::string> expected = {
       "layering",       "actor-blocking",   "fault-point",
-      "message-hygiene", "metric-name",     "no-raw-thread",
-      "naked-new",      "no-plain-counter", "no-raw-socket"};
+      "message-hygiene", "metric-name",     "raw-clock",
+      "no-raw-thread",  "naked-new",        "no-plain-counter",
+      "no-raw-socket"};
   for (const std::string& rule : expected) {
     EXPECT_TRUE(counts.count(rule)) << "rule '" << rule
                                     << "' missed its planted violation";
@@ -67,6 +68,9 @@ TEST(AnalyzeFixturesTest, BadTreeTripsEveryRule) {
   EXPECT_EQ(counts.at("fault-point"), 2);      // missing point + duplicate name
   EXPECT_EQ(counts.at("message-hygiene"), 2);  // raw pointer + unique_ptr
   EXPECT_EQ(counts.at("metric-name"), 2);      // malformed name + kind clash
+  // worker.h's planted sleep_for doubles as a raw-clock hit (the two rules
+  // guard different contracts), plus the planted system_clock read.
+  EXPECT_EQ(counts.at("raw-clock"), 2);
   EXPECT_EQ(counts.at("no-raw-thread"), 1);
   EXPECT_EQ(counts.at("naked-new"), 1);
   EXPECT_EQ(counts.at("no-plain-counter"), 1);
@@ -92,6 +96,8 @@ TEST(AnalyzeFixturesTest, BadTreeFindingsAnchorAtPlantedSites) {
   EXPECT_TRUE(has("fault-point", "src/cluster/dup_points.cc"));
   EXPECT_TRUE(has("message-hygiene", "src/core/messages.h"));
   EXPECT_TRUE(has("metric-name", "src/obs/register.cc"));
+  EXPECT_TRUE(has("raw-clock", "src/stream/wall_time.cc"));
+  EXPECT_TRUE(has("raw-clock", "src/core/worker.h"));
   EXPECT_TRUE(has("no-raw-thread", "src/vrf/workers.cc"));
   EXPECT_TRUE(has("naked-new", "src/vrf/workers.cc"));
   EXPECT_TRUE(has("no-plain-counter", "tests/counter_test.cc"));
@@ -176,7 +182,7 @@ TEST(AnalyzeEngineTest, ListedRulesMatchShippedSet) {
         << "duplicate rule id " << rule->Name();
     EXPECT_FALSE(rule->Description().empty());
   }
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 10u);
 }
 
 }  // namespace

@@ -9,10 +9,11 @@
 //
 // The run is deterministic end to end: every node's ActorSystem drains on
 // a chk::DeterministicScheduler, all fault decisions come from one
-// fault::FaultInjector, and protocol time is driven explicitly — so a
-// failing seed replays bit-for-bit (same fault trace hash, same final
-// state hash). Both tests/chaos_test.cc and bench/chaos_soak.cc build on
-// this header.
+// fault::FaultInjector, and protocol time lives on a des::EventScheduler
+// virtual timeline (DESIGN.md §13) — chaos beats and per-node clock-skew
+// retunes are posted events, so a failing seed replays bit-for-bit (same
+// fault trace hash, same final state hash). Both tests/chaos_test.cc and
+// bench/chaos_soak.cc build on this header.
 
 #include <cstdint>
 #include <cstdio>
@@ -40,6 +41,7 @@
 #include "kvstore/durable_kvstore.h"
 #include "kvstore/kvstore.h"
 #include "obs/metrics.h"
+#include "sim/des/scheduler.h"
 #include "sim/fleet.h"
 #include "storage/log_storage.h"
 #include "stream/broker.h"
@@ -200,7 +202,8 @@ class ChaosCluster {
                                storage::DurableLogStorage::Options(),
                                &registry_)),
         kv_(nullptr, options.num_shards, &registry_),
-        broker_(&registry_, log_storage_.get()) {
+        broker_(&registry_, log_storage_.get()),
+        sched_(SchedulerConfig(seed)) {
     if (options_.num_nodes <= 0) {
       options_.num_nodes = 2 + static_cast<int>(seed % 3);
     }
@@ -424,6 +427,21 @@ class ChaosCluster {
     return alive;
   }
 
+  static des::EventSchedulerConfig SchedulerConfig(uint64_t seed) {
+    des::EventSchedulerConfig config;
+    config.seed = seed;
+    config.start_time = kT0;
+    return config;
+  }
+
+  /// Advances the shared virtual timeline one beat and runs one protocol
+  /// step on every live node. Outside the chaos phase no events are pending
+  /// (skews stay frozen), so RunUntil only moves the clock.
+  void AdvanceBeat() {
+    sched_.RunUntil(sched_.Now() + kBeat);
+    TickAll(sched_.Now());
+  }
+
   /// One protocol step for every live node at chaos-tick time `now`.
   void TickAll(TimeMicros now) {
     for (HarnessNode& node : nodes_) {
@@ -452,63 +470,118 @@ class ChaosCluster {
     }
   }
 
+  /// The chaos phase on the virtual timeline: beats and per-node skew
+  /// retunes are posted events on sched_. Beats self-post at kBeat cadence;
+  /// every kSkewEveryBeats beats each node's ChaosClock is retuned to the
+  /// next value of its pure-function schedule (FaultInjector::ClockSkewAt),
+  /// staggered per node so retunes land *between* beats. No skew events are
+  /// posted past the chaos phase, so heal/drain run on frozen skews and the
+  /// convergence checks see stable clocks.
+  static constexpr int kSkewEveryBeats = 4;
+
   void ChaosPhase(ChaosRunResult* result) {
-    for (int tick = 0; tick < options_.chaos_ticks; ++tick) {
-      hub_.Tick();
-      for (HarnessNode& node : nodes_) {
-        const std::string id_str = std::to_string(node.id);
-        if (!node.alive()) {
-          if (tick >= node.down_until) StartNode(node);
-          continue;
-        }
-        // Keep at least one node alive so the cluster is always degraded,
-        // never gone. Outage length must exceed the unreachable threshold
-        // plus the maximum frame delay: peers need to declare the node
-        // dead (resetting its incarnation epoch) before it returns.
-        if (AliveCount() > 1 &&
-            injector_.Chance("node.crash." + id_str, plan_.crash_rate)) {
-          StopNode(node);
-          node.down_until =
-              tick + 7 +
-              static_cast<int>(injector_.Pick(
-                  "node.crash_ticks." + id_str,
-                  static_cast<uint64_t>(plan_.max_crash_ticks) + 1));
-          ++result->crashes;
-          continue;
-        }
-      }
-      const TimeMicros now = kT0 + (tick + 1) * kBeat;
-      TickAll(now);
-      for (HarnessNode& node : nodes_) {
-        if (!node.alive()) continue;
-        // Best-effort during chaos: dropped deliveries are re-polled in
-        // the drain phase (offsets are only committed once ownership is
-        // coordinated again, so nothing is lost for good).
-        PollAndRoute(node, /*require_delivery=*/false, result);
-      }
-      for (HarnessNode& node : nodes_) {
-        if (node.alive()) node.node->system().AwaitQuiescence();
-      }
-      // Durable mode: periodic checkpoints mid-chaos, so a later crash
-      // recovers from snapshot + short WAL tail instead of a full replay
-      // (and so the crash lands between a checkpoint and its next one).
-      if (durable_kv_ != nullptr && tick % 8 == 7) {
-        Status checkpoint = durable_kv_->Checkpoint();
-        if (!checkpoint.ok()) {
-          Fail(result, "kv checkpoint: " + checkpoint.message());
-          return;
+    beat_result_ = result;
+    const TimeMicros chaos_end =
+        kT0 + static_cast<TimeMicros>(options_.chaos_ticks) * kBeat;
+    beat_handler_ = std::make_unique<des::FunctionHandler>(
+        [this](des::EventScheduler* sched, const des::Event& event) {
+          const int tick = static_cast<int>(event.arg);
+          BeatOnce(tick);
+          if (beat_result_->ok && tick + 1 < options_.chaos_ticks) {
+            sched->PostIn(kBeat, beat_id_, static_cast<uint64_t>(tick) + 1);
+          }
+        });
+    beat_id_ = sched_.RegisterHandler("chaos.beat", beat_handler_.get());
+    skew_handler_ = std::make_unique<des::FunctionHandler>(
+        [this, chaos_end](des::EventScheduler* sched,
+                          const des::Event& event) {
+          const uint32_t node_index = static_cast<uint32_t>(event.arg >> 32);
+          const uint32_t step = static_cast<uint32_t>(event.arg);
+          HarnessNode& node = nodes_[node_index];
+          // The clock outlives node restarts, so retuning a crashed node is
+          // fine — it comes back with the scheduled skew.
+          node.clock->SetSkew(injector_.ClockSkewAt(node.id, step));
+          const TimeMicros next = event.at + kSkewEveryBeats * kBeat;
+          if (next < chaos_end) {
+            sched->PostAt(next, skew_id_,
+                          (static_cast<uint64_t>(node_index) << 32) |
+                              (step + 1));
+          }
+        });
+    skew_id_ = sched_.RegisterHandler("chaos.skew", skew_handler_.get());
+
+    sched_.PostAt(kT0 + kBeat, beat_id_, 0);
+    if (plan_.max_clock_skew > 0) {
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        // 1 ms per-node stagger keeps retunes at distinct virtual times.
+        const TimeMicros first = kT0 + kSkewEveryBeats * kBeat +
+                                 static_cast<TimeMicros>(i + 1) * 1'000;
+        if (first < chaos_end) {
+          sched_.PostAt(first, skew_id_,
+                        (static_cast<uint64_t>(i) << 32) | 1);
         }
       }
-#if defined(__unix__)
-      if (tick == options_.crash_at_tick) {
-        // A real crash: no flush, no destructors. Whatever the OS has not
-        // yet been handed stays lost; recovery must absorb the torn tails
-        // this leaves in the storage dir.
-        ::kill(::getpid(), SIGKILL);
-      }
-#endif
-      now_ = now;
     }
+    sched_.RunAll();
+    sched_.RunUntil(chaos_end);
+    beat_result_ = nullptr;
+  }
+
+  /// One chaos beat (dispatched at virtual time kT0 + (tick+1)*kBeat).
+  void BeatOnce(int tick) {
+    ChaosRunResult* result = beat_result_;
+    hub_.Tick();
+    for (HarnessNode& node : nodes_) {
+      const std::string id_str = std::to_string(node.id);
+      if (!node.alive()) {
+        if (tick >= node.down_until) StartNode(node);
+        continue;
+      }
+      // Keep at least one node alive so the cluster is always degraded,
+      // never gone. Outage length must exceed the unreachable threshold
+      // plus the maximum frame delay: peers need to declare the node
+      // dead (resetting its incarnation epoch) before it returns.
+      if (AliveCount() > 1 &&
+          injector_.Chance("node.crash." + id_str, plan_.crash_rate)) {
+        StopNode(node);
+        node.down_until =
+            tick + 7 +
+            static_cast<int>(injector_.Pick(
+                "node.crash_ticks." + id_str,
+                static_cast<uint64_t>(plan_.max_crash_ticks) + 1));
+        ++result->crashes;
+        continue;
+      }
+    }
+    TickAll(sched_.Now());
+    for (HarnessNode& node : nodes_) {
+      if (!node.alive()) continue;
+      // Best-effort during chaos: dropped deliveries are re-polled in
+      // the drain phase (offsets are only committed once ownership is
+      // coordinated again, so nothing is lost for good).
+      PollAndRoute(node, /*require_delivery=*/false, result);
+    }
+    for (HarnessNode& node : nodes_) {
+      if (node.alive()) node.node->system().AwaitQuiescence();
+    }
+    // Durable mode: periodic checkpoints mid-chaos, so a later crash
+    // recovers from snapshot + short WAL tail instead of a full replay
+    // (and so the crash lands between a checkpoint and its next one).
+    if (durable_kv_ != nullptr && tick % 8 == 7) {
+      Status checkpoint = durable_kv_->Checkpoint();
+      if (!checkpoint.ok()) {
+        Fail(result, "kv checkpoint: " + checkpoint.message());
+        return;
+      }
+    }
+#if defined(__unix__)
+    if (tick == options_.crash_at_tick) {
+      // A real crash: no flush, no destructors. Whatever the OS has not
+      // yet been handed stays lost; recovery must absorb the torn tails
+      // this leaves in the storage dir.
+      ::kill(::getpid(), SIGKILL);
+    }
+#endif
   }
 
   bool Converged() const {
@@ -542,8 +615,7 @@ class ChaosCluster {
     for (int i = 0; i < options_.converge_cap; ++i) {
       if (Converged()) return;
       hub_.Tick();
-      now_ += kBeat;
-      TickAll(now_);
+      AdvanceBeat();
     }
     if (!Converged()) {
       Fail(result, "cluster failed to converge after heal (membership or "
@@ -563,16 +635,14 @@ class ChaosCluster {
       for (HarnessNode& node : nodes_) lag += node.consumer->Lag();
       if (lag == 0) {
         // Everything polled and routed; settle in-flight deliveries.
-        now_ += kBeat;
-        TickAll(now_);
+        AdvanceBeat();
         return;
       }
       for (HarnessNode& node : nodes_) {
         PollAndRoute(node, /*require_delivery=*/true, result);
         if (!result->ok) return;
       }
-      now_ += kBeat;
-      TickAll(now_);
+      AdvanceBeat();
       // Offsets are committed only here, where convergence guarantees a
       // single owner per partition — commits stay monotone by construction
       // and the harness verifies it.
@@ -712,7 +782,14 @@ class ChaosCluster {
   std::vector<HarnessNode> nodes_;
   std::vector<Record> records_;
   std::vector<int64_t> last_committed_;
-  TimeMicros now_ = kT0;
+  /// The run's virtual timeline (DESIGN.md §13): chaos beats and skew
+  /// retunes dispatch here; heal/drain advance the same clock beat-wise.
+  des::EventScheduler sched_;
+  std::unique_ptr<des::FunctionHandler> beat_handler_;
+  std::unique_ptr<des::FunctionHandler> skew_handler_;
+  uint32_t beat_id_ = 0;
+  uint32_t skew_id_ = 0;
+  ChaosRunResult* beat_result_ = nullptr;
 };
 
 /// Runs one full chaos cycle for `seed`; chk violations anywhere in the run

@@ -285,6 +285,24 @@ TEST(DeterministicSchedulerTest, StandaloneTaskOrderIsSeedDriven) {
   EXPECT_GE(orders.size(), 5u);  // 6! = 720 permutations to sample from
 }
 
+TEST(DeterministicSchedulerTest, FingerprintOnlyModeKeepsTraceHash) {
+  // Long runs (fig6 --verify) turn off per-decision recording; the
+  // incremental fingerprint must equal the recorded run's hash bit for bit.
+  chk::DeterministicScheduler recorded(11);
+  chk::DeterministicScheduler bare(11);
+  bare.DisableTraceRecording();
+  for (int i = 0; i < 16; ++i) {
+    recorded.Submit(DispatchTask{[] {}, "task" + std::to_string(i)});
+    bare.Submit(DispatchTask{[] {}, "task" + std::to_string(i)});
+  }
+  recorded.Quiesce();
+  bare.Quiesce();
+  EXPECT_EQ(recorded.TraceHash(), bare.TraceHash());
+  EXPECT_EQ(recorded.StepCount(), bare.StepCount());
+  EXPECT_EQ(recorded.Trace().size(), 16u);
+  EXPECT_TRUE(bare.Trace().empty());
+}
+
 TEST(DeterministicSchedulerTest, RejectsSubmitAfterShutdown) {
   chk::DeterministicScheduler sched(1);
   int ran = 0;

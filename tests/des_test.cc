@@ -1,0 +1,371 @@
+// Tests for the discrete-event virtual-time core (sim/des, DESIGN.md §13):
+// queue ordering, clock monotonicity under concurrency, trace-hash
+// determinism across runs and pipeline worker-thread counts, wall/virtual
+// driver equivalence, and one seed driving both the event scheduler and a
+// chk::DeterministicScheduler. Labelled `des` — run with `ctest -L des` or
+// the `check-des` target.
+
+#include <any>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "chk/deterministic_scheduler.h"
+#include "core/pipeline.h"
+#include "sim/des/components.h"
+#include "sim/des/event_fleet.h"
+#include "sim/des/event_queue.h"
+#include "sim/des/scheduler.h"
+#include "sim/fleet.h"
+#include "util/clock.h"
+#include "vrf/linear_model.h"
+
+namespace marlin {
+namespace {
+
+// World construction is the expensive part of these tests; share one.
+const World& SharedWorld() {
+  static World world = World::GlobalWorld(7);
+  return world;
+}
+
+TEST(EventQueueTest, OrdersByTimeThenPostOrder) {
+  des::EventQueue queue;
+  queue.Push({/*at=*/300, /*seq=*/0, /*handler=*/1, /*arg=*/0});
+  queue.Push({/*at=*/100, /*seq=*/1, /*handler=*/2, /*arg=*/0});
+  queue.Push({/*at=*/200, /*seq=*/2, /*handler=*/3, /*arg=*/0});
+  queue.Push({/*at=*/100, /*seq=*/3, /*handler=*/4, /*arg=*/0});
+
+  EXPECT_EQ(queue.Pop().handler, 2u);  // t=100, posted first
+  EXPECT_EQ(queue.Pop().handler, 4u);  // t=100, posted second
+  EXPECT_EQ(queue.Pop().handler, 3u);  // t=200
+  EXPECT_EQ(queue.Pop().handler, 1u);  // t=300
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventSchedulerTest, PostIntoThePastClampsToNow) {
+  des::EventSchedulerConfig config;
+  config.start_time = 1'000'000;
+  des::EventScheduler scheduler(config);
+  std::vector<TimeMicros> fired;
+  des::FunctionHandler handler(
+      [&fired](des::EventScheduler* sched, const des::Event& event) {
+        (void)event;
+        fired.push_back(sched->Now());
+      });
+  const uint32_t id = scheduler.RegisterHandler("test", &handler);
+  scheduler.PostAt(0, id);  // in the past → fires at current virtual time
+  scheduler.PostAt(2'000'000, id);
+  scheduler.RunAll();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1'000'000);
+  EXPECT_EQ(fired[1], 2'000'000);
+}
+
+TEST(EventSchedulerTest, RunUntilAdvancesClockPastLastEvent) {
+  des::EventScheduler scheduler;
+  EXPECT_EQ(scheduler.RunUntil(5'000'000), 0);
+  EXPECT_EQ(scheduler.Now(), 5'000'000);
+}
+
+TEST(VirtualClockTest, MonotonicUnderConcurrentAdvancers) {
+  VirtualClock clock(0);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread reader([&] {
+    TimeMicros last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const TimeMicros now = clock.Now();
+      if (now < last) violated.store(true, std::memory_order_release);
+      last = now;
+    }
+  });
+  constexpr int kThreads = 4;
+  constexpr TimeMicros kPerThread = 20'000;
+  std::vector<std::thread> advancers;
+  for (int t = 0; t < kThreads; ++t) {
+    advancers.emplace_back([&clock, t] {
+      // Interleaved targets: thread t advances to t+1, t+1+kThreads, ...
+      // so most AdvanceTo calls race with a peer that is already ahead.
+      for (TimeMicros step = t + 1; step <= kThreads * kPerThread;
+           step += kThreads) {
+        clock.AdvanceTo(step);
+      }
+    });
+  }
+  for (std::thread& thread : advancers) thread.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(clock.Now(), kThreads * kPerThread);
+  // A stale advance to an earlier time never rewinds.
+  clock.AdvanceTo(17);
+  EXPECT_EQ(clock.Now(), kThreads * kPerThread);
+}
+
+TEST(SimulatedClockTest, MonotonicUnderConcurrentAdvance) {
+  SimulatedClock clock(0);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread reader([&] {
+    TimeMicros last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const TimeMicros now = clock.Now();
+      if (now < last) violated.store(true, std::memory_order_release);
+      last = now;
+    }
+  });
+  std::vector<std::thread> advancers;
+  for (int t = 0; t < 4; ++t) {
+    advancers.emplace_back([&clock] {
+      for (int i = 0; i < 20'000; ++i) clock.Advance(3);
+    });
+  }
+  for (std::thread& thread : advancers) thread.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(clock.Now(), 4 * 20'000 * 3);
+}
+
+TEST(StopwatchTest, MeasuresInjectedVirtualTime) {
+  VirtualClock clock(1'000'000);
+  Stopwatch stopwatch(&clock);
+  clock.AdvanceTo(1'250'000);
+  EXPECT_EQ(stopwatch.ElapsedNanos(), 250'000'000);
+  stopwatch.Restart();
+  EXPECT_EQ(stopwatch.ElapsedNanos(), 0);
+}
+
+struct FleetRun {
+  uint64_t trace_hash = 0;
+  int64_t emitted = 0;
+  int64_t dispatched = 0;
+  uint64_t stream_hash = 0;
+};
+
+FleetRun RunEventFleet(uint64_t seed, double hours) {
+  des::EventFleetConfig fleet_config;
+  fleet_config.num_vessels = 50;
+  fleet_config.seed = seed;
+  fleet_config.arrival_span_sec = hours * 1800.0;
+  des::EventSchedulerConfig scheduler_config;
+  scheduler_config.seed = seed;
+  scheduler_config.start_time = fleet_config.start_time;
+  des::EventScheduler scheduler(scheduler_config);
+  chk::Fingerprint stream;
+  des::EventFleet fleet(&SharedWorld(), fleet_config, &scheduler,
+                        [&stream](const AisPosition& report) {
+                          stream.MixU64(static_cast<uint64_t>(report.mmsi));
+                          stream.MixU64(
+                              static_cast<uint64_t>(report.timestamp));
+                        });
+  scheduler.RunUntil(fleet_config.start_time +
+                     static_cast<TimeMicros>(hours * 3600.0) *
+                         kMicrosPerSecond);
+  FleetRun run;
+  run.trace_hash = scheduler.TraceHash();
+  run.emitted = fleet.emitted();
+  run.dispatched = scheduler.dispatched();
+  run.stream_hash = stream.Value();
+  return run;
+}
+
+TEST(EventFleetTest, SameSeedSameTraceAcrossRuns) {
+  const FleetRun first = RunEventFleet(99, 1.0);
+  const FleetRun second = RunEventFleet(99, 1.0);
+  EXPECT_GT(first.emitted, 0);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.stream_hash, second.stream_hash);
+  EXPECT_EQ(first.emitted, second.emitted);
+  EXPECT_EQ(first.dispatched, second.dispatched);
+}
+
+TEST(EventFleetTest, DifferentSeedsDiverge) {
+  const FleetRun first = RunEventFleet(99, 0.5);
+  const FleetRun second = RunEventFleet(100, 0.5);
+  EXPECT_NE(first.trace_hash, second.trace_hash);
+  EXPECT_NE(first.stream_hash, second.stream_hash);
+}
+
+TEST(FleetStepperTest, VirtualDriverReplaysWallStreamExactly) {
+  // The property `fig6 --verify` checks at scale: stepping the unchanged
+  // FleetSimulator from posted events consumes its RNG identically, so the
+  // two drivers emit byte-identical message streams.
+  const double duration_sec = 600.0;
+  const double step_sec = 20.0;
+  FleetConfig config;
+  config.num_vessels = 20;
+  config.seed = 7;
+  config.step_sec = step_sec;
+
+  std::vector<AisPosition> wall_stream;
+  {
+    FleetSimulator fleet(const_cast<World*>(&SharedWorld()), config);
+    std::vector<AisPosition> batch;
+    const int steps = static_cast<int>(duration_sec / step_sec);
+    for (int step = 0; step < steps; ++step) {
+      batch.clear();
+      fleet.Step(&batch);
+      wall_stream.insert(wall_stream.end(), batch.begin(), batch.end());
+    }
+  }
+
+  std::vector<AisPosition> virtual_stream;
+  int64_t virtual_steps = 0;
+  {
+    FleetSimulator fleet(const_cast<World*>(&SharedWorld()), config);
+    bench::ReplayOptions options;
+    options.duration_sec = duration_sec;
+    options.step_sec = step_sec;
+    options.virtual_time = true;
+    const bench::ReplayResult result = bench::ReplayFleet(
+        &fleet, options,
+        [&virtual_stream](const AisPosition& report) {
+          virtual_stream.push_back(report);
+        },
+        [] {});
+    virtual_steps = result.steps;
+  }
+
+  EXPECT_EQ(virtual_steps,
+            static_cast<int64_t>(duration_sec / step_sec));
+  ASSERT_EQ(virtual_stream.size(), wall_stream.size());
+  for (size_t i = 0; i < wall_stream.size(); ++i) {
+    ASSERT_TRUE(virtual_stream[i] == wall_stream[i]) << "diverged at " << i;
+  }
+}
+
+struct PipelineRun {
+  uint64_t trace_hash = 0;
+  int64_t messages = 0;
+  int64_t positions = 0;
+  int64_t forecasts = 0;
+};
+
+PipelineRun RunVirtualPipeline(int num_threads) {
+  PipelineConfig pipeline_config;
+  pipeline_config.actor_system.num_threads = num_threads;
+  MaritimePipeline pipeline(std::make_shared<LinearKinematicModel>(),
+                            pipeline_config);
+  PipelineRun run;
+  if (!pipeline.Start().ok()) return run;
+  FleetConfig fleet_config;
+  fleet_config.num_vessels = 60;
+  fleet_config.seed = 11;
+  fleet_config.step_sec = 20.0;
+  FleetSimulator fleet(const_cast<World*>(&SharedWorld()), fleet_config);
+  bench::ReplayOptions options;
+  options.duration_sec = 300.0;
+  options.step_sec = fleet_config.step_sec;
+  options.virtual_time = true;
+  options.seed = fleet_config.seed;
+  const bench::ReplayResult result = bench::ReplayFleet(
+      &fleet, options,
+      [&pipeline](const AisPosition& report) {
+        (void)pipeline.Ingest(report);
+      },
+      [&pipeline] { pipeline.AwaitQuiescence(); });
+  const PipelineStats stats = pipeline.Stats();
+  run.trace_hash = result.trace_hash;
+  run.messages = result.messages;
+  run.positions = stats.positions_ingested;
+  run.forecasts = stats.forecasts_generated;
+  return run;
+}
+
+TEST(VirtualPipelineTest, TraceHashStableAcrossWorkerThreadCounts) {
+  // The event-order trace is produced by the single-threaded event loop;
+  // pipeline worker threads live *behind* the ingest handler, so 1, 2, and
+  // 4 workers must yield the identical trace hash and the identical
+  // deterministic totals.
+  const PipelineRun one = RunVirtualPipeline(1);
+  const PipelineRun two = RunVirtualPipeline(2);
+  const PipelineRun four = RunVirtualPipeline(4);
+  EXPECT_GT(one.messages, 0);
+  EXPECT_EQ(one.trace_hash, two.trace_hash);
+  EXPECT_EQ(one.trace_hash, four.trace_hash);
+  EXPECT_EQ(one.messages, two.messages);
+  EXPECT_EQ(one.messages, four.messages);
+  EXPECT_EQ(one.positions, two.positions);
+  EXPECT_EQ(one.positions, four.positions);
+  EXPECT_EQ(one.forecasts, two.forecasts);
+  EXPECT_EQ(one.forecasts, four.forecasts);
+}
+
+/// Counter actor for the chk-integration test.
+class CounterActor : public Actor {
+ public:
+  explicit CounterActor(int64_t* sum) : sum_(sum) {}
+  Status Receive(const std::any& message, ActorContext& ctx) override {
+    (void)ctx;
+    *sum_ += std::any_cast<int64_t>(message);
+    return Status::Ok();
+  }
+
+ private:
+  int64_t* sum_;
+};
+
+struct ChkDesRun {
+  uint64_t des_trace = 0;
+  uint64_t chk_trace = 0;
+  int64_t sum = 0;
+};
+
+/// One seed drives both schedulers: the EventScheduler orders the virtual
+/// timeline and a chk::DeterministicScheduler serialises the actor
+/// interleaving each beat event triggers.
+ChkDesRun RunChkDes(uint64_t seed) {
+  auto dispatcher = std::make_shared<chk::DeterministicScheduler>(seed);
+  ActorSystemConfig actor_config;
+  actor_config.dispatcher = dispatcher;
+  actor_config.throughput = 1;
+  ActorSystem system(actor_config);
+  int64_t sum = 0;
+  ActorRef counter = *system.SpawnActor<CounterActor>("counter", &sum);
+
+  des::EventSchedulerConfig scheduler_config;
+  scheduler_config.seed = seed;
+  des::EventScheduler scheduler(scheduler_config);
+  des::FunctionHandler beat(
+      [&](des::EventScheduler* sched, const des::Event& event) {
+        // Fan a burst of messages into the actor system, then drain it
+        // deterministically before the next event dispatches.
+        for (uint64_t i = 0; i <= event.arg % 3; ++i) {
+          system.Tell(counter, static_cast<int64_t>(event.arg + i));
+        }
+        system.AwaitQuiescence();
+        if (event.arg < 20) {
+          sched->PostIn(1'000'000, /*handler=*/0, event.arg + 1);
+        }
+      });
+  (void)scheduler.RegisterHandler("beat", &beat);
+  scheduler.PostAt(0, 0, 0);
+  scheduler.RunAll();
+  system.Shutdown();
+
+  ChkDesRun run;
+  run.des_trace = scheduler.TraceHash();
+  run.chk_trace = dispatcher->TraceHash();
+  run.sum = sum;
+  return run;
+}
+
+TEST(ChkIntegrationTest, OneSeedDrivesEventOrderAndActorInterleaving) {
+  const ChkDesRun first = RunChkDes(1234);
+  const ChkDesRun second = RunChkDes(1234);
+  EXPECT_GT(first.sum, 0);
+  EXPECT_EQ(first.des_trace, second.des_trace);
+  EXPECT_EQ(first.chk_trace, second.chk_trace);
+  EXPECT_EQ(first.sum, second.sum);
+  const ChkDesRun other = RunChkDes(1235);
+  EXPECT_NE(first.des_trace, other.des_trace);
+}
+
+}  // namespace
+}  // namespace marlin

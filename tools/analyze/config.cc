@@ -49,6 +49,16 @@ const Config& ProjectConfig() {
     };
     // Networking substrates: the only modules that may open raw sockets.
     config->raw_socket_modules = {"cluster", "middleware"};
+    // Host-time substrates: the only files that may read wall clocks or
+    // really sleep. util/clock.h *is* the seam; logging stamps human-read
+    // wall timestamps; the actor dispatcher's idle loop backs off with a
+    // real micro-sleep. Everything else takes a Clock* / NanoClock* so
+    // virtual-time runs (DESIGN.md §13) control what "now" means.
+    config->raw_clock_files = {
+        "src/util/clock.h",
+        "src/util/logging.cc",
+        "src/actor/actor_system.cc",
+    };
     config->messages_header = "src/core/messages.h";
     return config;
   }();

@@ -32,6 +32,13 @@ struct Config {
   /// Modules allowed to call ::socket() — the two networking substrates.
   std::set<std::string> raw_socket_modules;
 
+  /// Files (repo-relative) allowed to touch host time directly
+  /// (std::chrono::system_clock, sleep_for/sleep_until). Everything else
+  /// reads time through the Clock / VirtualClock seam in util/clock.h so
+  /// the discrete-event scheduler (DESIGN.md §13) can substitute a virtual
+  /// timeline.
+  std::set<std::string> raw_clock_files;
+
   /// The actor-message contract file: every struct defined here must be a
   /// copyable value type (no raw owning pointers, references, or
   /// non-copyable members).

@@ -195,6 +195,7 @@ std::vector<std::unique_ptr<Rule>> BuiltinRules() {
   rules.push_back(MakeFaultPointRule());
   rules.push_back(MakeMessageHygieneRule());
   rules.push_back(MakeMetricNameRule());
+  rules.push_back(MakeRawClockRule());
   rules.push_back(MakeNoRawThreadRule());
   rules.push_back(MakeNoNakedNewRule());
   rules.push_back(MakeNoPlainCounterRule());
